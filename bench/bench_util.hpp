@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction harnesses. Every bench
+// binary prints (a) the paper's reported shape for the experiment and (b)
+// the regenerated rows/series, through the same Table formatter, so that
+// EXPERIMENTS.md can quote either verbatim.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "topo/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace speedbal::bench {
+
+/// Cache of single-core baselines keyed by (machine, benchmark, threads):
+/// several series in one figure share the same denominator.
+class SerialBaselines {
+ public:
+  double get(const Topology& topo, const NpbProfile& prof, int nthreads,
+             std::uint64_t seed = 42) {
+    const std::string key =
+        topo.name() + "/" + prof.full_name() + "/" + std::to_string(nthreads);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+      it = cache_.emplace(key, scenarios::serial_runtime_s(topo, prof, nthreads, seed))
+               .first;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, double> cache_;
+};
+
+inline void print_paper_note(std::string_view figure, std::string_view claim) {
+  std::cout << "Reproduces " << figure << ".\nPaper's reported shape: " << claim
+            << "\n";
+}
+
+/// Standard bench flags: --repeats, --seed, --quick (halves the sweep).
+struct BenchArgs {
+  int repeats = 5;
+  std::uint64_t seed = 42;
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    const Cli cli(argc, argv);
+    BenchArgs args;
+    args.repeats = static_cast<int>(cli.get_int("repeats", args.repeats));
+    args.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    args.quick = cli.get_bool("quick", false);
+    return args;
+  }
+};
+
+}  // namespace speedbal::bench

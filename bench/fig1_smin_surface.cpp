@@ -1,0 +1,77 @@
+// Figure 1: relationship between the inter-thread synchronization interval
+// S and a fixed balancing interval B=1 — the minimum S (in balance-interval
+// units) for speed balancing to be profitable, as a function of the number
+// of cores M and threads N. Purely analytic (Section 4 / Lemma 1).
+//
+// The paper: "The scale of the figure is cut off at 10; the actual data
+// range is [0.015, 147]" and "the high values for S appear on the
+// diagonals ... few (two) threads per core and a large number of slow
+// cores"; "in the majority of cases S <= 1".
+
+#include <algorithm>
+#include <iostream>
+
+#include "model/analytic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace speedbal;
+  using namespace speedbal::model;
+
+  print_heading(std::cout, "Figure 1: minimum profitable S(N, M), B = 1");
+
+  // Sample of the surface: rows are core counts, columns thread multiples.
+  Table table({"cores M", "N=M+1", "N=1.5M", "N=2M-1", "N=2M+1", "N=3M",
+               "N=3.5M"});
+  double global_min = 1e9;
+  double global_max = 0.0;
+  std::size_t cells = 0;
+  std::size_t below_one = 0;
+
+  const auto sweep_cell = [&](int m, int n) {
+    const double s = min_profitable_s({n, m}, 1.0);
+    if (s > 0.0) {
+      global_min = std::min(global_min, s);
+      global_max = std::max(global_max, s);
+    }
+    ++cells;
+    if (s <= 1.0) ++below_one;
+    return s;
+  };
+
+  for (int m : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
+    std::vector<std::string> row{std::to_string(m)};
+    for (const double frac : {-1.0, 1.5, -2.0, 2.0, 3.0, 3.5}) {
+      // Negative sentinels encode N = M+1 and N = 2M-1 exactly.
+      int n;
+      if (frac == -1.0) n = m + 1;
+      else if (frac == -2.0) n = 2 * m - 1;
+      else if (frac == 2.0) n = 2 * m + 1;
+      else n = static_cast<int>(frac * m);
+      if (n <= m) n = m + 1;
+      row.push_back(Table::num(sweep_cell(m, n), 3));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  // Full-surface statistics over the figure's plotted domain (the paper's
+  // axes reach ~100 cores and ~350 threads).
+  for (int m = 2; m <= 100; ++m)
+    for (int n = m + 1; n <= 350; ++n) sweep_cell(m, n);
+
+  std::cout << "\nSurface over M in [2,100], N in (M, 350]:\n";
+  Table stats({"metric", "value", "paper"});
+  stats.add_row({"min S", Table::num(global_min, 3), "0.015"});
+  stats.add_row({"max S", Table::num(global_max, 1), "147"});
+  stats.add_row({"fraction with S <= 1",
+                 Table::num(100.0 * below_one / cells, 1) + "%",
+                 "majority of cases"});
+  // The diagonal worst case called out in the caption: N = 2M-1 (two
+  // threads per core, M-1 slow cores).
+  stats.add_row({"worst diagonal (M=100, N=199)",
+                 Table::num(min_profitable_s({199, 100}, 1.0), 1),
+                 "high values on diagonals"});
+  stats.print(std::cout);
+  return 0;
+}

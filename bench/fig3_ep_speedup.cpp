@@ -1,0 +1,65 @@
+// Figure 3: UPC EP class C speedup on Tigerton and Barcelona. The benchmark
+// is compiled with 16 threads and run on 1..16 cores; each line is one
+// balancing setup. Average speedup over repeated runs.
+//
+// Paper's shape: One-per-core is linear; SPEED tracks it at every core
+// count with tiny variation; PINNED is optimal only at divisors of 16;
+// LOAD-YIELD is erratic and often below PINNED; LOAD-SLEEP (usleep
+// barriers) recovers most of the loss; DWRR matches SPEED up to ~8 cores
+// and reaches only ~12 at 16; FreeBSD/ULE tracks PINNED.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace speedbal;
+using scenarios::Setup;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_paper_note(
+      "Figure 3",
+      "SPEED ~= One-per-core everywhere; PINNED dips at non-divisors;\n"
+      "LOAD-YIELD erratic and worst; DWRR good to 8 cores, ~12/16 at 16;\n"
+      "FreeBSD ~= PINNED.");
+
+  // The paper runs class C (~27 s of compute per thread). The barrier
+  // granularity matters: rotation needs many balance intervals per phase to
+  // equalize progress, so smaller classes under-report SPEED in the
+  // mid-range core counts. --class=A/S trades fidelity for speed.
+  const Cli cli(argc, argv);
+  const char klass = cli.get("class", args.quick ? "A" : "C")[0];
+  const auto prof = npb::ep(klass);
+  const int threads = 16;
+
+  const std::vector<Setup> setups = {
+      Setup::OnePerCore, Setup::SpeedYield, Setup::SpeedSleep, Setup::Dwrr,
+      Setup::FreeBsd,    Setup::LoadSleep,  Setup::LoadYield,  Setup::Pinned};
+  std::vector<int> core_counts;
+  for (int c = args.quick ? 2 : 1; c <= 16; c += args.quick ? 2 : 1)
+    core_counts.push_back(c);
+
+  bench::SerialBaselines baselines;
+  for (const auto* machine_name : {"tigerton", "barcelona"}) {
+    const auto topo = presets::by_name(machine_name);
+    print_heading(std::cout, std::string("Figure 3: ep.") + klass +
+                                 " speedup on " + machine_name +
+                                 " (16 threads)");
+    std::vector<std::string> headers{"cores"};
+    for (const Setup s : setups) headers.emplace_back(to_string(s));
+    Table table(headers);
+
+    for (const int cores : core_counts) {
+      std::vector<std::string> row{std::to_string(cores)};
+      for (const Setup setup : setups) {
+        const double serial = baselines.get(topo, prof, threads, args.seed);
+        const auto result = scenarios::run_npb(topo, prof, threads, cores,
+                                               setup, args.repeats, args.seed);
+        row.push_back(Table::num(serial / result.mean_runtime(), 2));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

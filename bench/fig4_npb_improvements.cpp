@@ -1,0 +1,71 @@
+// Figure 4: distribution of SPEED-vs-LOAD performance ratios for each NAS
+// benchmark across core counts, for the UPC-style (sched_yield barrier)
+// workload: SB_WORST/LB_WORST, SB_AVG/LB_AVG, and the run-to-run variation
+// of each balancer (plotted against the right-hand axis in the paper).
+//
+// Paper's shape: worst-case performance improves up to ~70%, average up to
+// ~50%; SPEED's variation is ~2% overall vs LOAD's up to ~67%.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace speedbal;
+using scenarios::Setup;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_paper_note(
+      "Figure 4",
+      "LB_WORST/SB_WORST up to ~1.7, LB_AVG/SB_AVG up to ~1.5;\n"
+      "SB variation ~2%, LB variation up to ~67%.");
+
+  const auto topo = presets::tigerton();
+  const auto profiles = npb::paper_selection();
+  std::vector<int> core_counts =
+      args.quick ? std::vector<int>{6, 11} : std::vector<int>{4, 6, 9, 11, 13, 14};
+  const int repeats = std::max(3, args.repeats);
+
+  print_heading(std::cout,
+                "Figure 4: SPEED vs LOAD per benchmark (yield barriers, Tigerton)");
+  Table table({"benchmark", "cores", "LB_AVG/SB_AVG", "LB_WORST/SB_WORST",
+               "SB variation %", "LB variation %"});
+
+  double worst_ratio_max = 0.0;
+  double avg_ratio_max = 0.0;
+  OnlineStats sb_variation;
+  OnlineStats lb_variation;
+
+  for (const auto& prof : profiles) {
+    for (const int cores : core_counts) {
+      const auto sb = scenarios::run_npb(topo, prof, 16, cores,
+                                         Setup::SpeedYield, repeats, args.seed);
+      const auto lb = scenarios::run_npb(topo, prof, 16, cores,
+                                         Setup::LoadYield, repeats, args.seed);
+      const double avg_ratio = lb.mean_runtime() / sb.mean_runtime();
+      const double worst_ratio = lb.worst_runtime() / sb.worst_runtime();
+      avg_ratio_max = std::max(avg_ratio_max, avg_ratio);
+      worst_ratio_max = std::max(worst_ratio_max, worst_ratio);
+      sb_variation.add(sb.variation_pct());
+      lb_variation.add(lb.variation_pct());
+      table.add_row({prof.full_name(), std::to_string(cores),
+                     Table::num(avg_ratio, 2), Table::num(worst_ratio, 2),
+                     Table::num(sb.variation_pct(), 1),
+                     Table::num(lb.variation_pct(), 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << '\n';
+  Table summary({"metric", "measured", "paper"});
+  summary.add_row({"max avg-performance gain",
+                   Table::num((avg_ratio_max - 1.0) * 100.0, 0) + "%", "~50%"});
+  summary.add_row({"max worst-case gain",
+                   Table::num((worst_ratio_max - 1.0) * 100.0, 0) + "%", "~70%"});
+  summary.add_row({"mean SPEED variation",
+                   Table::num(sb_variation.mean(), 1) + "%", "~2%"});
+  summary.add_row({"mean LOAD variation",
+                   Table::num(lb_variation.mean(), 1) + "%", "up to 67%"});
+  summary.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// google-benchmark micro-benchmarks of the native (real OS) substrate: the
+// syscall and /proc costs the paper's user-level balancer pays each pass,
+// and the barrier primitive costs its applications pay (Section 3).
+
+#include <benchmark/benchmark.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include "native/affinity.hpp"
+#include "native/procfs.hpp"
+#include "native/spmd_runtime.hpp"
+
+namespace {
+
+using namespace speedbal::native;
+
+void BM_SchedGetAffinity(benchmark::State& state) {
+  const pid_t self = static_cast<pid_t>(::gettid());
+  for (auto _ : state) {
+    auto set = get_affinity(self);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_SchedGetAffinity);
+
+void BM_SchedSetAffinity(benchmark::State& state) {
+  // Cost of the migration primitive itself (to the current mask: no actual
+  // movement, measures syscall + kernel bookkeeping).
+  const pid_t self = static_cast<pid_t>(::gettid());
+  const auto original = get_affinity(self);
+  for (auto _ : state) benchmark::DoNotOptimize(set_affinity(self, original));
+}
+BENCHMARK(BM_SchedSetAffinity);
+
+void BM_ProcStatRead(benchmark::State& state) {
+  // One thread-time sample: what the balancer pays per monitored thread per
+  // balance interval.
+  Procfs proc;
+  const pid_t self = ::getpid();
+  const auto tids = proc.tids(self);
+  for (auto _ : state) {
+    auto t = proc.task_times(self, tids.front());
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ProcStatRead);
+
+void BM_ProcEnumerateThreads(benchmark::State& state) {
+  Procfs proc;
+  const pid_t self = ::getpid();
+  for (auto _ : state) {
+    auto tids = proc.tids(self);
+    benchmark::DoNotOptimize(tids);
+  }
+}
+BENCHMARK(BM_ProcEnumerateThreads);
+
+void BM_SchedYield(benchmark::State& state) {
+  // The UPC/MPI barrier wait primitive.
+  for (auto _ : state) sched_yield();
+}
+BENCHMARK(BM_SchedYield);
+
+void BM_BarrierRoundTrip(benchmark::State& state) {
+  // Two-thread sense-reversing barrier cost per round, per wait policy.
+  const auto policy = static_cast<NativeWaitPolicy>(state.range(0));
+  NativeSpmdSpec spec;
+  spec.nthreads = 2;
+  spec.phases = 64;
+  spec.work_per_phase = std::chrono::microseconds(1);
+  spec.policy = policy;
+  for (auto _ : state) {
+    auto result = run_native_spmd(spec);
+    benchmark::DoNotOptimize(result.wall_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * spec.phases);
+}
+BENCHMARK(BM_BarrierRoundTrip)
+    ->Arg(static_cast<int>(NativeWaitPolicy::Spin))
+    ->Arg(static_cast<int>(NativeWaitPolicy::Yield))
+    ->Arg(static_cast<int>(NativeWaitPolicy::Sleep))
+    ->Arg(static_cast<int>(NativeWaitPolicy::SleepPoll));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// google-benchmark micro-benchmarks of the simulation substrate itself:
+// event throughput, CFS queue operations, dispatch cost, and the cost of a
+// full small experiment. These guard the harness's own performance (the
+// figure benches run thousands of simulations).
+
+#include <benchmark/benchmark.h>
+
+#include "balance/speed.hpp"
+#include "core/scenarios.hpp"
+#include "sim/cfs_queue.hpp"
+#include "sim/event_queue.hpp"
+#include "topo/presets.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace speedbal;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i) q.schedule(i, [] {});
+    q.run_all();
+    benchmark::DoNotOptimize(q.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_CfsEnqueueDequeue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<Task>> tasks;
+  for (std::size_t i = 0; i < n; ++i)
+    tasks.push_back(std::make_unique<Task>(static_cast<TaskId>(i),
+                                           TaskSpec{.name = "t"}));
+  CfsQueue q;
+  for (auto _ : state) {
+    for (auto& t : tasks) q.enqueue(*t, false);
+    for (auto& t : tasks) q.charge(*t, msec(1));
+    for (auto& t : tasks) q.dequeue(*t);
+    benchmark::DoNotOptimize(q.min_vruntime());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CfsEnqueueDequeue)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SimulatedSecondTigerton(benchmark::State& state) {
+  // Cost of simulating one second of 16 busy cores (the unit the figure
+  // benches are made of).
+  for (auto _ : state) {
+    Simulator sim(presets::tigerton(), {}, 1);
+    struct Hog : TaskClient {
+      void on_work_complete(Simulator& s, Task& t) override {
+        s.assign_work(t, 1e9);
+      }
+    } hog;
+    for (int i = 0; i < 16; ++i) {
+      Task& t = sim.create_task({.name = "t", .client = &hog});
+      sim.assign_work(t, 1e9);
+      sim.start_task_on(t, i, ~0ULL);
+    }
+    sim.run_while_pending([] { return false; }, sec(1));
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_SimulatedSecondTigerton);
+
+void BM_SpeedBalancerPass(benchmark::State& state) {
+  Simulator sim(presets::tigerton(), {}, 1);
+  struct Hog : TaskClient {
+    void on_work_complete(Simulator& s, Task& t) override {
+      s.assign_work(t, 1e9);
+    }
+  } hog;
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 24; ++i) {
+    Task& t = sim.create_task({.name = "t", .client = &hog});
+    sim.assign_work(t, 1e9);
+    sim.start_task(t);
+    tasks.push_back(&t);
+  }
+  SpeedBalanceParams params;
+  params.automatic = false;
+  SpeedBalancer sb(params, tasks, workload::first_cores(16));
+  sb.attach(sim);
+  sim.run_while_pending([] { return false; }, msec(200));
+  CoreId core = 0;
+  for (auto _ : state) {
+    sb.balance_once(core);
+    core = (core + 1) % 16;
+  }
+}
+BENCHMARK(BM_SpeedBalancerPass);
+
+void BM_SmallExperimentEndToEnd(benchmark::State& state) {
+  const auto topo = presets::generic(4);
+  const auto prof = npb::ep('S');
+  for (auto _ : state) {
+    const auto result = scenarios::run_npb(topo, prof, 8, 3,
+                                           scenarios::Setup::SpeedYield, 1, 7);
+    benchmark::DoNotOptimize(result.mean_runtime());
+  }
+}
+BENCHMARK(BM_SmallExperimentEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Section 6.2 text (OpenMP workload): barrier implementation interactions
+// with each balancer.
+//
+//  * LOAD + polling barriers (KMP_BLOCKTIME=infinite) is significantly
+//    suboptimal: waiters sit on run queues and fool the queue-length
+//    balancer.
+//  * LOAD + the default 200 ms block-then-sleep barrier does better (LB_INF
+//    vs LB_DEF: ~7% for the polling variant on cg-style benchmarks, but
+//    sleep rescues the coarse ones).
+//  * SPEED + polling is best overall (SB_INF/LB_INF ~ +11%).
+//  * SPEED slightly hurts sleeping apps (SB_DEF vs LB_DEF ~ -3%): it has no
+//    mechanism for sleeping processes.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workload/generator.hpp"
+
+using namespace speedbal;
+using scenarios::Setup;
+
+namespace {
+
+ExperimentResult run_with_barrier(const Topology& topo, const NpbProfile& prof,
+                                  int cores, Policy policy,
+                                  const BarrierConfig& barrier, int repeats,
+                                  std::uint64_t seed) {
+  auto cfg = scenarios::npb_config(topo, prof, 16, cores, Setup::LoadYield,
+                                   repeats, seed);
+  cfg.policy = policy;
+  cfg.app.barrier = barrier;
+  return run_experiment(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_paper_note(
+      "Section 6.2 (OpenMP barrier study)",
+      "LOAD+polling suboptimal; LOAD+KMP_BLOCKTIME-default better;\n"
+      "SPEED+polling best (~+11% vs LOAD+polling); SPEED+default-sleep\n"
+      "slightly behind LOAD+default-sleep (~-3%).");
+
+  const auto topo = presets::tigerton();
+  // ep.A has barrier waits long enough to exceed KMP_BLOCKTIME (coarse
+  // phases), ft.B is mid-grain, cg.B sits at the fine-grained boundary
+  // where Lemma 1 predicts balancing cannot pay off.
+  const auto profiles = args.quick
+                            ? std::vector<NpbProfile>{npb::ep('A')}
+                            : std::vector<NpbProfile>{npb::ep('A'), npb::ft('B'),
+                                                      npb::cg('B')};
+  const int cores = 12;  // Oversubscribed: 16 threads on 12 cores.
+
+  struct Variant {
+    const char* name;
+    Policy policy;
+    BarrierConfig barrier;
+  };
+  const Variant variants[] = {
+      {"LB_INF (LOAD, polling)", Policy::Load, workload::omp_polling_barrier()},
+      {"LB_DEF (LOAD, 200ms sleep)", Policy::Load,
+       workload::intel_omp_default_barrier()},
+      {"SB_INF (SPEED, polling)", Policy::Speed, workload::omp_polling_barrier()},
+      {"SB_DEF (SPEED, 200ms sleep)", Policy::Speed,
+       workload::intel_omp_default_barrier()},
+  };
+
+  print_heading(std::cout, "Section 6.2: barrier policy x balancer (16 threads, " +
+                               std::to_string(cores) + " cores)");
+  Table table({"benchmark", "variant", "runtime (s)", "variation %"});
+  std::map<std::string, double> lb_inf_runtime;
+
+  for (const auto& prof : profiles) {
+    for (const auto& variant : variants) {
+      const auto result = run_with_barrier(topo, prof, cores, variant.policy,
+                                           variant.barrier, args.repeats,
+                                           args.seed);
+      if (std::string(variant.name).rfind("LB_INF", 0) == 0)
+        lb_inf_runtime[prof.full_name()] = result.mean_runtime();
+      table.add_row({prof.full_name(), variant.name,
+                     Table::num(result.mean_runtime(), 2),
+                     Table::num(result.variation_pct(), 1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

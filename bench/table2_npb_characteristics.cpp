@@ -1,0 +1,63 @@
+// Table 2: the selected NAS parallel benchmarks — RSS per core, speedup on
+// 16 cores on both machines (one thread per core), and the inter-barrier
+// time observed during the run.
+//
+// Paper's values (UPC unless noted):
+//   bt.A: rss 0.4 GB, speedup 4.6 (Tigerton) / 10.0 (Barcelona)
+//   ft.B: rss 5.6 GB total, 5.3 / 10.5, inter-barrier 73-206 ms
+//   is.C: rss 3.1 GB total, 4.8 /  8.4, inter-barrier 44-63 ms
+//   sp.A: rss 0.1 GB total, 7.2 / 12.4, inter-barrier ~2 ms
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace speedbal;
+using scenarios::Setup;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_paper_note(
+      "Table 2",
+      "memory-bound NPB scale to only ~5x on the Tigerton's shared FSB but\n"
+      "~8-12x on Barcelona's per-node memory controllers; sp.A (lighter\n"
+      "memory load) reaches 7.2 / 12.4.");
+
+  const auto tigerton = presets::tigerton();
+  const auto barcelona = presets::barcelona();
+  bench::SerialBaselines baselines;
+
+  print_heading(std::cout, "Table 2: selected NAS benchmarks, 16 threads on 16 cores");
+  Table table({"BM", "RSS (GB/core)", "speedup tigerton", "speedup barcelona",
+               "inter-barrier (ms)"});
+
+  for (const auto& prof : npb::paper_selection()) {
+    double speedups[2];
+    double phase_ms = 0.0;
+    int i = 0;
+    for (const auto* topo_ptr : {&tigerton, &barcelona}) {
+      const auto& topo = *topo_ptr;
+      auto cfg = scenarios::npb_config(topo, prof, 16, 16, Setup::OnePerCore,
+                                       args.repeats, args.seed);
+      const auto result = run_experiment(cfg);
+      speedups[i++] =
+          baselines.get(topo, prof, 16, args.seed) / result.mean_runtime();
+      // Inter-barrier time: the run's wall time over its phase count.
+      phase_ms = result.mean_runtime() * 1000.0 / prof.phases;
+    }
+    table.add_row({prof.full_name(), Table::num(prof.rss_mb_per_core / 1024.0, 2),
+                   Table::num(speedups[0], 1), Table::num(speedups[1], 1),
+                   Table::num(phase_ms, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper (Table 2):\n";
+  Table paper({"BM", "RSS", "tigerton", "barcelona", "inter-barrier (ms)"});
+  paper.add_row({"bt.A", "0.4/core", "4.6", "10.0", "~10"});
+  paper.add_row({"ft.B", "5.6 total", "5.3", "10.5", "73-206"});
+  paper.add_row({"is.C", "3.1 total", "4.8", "8.4", "44-63"});
+  paper.add_row({"sp.A", "0.1 total", "7.2", "12.4", "~2"});
+  paper.add_row({"cg.B", "-", "-", "-", "~4 (Section 6.2)"});
+  paper.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 3: summary of performance improvements for the combined UPC-style
+// workload (yield barriers): SPEED's improvement over PINNED, over LOAD's
+// average and over LOAD's worst case, averaged over core counts, plus the
+// % variation (max/min runtime over repeated runs) of each balancer.
+//
+// Paper's row ("all" classes): SPEED beats PINNED by up to 24%, LOAD-avg by
+// up to 46%, LOAD-worst by up to 90%; LOAD varies up to 67%, SPEED < 5%.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace speedbal;
+using scenarios::Setup;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_paper_note(
+      "Table 3",
+      "SPEED improvement: vs PINNED 8-24%, vs LOAD-avg 20-46%, vs\n"
+      "LOAD-worst up to 90%; variation: SPEED 1-3%, LOAD 32-67%.");
+
+  const auto topo = presets::tigerton();
+  const auto profiles = npb::paper_selection();
+  const std::vector<int> core_counts =
+      args.quick ? std::vector<int>{6, 11} : std::vector<int>{4, 6, 9, 11, 13, 14};
+  const int repeats = std::max(3, args.repeats);
+
+  print_heading(std::cout, "Table 3: SPEED improvements, averaged over core counts");
+  Table table({"BM", "vs PINNED %", "vs LB avg %", "vs LB worst %",
+               "SPEED var %", "LOAD var %"});
+
+  OnlineStats all_pinned;
+  OnlineStats all_lb_avg;
+  OnlineStats all_lb_worst;
+  OnlineStats all_sb_var;
+  OnlineStats all_lb_var;
+
+  for (const auto& prof : profiles) {
+    OnlineStats vs_pinned;
+    OnlineStats vs_lb_avg;
+    OnlineStats vs_lb_worst;
+    OnlineStats sb_var;
+    OnlineStats lb_var;
+    for (const int cores : core_counts) {
+      const auto sb = scenarios::run_npb(topo, prof, 16, cores,
+                                         Setup::SpeedYield, repeats, args.seed);
+      const auto lb = scenarios::run_npb(topo, prof, 16, cores,
+                                         Setup::LoadYield, repeats, args.seed);
+      const auto pinned = scenarios::run_npb(topo, prof, 16, cores,
+                                             Setup::Pinned, repeats, args.seed);
+      vs_pinned.add(improvement_pct(pinned.mean_runtime(), sb.mean_runtime()));
+      vs_lb_avg.add(improvement_pct(lb.mean_runtime(), sb.mean_runtime()));
+      vs_lb_worst.add(improvement_pct(lb.worst_runtime(), sb.worst_runtime()));
+      sb_var.add(sb.variation_pct());
+      lb_var.add(lb.variation_pct());
+    }
+    table.add_row({prof.full_name(), Table::num(vs_pinned.mean(), 0),
+                   Table::num(vs_lb_avg.mean(), 0),
+                   Table::num(vs_lb_worst.mean(), 0),
+                   Table::num(sb_var.mean(), 1), Table::num(lb_var.mean(), 1)});
+    all_pinned.merge(vs_pinned);
+    all_lb_avg.merge(vs_lb_avg);
+    all_lb_worst.merge(vs_lb_worst);
+    all_sb_var.merge(sb_var);
+    all_lb_var.merge(lb_var);
+  }
+  table.add_row({"all", Table::num(all_pinned.mean(), 0),
+                 Table::num(all_lb_avg.mean(), 0),
+                 Table::num(all_lb_worst.mean(), 0),
+                 Table::num(all_sb_var.mean(), 1),
+                 Table::num(all_lb_var.mean(), 1)});
+  table.print(std::cout);
+  return 0;
+}

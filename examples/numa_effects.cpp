@@ -1,0 +1,59 @@
+// NUMA effects (Section 6.4): on the Barcelona-like machine, migrating a
+// memory-intensive thread to another NUMA node leaves its pages behind —
+// every subsequent access is remote. The paper's balancer therefore blocks
+// cross-NUMA migrations by default (and pays a bigger one-time refill when
+// they are allowed).
+//
+// This example runs a bandwidth-hungry benchmark (bt.A) on Barcelona with
+// NUMA blocking on and off, and on the UMA Tigerton for contrast.
+
+#include <iostream>
+
+#include "core/scenarios.hpp"
+#include "topo/presets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace speedbal;
+
+  const NpbProfile bench = npb::bt('A');
+  const int threads = 16;
+  const int cores = 12;  // Uneven: balancing actually has work to do.
+
+  std::cout << "bt.A, " << threads << " threads on " << cores
+            << " cores under SPEED (Section 6.4).\n\n";
+
+  Table table({"machine", "NUMA migrations", "runtime (s)", "variation %",
+               "speed migrations/run"});
+
+  for (const bool block : {true, false}) {
+    auto cfg = scenarios::npb_config(presets::barcelona(), bench, threads,
+                                     cores, scenarios::Setup::SpeedYield, 5);
+    cfg.speed.block_numa = block;
+    const auto result = run_experiment(cfg);
+    double policy = 0;
+    for (const auto& run : result.runs)
+      policy += static_cast<double>(run.policy_migrations) /
+                static_cast<double>(result.runs.size());
+    table.add_row({"barcelona", block ? "blocked" : "allowed",
+                   Table::num(result.mean_runtime(), 3),
+                   Table::num(result.variation_pct(), 1), Table::num(policy, 1)});
+  }
+  {
+    const auto result = scenarios::run_npb(presets::tigerton(), bench, threads,
+                                           cores, scenarios::Setup::SpeedYield, 5);
+    double policy = 0;
+    for (const auto& run : result.runs)
+      policy += static_cast<double>(run.policy_migrations) /
+                static_cast<double>(result.runs.size());
+    table.add_row({"tigerton", "n/a (UMA)", Table::num(result.mean_runtime(), 3),
+                   Table::num(result.variation_pct(), 1), Table::num(policy, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nOn Barcelona the memory-bound benchmark benefits from "
+               "keeping threads on the\nnode that holds their pages; Tigerton "
+               "has no such constraint but its shared\nfront-side bus caps "
+               "the absolute performance (Table 2's 4.6x vs 10x).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The paper's motivating example (Section 4): an application with three
+// threads on a two-core system.
+//
+// Queue-length balancing (Linux) assigns two threads to one core and never
+// migrates again — the application perceives the system at 50% speed. Speed
+// balancing rotates the threads so each makes equal progress, approaching
+// the ideal 75% average thread speed (makespan 1.5x one thread's work).
+//
+// This example drives the Simulator directly (lower-level API than
+// quickstart) and prints per-thread execution times to show the rotation.
+
+#include <iostream>
+
+#include "balance/linux_load.hpp"
+#include "balance/speed.hpp"
+#include "topo/presets.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace speedbal;
+
+namespace {
+
+struct RunOutcome {
+  double elapsed_s = 0.0;
+  std::vector<double> thread_exec_s;
+  std::int64_t migrations = 0;
+};
+
+RunOutcome run(bool with_speed_balancing, std::uint64_t seed) {
+  Simulator sim(presets::generic(2), {}, seed);
+
+  LinuxLoadBalancer linux_lb;
+  linux_lb.attach(sim);
+
+  SpmdAppSpec spec = workload::uniform_app(/*nthreads=*/3, /*phases=*/1,
+                                           /*work_per_phase_us=*/4e6);
+  SpmdApp app(sim, spec);
+  app.launch(SpmdApp::Placement::LinuxFork, workload::first_cores(2));
+
+  SpeedBalancer speed({}, app.threads(), workload::first_cores(2));
+  if (with_speed_balancing) speed.attach(sim);
+
+  sim.run_while_pending([&] { return app.finished(); }, sec(600));
+
+  RunOutcome out;
+  out.elapsed_s = to_sec(app.elapsed());
+  for (const Task* t : app.threads())
+    out.thread_exec_s.push_back(to_sec(t->total_exec()));
+  out.migrations = sim.metrics().migration_count(MigrationCause::SpeedBalancer);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Three threads x 4s of work on two cores (Section 4).\n"
+            << "Ideal rotated makespan: 3*4/2 = 6s. Static makespan: 8s.\n\n";
+
+  Table table({"balancer", "wall time (s)", "t0 exec", "t1 exec", "t2 exec",
+               "speed migrations"});
+  for (const bool speed : {false, true}) {
+    const auto out = run(speed, 42);
+    table.add_row({speed ? "LOAD + speedbalancer" : "LOAD only",
+                   Table::num(out.elapsed_s, 2),
+                   Table::num(out.thread_exec_s[0], 2),
+                   Table::num(out.thread_exec_s[1], 2),
+                   Table::num(out.thread_exec_s[2], 2),
+                   std::to_string(out.migrations)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nUnder LOAD only, the doubled-up threads each run ~4s of "
+               "work in ~8s of wall\ntime (50% speed). With speed balancing "
+               "every thread finishes together near 6s.\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "app/barrier.hpp"
+
+namespace speedbal {
+
+const char* to_string(WaitPolicy p) {
+  switch (p) {
+    case WaitPolicy::Spin: return "spin";
+    case WaitPolicy::Yield: return "yield";
+    case WaitPolicy::Sleep: return "sleep";
+    case WaitPolicy::SleepPoll: return "sleep-poll";
+  }
+  return "?";
+}
+
+}  // namespace speedbal

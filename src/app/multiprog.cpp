@@ -1,0 +1,78 @@
+#include "app/multiprog.hpp"
+
+#include <algorithm>
+
+namespace speedbal {
+
+CpuHog::CpuHog(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void CpuHog::launch(std::optional<CoreId> pin_core) {
+  TaskSpec ts;
+  ts.name = name_;
+  ts.client = this;
+  task_ = &sim_.create_task(ts);
+  sim_.assign_work(*task_, static_cast<double>(sec(1)));
+  if (pin_core) {
+    sim_.start_task_on(*task_, *pin_core, 1ULL << *pin_core);
+  } else {
+    sim_.start_task(*task_);
+  }
+}
+
+void CpuHog::stop() {
+  if (task_ != nullptr && task_->state() != TaskState::Finished)
+    sim_.finish_task(*task_);
+}
+
+void CpuHog::on_work_complete(Simulator& sim, Task& task) {
+  sim.assign_work(task, static_cast<double>(sec(1)));  // Hogs never stop.
+}
+
+MakeWorkload::MakeWorkload(Simulator& sim, MakeSpec spec)
+    : sim_(sim), spec_(spec) {}
+
+void MakeWorkload::launch(std::span<const CoreId> cores) {
+  rng_ = sim_.rng().fork();
+  mask_ = 0;
+  for (CoreId c : cores) mask_ |= 1ULL << c;
+  const int initial = std::min(spec_.concurrency, spec_.total_jobs);
+  for (int i = 0; i < initial; ++i) spawn_job();
+}
+
+double MakeWorkload::burst_work() {
+  return std::max(
+      1.0, spec_.burst_mean_us *
+               (1.0 + rng_.uniform(-spec_.burst_jitter, spec_.burst_jitter)));
+}
+
+void MakeWorkload::spawn_job() {
+  if (jobs_started_ >= spec_.total_jobs) return;
+  ++jobs_started_;
+  TaskSpec ts;
+  ts.name = spec_.name + ".job" + std::to_string(jobs_started_);
+  ts.client = this;
+  ts.mem_footprint_kb = spec_.mem_footprint_kb;
+  ts.mem_intensity = spec_.mem_intensity;
+  ts.mem_bw_demand = spec_.mem_bw_demand;
+  Task& t = sim_.create_task(ts);
+  jobs_[t.id()] = JobState{spec_.bursts_per_job};
+  sim_.assign_work(t, burst_work());
+  sim_.start_task(t, mask_);
+}
+
+void MakeWorkload::on_work_complete(Simulator& sim, Task& task) {
+  auto& job = jobs_.at(task.id());
+  if (--job.bursts_left > 0) {
+    // Next compile step after a short blocking I/O (header reads, write-out).
+    sim.assign_work(task, burst_work());
+    sim.sleep_task_for(task, spec_.io_sleep);
+    return;
+  }
+  sim.finish_task(task);
+  jobs_.erase(task.id());
+  ++jobs_finished_;
+  spawn_job();  // make keeps -j jobs in flight.
+}
+
+}  // namespace speedbal

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace speedbal {
+
+/// A compute-intensive competitor that never yields or sleeps — the paper's
+/// "cpu-hog" sharing experiment (Fig. 5): an unrelated task pinned to core 0
+/// that permanently takes half that core.
+class CpuHog : public TaskClient {
+ public:
+  explicit CpuHog(Simulator& sim, std::string name = "cpu-hog");
+
+  /// Start the hog; when `pin_core` is set the task is pinned there.
+  void launch(std::optional<CoreId> pin_core);
+  void stop();
+
+  Task* task() const { return task_; }
+  void on_work_complete(Simulator& sim, Task& task) override;
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  Task* task_ = nullptr;
+};
+
+/// Parameters of the make-like workload: a parallel build (make -j) that
+/// keeps `concurrency` jobs in flight; each job alternates CPU bursts with
+/// short I/O sleeps and exits after a few bursts, to be replaced by the
+/// next job, until `total_jobs` have run (Fig. 6 sharing experiment).
+struct MakeSpec {
+  std::string name = "make";
+  int concurrency = 16;  ///< The -j level.
+  int total_jobs = 200;  ///< Compilations in the build.
+  double burst_mean_us = 400'000.0;  ///< CPU burst per step (cc1 runs for
+                                     ///< a second or more per file).
+  double burst_jitter = 0.5;         ///< Relative uniform spread.
+  int bursts_per_job = 3;            ///< CPU bursts per compilation.
+  SimTime io_sleep = msec(5);        ///< Blocked I/O between bursts.
+  double mem_footprint_kb = 8192.0;  ///< Compiler working set.
+  double mem_intensity = 0.2;
+  double mem_bw_demand = 0.2;
+};
+
+/// Multiprogrammed "realistic application" load: spawns short-lived
+/// subprocesses the way a parallel build does. Jobs start with Linux fork
+/// placement and are balanced by whatever kernel policy is attached.
+class MakeWorkload : public TaskClient {
+ public:
+  MakeWorkload(Simulator& sim, MakeSpec spec);
+
+  /// Start the first `concurrency` jobs, restricted to `cores`.
+  void launch(std::span<const CoreId> cores);
+
+  bool finished() const { return jobs_finished_ >= spec_.total_jobs; }
+  int jobs_finished() const { return jobs_finished_; }
+
+  void on_work_complete(Simulator& sim, Task& task) override;
+
+ private:
+  struct JobState {
+    int bursts_left = 0;
+  };
+
+  void spawn_job();
+  double burst_work();
+
+  Simulator& sim_;
+  MakeSpec spec_;
+  Rng rng_{0};
+  std::uint64_t mask_ = ~0ULL;
+  std::map<TaskId, JobState> jobs_;
+  int jobs_started_ = 0;
+  int jobs_finished_ = 0;
+};
+
+}  // namespace speedbal

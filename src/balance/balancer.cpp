@@ -1,0 +1,21 @@
+#include "balance/balancer.hpp"
+
+namespace speedbal::balance_detail {
+
+std::vector<Task*> kernel_movable(const Simulator& sim, CoreId source,
+                                  CoreId dest) {
+  std::vector<Task*> out;
+  for (Task* t : sim.tasks_on(source)) {
+    if (t->state() == TaskState::Running) continue;
+    if (t->hard_pinned()) continue;
+    if (!t->allowed_on(dest)) continue;
+    out.push_back(t);
+  }
+  return out;
+}
+
+bool cache_hot(const Simulator& sim, const Task& t, SimTime hot_time) {
+  return t.last_ran() != kNever && sim.now() - t.last_ran() < hot_time;
+}
+
+}  // namespace speedbal::balance_detail

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace speedbal {
+
+/// A load-balancing policy plugged into the Simulator. Balancers schedule
+/// their own periodic events (and optionally register the new-idle hook) and
+/// move tasks with Simulator::migrate / set_affinity.
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+
+  /// Begin operating on `sim`. The balancer must outlive the simulation run.
+  virtual void attach(Simulator& sim) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+namespace balance_detail {
+
+/// Tasks a kernel-level balancer may consider on a core's queue: runnable,
+/// not currently executing, and not pinned via sched_setaffinity by a
+/// user-level balancer (Section 5.2: "Linux will not attempt to move it").
+std::vector<Task*> kernel_movable(const Simulator& sim, CoreId source,
+                                  CoreId dest);
+
+/// Whether the task is "cache hot" per the Linux heuristic: it executed on
+/// its core within `hot_time` (default ~5ms in the paper's kernel).
+bool cache_hot(const Simulator& sim, const Task& t, SimTime hot_time);
+
+}  // namespace balance_detail
+}  // namespace speedbal

@@ -1,0 +1,17 @@
+#include "balance/pinned.hpp"
+
+namespace speedbal {
+
+PinnedBalancer::PinnedBalancer(std::vector<Task*> managed,
+                               std::vector<CoreId> cores)
+    : managed_(std::move(managed)), cores_(std::move(cores)) {}
+
+void PinnedBalancer::attach(Simulator& sim) {
+  for (std::size_t i = 0; i < managed_.size(); ++i) {
+    const CoreId target = cores_[i % cores_.size()];
+    sim.set_affinity(*managed_[i], 1ULL << target, /*hard_pin=*/true,
+                     MigrationCause::Affinity);
+  }
+}
+
+}  // namespace speedbal

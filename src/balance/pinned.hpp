@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "balance/balancer.hpp"
+
+namespace speedbal {
+
+/// Static application-level balancing: pin each managed thread to a core,
+/// round-robin over the given cores, and never migrate again (the paper's
+/// PINNED configuration). Achieves optimal speedup only when the thread
+/// count divides the core count (Section 6.2).
+class PinnedBalancer : public Balancer {
+ public:
+  PinnedBalancer(std::vector<Task*> managed, std::vector<CoreId> cores);
+
+  void attach(Simulator& sim) override;
+  std::string name() const override { return "pinned"; }
+
+ private:
+  std::vector<Task*> managed_;
+  std::vector<CoreId> cores_;
+};
+
+}  // namespace speedbal

@@ -1,0 +1,205 @@
+#include "balance/speed.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace speedbal {
+
+SpeedBalancer::SpeedBalancer(SpeedBalanceParams params,
+                             std::vector<Task*> managed,
+                             std::vector<CoreId> cores)
+    : params_(params), managed_(std::move(managed)), cores_(std::move(cores)) {}
+
+void SpeedBalancer::attach(Simulator& sim) {
+  sim_ = &sim;
+  rng_ = sim.rng().fork();
+
+  std::uint64_t mask = 0;
+  for (CoreId c : cores_) mask |= 1ULL << c;
+
+  if (params_.initial_round_robin) {
+    // Pin each thread to a core, round-robin across the managed cores, so
+    // hardware parallelism is maximally exploited regardless of how the
+    // kernel placed the threads at fork (Section 5.2).
+    for (std::size_t i = 0; i < managed_.size(); ++i) {
+      const CoreId target = cores_[i % cores_.size()];
+      sim.set_affinity(*managed_[i], 1ULL << target, /*hard_pin=*/true,
+                       MigrationCause::SpeedBalancer);
+    }
+  } else {
+    for (Task* t : managed_)
+      sim.set_affinity(*t, mask, /*hard_pin=*/true, MigrationCause::SpeedBalancer);
+  }
+
+  // One balancer per managed core, each with an independent phase.
+  for (CoreId c : cores_) {
+    snapshot_time_[c] = sim.now() + params_.startup_delay;
+    if (!params_.automatic) continue;
+    const SimTime jitter =
+        static_cast<SimTime>(rng_.uniform_u64(static_cast<std::uint64_t>(params_.interval)));
+    sim.schedule_after(params_.startup_delay + params_.interval + jitter,
+                       [this, c] { balancer_wake(c); });
+  }
+}
+
+void SpeedBalancer::add_managed(Task& t) {
+  if (sim_ == nullptr) throw std::logic_error("add_managed before attach");
+  managed_.push_back(&t);
+  CoreId best = cores_.front();
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (CoreId c : cores_) {
+    const std::size_t load = sim_->core(c).queue().nr_running();
+    if (load < best_load) {
+      best_load = load;
+      best = c;
+    }
+  }
+  sim_->set_affinity(t, 1ULL << best, /*hard_pin=*/true,
+                     MigrationCause::SpeedBalancer);
+}
+
+bool SpeedBalancer::is_blocked(CoreId core) const {
+  const auto it = last_involved_.find(core);
+  return it != last_involved_.end() &&
+         sim_->now() - it->second < params_.post_migration_block * params_.interval;
+}
+
+void SpeedBalancer::balancer_wake(CoreId local) {
+  balance_once(local);
+  // Sleep the balance interval plus a random increase of up to one interval
+  // (Section 5.1: distributes migration checks and breaks pull cycles).
+  const SimTime jitter =
+      static_cast<SimTime>(rng_.uniform_u64(static_cast<std::uint64_t>(params_.interval)));
+  sim_->schedule_after(params_.interval + jitter, [this, local] { balancer_wake(local); });
+}
+
+std::map<CoreId, double> SpeedBalancer::measure_core_speeds(
+    CoreId local, std::map<TaskId, double>& thread_speed) {
+  sim_->sync_all_accounting();
+  auto& snaps = snapshots_[local];
+  const SimTime since = snapshot_time_[local];
+  const SimTime elapsed = std::max<SimTime>(sim_->now() - since, 1);
+
+  // Occupancy of each core by managed threads (for the SMT adaptation).
+  std::map<CoreId, int> managed_on;
+  if (params_.smt_aware)
+    for (const Task* t : managed_)
+      if (t->state() != TaskState::Finished) ++managed_on[t->core()];
+
+  // speed_i = t_exec / t_real over the elapsed balance interval.
+  std::map<CoreId, std::vector<double>> per_core;
+  for (Task* t : managed_) {
+    if (t->state() == TaskState::Finished) continue;
+    const SimTime exec = t->total_exec();
+    const SimTime delta = exec - snaps[t->id()].exec;
+    snaps[t->id()].exec = exec;
+    double s = static_cast<double>(delta) / static_cast<double>(elapsed);
+    if (params_.scale_by_clock) s *= sim_->topo().core(t->core()).clock_scale;
+    if (params_.smt_aware) {
+      // A hardware context whose sibling is also busy delivers less real
+      // progress than its CPU-time share suggests (Section 6, Nehalem).
+      const CoreId sib = sim_->topo().core(t->core()).smt_sibling;
+      if (sib >= 0 && managed_on.count(sib) > 0) s *= params_.smt_discount;
+    }
+    if (params_.measurement_noise > 0.0)
+      s = std::max(0.0, s * (1.0 + rng_.normal(0.0, params_.measurement_noise)));
+    thread_speed[t->id()] = s;
+    per_core[t->core()].push_back(s);
+  }
+  snapshot_time_[local] = sim_->now();
+
+  std::map<CoreId, double> core_speed;
+  for (CoreId c : cores_) {
+    const auto it = per_core.find(c);
+    if (it == per_core.end() || it->second.empty()) {
+      // No managed threads: a thread migrated here could run at the core's
+      // full speed, so an empty core is maximally attractive.
+      core_speed[c] = params_.scale_by_clock ? sim_->topo().core(c).clock_scale : 1.0;
+    } else {
+      double sum = 0.0;
+      for (double s : it->second) sum += s;
+      core_speed[c] = sum / static_cast<double>(it->second.size());
+    }
+  }
+  return core_speed;
+}
+
+void SpeedBalancer::balance_once(CoreId local) {
+  std::map<TaskId, double> thread_speed;
+  const auto core_speed = measure_core_speeds(local, thread_speed);
+  if (core_speed.empty()) return;
+
+  double global = 0.0;
+  for (const auto& [c, s] : core_speed) {
+    (void)c;
+    global += s;
+  }
+  global /= static_cast<double>(core_speed.size());
+  last_global_ = global;
+  if (global <= 0.0) return;
+
+  // Attempt to balance only when the local core is faster than average.
+  const double local_speed = core_speed.at(local);
+  if (local_speed <= global) return;
+
+  // Post-migration block: both parties of a recent migration sit out for at
+  // least two balance intervals so neither side's speed is stale. Pairs
+  // that share a cache may migrate more often (Section 5.2), so the block
+  // is evaluated per (local, candidate) pair.
+  const auto pair_blocked = [&](CoreId c) {
+    SimTime block = params_.post_migration_block * params_.interval;
+    if (sim_->topo().same_cache(local, c))
+      block = static_cast<SimTime>(static_cast<double>(block) *
+                                   params_.shared_cache_block_scale);
+    const auto involved_within = [&](CoreId core) {
+      const auto it = last_involved_.find(core);
+      return it != last_involved_.end() && sim_->now() - it->second < block;
+    };
+    return involved_within(local) || involved_within(c);
+  };
+
+  // Find the slowest suitable remote core: sufficiently below the global
+  // average (threshold T_s), not recently involved, and reachable without
+  // crossing a blocked domain boundary.
+  CoreId source = -1;
+  double source_speed = std::numeric_limits<double>::max();
+  for (const auto& [c, s] : core_speed) {
+    if (c == local) continue;
+    if (s / global >= params_.threshold) continue;
+    if (params_.block_numa && !sim_->topo().same_numa(local, c)) continue;
+    if (sim_->domains().lowest_common_level(sim_->topo(), local, c) >
+        params_.max_migration_level)
+      continue;
+    if (pair_blocked(c)) continue;
+    if (s < source_speed) {
+      source_speed = s;
+      source = c;
+    }
+  }
+  if (source < 0) return;
+
+  // Pull the managed thread on the source core that has migrated the least
+  // (avoids creating "hot-potato" tasks that bounce between queues).
+  Task* victim = nullptr;
+  for (Task* t : managed_) {
+    if (t->state() == TaskState::Finished) continue;
+    if (t->core() != source) continue;
+    if (victim == nullptr || t->migrations() < victim->migrations() ||
+        (t->migrations() == victim->migrations() && t->id() < victim->id()))
+      victim = t;
+  }
+  if (victim == nullptr) return;
+
+  SB_LOG(Debug) << "speedbalancer: pull task " << victim->id() << " from core "
+                << source << " (s=" << source_speed << ") to core " << local
+                << " (s=" << local_speed << ", global=" << global << ")";
+  sim_->set_affinity(*victim, 1ULL << local, /*hard_pin=*/true,
+                     MigrationCause::SpeedBalancer);
+  last_involved_[local] = sim_->now();
+  last_involved_[source] = sim_->now();
+}
+
+}  // namespace speedbal

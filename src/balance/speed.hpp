@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "balance/balancer.hpp"
+#include "topo/domains.hpp"
+
+namespace speedbal {
+
+/// Tunables of the user-level speed balancer (Section 5 of the paper).
+struct SpeedBalanceParams {
+  /// Balance interval B; each per-core balancer sleeps B plus a uniform
+  /// random extra of up to one interval (breaks migration cycles). The
+  /// paper uses 100 ms for all reported experiments.
+  SimTime interval = msec(100);
+  /// Speed threshold T_s: only pull from cores with s_k / s_global < T_s;
+  /// guards against measurement noise causing spurious migrations.
+  double threshold = 0.9;
+  /// A core involved in a migration is blocked as a source/destination for
+  /// this many balance intervals, so speeds are never stale when compared.
+  int post_migration_block = 2;
+  /// Block migrations that cross a NUMA boundary (the paper's default on
+  /// Barcelona; Section 5.2).
+  bool block_numa = true;
+  /// Most distant scheduling-domain level across which migrations are
+  /// permitted at all ("migrations at any scheduling domain level can be
+  /// blocked altogether", Section 5.2). Cache restricts pulls to
+  /// cache-sharing cores; Numa (default) allows everything block_numa does
+  /// not already exclude.
+  DomainLevel max_migration_level = DomainLevel::Numa;
+  /// Scale applied to the post-migration block when the two cores share a
+  /// cache ("speedbalancer can enable migrations to happen twice as often
+  /// between cores that share a cache", Section 5.2). 0.5 = twice as often;
+  /// the paper's reported experiments use a uniform interval (1.0).
+  double shared_cache_block_scale = 1.0;
+  /// Weight a thread's measured speed down when its core's SMT sibling
+  /// context is also busy (the Nehalem adaptation the paper lists as future
+  /// work in Section 6: "a task running on a 'core' where both hardware
+  /// contexts are utilized will run slower than when running on a core by
+  /// itself"). Off by default, as in the paper.
+  bool smt_aware = false;
+  double smt_discount = 0.65;
+  /// Relative standard deviation of multiplicative noise applied to each
+  /// measured thread speed, modeling taskstats timing jitter (Section 5.2:
+  /// "there is a certain amount of noise in the measurements"; the speed
+  /// threshold T_s exists to tolerate it). Real measurements are never
+  /// exactly equal; a small nonzero default also keeps the simulated
+  /// balancer from deadlocking on exact speed ties, which cannot happen on
+  /// real hardware.
+  double measurement_noise = 0.02;
+  /// Delay before the balancer starts (the paper's startup delay while the
+  /// PIDs of the application's threads appear in /proc).
+  SimTime startup_delay = 0;
+  /// Re-pin the managed threads round-robin across the managed cores at
+  /// attach time (the paper's initial distribution).
+  bool initial_round_robin = true;
+  /// Weight each thread's measured speed by its core's relative clock
+  /// speed — the paper's adaptation for asymmetric systems (Sections 4/5:
+  /// "can be easily adapted to capture behavior in asymmetric systems" by
+  /// "weighting ... with the relative core speed"). A no-op on homogeneous
+  /// machines.
+  bool scale_by_clock = true;
+  /// When false, attach() pins and initializes state but schedules no
+  /// periodic balancer wake-ups — tests drive balance_once directly.
+  bool automatic = true;
+};
+
+/// The paper's contribution: a user-level, distributed balancer that
+/// equalizes thread *speed* (t_exec / t_real) instead of run-queue length.
+/// One balancer runs per managed core; on each wake-up it computes every
+/// managed thread's speed over the elapsed interval, the local core speed
+/// (average of its threads), and the global core speed (average over
+/// cores). If the local core is faster than the global average it pulls the
+/// least-migrated thread from a suitable slower core. Migration uses
+/// sched_setaffinity semantics (hard pin), so the kernel balancer never
+/// undoes its placements.
+class SpeedBalancer : public Balancer {
+ public:
+  /// `managed` are the application's threads; `cores` the user-requested
+  /// cores to balance over (the paper's "user requested cores").
+  SpeedBalancer(SpeedBalanceParams params, std::vector<Task*> managed,
+                std::vector<CoreId> cores);
+
+  void attach(Simulator& sim) override;
+  std::string name() const override { return "speed"; }
+
+  /// Register a thread spawned after attach (dynamic parallelism; footnote
+  /// 6 of the paper: the real tool polls /proc for new task relationships).
+  /// The thread is pinned to the currently least-loaded managed core.
+  void add_managed(Task& t);
+
+  /// Exposed for tests: run one balancing pass for the given local core.
+  void balance_once(CoreId local);
+
+  /// Exposed for tests: current per-core speeds as of the last pass.
+  double last_global_speed() const { return last_global_; }
+
+  /// Exposed for tests: whether `core` is inside its post-migration block.
+  bool is_blocked(CoreId core) const;
+
+ private:
+  struct TaskSnap {
+    SimTime exec = 0;
+  };
+
+  void balancer_wake(CoreId local);
+  /// Measure all managed thread speeds since the last snapshot for `local`'s
+  /// balancer; returns per-core speeds (cores with no managed threads
+  /// report full nominal speed: a thread moved there could run unimpeded).
+  std::map<CoreId, double> measure_core_speeds(CoreId local,
+                                               std::map<TaskId, double>& thread_speed);
+
+  SpeedBalanceParams params_;
+  std::vector<Task*> managed_;
+  std::vector<CoreId> cores_;
+  Simulator* sim_ = nullptr;
+  Rng rng_{0};
+
+  // Per-balancer measurement snapshots: snapshots_[local][task] = exec.
+  std::map<CoreId, std::map<TaskId, TaskSnap>> snapshots_;
+  std::map<CoreId, SimTime> snapshot_time_;
+  // Shared (intra-process) record of each core's last migration involvement.
+  std::map<CoreId, SimTime> last_involved_;
+  double last_global_ = 0.0;
+};
+
+}  // namespace speedbal

@@ -1,0 +1,140 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+#include <numeric>
+
+#include "balance/pinned.hpp"
+#include "workload/generator.hpp"
+
+namespace speedbal {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::Load: return "LOAD";
+    case Policy::Speed: return "SPEED";
+    case Policy::Pinned: return "PINNED";
+    case Policy::Dwrr: return "DWRR";
+    case Policy::Ule: return "ULE";
+    case Policy::None: return "NONE";
+  }
+  return "?";
+}
+
+bool ExperimentResult::all_completed() const {
+  for (const auto& r : runs)
+    if (!r.completed) return false;
+  return !runs.empty();
+}
+
+double ExperimentResult::mean_migrations() const {
+  if (runs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : runs) sum += static_cast<double>(r.total_migrations);
+  return sum / static_cast<double>(runs.size());
+}
+
+namespace {
+
+RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
+  SimParams sim_params = config.sim;
+  // FreeBSD's sched_pickcpu consults the current queue states at thread
+  // creation; the stale-snapshot quirk is specific to the Linux fork path
+  // (the paper's footnote 1). Without it ULE starts balanced and behaves
+  // like static pinning, as the paper observes (Fig. 3).
+  if (config.policy == Policy::Ule) sim_params.load_snapshot_period = 0;
+  Simulator sim(config.topo, sim_params, seed);
+  const int k = config.cores > 0 ? config.cores : config.topo.num_cores();
+  const auto cores = workload::first_cores(k);
+
+  // Competitors start first, as the paper's already-running unrelated tasks.
+  std::unique_ptr<CpuHog> hog;
+  if (config.cpu_hog) {
+    hog = std::make_unique<CpuHog>(sim);
+    hog->launch(config.cpu_hog_core);
+  }
+  std::unique_ptr<MakeWorkload> make;
+  if (config.make) make = std::make_unique<MakeWorkload>(sim, *config.make);
+
+  // Kernel-level policy. Speed/Pinned coexist with the Linux balancer;
+  // DWRR and ULE replace it.
+  std::unique_ptr<LinuxLoadBalancer> linux_lb;
+  std::unique_ptr<DwrrBalancer> dwrr;
+  std::unique_ptr<UleBalancer> ule;
+  switch (config.policy) {
+    case Policy::Dwrr:
+      dwrr = std::make_unique<DwrrBalancer>(config.dwrr);
+      dwrr->attach(sim);
+      break;
+    case Policy::Ule:
+      ule = std::make_unique<UleBalancer>(config.ule);
+      ule->attach(sim);
+      break;
+    case Policy::None:
+      break;
+    default:
+      linux_lb = std::make_unique<LinuxLoadBalancer>(config.linux_load);
+      linux_lb->attach(sim);
+      break;
+  }
+
+  SpmdApp app(sim, config.app);
+  const auto placement = config.policy == Policy::Pinned
+                             ? SpmdApp::Placement::RoundRobin
+                             : SpmdApp::Placement::LinuxFork;
+  app.launch(placement, cores);
+  if (make) make->launch(cores);
+
+  // User-level policy on the application's threads.
+  std::unique_ptr<SpeedBalancer> speed;
+  std::unique_ptr<PinnedBalancer> pinned;
+  if (config.policy == Policy::Speed) {
+    speed = std::make_unique<SpeedBalancer>(config.speed, app.threads(), cores);
+    speed->attach(sim);
+  } else if (config.policy == Policy::Pinned) {
+    pinned = std::make_unique<PinnedBalancer>(app.threads(), cores);
+    pinned->attach(sim);
+  }
+
+  RunResult result;
+  result.completed = sim.run_while_pending([&] { return app.finished(); },
+                                           config.time_cap);
+  result.runtime_s = result.completed ? to_sec(app.elapsed())
+                                      : to_sec(config.time_cap);
+  result.total_migrations = sim.metrics().migration_count();
+  switch (config.policy) {
+    case Policy::Speed:
+      result.policy_migrations =
+          sim.metrics().migration_count(MigrationCause::SpeedBalancer);
+      break;
+    case Policy::Dwrr:
+      result.policy_migrations = sim.metrics().migration_count(MigrationCause::Dwrr);
+      break;
+    case Policy::Ule:
+      result.policy_migrations = sim.metrics().migration_count(MigrationCause::Ule);
+      break;
+    default:
+      result.policy_migrations =
+          sim.metrics().migration_count(MigrationCause::LinuxPeriodic) +
+          sim.metrics().migration_count(MigrationCause::LinuxNewIdle) +
+          sim.metrics().migration_count(MigrationCause::LinuxPush);
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ExperimentResult out;
+  std::vector<double> runtimes;
+  for (int rep = 0; rep < config.repeats; ++rep) {
+    const std::uint64_t seed =
+        config.seed * 1000003ULL + static_cast<std::uint64_t>(rep) * 7919ULL + 1;
+    out.runs.push_back(run_once(config, seed));
+    runtimes.push_back(out.runs.back().runtime_s);
+  }
+  out.runtime = summarize(runtimes);
+  return out;
+}
+
+}  // namespace speedbal

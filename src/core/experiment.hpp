@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/multiprog.hpp"
+#include "app/spmd.hpp"
+#include "balance/dwrr.hpp"
+#include "balance/linux_load.hpp"
+#include "balance/speed.hpp"
+#include "balance/ule.hpp"
+#include "topo/topology.hpp"
+#include "util/stats.hpp"
+
+namespace speedbal {
+
+/// Which balancing policy governs the run. LOAD/SPEED/PINNED follow the
+/// paper's terminology; Speed and Pinned coexist with the kernel Linux
+/// balancer exactly as in the paper (their threads are invisible to it).
+enum class Policy {
+  Load,    ///< Default Linux queue-length balancing only.
+  Speed,   ///< User-level speed balancing on top of the Linux kernel.
+  Pinned,  ///< Static round-robin pinning (application-level balancing).
+  Dwrr,    ///< DWRR kernel replacing the Linux balancer.
+  Ule,     ///< FreeBSD ULE push balancer replacing the Linux balancer.
+  None,    ///< No balancing at all (fork placement only); for experiments.
+};
+
+const char* to_string(Policy p);
+
+/// One experiment: an SPMD application on a machine under a policy,
+/// repeated with different seeds (the paper reports 10+ runs everywhere
+/// because LOAD is erratic).
+struct ExperimentConfig {
+  Topology topo = Topology::build({});
+  SpmdAppSpec app;
+  Policy policy = Policy::Load;
+  /// Restrict to the first `cores` cores (the paper's taskset); 0 = all.
+  int cores = 0;
+  int repeats = 10;
+  std::uint64_t seed = 42;
+  /// Simulated-time cap per run; runs that exceed it are marked incomplete.
+  SimTime time_cap = sec(3600);
+
+  SpeedBalanceParams speed;
+  LinuxLoadParams linux_load;
+  DwrrParams dwrr;
+  UleParams ule;
+  SimParams sim;
+
+  /// Optional competitors sharing the machine.
+  bool cpu_hog = false;
+  CoreId cpu_hog_core = 0;
+  std::optional<MakeSpec> make;
+};
+
+/// Outcome of a single run.
+struct RunResult {
+  bool completed = false;
+  double runtime_s = 0.0;  ///< Application elapsed time (seconds).
+  std::int64_t total_migrations = 0;
+  std::int64_t policy_migrations = 0;  ///< By the policy under test.
+};
+
+/// Aggregated outcome across repeats.
+struct ExperimentResult {
+  std::vector<RunResult> runs;
+  Summary runtime;  ///< Over completed runs' runtime_s.
+
+  bool all_completed() const;
+  double mean_runtime() const { return runtime.mean; }
+  double worst_runtime() const { return runtime.max; }
+  double best_runtime() const { return runtime.min; }
+  /// The paper's "% variation": max/min - 1 over the repeated runs.
+  double variation_pct() const { return runtime.variation_pct(); }
+  double mean_migrations() const;
+};
+
+/// Run the experiment: `repeats` independent simulations with derived
+/// seeds; returns the per-run results and aggregate statistics.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace speedbal

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "workload/npb.hpp"
+
+namespace speedbal::scenarios {
+
+/// The named configurations plotted in the paper's figures (Fig. 3, 5, 6):
+/// a balancing policy combined with a barrier implementation.
+enum class Setup {
+  OnePerCore,  ///< Recompiled with one thread per core, pinned (the ideal).
+  Pinned,      ///< Fixed thread count, static round-robin pinning.
+  LoadYield,   ///< Linux balancing; sched_yield barriers (UPC/MPI default).
+  LoadSleep,   ///< Linux balancing; usleep(1) barriers (modified runtime).
+  SpeedYield,  ///< Speed balancing; sched_yield barriers.
+  SpeedSleep,  ///< Speed balancing; usleep(1) barriers.
+  Dwrr,        ///< DWRR kernel; sched_yield barriers.
+  FreeBsd,     ///< ULE push balancer; sched_yield barriers.
+};
+
+const char* to_string(Setup s);
+
+/// Build the experiment configuration for running `prof` compiled with
+/// `nthreads` threads on the first `cores` cores of `topo` under `setup`.
+/// (For OnePerCore the thread count is clamped to the core count, as the
+/// paper recompiles the benchmark.)
+ExperimentConfig npb_config(const Topology& topo, const NpbProfile& prof,
+                            int nthreads, int cores, Setup setup,
+                            int repeats = 10, std::uint64_t seed = 42);
+
+/// Run the configuration built by npb_config.
+ExperimentResult run_npb(const Topology& topo, const NpbProfile& prof,
+                         int nthreads, int cores, Setup setup,
+                         int repeats = 10, std::uint64_t seed = 42);
+
+/// Baseline for speedup curves: the same `nthreads`-thread binary run on a
+/// single core (pinned). One run suffices — it is deterministic up to work
+/// jitter.
+double serial_runtime_s(const Topology& topo, const NpbProfile& prof,
+                        int nthreads, std::uint64_t seed = 42);
+
+}  // namespace speedbal::scenarios

@@ -1,0 +1,55 @@
+#include "model/analytic.hpp"
+
+#include <stdexcept>
+
+namespace speedbal::model {
+
+namespace {
+void validate(const SpmdShape& shape) {
+  if (shape.cores < 1 || shape.threads < shape.cores)
+    throw std::invalid_argument("SpmdShape requires N >= M >= 1");
+}
+}  // namespace
+
+int lemma1_steps(const SpmdShape& shape) {
+  validate(shape);
+  const int sq = shape.slow_queues();
+  if (sq == 0) return 0;
+  const int fq = shape.fast_queues();
+  return 2 * ((sq + fq - 1) / fq);  // 2 * ceil(SQ / FQ).
+}
+
+double min_profitable_s(const SpmdShape& shape, double balance_interval) {
+  validate(shape);
+  if (shape.balanced()) return 0.0;
+  const int t = shape.threads_per_fast_core();
+  return static_cast<double>(lemma1_steps(shape)) * balance_interval /
+         static_cast<double>(t + 1);
+}
+
+double linux_program_speed(const SpmdShape& shape) {
+  validate(shape);
+  const int t = shape.threads_per_fast_core();
+  return 1.0 / static_cast<double>(t + (shape.balanced() ? 0 : 1));
+}
+
+double speed_balanced_speed(const SpmdShape& shape) {
+  validate(shape);
+  const int t = shape.threads_per_fast_core();
+  if (shape.balanced()) return 1.0 / static_cast<double>(t);
+  return 0.5 * (1.0 / t + 1.0 / (t + 1));
+}
+
+double ideal_improvement(const SpmdShape& shape) {
+  validate(shape);
+  if (shape.balanced()) return 1.0;
+  const int t = shape.threads_per_fast_core();
+  return 1.0 + 1.0 / (2.0 * t);
+}
+
+double phase_makespan_lower_bound(const SpmdShape& shape, double s) {
+  validate(shape);
+  return s * static_cast<double>(shape.threads) / shape.cores;
+}
+
+}  // namespace speedbal::model

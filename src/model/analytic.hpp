@@ -1,0 +1,52 @@
+#pragma once
+
+#include "util/time.hpp"
+
+namespace speedbal::model {
+
+/// The analytic model of Section 4 of the paper: N threads of an SPMD
+/// application on M homogeneous cores, N >= M, with barriers every S
+/// seconds of per-thread computation and balancing every B seconds.
+///
+/// T = floor(N/M) threads on each "fast" core; the N mod M "slow" cores run
+/// T+1 threads. Queue-length balancing leaves the distribution static, so
+/// the program runs at the speed of the slowest thread, 1/(T+1). Speed
+/// balancing rotates threads so each spends equal time on fast and slow
+/// cores, approaching the asymptotic average speed (1/T + 1/(T+1)) / 2.
+struct SpmdShape {
+  int threads = 0;  ///< N.
+  int cores = 0;    ///< M.
+
+  int threads_per_fast_core() const { return threads / cores; }          // T
+  int slow_queues() const { return threads % cores; }                    // SQ
+  int fast_queues() const { return cores - slow_queues(); }              // FQ
+  bool balanced() const { return slow_queues() == 0; }
+};
+
+/// Lemma 1: number of balancing steps needed so that every thread has run
+/// at least once on a fast core: 2 * ceil(SQ / FQ) (0 when balanced).
+int lemma1_steps(const SpmdShape& shape);
+
+/// Minimum inter-barrier computation time S for speed balancing to beat
+/// queue-length balancing with balance interval B (Figure 1):
+///   (T+1) * S > lemma1_steps * B   =>   S_min = steps * B / (T+1).
+/// Returns 0 for balanced shapes (nothing to gain either way).
+double min_profitable_s(const SpmdShape& shape, double balance_interval);
+
+/// Average thread speed under static queue-length balancing: the program
+/// advances at the slowest thread's speed, 1 / (T+1).
+double linux_program_speed(const SpmdShape& shape);
+
+/// Asymptotic average thread speed under ideal speed balancing:
+/// (1/T + 1/(T+1)) / 2 (each thread splits time between fast/slow cores).
+double speed_balanced_speed(const SpmdShape& shape);
+
+/// The paper's headline ratio: ideal speedup of speed balancing over
+/// queue-length balancing, 1 + 1/(2T).
+double ideal_improvement(const SpmdShape& shape);
+
+/// Upper bound on the makespan of one phase: work S per thread, perfectly
+/// rotated over M cores cannot beat N*S/M.
+double phase_makespan_lower_bound(const SpmdShape& shape, double s);
+
+}  // namespace speedbal::model

@@ -1,0 +1,91 @@
+#include "native/affinity.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace speedbal::native {
+
+CpuSet CpuSet::of(const std::vector<int>& cpus) {
+  CpuSet s;
+  for (int c : cpus) s.add(c);
+  return s;
+}
+
+int CpuSet::count() const { return __builtin_popcountll(mask_); }
+
+std::vector<int> CpuSet::cpus() const {
+  std::vector<int> out;
+  for (int c = 0; c < 64; ++c)
+    if (contains(c)) out.push_back(c);
+  return out;
+}
+
+std::string CpuSet::to_list() const {
+  std::string out;
+  int c = 0;
+  while (c < 64) {
+    if (!contains(c)) {
+      ++c;
+      continue;
+    }
+    int end = c;
+    while (end + 1 < 64 && contains(end + 1)) ++end;
+    if (!out.empty()) out += ',';
+    out += std::to_string(c);
+    if (end > c) out += '-' + std::to_string(end);
+    c = end + 1;
+  }
+  return out;
+}
+
+CpuSet CpuSet::parse_list(const std::string& list) {
+  CpuSet s;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long lo = std::strtol(p, &end, 10);
+    if (end == p) throw std::invalid_argument("bad cpu list: " + list);
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      hi = std::strtol(p + 1, &end, 10);
+      if (end == p + 1) throw std::invalid_argument("bad cpu list: " + list);
+      p = end;
+    }
+    if (lo < 0 || hi > 63 || hi < lo)
+      throw std::invalid_argument("cpu list out of range: " + list);
+    for (long c = lo; c <= hi; ++c) s.add(static_cast<int>(c));
+    if (*p == ',') ++p;
+    while (*p == ' ') ++p;
+  }
+  return s;
+}
+
+bool set_affinity(pid_t tid, const CpuSet& set) {
+  cpu_set_t cs;
+  CPU_ZERO(&cs);
+  for (int c : set.cpus()) CPU_SET(c, &cs);
+  return sched_setaffinity(tid, sizeof(cs), &cs) == 0;
+}
+
+CpuSet get_affinity(pid_t tid) {
+  cpu_set_t cs;
+  CPU_ZERO(&cs);
+  if (sched_getaffinity(tid, sizeof(cs), &cs) != 0) return {};
+  CpuSet out;
+  for (int c = 0; c < 64; ++c)
+    if (CPU_ISSET(c, &cs)) out.add(c);
+  return out;
+}
+
+int current_cpu() { return sched_getcpu(); }
+
+int online_cpus() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace speedbal::native

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speedbal::native {
+
+/// Thin RAII-free value wrapper over cpu_set_t semantics, limited to 64
+/// CPUs (ample for the paper's systems). Conversion helpers keep the
+/// syscall surface in one place.
+class CpuSet {
+ public:
+  CpuSet() = default;
+  explicit CpuSet(std::uint64_t mask) : mask_(mask) {}
+
+  static CpuSet single(int cpu) { return CpuSet(1ULL << cpu); }
+  static CpuSet of(const std::vector<int>& cpus);
+
+  void add(int cpu) { mask_ |= 1ULL << cpu; }
+  void remove(int cpu) { mask_ &= ~(1ULL << cpu); }
+  bool contains(int cpu) const { return (mask_ >> cpu) & 1ULL; }
+  bool empty() const { return mask_ == 0; }
+  int count() const;
+  std::uint64_t mask() const { return mask_; }
+  std::vector<int> cpus() const;
+
+  /// "0,2-5"-style rendering (and parsing) of Linux cpu lists.
+  std::string to_list() const;
+  static CpuSet parse_list(const std::string& list);
+
+  bool operator==(const CpuSet&) const = default;
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+/// sched_setaffinity for a specific thread (tid); returns false on failure
+/// (e.g. the thread exited) and never throws — balancers must tolerate
+/// threads racing with them.
+bool set_affinity(pid_t tid, const CpuSet& set);
+
+/// sched_getaffinity; returns an empty set on failure.
+CpuSet get_affinity(pid_t tid);
+
+/// CPU the calling thread is currently executing on.
+int current_cpu();
+
+/// Number of online CPUs on this machine.
+int online_cpus();
+
+}  // namespace speedbal::native

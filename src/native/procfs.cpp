@@ -1,0 +1,83 @@
+#include "native/procfs.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace speedbal::native {
+
+std::optional<TaskTimes> parse_stat_line(const std::string& line) {
+  // Format: pid (comm) state ppid ... utime(14) stime(15) ... processor(39).
+  // comm may contain anything including ')' and spaces, so split at the
+  // last ')' of the line.
+  const auto open = line.find('(');
+  const auto close = line.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    return std::nullopt;
+
+  TaskTimes t;
+  t.tid = static_cast<pid_t>(std::strtol(line.c_str(), nullptr, 10));
+
+  std::istringstream rest(line.substr(close + 1));
+  // Fields after comm, 1-indexed from field 3 (state).
+  std::vector<std::string> fields;
+  std::string f;
+  while (rest >> f) fields.push_back(f);
+  // state=field 3 -> index 0; utime=14 -> index 11; stime=15 -> index 12;
+  // processor=39 -> index 36.
+  if (fields.size() < 13) return std::nullopt;
+  t.state = fields[0].empty() ? '?' : fields[0][0];
+  t.utime_ticks = std::strtol(fields[11].c_str(), nullptr, 10);
+  t.stime_ticks = std::strtol(fields[12].c_str(), nullptr, 10);
+  if (fields.size() > 36) t.cpu = static_cast<int>(std::strtol(fields[36].c_str(), nullptr, 10));
+  return t;
+}
+
+std::vector<pid_t> Procfs::tids(pid_t pid) const {
+  std::vector<pid_t> out;
+  std::error_code ec;
+  const std::filesystem::path dir = root_ + "/" + std::to_string(pid) + "/task";
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.empty() && std::all_of(name.begin(), name.end(), ::isdigit))
+      out.push_back(static_cast<pid_t>(std::strtol(name.c_str(), nullptr, 10)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<TaskTimes> Procfs::task_times(pid_t pid, pid_t tid) const {
+  const std::string path = root_ + "/" + std::to_string(pid) + "/task/" +
+                           std::to_string(tid) + "/stat";
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::getline(in, line);
+  if (line.empty()) return std::nullopt;
+  auto parsed = parse_stat_line(line);
+  if (parsed) parsed->tid = tid;
+  return parsed;
+}
+
+std::vector<TaskTimes> Procfs::all_task_times(pid_t pid) const {
+  std::vector<TaskTimes> out;
+  for (pid_t tid : tids(pid))
+    if (auto t = task_times(pid, tid)) out.push_back(*t);
+  return out;
+}
+
+bool Procfs::alive(pid_t pid) const {
+  std::error_code ec;
+  return std::filesystem::exists(root_ + "/" + std::to_string(pid), ec);
+}
+
+long Procfs::ticks_per_second() {
+  const long hz = sysconf(_SC_CLK_TCK);
+  return hz > 0 ? hz : 100;
+}
+
+}  // namespace speedbal::native

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace speedbal::native {
+
+/// CPU-time sample of one thread, read from /proc/<pid>/task/<tid>/stat.
+/// The real speedbalancer uses the taskstats netlink interface (Section
+/// 5.2); /proc/stat carries the same utime/stime counters and needs no
+/// privileges, so this implementation reads those.
+struct TaskTimes {
+  pid_t tid = 0;
+  long utime_ticks = 0;   ///< User-mode jiffies.
+  long stime_ticks = 0;   ///< Kernel-mode jiffies.
+  int cpu = -1;            ///< Processor the thread last ran on.
+  char state = '?';        ///< R, S, D, Z, T, ...
+
+  long total_ticks() const { return utime_ticks + stime_ticks; }
+};
+
+/// Parse a /proc stat line. Robust against comm fields that contain spaces
+/// or parentheses (fields are located after the *last* ')'). Returns
+/// nullopt on malformed input.
+std::optional<TaskTimes> parse_stat_line(const std::string& line);
+
+/// Procfs reader with an injectable root so tests can run against a
+/// synthetic /proc tree.
+class Procfs {
+ public:
+  explicit Procfs(std::string root = "/proc") : root_(std::move(root)) {}
+
+  /// Thread ids of a process (the /proc/<pid>/task directory). Empty if the
+  /// process is gone.
+  std::vector<pid_t> tids(pid_t pid) const;
+
+  /// Read one thread's CPU times; nullopt if it exited.
+  std::optional<TaskTimes> task_times(pid_t pid, pid_t tid) const;
+
+  /// All threads' times in one sweep.
+  std::vector<TaskTimes> all_task_times(pid_t pid) const;
+
+  /// Whether the process is still alive (its /proc directory exists).
+  bool alive(pid_t pid) const;
+
+  /// Kernel clock ticks per second (USER_HZ); used to convert jiffies.
+  static long ticks_per_second();
+
+ private:
+  std::string root_;
+};
+
+}  // namespace speedbal::native

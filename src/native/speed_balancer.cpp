@@ -1,0 +1,192 @@
+#include "native/speed_balancer.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace speedbal::native {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+NativeSpeedBalancer::NativeSpeedBalancer(pid_t target,
+                                         NativeBalancerConfig config,
+                                         Procfs procfs, SysTopology topo)
+    : target_(target),
+      config_(std::move(config)),
+      procfs_(std::move(procfs)),
+      topo_(std::move(topo)),
+      rng_(config_.seed) {
+  if (config_.cores.empty()) {
+    for (int c = 0; c < online_cpus() && c < 64; ++c) cores_.push_back(c);
+  } else {
+    cores_ = config_.cores.cpus();
+  }
+}
+
+void NativeSpeedBalancer::pin_round_robin() {
+  const auto tids = procfs_.tids(target_);
+  std::size_t i = 0;
+  for (pid_t tid : tids) {
+    auto [it, inserted] = tids_.emplace(tid, TidState{});
+    it->second.seen = true;
+    if (inserted && config_.initial_round_robin)
+      set_affinity(tid, CpuSet::single(cores_[i % cores_.size()]));
+    ++i;
+  }
+}
+
+bool NativeSpeedBalancer::measure(std::map<int, double>& core_speed,
+                                  std::map<pid_t, double>& thread_speed,
+                                  std::map<pid_t, int>& thread_core) {
+  const auto samples = procfs_.all_task_times(target_);
+  const auto now = Clock::now();
+  if (samples.empty()) return false;
+
+  const double hz = static_cast<double>(Procfs::ticks_per_second());
+  const double wall = have_sample_ ? seconds_between(last_sample_, now) : 0.0;
+
+  std::map<int, std::pair<double, int>> acc;  // core -> (speed sum, count).
+  for (const auto& s : samples) {
+    auto& st = tids_[s.tid];
+    if (have_sample_ && wall > 0.0) {
+      const double cpu_s = static_cast<double>(s.total_ticks() - st.last_ticks) / hz;
+      const double speed = std::clamp(cpu_s / wall, 0.0, 1.0);
+      thread_speed[s.tid] = speed;
+      thread_core[s.tid] = s.cpu;
+      auto& [sum, count] = acc[s.cpu];
+      sum += speed;
+      ++count;
+    }
+    st.last_ticks = s.total_ticks();
+  }
+  last_sample_ = now;
+  const bool ready = have_sample_;
+  have_sample_ = true;
+  if (!ready) return false;
+
+  for (int c : cores_) {
+    const auto it = acc.find(c);
+    // An empty core offers full speed to anything migrated there.
+    core_speed[c] = it == acc.end() || it->second.second == 0
+                        ? 1.0
+                        : it->second.first / it->second.second;
+  }
+  return true;
+}
+
+int NativeSpeedBalancer::step() {
+  if (!procfs_.alive(target_)) return -1;
+  // A target that exited but has not been reaped yet keeps its /proc entry
+  // as a zombie; treat an all-zombie (or thread-less) process as exited, or
+  // the balancer would spin forever waiting for its own caller's waitpid.
+  {
+    const auto samples = procfs_.all_task_times(target_);
+    bool any_live = false;
+    for (const auto& s : samples)
+      if (s.state != 'Z' && s.state != 'X') {
+        any_live = true;
+        break;
+      }
+    if (!any_live) return -1;
+  }
+  pin_round_robin();  // Pick up dynamically spawned threads.
+
+  std::map<int, double> core_speed;
+  std::map<pid_t, double> thread_speed;
+  std::map<pid_t, int> thread_core;
+  if (!measure(core_speed, thread_speed, thread_core)) return 0;
+
+  double global = 0.0;
+  for (const auto& [c, s] : core_speed) {
+    (void)c;
+    global += s;
+  }
+  global /= static_cast<double>(core_speed.size());
+  core_speeds_ = core_speed;
+  global_speed_ = global;
+  if (global <= 0.0) return 0;
+
+  const auto now = Clock::now();
+  const auto block = config_.post_migration_block * config_.interval;
+  const auto blocked = [&](int c) {
+    const auto it = last_involved_.find(c);
+    return it != last_involved_.end() && now - it->second < block;
+  };
+
+  // Per-core balancer passes in random order (the distributed balancers of
+  // the paper wake with random jitter; order is the only difference).
+  std::vector<int> order = cores_;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng_.uniform_u64(i)]);
+
+  int moved = 0;
+  for (int local : order) {
+    if (core_speed.at(local) <= global || blocked(local)) continue;
+    int source = -1;
+    double source_speed = 2.0;
+    for (int c : cores_) {
+      if (c == local || blocked(c)) continue;
+      const double s = core_speed.at(c);
+      if (s / global >= config_.threshold) continue;
+      if (config_.block_numa && c < topo_.num_cpus() &&
+          local < topo_.num_cpus() && !topo_.same_numa(local, c))
+        continue;
+      if (s < source_speed) {
+        source_speed = s;
+        source = c;
+      }
+    }
+    if (source < 0) continue;
+
+    pid_t victim = -1;
+    int victim_migrations = 0;
+    for (const auto& [tid, core] : thread_core) {
+      if (core != source) continue;
+      const int m = tids_[tid].migrations;
+      if (victim < 0 || m < victim_migrations) {
+        victim = tid;
+        victim_migrations = m;
+      }
+    }
+    if (victim < 0) continue;
+    if (!set_affinity(victim, CpuSet::single(local))) continue;  // Tid raced away.
+    ++tids_[victim].migrations;
+    ++migrations_;
+    ++moved;
+    last_involved_[local] = now;
+    last_involved_[source] = now;
+    thread_core[victim] = local;
+    SB_LOG(Debug) << "native speedbalancer: tid " << victim << " core "
+                  << source << " -> " << local;
+  }
+  return moved;
+}
+
+void NativeSpeedBalancer::run() {
+  std::this_thread::sleep_for(config_.startup_delay);
+  pin_round_robin();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const auto jitter = std::chrono::milliseconds(
+        rng_.uniform_u64(static_cast<std::uint64_t>(config_.interval.count()) + 1));
+    std::this_thread::sleep_for(config_.interval + jitter);
+    if (step() < 0) break;  // Target exited.
+  }
+}
+
+void NativeSpeedBalancer::start() {
+  stopping_.store(false);
+  worker_ = std::thread([this] { run(); });
+}
+
+void NativeSpeedBalancer::stop() {
+  stopping_.store(true);
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace speedbal::native

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <thread>
+
+#include "native/affinity.hpp"
+#include "native/cpu_topology.hpp"
+#include "native/procfs.hpp"
+#include "util/rng.hpp"
+
+namespace speedbal::native {
+
+/// Configuration of the real user-level speed balancer (Section 5.2).
+struct NativeBalancerConfig {
+  std::chrono::milliseconds interval{100};  ///< Balance interval B.
+  double threshold = 0.9;                   ///< T_s.
+  int post_migration_block = 2;             ///< In balance intervals.
+  /// Cores to balance over; empty means every online CPU.
+  CpuSet cores;
+  bool block_numa = true;
+  /// Delay before the first pass, letting /proc catch up with the threads
+  /// the target just spawned (the paper's startup delay).
+  std::chrono::milliseconds startup_delay{100};
+  bool initial_round_robin = true;
+  std::uint64_t seed = 1;
+};
+
+/// The paper's speedbalancer as a real POSIX program component: monitors
+/// the threads of a target process through /proc, pins them round-robin at
+/// startup, and periodically pulls the least-migrated thread from a core
+/// whose measured speed (delta CPU time / delta wall time) is below the
+/// global average, using sched_setaffinity.
+///
+/// The paper runs one balancer thread per core with no shared state except
+/// the global speed; within a single process that distribution only adds
+/// scheduling jitter, so this implementation performs the per-core passes
+/// sequentially in a randomized order each interval — the per-core decision
+/// rule is identical.
+class NativeSpeedBalancer {
+ public:
+  NativeSpeedBalancer(pid_t target, NativeBalancerConfig config,
+                      Procfs procfs = Procfs(),
+                      SysTopology topo = read_sys_topology());
+
+  /// Discover the target's threads and pin them round-robin (idempotent;
+  /// picks up newly spawned threads on each call).
+  void pin_round_robin();
+
+  /// One measurement + balancing pass over all cores; returns the number
+  /// of migrations performed, or -1 once the target has exited.
+  int step();
+
+  /// Blocking loop: pin, then step every interval until the target exits.
+  void run();
+
+  /// Background-thread variants of run().
+  void start();
+  void stop();
+
+  std::int64_t migrations() const { return migrations_; }
+  /// Speeds from the most recent pass, per core (for tests/telemetry).
+  const std::map<int, double>& core_speeds() const { return core_speeds_; }
+  double global_speed() const { return global_speed_; }
+
+ private:
+  struct TidState {
+    long last_ticks = 0;
+    int migrations = 0;
+    bool seen = false;
+  };
+
+  bool measure(std::map<int, double>& core_speed,
+               std::map<pid_t, double>& thread_speed,
+               std::map<pid_t, int>& thread_core);
+
+  pid_t target_;
+  NativeBalancerConfig config_;
+  Procfs procfs_;
+  SysTopology topo_;
+  std::vector<int> cores_;
+  Rng rng_;
+
+  std::map<pid_t, TidState> tids_;
+  std::chrono::steady_clock::time_point last_sample_{};
+  bool have_sample_ = false;
+
+  std::map<int, std::chrono::steady_clock::time_point> last_involved_;
+  std::map<int, double> core_speeds_;
+  double global_speed_ = 0.0;
+  std::int64_t migrations_ = 0;
+
+  std::thread worker_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace speedbal::native

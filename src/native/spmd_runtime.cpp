@@ -1,0 +1,79 @@
+#include "native/spmd_runtime.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace speedbal::native {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+NativeBarrier::NativeBarrier(int parties, NativeWaitPolicy policy)
+    : parties_(parties), policy_(policy) {}
+
+void NativeBarrier::wait() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    generation_.notify_all();
+    return;
+  }
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    switch (policy_) {
+      case NativeWaitPolicy::Spin:
+        // Busy poll; stays runnable and burns its full timeslices.
+        break;
+      case NativeWaitPolicy::Yield:
+        sched_yield();
+        break;
+      case NativeWaitPolicy::Sleep:
+        // Futex wait: removed from the run queue until released.
+        generation_.wait(gen, std::memory_order_acquire);
+        break;
+      case NativeWaitPolicy::SleepPoll:
+        usleep(1);
+        break;
+    }
+  }
+}
+
+std::uint64_t busy_spin(std::chrono::microseconds duration) {
+  const auto end = Clock::now() + duration;
+  std::uint64_t iters = 0;
+  // Volatile sink defeats loop elision without touching memory bandwidth.
+  volatile std::uint64_t sink = 0;
+  while (Clock::now() < end) {
+    for (int i = 0; i < 64; ++i) sink = sink + 1;
+    iters += 64;
+  }
+  return iters;
+}
+
+NativeSpmdResult run_native_spmd(const NativeSpmdSpec& spec) {
+  NativeBarrier barrier(spec.nthreads, spec.policy);
+  NativeSpmdResult result;
+  result.iterations.assign(static_cast<std::size_t>(spec.nthreads), 0);
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(spec.nthreads));
+  for (int i = 0; i < spec.nthreads; ++i) {
+    threads.emplace_back([&, i] {
+      std::uint64_t iters = 0;
+      for (int p = 0; p < spec.phases; ++p) {
+        iters += busy_spin(spec.work_per_phase);
+        barrier.wait();
+      }
+      result.iterations[static_cast<std::size_t>(i)] = iters;
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace speedbal::native

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace speedbal::native {
+
+/// Barrier wait policies of the runtimes the paper studies, for real
+/// pthreads (compare app/barrier.hpp for the simulated equivalents).
+enum class NativeWaitPolicy {
+  Spin,       ///< Busy poll.
+  Yield,      ///< Poll + sched_yield (UPC/MPI).
+  Sleep,      ///< Block on a futex-backed condition variable.
+  SleepPoll,  ///< usleep(1) poll loop (the paper's modified UPC barrier).
+};
+
+/// A real SPMD microbenchmark: `nthreads` POSIX threads run `phases`
+/// rounds of busy-loop computation separated by a sense-reversing barrier
+/// with the configured wait policy. This is the native analogue of the
+/// paper's modified EP benchmark (Section 6.1) and the workload driven by
+/// the speedbalancer tool in integration tests.
+struct NativeSpmdSpec {
+  int nthreads = 2;
+  int phases = 4;
+  std::chrono::microseconds work_per_phase{1000};
+  NativeWaitPolicy policy = NativeWaitPolicy::Yield;
+};
+
+/// Results of one run.
+struct NativeSpmdResult {
+  double wall_seconds = 0.0;
+  /// Per-thread busy-loop iterations actually performed (progress proxy).
+  std::vector<std::uint64_t> iterations;
+};
+
+/// Sense-reversing centralized barrier with pluggable wait policy.
+class NativeBarrier {
+ public:
+  explicit NativeBarrier(int parties, NativeWaitPolicy policy);
+
+  /// Block until all parties arrive.
+  void wait();
+
+ private:
+  const int parties_;
+  const NativeWaitPolicy policy_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// Run the SPMD microbenchmark to completion (blocking).
+NativeSpmdResult run_native_spmd(const NativeSpmdSpec& spec);
+
+/// Calibrated busy work: spins for approximately `duration` of wall time,
+/// returning the number of loop iterations (so the optimizer cannot drop it).
+std::uint64_t busy_spin(std::chrono::microseconds duration);
+
+}  // namespace speedbal::native

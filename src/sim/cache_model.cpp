@@ -1,0 +1,79 @@
+#include "sim/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speedbal {
+
+MemoryModel::MemoryModel(const Topology& topo, MemoryModelParams params)
+    : topo_(&topo), params_(params) {}
+
+double MemoryModel::migration_cost_us(const Task& t, CoreId from,
+                                      CoreId to) const {
+  if (from < 0 || from == to) return 0.0;
+  double cost = params_.migration_fixed_us;
+  if (topo_->same_cache(from, to)) return cost;  // Warm cache travels along.
+  const double warm_kb = std::min(t.spec().mem_footprint_kb, params_.llc_kb);
+  double refill = warm_kb * params_.refill_us_per_kb;
+  if (!topo_->same_numa(from, to)) refill *= params_.numa_refill_factor;
+  return cost + refill;
+}
+
+double MemoryModel::speed_factor(const Task& t, CoreId core, double node_demand,
+                                 double system_demand) const {
+  const double mi = t.spec().mem_intensity;
+  if (mi <= 0.0) return 1.0;
+
+  // Memory-access slowdown r >= 1: remote-node penalty compounds with
+  // bandwidth saturation at the node and system level.
+  double r = 1.0;
+  if (t.home_numa() >= 0 && topo_->core(core).numa_node != t.home_numa())
+    r *= 1.0 + params_.numa_remote_penalty;
+  const double node_over = node_demand / std::max(params_.node_bw_capacity, 1e-9);
+  const double sys_over =
+      system_demand / std::max(params_.system_bw_capacity, 1e-9);
+  r *= std::max({1.0, node_over, sys_over});
+
+  // Execution time splits into a compute part (1 - mi) and a memory part
+  // (mi) that dilates by r; the speed factor is the inverse dilation.
+  return 1.0 / ((1.0 - mi) + mi * r);
+}
+
+MemoryModelParams MemoryModel::tigerton_params() {
+  MemoryModelParams p;
+  p.llc_kb = 4096.0;  // 4 MB L2 per core pair.
+  // All four front-side buses funnel into one memory controller hub: the
+  // system saturates with only a few memory-bound tasks (hence Table 2's
+  // speedup of ~5 at 16 cores for the memory-intensive NPB).
+  p.node_bw_capacity = 4.0;
+  p.system_bw_capacity = 4.0;
+  p.numa_remote_penalty = 0.0;  // UMA.
+  return p;
+}
+
+MemoryModelParams MemoryModel::barcelona_params() {
+  MemoryModelParams p;
+  p.llc_kb = 2048.0;  // 2 MB L3 per socket.
+  // One memory controller per node: per-node capacity is modest but the
+  // system scales with the four nodes (Table 2: speedups of ~8-12 at 16).
+  p.node_bw_capacity = 2.2;
+  p.system_bw_capacity = 8.8;
+  p.numa_remote_penalty = 0.4;
+  return p;
+}
+
+MemoryModelParams MemoryModel::for_topology(const Topology& topo) {
+  if (topo.name() == "tigerton") return tigerton_params();
+  if (topo.name() == "barcelona") return barcelona_params();
+  MemoryModelParams p;
+  if (topo.num_numa_nodes() > 1) {
+    p.node_bw_capacity = 4.0;
+    p.system_bw_capacity = 4.0 * topo.num_numa_nodes();
+  } else {
+    p.numa_remote_penalty = 0.0;
+    p.node_bw_capacity = p.system_bw_capacity = 8.0;
+  }
+  return p;
+}
+
+}  // namespace speedbal

@@ -1,0 +1,88 @@
+#include "sim/cfs_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace speedbal {
+
+void CfsQueue::enqueue(Task& t, bool sleeper_bonus) {
+  assert(!contains(t));
+  // Convert the task's queue-relative vruntime to this queue's clock. A
+  // woken sleeper receives the CFS wakeup credit: it is placed half a
+  // latency period before min_vruntime so it runs promptly (it was blocked,
+  // not hoarding CPU) without being able to starve the queue.
+  t.vruntime_ = sleeper_bonus ? min_vruntime_ - params_.sched_latency / 2
+                              : t.vruntime_ + min_vruntime_;
+  order_.insert(&t);
+  load_ += t.spec().weight;
+  update_min_vruntime();
+}
+
+void CfsQueue::dequeue(Task& t) {
+  const auto it = order_.find(&t);
+  assert(it != order_.end());
+  order_.erase(it);
+  load_ -= t.spec().weight;
+  if (order_.empty()) load_ = 0.0;
+  // Store vruntime relative to this queue so the next queue can rebase it.
+  t.vruntime_ -= min_vruntime_;
+  update_min_vruntime();
+}
+
+Task* CfsQueue::pick_next() const {
+  return order_.empty() ? nullptr : *order_.begin();
+}
+
+void CfsQueue::requeue_behind(Task& t) {
+  const auto it = order_.find(&t);
+  assert(it != order_.end());
+  order_.erase(it);
+  const SimTime rightmost = order_.empty() ? min_vruntime_ : (*order_.rbegin())->vruntime_;
+  t.vruntime_ = std::max(t.vruntime_, rightmost + 1);
+  order_.insert(&t);
+}
+
+void CfsQueue::charge(Task& t, SimTime dur) {
+  const bool queued = contains(t);
+  if (queued) order_.erase(&t);
+  const double w = std::max(t.spec().weight, 1e-9);
+  t.vruntime_ += static_cast<SimTime>(std::llround(static_cast<double>(dur) / w));
+  if (queued) {
+    order_.insert(&t);
+    update_min_vruntime();
+  }
+}
+
+SimTime CfsQueue::timeslice() const {
+  const auto nr = std::max<std::size_t>(order_.size(), 1);
+  return std::max(params_.sched_latency / static_cast<SimTime>(nr),
+                  params_.min_granularity);
+}
+
+bool CfsQueue::should_preempt(const Task& woken, const Task& running) const {
+  return woken.vruntime_ + params_.wakeup_granularity < running.vruntime_;
+}
+
+bool CfsQueue::has_non_waiting() const {
+  return std::any_of(order_.begin(), order_.end(), [](const Task* t) {
+    return t->wait_mode() == WaitMode::None;
+  });
+}
+
+std::vector<Task*> CfsQueue::tasks() const {
+  return {order_.begin(), order_.end()};
+}
+
+bool CfsQueue::contains(const Task& t) const {
+  // std::set::find uses the comparator; identity check needed because two
+  // tasks can have equal keys only if they are the same task (id tiebreak).
+  return order_.find(const_cast<Task*>(&t)) != order_.end();
+}
+
+void CfsQueue::update_min_vruntime() {
+  if (order_.empty()) return;  // Keep the clock; new arrivals rebase onto it.
+  min_vruntime_ = std::max(min_vruntime_, (*order_.begin())->vruntime_);
+}
+
+}  // namespace speedbal

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/time.hpp"
+
+namespace speedbal {
+
+/// Tunables of the per-core fair scheduler, mirroring the CFS sysctls of the
+/// Linux 2.6.28 kernel the paper ran on.
+struct CfsParams {
+  /// Target period in which every runnable task runs once.
+  SimTime sched_latency = msec(20);
+  /// Lower bound on any timeslice (prevents thrashing at high task counts).
+  SimTime min_granularity = msec(4);
+  /// A waking task preempts the current one only if its vruntime is behind
+  /// by more than this.
+  SimTime wakeup_granularity = msec(1);
+  /// CPU time a yield-polling task consumes per sched_yield round trip.
+  SimTime yield_check = usec(5);
+  /// Timeslice given to a yield-waiting task when every runnable task on the
+  /// core is also yield-waiting (coarsening only; occupancy is equivalent).
+  SimTime yield_idle_slice = msec(1);
+};
+
+/// Per-core CFS run queue: tasks ordered by virtual runtime; the leftmost
+/// (minimum vruntime) task runs next. Task vruntimes are stored relative to
+/// the queue's min_vruntime while enqueued so migrations between queues do
+/// not import another core's virtual clock.
+class CfsQueue {
+ public:
+  explicit CfsQueue(CfsParams params = {}) : params_(params) {}
+
+  const CfsParams& params() const { return params_; }
+
+  /// Add a runnable task. If `sleeper_bonus` is set the task is placed
+  /// slightly behind min_vruntime (the CFS wakeup credit), so freshly woken
+  /// tasks are scheduled promptly.
+  void enqueue(Task& t, bool sleeper_bonus);
+
+  /// Remove a task (migration, sleep, or exit).
+  void dequeue(Task& t);
+
+  /// Task that would run next (min vruntime), or nullptr when empty.
+  Task* pick_next() const;
+
+  /// Reinsert a task at the right edge of the queue (sched_yield semantics:
+  /// every other runnable task will run before it does).
+  void requeue_behind(Task& t);
+
+  /// Charge `dur` of execution to the task's virtual clock (weighted).
+  void charge(Task& t, SimTime dur);
+
+  /// Timeslice for the current load: max(latency / nr_running, min_gran).
+  SimTime timeslice() const;
+
+  /// True if the woken task should preempt `running` under CFS wakeup
+  /// preemption rules.
+  bool should_preempt(const Task& woken, const Task& running) const;
+
+  std::size_t nr_running() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+  double load() const { return load_; }
+  SimTime min_vruntime() const { return min_vruntime_; }
+
+  /// Whether any enqueued task is doing real work (not barrier-waiting).
+  bool has_non_waiting() const;
+
+  /// Snapshot of enqueued tasks in vruntime order (for balancer scans).
+  std::vector<Task*> tasks() const;
+
+  bool contains(const Task& t) const;
+
+ private:
+  struct ByVruntime {
+    bool operator()(const Task* a, const Task* b) const {
+      if (a->vruntime() != b->vruntime()) return a->vruntime() < b->vruntime();
+      return a->id() < b->id();
+    }
+  };
+
+  void update_min_vruntime();
+
+  CfsParams params_;
+  std::set<Task*, ByVruntime> order_;
+  double load_ = 0.0;
+  SimTime min_vruntime_ = 0;
+};
+
+}  // namespace speedbal

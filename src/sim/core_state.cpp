@@ -1,0 +1,3 @@
+#include "sim/core_state.hpp"
+
+// CoreState is a data holder mutated by the Simulator; no out-of-line logic.

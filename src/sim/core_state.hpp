@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cfs_queue.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+#include "util/time.hpp"
+
+namespace speedbal {
+
+/// Per-core scheduler state: the CFS run queue plus the dispatch bookkeeping
+/// the Simulator needs (who is running, since when, at what effective speed,
+/// and the stop event that will end the current dispatch).
+class CoreState {
+ public:
+  CoreState(CoreId id, CfsParams params) : id_(id), queue_(params) {}
+
+  CoreId id() const { return id_; }
+  CfsQueue& queue() { return queue_; }
+  const CfsQueue& queue() const { return queue_; }
+
+  Task* running() const { return running_; }
+  bool idle() const { return running_ == nullptr && queue_.empty(); }
+
+  /// Effective execution speed of the running task (clock scale x memory
+  /// effects); meaningless when nothing is running.
+  double current_speed() const { return current_speed_; }
+
+  /// Cumulative time this core spent executing any task.
+  SimTime busy_time() const { return busy_time_; }
+  /// Simulation time at which the core last became idle (kNever if busy).
+  SimTime idle_since() const { return idle_since_; }
+
+ private:
+  friend class Simulator;
+
+  CoreId id_;
+  CfsQueue queue_;
+
+  Task* running_ = nullptr;
+  SimTime run_start_ = 0;        ///< When the current dispatch began.
+  SimTime slice_end_ = 0;        ///< When the current timeslice expires.
+  double current_speed_ = 1.0;
+  EventHandle stop_event_;       ///< Pending CoreStop for this dispatch.
+
+  SimTime busy_time_ = 0;
+  SimTime idle_since_ = 0;
+};
+
+}  // namespace speedbal

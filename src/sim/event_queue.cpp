@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace speedbal {
+
+EventHandle EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("EventQueue: schedule in the past");
+  const EventHandle h{t, next_seq_++};
+  events_.emplace(Key{h.time, h.seq}, std::move(fn));
+  return h;
+}
+
+void EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  events_.erase(Key{h.time, h.seq});
+}
+
+SimTime EventQueue::next_time() const {
+  return events_.empty() ? kNever : events_.begin()->first.first;
+}
+
+bool EventQueue::run_next() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  now_ = it->first.first;
+  // Move the function out before erasing so the handler can schedule or
+  // cancel other events (including at the same timestamp) safely.
+  auto fn = std::move(it->second);
+  events_.erase(it);
+  fn();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!events_.empty() && events_.begin()->first.first <= t) run_next();
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace speedbal

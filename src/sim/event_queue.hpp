@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "util/time.hpp"
+
+namespace speedbal {
+
+/// Handle to a scheduled event; valid until the event fires or is cancelled.
+struct EventHandle {
+  SimTime time = kNever;
+  std::uint64_t seq = 0;
+  bool valid() const { return time >= 0; }
+};
+
+/// Deterministic discrete-event queue. Events at equal times fire in
+/// insertion order (the seq tie-break), which keeps simulations bit-for-bit
+/// reproducible for a given seed regardless of map iteration details.
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventHandle schedule(SimTime t, std::function<void()> fn);
+
+  /// Cancel a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventHandle h);
+
+  /// True when no events are pending.
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Current simulation time (time of the last event popped).
+  SimTime now() const { return now_; }
+
+  /// Time of the earliest pending event, or kNever if empty.
+  SimTime next_time() const;
+
+  /// Pop and execute the earliest event; returns false when empty.
+  bool run_next();
+
+  /// Run events until simulation time would exceed `t`; leaves now() == t.
+  void run_until(SimTime t);
+
+  /// Run until the queue is empty.
+  void run_all();
+
+ private:
+  using Key = std::pair<SimTime, std::uint64_t>;
+  std::map<Key, std::function<void()>> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace speedbal

@@ -1,0 +1,74 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace speedbal {
+
+const char* to_string(MigrationCause cause) {
+  switch (cause) {
+    case MigrationCause::ForkPlacement: return "fork";
+    case MigrationCause::WakePlacement: return "wake";
+    case MigrationCause::Affinity: return "affinity";
+    case MigrationCause::LinuxPeriodic: return "linux-periodic";
+    case MigrationCause::LinuxNewIdle: return "linux-newidle";
+    case MigrationCause::LinuxPush: return "linux-push";
+    case MigrationCause::SpeedBalancer: return "speed";
+    case MigrationCause::Dwrr: return "dwrr";
+    case MigrationCause::Ule: return "ule";
+  }
+  return "?";
+}
+
+void Metrics::record_run(TaskId task, CoreId core, SimTime dur) {
+  auto& per_core = exec_[task];
+  if (per_core.empty()) per_core.assign(static_cast<std::size_t>(num_cores_), 0);
+  per_core[static_cast<std::size_t>(core)] += dur;
+}
+
+void Metrics::record_migration(const MigrationRecord& rec) {
+  migrations_.push_back(rec);
+}
+
+const std::vector<SimTime>& Metrics::exec_by_core(TaskId task) const {
+  const auto it = exec_.find(task);
+  if (it != exec_.end()) return it->second;
+  if (empty_.empty()) empty_.assign(static_cast<std::size_t>(num_cores_), 0);
+  return empty_;
+}
+
+SimTime Metrics::total_exec(TaskId task) const {
+  const auto& per_core = exec_by_core(task);
+  return std::accumulate(per_core.begin(), per_core.end(), SimTime{0});
+}
+
+SimTime Metrics::exec_in_window(TaskId task, SimTime from, SimTime to) const {
+  SimTime total = 0;
+  for (const auto& seg : segments_) {
+    if (seg.task != task) continue;
+    const SimTime lo = std::max(seg.start, from);
+    const SimTime hi = std::min(seg.start + seg.dur, to);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+double Metrics::residency_fraction(
+    TaskId task, const std::function<bool(CoreId)>& pred) const {
+  const auto& per_core = exec_by_core(task);
+  SimTime total = 0;
+  SimTime matched = 0;
+  for (CoreId c = 0; c < num_cores_; ++c) {
+    total += per_core[static_cast<std::size_t>(c)];
+    if (pred(c)) matched += per_core[static_cast<std::size_t>(c)];
+  }
+  return total > 0 ? static_cast<double>(matched) / static_cast<double>(total)
+                   : 0.0;
+}
+
+std::int64_t Metrics::migration_count(MigrationCause cause) const {
+  return std::count_if(migrations_.begin(), migrations_.end(),
+                       [cause](const MigrationRecord& m) { return m.cause == cause; });
+}
+
+}  // namespace speedbal

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "topo/topology.hpp"
+#include "util/time.hpp"
+
+namespace speedbal {
+
+/// Why a migration happened; lets the experiments attribute migration
+/// volume to each balancing mechanism.
+enum class MigrationCause {
+  ForkPlacement,    ///< Initial core choice at task start.
+  WakePlacement,    ///< Idle-core selection when a sleeper wakes.
+  Affinity,         ///< Explicit sched_setaffinity by a user-level balancer.
+  LinuxPeriodic,    ///< Linux load balancer periodic pull.
+  LinuxNewIdle,     ///< Linux new-idle balancing pull.
+  LinuxPush,        ///< Linux migration-thread push to an idle core.
+  SpeedBalancer,    ///< The paper's user-level speed balancer.
+  Dwrr,             ///< DWRR round balancing steal.
+  Ule,              ///< FreeBSD ULE push migration.
+};
+
+const char* to_string(MigrationCause cause);
+
+/// One recorded migration event.
+struct MigrationRecord {
+  SimTime time = 0;
+  TaskId task = -1;
+  CoreId from = -1;
+  CoreId to = -1;
+  MigrationCause cause = MigrationCause::Affinity;
+};
+
+/// One contiguous stretch of execution of a task on a core.
+struct RunSegment {
+  TaskId task = -1;
+  CoreId core = -1;
+  SimTime start = 0;
+  SimTime dur = 0;
+};
+
+/// Run-wide observability: execution accounting per task per core, the
+/// migration log, and completion times. Collected unconditionally (cheap);
+/// the property tests and figure harnesses read it back.
+class Metrics {
+ public:
+  explicit Metrics(int num_cores) : num_cores_(num_cores) {}
+
+  void record_run(TaskId task, CoreId core, SimTime dur);
+  void record_migration(const MigrationRecord& rec);
+
+  /// Record run segments with timestamps (`record_run` is called with the
+  /// segment end = start + dur by the Simulator). Segment capture costs
+  /// memory proportional to context switches; it is always on — runs are
+  /// short-lived objects.
+  void record_segment(const RunSegment& seg) { segments_.push_back(seg); }
+  const std::vector<RunSegment>& segments() const { return segments_; }
+
+  /// Execution time of `task` within the window [from, to) (clipped).
+  SimTime exec_in_window(TaskId task, SimTime from, SimTime to) const;
+
+  /// Fraction of the task's execution spent on cores where `pred(core)`
+  /// holds (e.g. "the fast queues" of the Section 4 analysis). Zero when
+  /// the task never ran.
+  double residency_fraction(TaskId task,
+                            const std::function<bool(CoreId)>& pred) const;
+
+  /// Total execution time of `task` on each core (indexed by CoreId).
+  const std::vector<SimTime>& exec_by_core(TaskId task) const;
+  SimTime total_exec(TaskId task) const;
+
+  const std::vector<MigrationRecord>& migrations() const { return migrations_; }
+  std::int64_t migration_count(MigrationCause cause) const;
+  std::int64_t migration_count() const {
+    return static_cast<std::int64_t>(migrations_.size());
+  }
+
+  int num_cores() const { return num_cores_; }
+
+ private:
+  int num_cores_;
+  std::map<TaskId, std::vector<SimTime>> exec_;
+  std::vector<MigrationRecord> migrations_;
+  std::vector<RunSegment> segments_;
+  mutable std::vector<SimTime> empty_;
+};
+
+}  // namespace speedbal

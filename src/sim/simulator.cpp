@@ -1,0 +1,540 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace speedbal {
+
+Simulator::Simulator(const Topology& topo, SimParams params, std::uint64_t seed)
+    : topo_(topo),
+      domains_(DomainTree::build(topo_)),
+      params_(params),
+      memory_(topo_, params.mem ? *params.mem : MemoryModel::for_topology(topo_)),
+      metrics_(topo_.num_cores()),
+      rng_(seed) {
+  if (topo_.num_cores() > 64)
+    throw std::invalid_argument("Simulator supports at most 64 cores");
+  for (CoreId c = 0; c < topo_.num_cores(); ++c)
+    cores_.push_back(std::make_unique<CoreState>(c, params_.cfs));
+  in_dispatch_.assign(static_cast<std::size_t>(topo_.num_cores()), false);
+  node_demand_.assign(static_cast<std::size_t>(topo_.num_numa_nodes()), 0.0);
+  load_snapshot_.assign(static_cast<std::size_t>(topo_.num_cores()), 0);
+}
+
+// --- Task lifecycle ---------------------------------------------------------
+
+Task& Simulator::create_task(TaskSpec spec) {
+  tasks_.push_back(std::make_unique<Task>(next_task_id_++, std::move(spec)));
+  return *tasks_.back();
+}
+
+void Simulator::start_task(Task& t, std::uint64_t allowed_mask) {
+  const std::uint64_t usable =
+      topo_.num_cores() >= 64 ? ~0ULL : ((1ULL << topo_.num_cores()) - 1);
+  t.allowed_ = allowed_mask & usable;
+  if (t.allowed_ == 0) throw std::invalid_argument("start_task: empty affinity");
+  enqueue_on(t, select_core_fork(t), /*sleeper_bonus=*/false);
+}
+
+void Simulator::start_task_on(Task& t, CoreId core, std::uint64_t allowed_mask) {
+  const std::uint64_t usable =
+      topo_.num_cores() >= 64 ? ~0ULL : ((1ULL << topo_.num_cores()) - 1);
+  t.allowed_ = allowed_mask & usable;
+  if (!t.allowed_on(core))
+    throw std::invalid_argument("start_task_on: core outside affinity");
+  enqueue_on(t, core, /*sleeper_bonus=*/false);
+}
+
+void Simulator::assign_work(Task& t, double work_us) {
+  if (!(work_us > 0.0))
+    throw std::invalid_argument("assign_work: work must be positive");
+  t.remaining_work_ += work_us;
+  t.wait_mode_ = WaitMode::None;
+  if (t.state_ == TaskState::Running) {
+    flush_accounting(t.core_);
+    reschedule_stop(t.core_);
+  }
+}
+
+void Simulator::set_wait_mode(Task& t, WaitMode mode) {
+  if (t.state_ == TaskState::Finished)
+    throw std::logic_error("set_wait_mode on finished task");
+  t.wait_mode_ = mode;
+  if (mode != WaitMode::None) t.remaining_work_ = 0.0;
+  if (t.state_ == TaskState::Running) {
+    flush_accounting(t.core_);
+    reschedule_stop(t.core_);
+  }
+}
+
+void Simulator::sleep_task(Task& t) {
+  ++t.wake_seq_;
+  switch (t.state_) {
+    case TaskState::Sleeping:
+      return;
+    case TaskState::Parked:
+      t.state_ = TaskState::Sleeping;
+      t.wait_mode_ = WaitMode::None;
+      return;
+    case TaskState::Finished:
+      throw std::logic_error("sleep_task on finished task");
+    case TaskState::Running: {
+      const CoreId c = t.core_;
+      halt_running(c);
+      core(c).queue().dequeue(t);
+      t.state_ = TaskState::Sleeping;
+      t.wait_mode_ = WaitMode::None;
+      dispatch(c);
+      return;
+    }
+    case TaskState::Runnable:
+      core(t.core_).queue().dequeue(t);
+      t.state_ = TaskState::Sleeping;
+      t.wait_mode_ = WaitMode::None;
+      return;
+  }
+}
+
+void Simulator::sleep_task_for(Task& t, SimTime dur) {
+  sleep_task(t);
+  const std::uint64_t seq = t.wake_seq_;
+  Task* tp = &t;
+  schedule_after(std::max<SimTime>(dur, 1), [this, tp, seq] {
+    if (tp->state_ == TaskState::Sleeping && tp->wake_seq_ == seq) wake_task(*tp);
+  });
+}
+
+void Simulator::wake_task(Task& t) {
+  if (t.state_ != TaskState::Sleeping) return;  // Benign lost race.
+  ++t.wake_seq_;
+  const CoreId prev = t.core_;
+  const CoreId c = select_core_wake(t);
+  if (c != prev && prev >= 0) {
+    t.warmup_remaining_ += memory_.migration_cost_us(t, prev, c);
+    metrics_.record_migration({now(), t.id(), prev, c, MigrationCause::WakePlacement});
+  }
+  enqueue_on(t, c, /*sleeper_bonus=*/true);
+}
+
+void Simulator::finish_task(Task& t) {
+  ++t.wake_seq_;
+  switch (t.state_) {
+    case TaskState::Finished:
+      return;
+    case TaskState::Running: {
+      const CoreId c = t.core_;
+      halt_running(c);
+      core(c).queue().dequeue(t);
+      t.state_ = TaskState::Finished;
+      dispatch(c);
+      return;
+    }
+    case TaskState::Runnable:
+      core(t.core_).queue().dequeue(t);
+      t.state_ = TaskState::Finished;
+      return;
+    case TaskState::Sleeping:
+    case TaskState::Parked:
+      t.state_ = TaskState::Finished;
+      return;
+  }
+}
+
+void Simulator::park_task(Task& t) {
+  switch (t.state_) {
+    case TaskState::Parked:
+      return;
+    case TaskState::Sleeping:
+    case TaskState::Finished:
+      throw std::logic_error("park_task on blocked/finished task");
+    case TaskState::Running: {
+      const CoreId c = t.core_;
+      halt_running(c);
+      core(c).queue().dequeue(t);
+      t.state_ = TaskState::Parked;
+      dispatch(c);
+      return;
+    }
+    case TaskState::Runnable:
+      core(t.core_).queue().dequeue(t);
+      t.state_ = TaskState::Parked;
+      return;
+  }
+}
+
+void Simulator::unpark_task(Task& t) {
+  if (t.state_ != TaskState::Parked) return;
+  enqueue_on(t, t.core_, /*sleeper_bonus=*/false);
+}
+
+void Simulator::set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
+                             MigrationCause cause) {
+  const std::uint64_t usable =
+      topo_.num_cores() >= 64 ? ~0ULL : ((1ULL << topo_.num_cores()) - 1);
+  mask &= usable;
+  if (mask == 0) throw std::invalid_argument("set_affinity: empty mask");
+  t.allowed_ = mask;
+  if (hard_pin) t.hard_pinned_ = true;
+  if (t.state_ == TaskState::Finished) return;
+  if (t.allowed_on(t.core_)) return;
+  // Current core excluded: the kernel moves the task immediately. Pick the
+  // least-loaded allowed core.
+  CoreId best = -1;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (!t.allowed_on(c)) continue;
+    const std::size_t load = core(c).queue().nr_running();
+    if (load < best_load) {
+      best_load = load;
+      best = c;
+    }
+  }
+  if (t.state_ == TaskState::Sleeping || t.state_ == TaskState::Parked) {
+    t.core_ = best;  // Takes effect at wake-up / unpark.
+    return;
+  }
+  migrate(t, best, cause);
+}
+
+void Simulator::migrate(Task& t, CoreId to, MigrationCause cause) {
+  if (t.state_ == TaskState::Finished)
+    throw std::logic_error("migrate on finished task");
+  if (!t.allowed_on(to))
+    throw std::invalid_argument("migrate: destination outside affinity");
+  const CoreId from = t.core_;
+  if (to == from) return;
+
+  if (t.state_ == TaskState::Sleeping || t.state_ == TaskState::Parked) {
+    // Only retarget; the cache cost is charged when it actually runs there.
+    t.core_ = to;
+    metrics_.record_migration({now(), t.id(), from, to, cause});
+    return;
+  }
+
+  const bool was_running = t.state_ == TaskState::Running;
+  if (was_running) halt_running(from);
+  core(from).queue().dequeue(t);
+
+  t.warmup_remaining_ += memory_.migration_cost_us(t, from, to);
+  ++t.migrations_;
+  t.last_migration_ = now();
+  metrics_.record_migration({now(), t.id(), from, to, cause});
+
+  t.core_ = to;
+  t.state_ = TaskState::Runnable;
+  core(to).queue().enqueue(t, /*sleeper_bonus=*/false);
+
+  if (core(to).running_ == nullptr) dispatch(to);
+  if (was_running) dispatch(from);
+}
+
+// --- Time control -------------------------------------------------------
+
+EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  return events_.schedule(t, std::move(fn));
+}
+
+EventHandle Simulator::schedule_after(SimTime dt, std::function<void()> fn) {
+  return events_.schedule(now() + dt, std::move(fn));
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& until,
+                                  SimTime cap) {
+  while (!until()) {
+    if (events_.empty()) return false;
+    if (events_.next_time() > cap) return false;
+    step();
+  }
+  return true;
+}
+
+// --- Queries ----------------------------------------------------------------
+
+void Simulator::sync_accounting(CoreId c) { flush_accounting(c); }
+
+void Simulator::sync_all_accounting() {
+  for (CoreId c = 0; c < num_cores(); ++c) flush_accounting(c);
+}
+
+std::vector<Task*> Simulator::live_tasks() const {
+  std::vector<Task*> out;
+  for (const auto& t : tasks_)
+    if (t->state() != TaskState::Finished) out.push_back(t.get());
+  return out;
+}
+
+std::vector<Task*> Simulator::tasks_on(CoreId c) const {
+  return core(c).queue().tasks();
+}
+
+bool Simulator::can_migrate(const Task& t, CoreId to) const {
+  return t.state() != TaskState::Finished && t.allowed_on(to) && t.core() != to;
+}
+
+// --- Dispatch engine ----------------------------------------------------
+
+void Simulator::dispatch(CoreId c) {
+  auto& cs = core(c);
+  if (cs.running_ != nullptr || in_dispatch_[static_cast<std::size_t>(c)]) return;
+  in_dispatch_[static_cast<std::size_t>(c)] = true;
+  Task* pick = cs.queue().pick_next();
+  if (pick == nullptr) {
+    // New-idle balancing: give the attached balancer a chance to pull work
+    // into this queue before we commit to idling.
+    if (idle_hook_) idle_hook_(c);
+    pick = cs.queue().pick_next();
+  }
+  if (pick != nullptr) {
+    start_running(c, *pick);
+  } else {
+    cs.idle_since_ = now();
+  }
+  in_dispatch_[static_cast<std::size_t>(c)] = false;
+}
+
+void Simulator::start_running(CoreId c, Task& t) {
+  auto& cs = core(c);
+  assert(cs.running_ == nullptr);
+  // A task can legitimately arrive here with zero work: migrating a running
+  // task flushes its accounting first, and the flush may consume the last
+  // of its work. reschedule_stop() then fires core_stop immediately, which
+  // runs the normal completion path.
+  cs.running_ = &t;
+  t.state_ = TaskState::Running;
+  // First touch: the memory home is fixed only once the task has actually
+  // executed for a while (see SimParams::first_touch_exec), i.e. after any
+  // initial balancer pinning. Updating only at dispatch keeps the
+  // node-demand accounting consistent within each dispatch.
+  if (t.home_numa_ < 0 && t.total_exec_ >= params_.first_touch_exec)
+    t.home_numa_ = topo_.core(c).numa_node;
+  cs.run_start_ = now();
+  cs.idle_since_ = kNever;
+  add_running_demand(t, +1);
+  cs.current_speed_ = compute_speed(t, c);
+
+  SimTime slice;
+  if (t.wait_mode_ == WaitMode::Yield) {
+    // A polling waiter burns only a sched_yield round trip when it shares
+    // the core with real work; when every runnable task here is waiting we
+    // coarsen the slice (occupancy is equivalent, events are fewer).
+    slice = cs.queue().has_non_waiting() ? cs.queue().params().yield_check
+                                         : cs.queue().params().yield_idle_slice;
+  } else {
+    slice = cs.queue().timeslice();
+  }
+  cs.slice_end_ = now() + slice;
+  cs.stop_event_ = {};
+  reschedule_stop(c);
+  refresh_speeds(t);
+}
+
+void Simulator::flush_accounting(CoreId c) {
+  auto& cs = core(c);
+  Task* t = cs.running_;
+  if (t == nullptr) return;
+  const SimTime dur = now() - cs.run_start_;
+  if (dur <= 0) return;
+  double done = static_cast<double>(dur) * cs.current_speed_;
+  if (t->warmup_remaining_ > 0.0) {
+    const double burn = std::min(t->warmup_remaining_, done);
+    t->warmup_remaining_ -= burn;
+    done -= burn;
+  }
+  if (t->wait_mode_ == WaitMode::None)
+    t->remaining_work_ = std::max(0.0, t->remaining_work_ - done);
+  t->total_exec_ += dur;
+  t->last_ran_ = now();
+  cs.busy_time_ += dur;
+  cs.queue().charge(*t, dur);
+  metrics_.record_run(t->id(), c, dur);
+  metrics_.record_segment({t->id(), c, now() - dur, dur});
+  cs.run_start_ = now();
+}
+
+void Simulator::halt_running(CoreId c) {
+  auto& cs = core(c);
+  Task* t = cs.running_;
+  if (t == nullptr) return;
+  flush_accounting(c);
+  events_.cancel(cs.stop_event_);
+  cs.stop_event_ = {};
+  cs.running_ = nullptr;
+  t->state_ = TaskState::Runnable;
+  add_running_demand(*t, -1);
+  refresh_speeds(*t);
+}
+
+void Simulator::reschedule_stop(CoreId c) {
+  auto& cs = core(c);
+  Task* t = cs.running_;
+  assert(t != nullptr);
+  events_.cancel(cs.stop_event_);
+  SimTime stop = cs.slice_end_;
+  if (t->wait_mode_ == WaitMode::None) {
+    const double work_left = t->warmup_remaining_ + t->remaining_work_;
+    const double speed = std::max(cs.current_speed_, 1e-12);
+    // Zero work completes right away (see start_running); otherwise at
+    // least 1 us so progress-free loops are impossible.
+    const SimTime dur =
+        work_left <= kWorkEps
+            ? 0
+            : std::max<SimTime>(static_cast<SimTime>(std::ceil(work_left / speed)), 1);
+    stop = std::min(stop, now() + dur);
+  }
+  stop = std::max(stop, now());
+  cs.stop_event_ = events_.schedule(stop, [this, c] { core_stop(c); });
+}
+
+void Simulator::core_stop(CoreId c) {
+  auto& cs = core(c);
+  Task* t = cs.running_;
+  assert(t != nullptr);
+  cs.stop_event_ = {};
+  flush_accounting(c);
+  cs.running_ = nullptr;
+  t->state_ = TaskState::Runnable;
+  add_running_demand(*t, -1);
+  refresh_speeds(*t);
+
+  if (t->wait_mode_ == WaitMode::None && t->remaining_work_ <= kWorkEps &&
+      t->warmup_remaining_ <= kWorkEps) {
+    t->remaining_work_ = 0.0;
+    t->warmup_remaining_ = 0.0;
+    if (t->spec().client != nullptr) {
+      t->spec().client->on_work_complete(*this, *t);
+      if (t->state_ == TaskState::Runnable && t->wait_mode_ == WaitMode::None &&
+          t->remaining_work_ <= kWorkEps)
+        throw std::logic_error("TaskClient for '" + t->name() +
+                               "' left the task runnable with no work");
+    } else {
+      finish_task(*t);
+    }
+  } else if (t->state_ == TaskState::Runnable && t->wait_mode_ == WaitMode::Yield) {
+    cs.queue().requeue_behind(*t);
+  }
+  dispatch(c);
+}
+
+// --- Speed model --------------------------------------------------------
+
+double Simulator::compute_speed(const Task& t, CoreId c) const {
+  double s = topo_.core(c).clock_scale;
+  const CoreId sib = topo_.core(c).smt_sibling;
+  if (sib >= 0 && core(sib).running() != nullptr)
+    s *= memory_.params().smt_contention_factor;
+  const int node = t.home_numa() >= 0 ? t.home_numa() : topo_.core(c).numa_node;
+  s *= memory_.speed_factor(t, c, node_demand_[static_cast<std::size_t>(node)],
+                            system_demand_);
+  return s;
+}
+
+void Simulator::add_running_demand(const Task& t, int sign) {
+  const double d = t.spec().mem_bw_demand;
+  if (d <= 0.0) return;
+  const int node = t.home_numa() >= 0 ? t.home_numa()
+                                      : topo_.core(t.core()).numa_node;
+  auto& nd = node_demand_[static_cast<std::size_t>(node)];
+  nd = std::max(0.0, nd + sign * d);
+  system_demand_ = std::max(0.0, system_demand_ + sign * d);
+}
+
+void Simulator::refresh_speeds(const Task& changed) {
+  const bool bw = changed.spec().mem_bw_demand > 0.0;
+  if (!bw && !topo_.has_smt()) return;
+  const CoreId sib = topo_.core(changed.core()).smt_sibling;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    auto& cs = core(c);
+    Task* rt = cs.running_;
+    if (rt == nullptr) continue;
+    if (!bw && c != sib) continue;  // Only the SMT sibling is affected.
+    const double ns = compute_speed(*rt, c);
+    if (std::abs(ns - cs.current_speed_) < 1e-12) continue;
+    flush_accounting(c);  // Charge the elapsed part at the old speed.
+    cs.current_speed_ = ns;
+    reschedule_stop(c);
+  }
+}
+
+// --- Placement ------------------------------------------------------------
+
+void Simulator::enqueue_on(Task& t, CoreId c, bool sleeper_bonus) {
+  auto& cs = core(c);
+  t.core_ = c;
+  t.state_ = TaskState::Runnable;
+  cs.queue().enqueue(t, sleeper_bonus);
+  if (cs.running_ == nullptr) {
+    dispatch(c);
+  } else if (sleeper_bonus && cs.queue().should_preempt(t, *cs.running_)) {
+    halt_running(c);
+    dispatch(c);
+  }
+}
+
+void Simulator::maybe_refresh_load_snapshot() {
+  if (load_snapshot_time_ != kNever &&
+      now() - load_snapshot_time_ < params_.load_snapshot_period)
+    return;
+  for (CoreId c = 0; c < num_cores(); ++c)
+    load_snapshot_[static_cast<std::size_t>(c)] =
+        static_cast<int>(core(c).queue().nr_running());
+  load_snapshot_time_ = now();
+}
+
+CoreId Simulator::select_core_fork(const Task& t) {
+  maybe_refresh_load_snapshot();
+  int best_load = std::numeric_limits<int>::max();
+  std::vector<CoreId> best;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (!t.allowed_on(c)) continue;
+    const int load = load_snapshot_[static_cast<std::size_t>(c)];
+    if (load < best_load) {
+      best_load = load;
+      best.assign(1, c);
+    } else if (load == best_load) {
+      best.push_back(c);
+    }
+  }
+  assert(!best.empty());
+  return best[rng_.uniform_u64(best.size())];
+}
+
+CoreId Simulator::select_core_wake(const Task& t) {
+  const CoreId prev = t.core_;
+  if (prev >= 0 && t.allowed_on(prev) && core(prev).idle()) return prev;
+  // Search for an idle core, nearest first (same cache, socket, NUMA node).
+  CoreId best = -1;
+  int best_rank = std::numeric_limits<int>::max();
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (!t.allowed_on(c) || !core(c).idle()) continue;
+    int rank = 3;
+    if (prev >= 0) {
+      if (topo_.same_cache(prev, c)) rank = 0;
+      else if (topo_.same_socket(prev, c)) rank = 1;
+      else if (topo_.same_numa(prev, c)) rank = 2;
+    }
+    if (rank < best_rank) {
+      best_rank = rank;
+      best = c;
+    }
+  }
+  if (best >= 0) return best;
+  if (prev >= 0 && t.allowed_on(prev)) return prev;
+  // No idle core and previous core disallowed: least-loaded allowed core.
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  CoreId fallback = -1;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (!t.allowed_on(c)) continue;
+    if (core(c).queue().nr_running() < best_load) {
+      best_load = core(c).queue().nr_running();
+      fallback = c;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace speedbal

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/cache_model.hpp"
+#include "sim/cfs_queue.hpp"
+#include "sim/core_state.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/task.hpp"
+#include "topo/domains.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace speedbal {
+
+/// Simulator-wide tunables.
+struct SimParams {
+  CfsParams cfs;
+  /// Override the topology-derived memory model parameters.
+  std::optional<MemoryModelParams> mem;
+  /// Staleness window of the load information consulted at task start-up
+  /// (the paper's footnote: "idleness information is not updated when
+  /// multiple tasks start simultaneously").
+  SimTime load_snapshot_period = msec(10);
+  /// NUMA first-touch model: a task's memory home node is fixed where it is
+  /// running once it has accumulated this much execution. Real applications
+  /// allocate their working set a little into the run — after a user-level
+  /// balancer's initial pinning, not at the fork-placement instant. Until
+  /// the home is fixed, memory behaves as local to wherever the task runs.
+  SimTime first_touch_exec = msec(10);
+};
+
+/// Discrete-event simulator of a multicore machine running per-core CFS
+/// schedulers. Balancing policies (Linux load balancing, speed balancing,
+/// DWRR, ULE) plug in from src/balance by scheduling their own events and
+/// calling `migrate`. Applications plug in from src/app via TaskClient.
+///
+/// Execution model: work is expressed in microseconds at nominal speed; a
+/// task's effective speed on a core is clock_scale x SMT contention x memory
+/// effects (NUMA locality + bandwidth saturation, see MemoryModel). Tasks
+/// stop at timeslice expiry or work completion, whichever comes first;
+/// partial execution can be flushed at any instant (`sync_accounting`) so
+/// balancers always observe exact per-thread CPU time, the way the real
+/// speedbalancer reads /proc taskstats.
+class Simulator {
+ public:
+  Simulator(const Topology& topo, SimParams params = {}, std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  const Topology& topo() const { return topo_; }
+  const DomainTree& domains() const { return domains_; }
+  const MemoryModel& memory() const { return memory_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  Rng& rng() { return rng_; }
+  SimTime now() const { return events_.now(); }
+  int num_cores() const { return topo_.num_cores(); }
+
+  // --- Task lifecycle -----------------------------------------------------
+
+  /// Create a task; the Simulator owns it for the simulation's lifetime.
+  Task& create_task(TaskSpec spec);
+
+  /// Start a task using Linux fork placement: the least-loaded allowed core
+  /// according to the (possibly stale) load snapshot.
+  void start_task(Task& t, std::uint64_t allowed_mask = ~0ULL);
+
+  /// Start a task on a specific core (the round-robin initial pinning the
+  /// user-level speed balancer performs, or an explicitly pinned task).
+  void start_task_on(Task& t, CoreId core, std::uint64_t allowed_mask = ~0ULL);
+
+  /// Give the task `work_us` microseconds of nominal-speed work and clear
+  /// any wait mode. Legal on Runnable, Running, or Sleeping (assign before
+  /// wake) tasks. work_us must be > 0.
+  void assign_work(Task& t, double work_us);
+
+  /// Enter a busy-wait (Spin) or poll+sched_yield (Yield) wait; the task
+  /// remains on its run queue until released by assign_work or sleep.
+  void set_wait_mode(Task& t, WaitMode mode);
+
+  /// Block the task indefinitely (removed from its run queue).
+  void sleep_task(Task& t);
+
+  /// Block the task and automatically wake it after `dur` (usleep).
+  void sleep_task_for(Task& t, SimTime dur);
+
+  /// Wake a sleeping task; chooses a core via Linux wakeup placement
+  /// (previous core if idle, else a nearby idle core) and may preempt.
+  void wake_task(Task& t);
+
+  /// Remove a Runnable/Running task from its run queue without blocking it
+  /// (a scheduler policy's expired queue, e.g. DWRR). The application may
+  /// still sleep or finish a parked task.
+  void park_task(Task& t);
+
+  /// Return a Parked task to its core's run queue.
+  void unpark_task(Task& t);
+
+  /// Terminate the task permanently.
+  void finish_task(Task& t);
+
+  /// sched_setaffinity: restrict the task to `mask` and migrate immediately
+  /// if its current core is excluded. `hard_pin` marks the task as moved by
+  /// a user-level balancer: the Linux load balancer will never touch it.
+  void set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
+                    MigrationCause cause = MigrationCause::Affinity);
+
+  /// Move a task to another core's run queue (balancer migration). The
+  /// currently running task is stopped first (sched_setaffinity semantics:
+  /// it does not get to finish its quantum). Charges the cache-refill cost.
+  void migrate(Task& t, CoreId to, MigrationCause cause);
+
+  // --- Time control -------------------------------------------------------
+
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+  EventHandle schedule_after(SimTime dt, std::function<void()> fn);
+  void cancel(EventHandle h) { events_.cancel(h); }
+
+  /// Execute one event; false when none are pending.
+  bool step() { return events_.run_next(); }
+  void run_until(SimTime t) { events_.run_until(t); }
+
+  /// Run until `until()` returns true or the time cap / event exhaustion is
+  /// hit; returns true if the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& until, SimTime cap);
+
+  // --- Queries & hooks for balancers ---------------------------------------
+
+  CoreState& core(CoreId id) { return *cores_.at(static_cast<std::size_t>(id)); }
+  const CoreState& core(CoreId id) const {
+    return *cores_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Flush the partial execution of the running task on `core` so that task
+  /// exec times and remaining work are exact as of now().
+  void sync_accounting(CoreId core);
+  void sync_all_accounting();
+
+  /// All live (non-finished) tasks, and those queued on a given core.
+  std::vector<Task*> live_tasks() const;
+  std::vector<Task*> tasks_on(CoreId core) const;
+
+  /// True if the balancer may move `t` to `to` (affinity, liveness; note
+  /// Linux additionally refuses Running tasks — that is the caller's rule).
+  bool can_migrate(const Task& t, CoreId to) const;
+
+  /// Hook invoked when a core's run queue empties (Linux new-idle
+  /// balancing); the hook may migrate a task into the core.
+  void set_idle_hook(std::function<void(CoreId)> hook) { idle_hook_ = std::move(hook); }
+
+  /// Total demand currently running against a NUMA node's memory and
+  /// system-wide (units of MemoryModelParams capacities); for tests.
+  double node_demand(int node) const { return node_demand_.at(static_cast<std::size_t>(node)); }
+  double system_demand() const { return system_demand_; }
+
+ private:
+  static constexpr double kWorkEps = 1e-6;
+
+  void dispatch(CoreId core);
+  void start_running(CoreId core, Task& t);
+  void flush_accounting(CoreId core);
+  void core_stop(CoreId core);
+  /// Stop the running task without requeueing decisions (caller handles).
+  void halt_running(CoreId core);
+  void reschedule_stop(CoreId core);
+  double compute_speed(const Task& t, CoreId core) const;
+  void add_running_demand(const Task& t, int sign);
+  void refresh_speeds(const Task& changed);
+  CoreId select_core_fork(const Task& t);
+  CoreId select_core_wake(const Task& t);
+  void enqueue_on(Task& t, CoreId core, bool sleeper_bonus);
+  void maybe_refresh_load_snapshot();
+
+  const Topology topo_;
+  const DomainTree domains_;
+  SimParams params_;
+  MemoryModel memory_;
+  EventQueue events_;
+  Metrics metrics_;
+  Rng rng_;
+
+  std::deque<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<CoreState>> cores_;
+  std::vector<bool> in_dispatch_;
+
+  std::vector<double> node_demand_;
+  double system_demand_ = 0.0;
+
+  std::function<void(CoreId)> idle_hook_;
+
+  // Stale load view used by fork placement.
+  std::vector<int> load_snapshot_;
+  SimTime load_snapshot_time_ = kNever;
+
+  int next_task_id_ = 0;
+};
+
+}  // namespace speedbal

@@ -1,0 +1,25 @@
+#include "sim/task.hpp"
+
+namespace speedbal {
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::Runnable: return "runnable";
+    case TaskState::Running: return "running";
+    case TaskState::Sleeping: return "sleeping";
+    case TaskState::Parked: return "parked";
+    case TaskState::Finished: return "finished";
+  }
+  return "?";
+}
+
+const char* to_string(WaitMode m) {
+  switch (m) {
+    case WaitMode::None: return "none";
+    case WaitMode::Spin: return "spin";
+    case WaitMode::Yield: return "yield";
+  }
+  return "?";
+}
+
+}  // namespace speedbal

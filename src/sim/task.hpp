@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "topo/topology.hpp"
+#include "util/time.hpp"
+
+namespace speedbal {
+
+class Simulator;
+class Task;
+
+using TaskId = int;
+
+/// Scheduling state of a simulated task (Linux terminology: a "task" is any
+/// thread or process; the kernel does not distinguish them).
+enum class TaskState {
+  Runnable,  ///< On a run queue, not currently executing.
+  Running,   ///< Currently executing on its core.
+  Sleeping,  ///< Blocked; off every run queue.
+  Parked,    ///< Dequeued by a scheduler policy (DWRR expired queue), not
+             ///< blocked by the application; still wants to run.
+  Finished,  ///< Exited.
+};
+
+const char* to_string(TaskState s);
+
+/// What a task does when its assigned work runs out while it is waiting for
+/// other threads (barrier semantics; see Section 3 of the paper). The mode
+/// determines run-queue membership, which is what the queue-length-based
+/// Linux balancer observes.
+enum class WaitMode {
+  None,   ///< Not waiting: executing assigned work.
+  Spin,   ///< Busy-wait: burns full timeslices, stays on the run queue.
+  Yield,  ///< Poll + sched_yield: stays on the run queue, cedes the CPU.
+};
+
+const char* to_string(WaitMode m);
+
+/// Consumer of task lifecycle callbacks; the application layer implements
+/// this to drive phases and barriers.
+class TaskClient {
+ public:
+  virtual ~TaskClient() = default;
+
+  /// Called when the task finishes its currently assigned work. The client
+  /// must either assign new work, put the task to sleep, set a wait mode, or
+  /// finish the task (via the Simulator API).
+  virtual void on_work_complete(Simulator& sim, Task& task) = 0;
+};
+
+/// Construction-time parameters of a task.
+struct TaskSpec {
+  std::string name;
+  TaskClient* client = nullptr;  ///< May be null for fire-and-forget tasks.
+  double weight = 1.0;           ///< CFS load weight (nice level analogue).
+  /// Resident set size; determines the cache-refill cost of a migration.
+  double mem_footprint_kb = 0.0;
+  /// Fraction of execution time that is memory-bound (0 = pure compute).
+  /// Scales both the NUMA remote-access penalty and bandwidth contention.
+  double mem_intensity = 0.0;
+  /// Fraction of one contention domain's memory bandwidth demanded while
+  /// running (0 = none). Drives the bandwidth-saturation model.
+  double mem_bw_demand = 0.0;
+};
+
+/// A simulated schedulable entity. All mutation goes through the Simulator;
+/// other code reads the public accessors.
+class Task {
+ public:
+  Task(TaskId id, TaskSpec spec) : id_(id), spec_(std::move(spec)) {}
+
+  TaskId id() const { return id_; }
+  const std::string& name() const { return spec_.name; }
+  const TaskSpec& spec() const { return spec_; }
+
+  TaskState state() const { return state_; }
+  WaitMode wait_mode() const { return wait_mode_; }
+  /// Core whose run queue the task is on (or last ran on while sleeping).
+  CoreId core() const { return core_; }
+  /// NUMA node where the task's memory was first allocated (first touch).
+  int home_numa() const { return home_numa_; }
+
+  /// Affinity bitmask over cores (bit i = allowed on core i).
+  std::uint64_t allowed_mask() const { return allowed_; }
+  bool allowed_on(CoreId c) const { return (allowed_ >> c) & 1u; }
+  /// True once an external balancer pinned this task via sched_setaffinity;
+  /// the Linux load balancer will then never move it (Section 5.2).
+  bool hard_pinned() const { return hard_pinned_; }
+
+  /// Remaining assigned work, in microseconds at nominal (1.0) speed.
+  double remaining_work() const { return remaining_work_; }
+  /// Pending cache-refill overhead from the last migration, in microseconds
+  /// at nominal speed; consumed before real work makes progress.
+  double warmup_remaining() const { return warmup_remaining_; }
+
+  SimTime total_exec() const { return total_exec_; }
+  SimTime vruntime() const { return vruntime_; }
+  int migrations() const { return migrations_; }
+  SimTime last_migration() const { return last_migration_; }
+  /// Last instant the task executed; drives the Linux "cache hot" heuristic.
+  SimTime last_ran() const { return last_ran_; }
+
+  static constexpr double kInfiniteWork = std::numeric_limits<double>::infinity();
+
+ private:
+  friend class Simulator;
+  friend class CfsQueue;
+
+  TaskId id_;
+  TaskSpec spec_;
+
+  TaskState state_ = TaskState::Sleeping;
+  WaitMode wait_mode_ = WaitMode::None;
+  CoreId core_ = -1;
+  int home_numa_ = -1;
+  std::uint64_t allowed_ = ~0ULL;
+  bool hard_pinned_ = false;
+
+  double remaining_work_ = 0.0;
+  double warmup_remaining_ = 0.0;
+
+  SimTime total_exec_ = 0;
+  SimTime vruntime_ = 0;  // Queue-relative while enqueued (CFS convention).
+  int migrations_ = 0;
+  SimTime last_migration_ = kNever;
+  SimTime last_ran_ = kNever;
+
+  // Bookkeeping for sleep timeouts (sleep-poll barriers).
+  std::uint64_t wake_seq_ = 0;
+};
+
+}  // namespace speedbal

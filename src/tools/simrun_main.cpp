@@ -1,0 +1,67 @@
+// Command-line front end for the simulator:
+//
+//   simrun [--topo=tigerton] [--bench=ep.C] [--threads=16] [--cores=4]
+//          [--setup=SPEED-YIELD] [--repeats=5] [--seed=42]
+//
+// Runs the configuration and prints runtime statistics, the speedup
+// against a single-core run, and migration counts.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/scenarios.hpp"
+#include "topo/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+speedbal::scenarios::Setup parse_setup(const std::string& name) {
+  using speedbal::scenarios::Setup;
+  for (Setup s : {Setup::OnePerCore, Setup::Pinned, Setup::LoadYield,
+                  Setup::LoadSleep, Setup::SpeedYield, Setup::SpeedSleep,
+                  Setup::Dwrr, Setup::FreeBsd}) {
+    if (name == to_string(s)) return s;
+  }
+  throw std::invalid_argument("unknown setup: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace speedbal;
+  try {
+    const Cli cli(argc, argv);
+    const auto topo = presets::by_name(cli.get("topo", "tigerton"));
+    const auto prof = npb::by_name(cli.get("bench", "ep.C"));
+    const int threads = static_cast<int>(cli.get_int("threads", 16));
+    const int cores = static_cast<int>(cli.get_int("cores", topo.num_cores()));
+    const auto setup = parse_setup(cli.get("setup", "SPEED-YIELD"));
+    const int repeats = static_cast<int>(cli.get_int("repeats", 5));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+    const double serial = scenarios::serial_runtime_s(topo, prof, threads, seed);
+    const auto result =
+        scenarios::run_npb(topo, prof, threads, cores, setup, repeats, seed);
+
+    Table table({"metric", "value"});
+    table.add_row({"machine", topo.name()});
+    table.add_row({"benchmark", prof.full_name()});
+    table.add_row({"threads", std::to_string(threads)});
+    table.add_row({"cores", std::to_string(cores)});
+    table.add_row({"setup", to_string(setup)});
+    table.add_row({"runs", std::to_string(result.runs.size())});
+    table.add_row({"mean runtime (s)", Table::num(result.mean_runtime(), 3)});
+    table.add_row({"best/worst (s)", Table::num(result.best_runtime(), 3) +
+                                         " / " + Table::num(result.worst_runtime(), 3)});
+    table.add_row({"variation %", Table::num(result.variation_pct(), 1)});
+    table.add_row({"speedup vs 1 core", Table::num(serial / result.mean_runtime(), 2)});
+    table.add_row({"mean migrations", Table::num(result.mean_migrations(), 1)});
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simrun: %s\n", e.what());
+    return 2;
+  }
+}

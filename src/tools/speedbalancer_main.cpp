@@ -1,0 +1,76 @@
+// The paper's speedbalancer as a stand-alone tool (Section 5.2):
+//
+//   speedbalancer [--interval=100] [--threshold=0.9] [--cores=0-3]
+//                 [--no-numa-block] [--startup-delay=100] <program> [args...]
+//
+// Forks the target program, discovers its threads through /proc, pins them
+// round-robin over the requested cores, and balances their speed until the
+// program exits. Exits with the child's status.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "native/speed_balancer.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: speedbalancer [--interval=MS] [--threshold=T]\n"
+               "                     [--cores=LIST] [--no-numa-block]\n"
+               "                     [--startup-delay=MS] <program> [args...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace speedbal;
+  using namespace speedbal::native;
+
+  // Split our flags from the target command: everything from the first
+  // non-flag argument on belongs to the target.
+  int split = 1;
+  while (split < argc && std::string(argv[split]).rfind("--", 0) == 0) ++split;
+  if (split >= argc) {
+    usage();
+    return 2;
+  }
+  const Cli cli(split, argv);
+
+  NativeBalancerConfig config;
+  config.interval = std::chrono::milliseconds(cli.get_int("interval", 100));
+  config.threshold = cli.get_double("threshold", 0.9);
+  config.block_numa = !cli.get_bool("no-numa-block", false);
+  config.startup_delay =
+      std::chrono::milliseconds(cli.get_int("startup-delay", 100));
+  if (cli.has("cores")) config.cores = CpuSet::parse_list(cli.get("cores"));
+
+  const pid_t child = fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    std::vector<char*> args(argv + split, argv + argc);
+    args.push_back(nullptr);
+    execvp(args[0], args.data());
+    std::perror("execvp");
+    _exit(127);
+  }
+
+  NativeSpeedBalancer balancer(child, config);
+  balancer.run();  // Returns when the child exits.
+
+  int status = 0;
+  waitpid(child, &status, 0);
+  std::fprintf(stderr, "speedbalancer: %lld migrations\n",
+               static_cast<long long>(balancer.migrations()));
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return 1;
+}

@@ -1,0 +1,82 @@
+#include "topo/presets.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace speedbal::presets {
+
+Topology tigerton() {
+  TopologySpec spec;
+  spec.name = "tigerton";
+  spec.numa_nodes = 1;
+  spec.sockets_per_node = 4;
+  spec.cores_per_socket = 4;
+  spec.cores_per_cache_group = 2;  // L2 shared per pair of cores.
+  return Topology::build(spec);
+}
+
+Topology barcelona() {
+  TopologySpec spec;
+  spec.name = "barcelona";
+  spec.numa_nodes = 4;
+  spec.sockets_per_node = 1;
+  spec.cores_per_socket = 4;
+  spec.cores_per_cache_group = 4;  // L3 shared per socket.
+  return Topology::build(spec);
+}
+
+Topology nehalem() {
+  TopologySpec spec;
+  spec.name = "nehalem";
+  spec.numa_nodes = 2;
+  spec.sockets_per_node = 1;
+  spec.cores_per_socket = 4;
+  spec.cores_per_cache_group = 4;
+  spec.smt_per_core = 2;
+  return Topology::build(spec);
+}
+
+Topology generic(int cores) {
+  TopologySpec spec;
+  spec.name = "generic" + std::to_string(cores);
+  spec.cores_per_socket = cores;
+  return Topology::build(spec);
+}
+
+Topology dual_socket(int cores_per_socket) {
+  TopologySpec spec;
+  spec.name = "dual" + std::to_string(cores_per_socket);
+  spec.sockets_per_node = 2;
+  spec.cores_per_socket = cores_per_socket;
+  return Topology::build(spec);
+}
+
+Topology asymmetric(int cores, int fast_cores, double fast_scale) {
+  if (fast_cores > cores)
+    throw std::invalid_argument("asymmetric: fast_cores > cores");
+  TopologySpec spec;
+  spec.name = "asymmetric" + std::to_string(cores);
+  spec.cores_per_socket = cores;
+  spec.clock_scales.assign(static_cast<std::size_t>(cores), 1.0);
+  for (int i = 0; i < fast_cores; ++i)
+    spec.clock_scales[static_cast<std::size_t>(i)] = fast_scale;
+  return Topology::build(spec);
+}
+
+Topology by_name(std::string_view name) {
+  if (name == "tigerton") return tigerton();
+  if (name == "barcelona") return barcelona();
+  if (name == "nehalem") return nehalem();
+  constexpr std::string_view kGeneric = "generic";
+  if (name.rfind(kGeneric, 0) == 0) {
+    int n = 0;
+    const auto* begin = name.data() + kGeneric.size();
+    const auto* end = name.data() + name.size();
+    if (std::from_chars(begin, end, n).ec == std::errc{} && n >= 1)
+      return generic(n);
+  }
+  throw std::invalid_argument("unknown topology preset: " + std::string(name));
+}
+
+}  // namespace speedbal::presets

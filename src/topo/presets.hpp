@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string_view>
+
+#include "topo/topology.hpp"
+
+namespace speedbal {
+
+/// Machine presets matching the paper's Table 1 test systems plus generic
+/// shapes used by the unit tests and ablation benchmarks.
+namespace presets {
+
+/// Intel Xeon E7310 "Tigerton": UMA, 4 sockets x 4 cores, each pair of cores
+/// shares an L2 cache (Table 1).
+Topology tigerton();
+
+/// AMD Opteron 8350 "Barcelona": NUMA, 4 sockets (= 4 NUMA nodes) x 4 cores,
+/// cores within a socket share the L3 (Table 1).
+Topology barcelona();
+
+/// Intel Nehalem: 2 sockets x 4 cores x 2 SMT contexts, NUMA (Section 6).
+Topology nehalem();
+
+/// Flat UMA machine with `cores` identical cores sharing one cache.
+Topology generic(int cores);
+
+/// Two sockets of `cores_per_socket` cores each, UMA.
+Topology dual_socket(int cores_per_socket);
+
+/// Asymmetric machine (Turbo-Boost-like, Section 4): `cores` total,
+/// the first `fast_cores` run at `fast_scale` (> 1.0), the rest at 1.0.
+Topology asymmetric(int cores, int fast_cores, double fast_scale);
+
+/// Look up a preset by name ("tigerton", "barcelona", "nehalem", or
+/// "generic<N>" e.g. "generic8"); throws std::invalid_argument if unknown.
+Topology by_name(std::string_view name);
+
+}  // namespace presets
+}  // namespace speedbal

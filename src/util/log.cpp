@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/time.hpp"
+
+namespace speedbal {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("SPEEDBAL_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::Trace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t < 0) return "never";
+  if (t < kMsec) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  } else if (t < kSec) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", to_msec(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", to_sec(t));
+  }
+  return buf;
+}
+
+}  // namespace speedbal

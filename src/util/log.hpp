@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace speedbal {
+
+/// Log severity; Trace is used for per-event simulator traces and is off by
+/// default (it is extremely verbose).
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global log threshold; messages below it are dropped. Initialized from the
+/// SPEEDBAL_LOG environment variable (trace/debug/info/warn/error) if set,
+/// otherwise Warn. Thread-safe to read; set only from single-threaded setup.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Core logging entry point (writes to stderr with a severity prefix).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace speedbal
+
+/// Usage: SB_LOG(Info) << "migrated task " << id;
+#define SB_LOG(severity)                                            \
+  if (::speedbal::LogLevel::severity < ::speedbal::log_level()) {   \
+  } else                                                            \
+    ::speedbal::detail::LogLine(::speedbal::LogLevel::severity)

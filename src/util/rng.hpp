@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+namespace speedbal {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** with a
+/// splitmix64 seeding sequence). All stochastic behaviour in the simulator
+/// flows through explicitly seeded Rng instances so that every experiment is
+/// reproducible run-to-run; there is no global RNG state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedba1u);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Gaussian with the given mean and standard deviation (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Derive an independent child generator; used to give each simulated
+  /// component its own stream so event ordering does not perturb draws.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace speedbal

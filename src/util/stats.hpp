@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace speedbal {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Numerically
+/// stable for long runs; used for per-thread speed accounting and for
+/// multi-run experiment summaries.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample set, with the paper's "% variation" measure:
+/// the ratio of the maximum to the minimum observation, expressed as a
+/// percentage above 100 (e.g. runtimes [10s, 12s] -> 20% variation).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+
+  /// max/min - 1, in percent; 0 when fewer than 2 samples or min == 0.
+  double variation_pct() const;
+};
+
+/// Compute a Summary over the sample set (copies and sorts for the median).
+Summary summarize(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation; xs need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Relative improvement of `candidate` over `baseline` in percent, where
+/// both are runtimes (lower is better): 100*(baseline/candidate - 1).
+double improvement_pct(double baseline_runtime, double candidate_runtime);
+
+}  // namespace speedbal

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace speedbal {
+
+/// Simulation time in microseconds. Signed so that deltas and "not yet"
+/// sentinels (-1) are representable without casts.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kUsec = 1;
+inline constexpr SimTime kMsec = 1000 * kUsec;
+inline constexpr SimTime kSec = 1000 * kMsec;
+
+/// No-time-yet sentinel (used for "never happened" timestamps).
+inline constexpr SimTime kNever = -1;
+
+constexpr SimTime usec(std::int64_t n) { return n * kUsec; }
+constexpr SimTime msec(std::int64_t n) { return n * kMsec; }
+constexpr SimTime sec(std::int64_t n) { return n * kSec; }
+
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / kSec; }
+constexpr double to_msec(SimTime t) { return static_cast<double>(t) / kMsec; }
+
+/// Human-readable rendering, e.g. "12.5ms", "3.20s", "800us".
+std::string format_time(SimTime t);
+
+}  // namespace speedbal

@@ -1,0 +1,115 @@
+#include "app/multiprog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/spmd.hpp"
+#include "topo/presets.hpp"
+#include "workload/generator.hpp"
+
+namespace speedbal {
+namespace {
+
+TEST(CpuHog, ConsumesAWholeCoreForever) {
+  Simulator sim(presets::generic(2));
+  CpuHog hog(sim);
+  hog.launch(0);
+  sim.run_while_pending([] { return false; }, sec(5));
+  sim.sync_all_accounting();
+  EXPECT_EQ(hog.task()->total_exec(), sec(5));
+  EXPECT_EQ(hog.task()->core(), 0);
+  EXPECT_NE(hog.task()->state(), TaskState::Finished);
+}
+
+TEST(CpuHog, PinnedHogStaysPinned) {
+  Simulator sim(presets::generic(4));
+  CpuHog hog(sim);
+  hog.launch(2);
+  EXPECT_EQ(hog.task()->core(), 2);
+  EXPECT_FALSE(hog.task()->allowed_on(0));
+  EXPECT_TRUE(hog.task()->allowed_on(2));
+}
+
+TEST(CpuHog, HalvesACoSharingThread) {
+  // The Fig. 5 mechanism: a one-per-core thread sharing with the hog runs
+  // at 50% speed.
+  Simulator sim(presets::generic(1));
+  CpuHog hog(sim);
+  hog.launch(0);
+  Task& t = sim.create_task({.name = "victim"});
+  sim.assign_work(t, 100'000.0);
+  sim.start_task_on(t, 0);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(5));
+  EXPECT_NEAR(to_msec(sim.now()), 200.0, 15.0);
+}
+
+TEST(CpuHog, StopTerminates) {
+  Simulator sim(presets::generic(1));
+  CpuHog hog(sim);
+  hog.launch(0);
+  sim.run_while_pending([] { return false; }, msec(50));
+  hog.stop();
+  EXPECT_EQ(hog.task()->state(), TaskState::Finished);
+  hog.stop();  // Idempotent.
+}
+
+TEST(MakeWorkload, RunsAllJobsToCompletion) {
+  Simulator sim(presets::generic(4), {}, 3);
+  MakeSpec spec;
+  spec.concurrency = 4;
+  spec.total_jobs = 20;
+  spec.burst_mean_us = 5'000.0;
+  spec.bursts_per_job = 2;
+  spec.io_sleep = msec(1);
+  MakeWorkload make(sim, spec);
+  make.launch(workload::first_cores(4));
+  ASSERT_TRUE(sim.run_while_pending([&] { return make.finished(); }, sec(60)));
+  EXPECT_EQ(make.jobs_finished(), 20);
+}
+
+TEST(MakeWorkload, KeepsConcurrencyJobsInFlight) {
+  Simulator sim(presets::generic(4), {}, 5);
+  MakeSpec spec;
+  spec.concurrency = 3;
+  spec.total_jobs = 30;
+  spec.burst_mean_us = 10'000.0;
+  MakeWorkload make(sim, spec);
+  make.launch(workload::first_cores(4));
+  sim.run_while_pending([] { return false; }, msec(20));
+  // Mid-build: exactly `concurrency` jobs exist (runnable or in I/O sleep).
+  int live = 0;
+  for (const Task* t : sim.live_tasks())
+    if (t->name().rfind("make", 0) == 0) ++live;
+  EXPECT_EQ(live, 3);
+}
+
+TEST(MakeWorkload, RespectsCoreMask) {
+  Simulator sim(presets::generic(4), {}, 7);
+  MakeSpec spec;
+  spec.concurrency = 4;
+  spec.total_jobs = 12;
+  spec.burst_mean_us = 3'000.0;
+  MakeWorkload make(sim, spec);
+  make.launch(workload::first_cores(2));
+  ASSERT_TRUE(sim.run_while_pending([&] { return make.finished(); }, sec(60)));
+  for (CoreId c = 2; c < 4; ++c) EXPECT_EQ(sim.core(c).busy_time(), 0);
+}
+
+TEST(MakeWorkload, DisturbsAColocatedSpmdApp) {
+  // Sanity for the Fig. 6 scenario: the build measurably slows the app.
+  const auto run_with_make = [](bool with_make) {
+    Simulator sim(presets::generic(2), {}, 9);
+    SpmdApp app(sim, workload::uniform_app(2, 4, 50'000.0));
+    app.launch(SpmdApp::Placement::RoundRobin, workload::first_cores(2));
+    MakeSpec spec;
+    spec.concurrency = 2;
+    spec.total_jobs = 1000;
+    MakeWorkload make(sim, spec);
+    if (with_make) make.launch(workload::first_cores(2));
+    sim.run_while_pending([&] { return app.finished(); }, sec(60));
+    return to_sec(app.elapsed());
+  };
+  EXPECT_GT(run_with_make(true), 1.3 * run_with_make(false));
+}
+
+}  // namespace
+}  // namespace speedbal

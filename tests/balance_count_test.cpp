@@ -1,0 +1,132 @@
+#include "balance/userlevel_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/multiprog.hpp"
+#include "topo/presets.hpp"
+#include "workload/generator.hpp"
+
+namespace speedbal {
+namespace {
+
+struct Hog : TaskClient {
+  void on_work_complete(Simulator& sim, Task& task) override {
+    sim.assign_work(task, 1e9);
+  }
+};
+
+std::vector<Task*> make_hogs(Simulator& sim, Hog& hog, int n) {
+  std::vector<Task*> tasks;
+  for (int i = 0; i < n; ++i) {
+    Task& t = sim.create_task({.name = "t" + std::to_string(i), .client = &hog});
+    sim.assign_work(t, 1e9);
+    sim.start_task(t);
+    tasks.push_back(&t);
+  }
+  return tasks;
+}
+
+CountBalanceParams manual_params() {
+  CountBalanceParams p;
+  p.automatic = false;
+  return p;
+}
+
+TEST(CountBalancer, PullsFromLongerQueue) {
+  Simulator sim(presets::generic(2));
+  Hog hog;
+  auto tasks = make_hogs(sim, hog, 3);
+  CountBalancer cb(manual_params(), tasks, workload::first_cores(2));
+  cb.attach(sim);  // Round-robin: 2 on core 0, 1 on core 1.
+  sim.run_while_pending([] { return false; }, msec(50));
+  cb.balance_once(1);
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 1u);
+  EXPECT_EQ(sim.core(1).queue().nr_running(), 2u);
+}
+
+TEST(CountBalancer, NeverEmptiesAQueue) {
+  Simulator sim(presets::generic(3));
+  Hog hog;
+  auto tasks = make_hogs(sim, hog, 2);
+  CountBalancer cb(manual_params(), tasks, workload::first_cores(3));
+  cb.attach(sim);  // One thread each on cores 0 and 1; core 2 empty.
+  sim.run_while_pending([] { return false; }, msec(50));
+  cb.balance_once(2);  // Sources hold a single thread: nothing to take.
+  EXPECT_EQ(sim.core(2).queue().nr_running(), 0u);
+}
+
+TEST(CountBalancer, PostMigrationBlockHolds) {
+  CountBalanceParams params = manual_params();
+  params.interval = msec(100);
+  params.post_migration_block = 2;
+  Simulator sim(presets::generic(2));
+  Hog hog;
+  auto tasks = make_hogs(sim, hog, 3);
+  CountBalancer cb(params, tasks, workload::first_cores(2));
+  cb.attach(sim);
+  sim.run_while_pending([] { return false; }, msec(50));
+  cb.balance_once(1);
+  const auto count = sim.metrics().migration_count();
+  sim.run_while_pending([] { return false; }, msec(150));  // Inside block.
+  cb.balance_once(0);
+  cb.balance_once(1);
+  EXPECT_EQ(sim.metrics().migration_count(), count);
+}
+
+TEST(CountBalancer, BlindToCompetitorWhenCountsBalanced) {
+  // The ablation's point: one managed thread per core plus a cpu-hog on
+  // core 0 — counts are equal, so the count balancer never migrates, while
+  // the same scenario drives SpeedBalancer to rotate (see
+  // PaperClaims.Section63_CpuHogScenario).
+  Simulator sim(presets::generic(4), {}, 13);
+  CpuHog hog(sim);
+  hog.launch(0);
+  Hog app_client;
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 4; ++i) {
+    Task& t = sim.create_task({.name = "app" + std::to_string(i), .client = &app_client});
+    sim.assign_work(t, 1e9);
+    sim.start_task_on(t, i, ~0ULL);
+    tasks.push_back(&t);
+  }
+  CountBalanceParams params;  // Automatic.
+  CountBalancer cb(params, tasks, workload::first_cores(4));
+  cb.attach(sim);
+  const auto before = sim.metrics().migration_count();
+  sim.run_while_pending([] { return false; }, sec(2));
+  EXPECT_EQ(sim.metrics().migration_count(), before);
+  // The thread sharing with the hog stays stuck at half speed.
+  sim.sync_all_accounting();
+  EXPECT_LT(tasks[0]->total_exec(), sec(2) * 6 / 10);
+  EXPECT_GT(tasks[1]->total_exec(), sec(2) * 9 / 10);
+}
+
+TEST(CountBalancer, RotatesOneTaskImbalanceEndToEnd) {
+  // 3 equal threads on 2 cores under the automatic count balancer: the
+  // repeated one-thread migration rotates slow-queue status and beats the
+  // static 6 s (the "66% speed" behaviour of Section 4).
+  Simulator sim(presets::generic(2), {}, 19);
+  struct Finite : TaskClient {
+    void on_work_complete(Simulator& s, Task& task) override { s.finish_task(task); }
+  } finite;
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 3; ++i) {
+    Task& t = sim.create_task({.name = "t" + std::to_string(i), .client = &finite});
+    sim.assign_work(t, 3e6);
+    sim.start_task(t);
+    tasks.push_back(&t);
+  }
+  CountBalancer cb({}, tasks, workload::first_cores(2));
+  cb.attach(sim);
+  sim.run_while_pending(
+      [&] {
+        for (Task* t : tasks)
+          if (t->state() != TaskState::Finished) return false;
+        return true;
+      },
+      sec(60));
+  EXPECT_LT(to_sec(sim.now()), 5.4);  // Static would be 6 s; ideal 4.5 s.
+}
+
+}  // namespace
+}  // namespace speedbal

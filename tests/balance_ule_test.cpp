@@ -1,0 +1,121 @@
+#include "balance/ule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/presets.hpp"
+
+namespace speedbal {
+namespace {
+
+struct Hog : TaskClient {
+  void on_work_complete(Simulator& sim, Task& task) override {
+    sim.assign_work(task, 1e9);
+  }
+};
+
+Task& start_hog(Simulator& sim, Hog& hog, CoreId core, const std::string& name) {
+  Task& t = sim.create_task({.name = name, .client = &hog});
+  sim.assign_work(t, 1e9);
+  sim.start_task_on(t, core, ~0ULL);
+  return t;
+}
+
+TEST(Ule, DefaultThresholdIgnoresOneTaskImbalance) {
+  // FreeBSD 7.2 default: "the ULE scheduler will not migrate threads when a
+  // static balance is not attainable" — behaves like pinning (Fig. 3).
+  UleParams params;
+  params.automatic = false;
+  Simulator sim(presets::generic(2));
+  Hog hog;
+  start_hog(sim, hog, 0, "a");
+  start_hog(sim, hog, 0, "b");
+  start_hog(sim, hog, 1, "c");
+  UleBalancer ule(params);
+  ule.attach(sim);
+  sim.run_while_pending([] { return false; }, msec(10));
+  ule.push_once();
+  EXPECT_EQ(sim.metrics().migration_count(MigrationCause::Ule), 0);
+}
+
+TEST(Ule, PushesFromBusiestToLightest) {
+  UleParams params;
+  params.automatic = false;
+  Simulator sim(presets::generic(3));
+  Hog hog;
+  for (int i = 0; i < 4; ++i) start_hog(sim, hog, 0, "t" + std::to_string(i));
+  start_hog(sim, hog, 1, "x");
+  UleBalancer ule(params);
+  ule.attach(sim);
+  sim.run_while_pending([] { return false; }, msec(10));
+  ule.push_once();  // 4 vs 1 vs 0: one task moves from core 0 to core 2.
+  EXPECT_EQ(sim.metrics().migration_count(MigrationCause::Ule), 1);
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 3u);
+  EXPECT_EQ(sim.core(2).queue().nr_running(), 1u);
+}
+
+TEST(Ule, MovesOnlyOneTaskPerPass) {
+  UleParams params;
+  params.automatic = false;
+  Simulator sim(presets::generic(2));
+  Hog hog;
+  for (int i = 0; i < 6; ++i) start_hog(sim, hog, 0, "t" + std::to_string(i));
+  UleBalancer ule(params);
+  ule.attach(sim);
+  sim.run_while_pending([] { return false; }, msec(10));
+  ule.push_once();
+  EXPECT_EQ(sim.metrics().migration_count(MigrationCause::Ule), 1);
+}
+
+TEST(Ule, StealThreshOneMigratesSingleImbalance) {
+  // The kern.sched.steal_thresh=1 configuration the paper experimented with.
+  UleParams params;
+  params.automatic = false;
+  params.steal_thresh = 1;
+  Simulator sim(presets::generic(2));
+  Hog hog;
+  start_hog(sim, hog, 0, "a");
+  start_hog(sim, hog, 0, "b");
+  start_hog(sim, hog, 1, "c");
+  UleBalancer ule(params);
+  ule.attach(sim);
+  sim.run_while_pending([] { return false; }, msec(10));
+  ule.push_once();
+  EXPECT_EQ(sim.metrics().migration_count(MigrationCause::Ule), 1);
+}
+
+TEST(Ule, NeverMovesRunningOrPinned) {
+  UleParams params;
+  params.automatic = false;
+  Simulator sim(presets::generic(2));
+  Hog hog;
+  Task& running = start_hog(sim, hog, 0, "running");
+  Task& pinned = start_hog(sim, hog, 0, "pinned");
+  Task& loose = start_hog(sim, hog, 0, "loose");
+  sim.set_affinity(pinned, 0b01, /*hard_pin=*/true);
+  ASSERT_EQ(running.state(), TaskState::Running);
+  UleBalancer ule(params);
+  ule.attach(sim);
+  sim.run_while_pending([] { return false; }, msec(1));
+  ule.push_once();  // 3 vs 0.
+  EXPECT_EQ(running.core(), 0);
+  EXPECT_EQ(pinned.core(), 0);
+  EXPECT_EQ(loose.core(), 1);
+}
+
+TEST(Ule, PeriodicPushRunsTwicePerSecond) {
+  Simulator sim(presets::generic(2));
+  UleBalancer ule;  // Automatic, 500 ms interval.
+  ule.attach(sim);
+  Hog hog;
+  for (int i = 0; i < 4; ++i) start_hog(sim, hog, 0, "t" + std::to_string(i));
+  sim.run_while_pending([] { return false; }, msec(1600));
+  // Pushes at 500 ms and 1000 ms restore balance; by 1.5 s at most one more.
+  const auto count = sim.metrics().migration_count(MigrationCause::Ule);
+  EXPECT_GE(count, 2);
+  EXPECT_LE(count, 3);
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 2u);
+  EXPECT_EQ(sim.core(1).queue().nr_running(), 2u);
+}
+
+}  // namespace
+}  // namespace speedbal

@@ -1,0 +1,88 @@
+#include "core/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/presets.hpp"
+
+namespace speedbal::scenarios {
+namespace {
+
+TEST(Scenarios, SetupNames) {
+  EXPECT_STREQ(to_string(Setup::OnePerCore), "One-per-core");
+  EXPECT_STREQ(to_string(Setup::LoadYield), "LOAD-YIELD");
+  EXPECT_STREQ(to_string(Setup::SpeedSleep), "SPEED-SLEEP");
+  EXPECT_STREQ(to_string(Setup::FreeBsd), "FreeBSD");
+}
+
+TEST(Scenarios, ConfigMapsSetupToPolicyAndBarrier) {
+  const auto topo = presets::tigerton();
+  const auto prof = npb::ep('S');
+
+  auto cfg = npb_config(topo, prof, 16, 4, Setup::LoadYield);
+  EXPECT_EQ(cfg.policy, Policy::Load);
+  EXPECT_EQ(cfg.app.barrier.policy, WaitPolicy::Yield);
+  EXPECT_EQ(cfg.app.nthreads, 16);
+  EXPECT_EQ(cfg.cores, 4);
+
+  cfg = npb_config(topo, prof, 16, 4, Setup::LoadSleep);
+  EXPECT_EQ(cfg.app.barrier.policy, WaitPolicy::SleepPoll);
+
+  cfg = npb_config(topo, prof, 16, 4, Setup::SpeedYield);
+  EXPECT_EQ(cfg.policy, Policy::Speed);
+
+  cfg = npb_config(topo, prof, 16, 4, Setup::Dwrr);
+  EXPECT_EQ(cfg.policy, Policy::Dwrr);
+
+  cfg = npb_config(topo, prof, 16, 4, Setup::FreeBsd);
+  EXPECT_EQ(cfg.policy, Policy::Ule);
+}
+
+TEST(Scenarios, OnePerCoreClampsThreadsToCores) {
+  const auto topo = presets::tigerton();
+  const auto cfg = npb_config(topo, npb::ep('S'), 16, 5, Setup::OnePerCore);
+  EXPECT_EQ(cfg.app.nthreads, 5);
+  EXPECT_EQ(cfg.policy, Policy::Pinned);
+  // Fixed problem size: 5 threads carry the same total work as 16 would.
+  EXPECT_NEAR(cfg.app.nthreads * cfg.app.work_per_phase_us,
+              16 * npb::ep('S').work_per_phase_us * 16.0 / 16.0, 1.0);
+}
+
+TEST(Scenarios, NumaBlockOnlyOnNumaMachines) {
+  const auto uma = npb_config(presets::tigerton(), npb::ep('S'), 16, 8,
+                              Setup::SpeedYield);
+  EXPECT_FALSE(uma.speed.block_numa);
+  const auto numa = npb_config(presets::barcelona(), npb::ep('S'), 16, 8,
+                               Setup::SpeedYield);
+  EXPECT_TRUE(numa.speed.block_numa);
+}
+
+TEST(Scenarios, SerialBaselineMatchesTotalWork) {
+  const auto topo = presets::generic(4);
+  const auto prof = npb::ep('S');  // Pure compute: baseline is exact.
+  const double serial = serial_runtime_s(topo, prof, 4);
+  // 4 threads x (phases * per-phase work * 16/4) on one core.
+  const double expected =
+      4 * prof.phases * prof.work_per_phase_us * (16.0 / 4.0) / 1e6;
+  EXPECT_NEAR(serial, expected, 0.05 * expected);
+}
+
+TEST(Scenarios, EndToEndSpeedTracksOnePerCore) {
+  // The Fig. 3 headline on a small instance: SPEED is within ~10% of the
+  // recompiled one-thread-per-core ideal while PINNED is ~25% behind.
+  const auto topo = presets::generic(3);
+  // Class A keeps (T+1)*S comfortably above the Lemma 1 profitability
+  // bound 2*ceil(SQ/FQ)*B; class S phases are too short for 8-on-3.
+  const auto prof = npb::ep('A');
+  const double serial = serial_runtime_s(topo, prof, 8);
+  const auto ideal = run_npb(topo, prof, 8, 3, Setup::OnePerCore, 2, 1);
+  const auto speed = run_npb(topo, prof, 8, 3, Setup::SpeedYield, 2, 1);
+  const auto pinned = run_npb(topo, prof, 8, 3, Setup::Pinned, 2, 1);
+  const double su_ideal = serial / ideal.mean_runtime();
+  const double su_speed = serial / speed.mean_runtime();
+  const double su_pinned = serial / pinned.mean_runtime();
+  EXPECT_GT(su_speed, 0.9 * su_ideal);
+  EXPECT_GT(su_speed, 1.05 * su_pinned);
+}
+
+}  // namespace
+}  // namespace speedbal::scenarios

@@ -1,0 +1,140 @@
+// Failure injection for the native (real OS) layer: malformed /proc and
+// /sys content, vanished targets, and hostile inputs. The balancer runs as
+// an unprivileged sidecar — it must never take its target down with it.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "native/cpu_topology.hpp"
+#include "native/procfs.hpp"
+#include "native/speed_balancer.hpp"
+
+namespace speedbal::native {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("speedbal_fail_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write_file(const fs::path& rel, const std::string& content) {
+    fs::create_directories((root_ / rel).parent_path());
+    std::ofstream(root_ / rel) << content;
+  }
+
+  fs::path root_;
+  static int counter_;
+};
+int TempTree::counter_ = 0;
+
+TEST_F(TempTree, TruncatedStatFileYieldsNullopt) {
+  write_file("100/task/101/stat", "101 (x");
+  Procfs proc(root_.string());
+  EXPECT_FALSE(proc.task_times(100, 101).has_value());
+}
+
+TEST_F(TempTree, EmptyStatFileYieldsNullopt) {
+  write_file("100/task/101/stat", "");
+  Procfs proc(root_.string());
+  EXPECT_FALSE(proc.task_times(100, 101).has_value());
+}
+
+TEST_F(TempTree, BinaryGarbageStatYieldsNulloptOrParses) {
+  write_file("100/task/101/stat", std::string("\x01\x02\x03garbage(((", 14));
+  Procfs proc(root_.string());
+  // Must not crash; any parse of garbage is acceptable as long as it is
+  // well-defined (here: nullopt, since there is no closing paren).
+  EXPECT_FALSE(proc.task_times(100, 101).has_value());
+}
+
+TEST_F(TempTree, NonNumericTaskDirsIgnored) {
+  write_file("100/task/101/stat", "101 (x) R 0 0 0 0 0 0 0 0 0 0 5 5 0 0");
+  fs::create_directories(root_ / "100/task/not-a-tid");
+  Procfs proc(root_.string());
+  EXPECT_EQ(proc.tids(100), (std::vector<pid_t>{101}));
+}
+
+TEST_F(TempTree, SysfsGarbageCpuListFallsBackToSelf) {
+  fs::create_directories(root_ / "cpu0/topology");
+  fs::create_directories(root_ / "cpu0/cache/index2");
+  write_file("cpu0/topology/physical_package_id", "not-a-number");
+  write_file("cpu0/topology/thread_siblings_list", "9999-banana");
+  write_file("cpu0/cache/index2/shared_cpu_list", "-5,");
+  const auto topo = read_sys_topology(root_.string());
+  ASSERT_EQ(topo.num_cpus(), 1);
+  EXPECT_TRUE(topo.cpus[0].thread_siblings.contains(0));
+  EXPECT_TRUE(topo.cpus[0].cache_siblings.contains(0));
+}
+
+TEST_F(TempTree, BalancerHandlesThreadVanishingBetweenSteps) {
+  constexpr pid_t kPid = 3999900;
+  if (::kill(kPid, 0) == 0) GTEST_SKIP();
+  write_file("3999900/task/3999901/stat",
+             "3999901 (w) R 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 "
+             "0 0 0 0 0 0 0 0 0 0 0 0 0");
+  write_file("3999900/task/3999902/stat",
+             "3999902 (w) R 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 "
+             "0 0 0 0 0 0 0 0 0 0 0 0 1");
+  NativeBalancerConfig config;
+  config.cores = CpuSet::of({0, 1});
+  config.initial_round_robin = false;
+  SysTopology topo;
+  for (int i = 0; i < 2; ++i) {
+    SysCpu cpu;
+    cpu.cpu = i;
+    topo.cpus.push_back(cpu);
+  }
+  NativeSpeedBalancer balancer(kPid, config, Procfs(root_.string()), topo);
+  EXPECT_EQ(balancer.step(), 0);
+  // One thread exits between samples.
+  fs::remove_all(root_ / "3999900/task/3999902");
+  EXPECT_GE(balancer.step(), 0);
+  // The whole process exits.
+  fs::remove_all(root_ / "3999900");
+  EXPECT_EQ(balancer.step(), -1);
+}
+
+TEST_F(TempTree, BalancerDetectsZombieTarget) {
+  // Regression: a child that exited but has not been reaped keeps a /proc
+  // entry in state Z; the balancer must report it as gone (-1), otherwise
+  // `speedbalancer <short-lived-cmd>` deadlocks against its own waitpid.
+  constexpr pid_t kPid = 3999905;
+  if (::kill(kPid, 0) == 0) GTEST_SKIP();
+  write_file("3999905/task/3999905/stat",
+             "3999905 (true) Z 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 "
+             "0 0 0 0 0 0 0 0 0 0 0 0 0 0");
+  NativeBalancerConfig config;
+  config.cores = CpuSet::of({0});
+  config.initial_round_robin = false;
+  SysTopology topo;
+  SysCpu cpu;
+  cpu.cpu = 0;
+  topo.cpus.push_back(cpu);
+  NativeSpeedBalancer balancer(kPid, config, Procfs(root_.string()), topo);
+  EXPECT_EQ(balancer.step(), -1);
+}
+
+TEST(NativeFailure, BalancerOnNonexistentPidExitsCleanly) {
+  constexpr pid_t kPid = 3999903;
+  if (::kill(kPid, 0) == 0) GTEST_SKIP();
+  NativeBalancerConfig config;
+  config.startup_delay = std::chrono::milliseconds(1);
+  config.interval = std::chrono::milliseconds(1);
+  NativeSpeedBalancer balancer(kPid, config);
+  balancer.run();  // Must return promptly: the target is already gone.
+  EXPECT_EQ(balancer.migrations(), 0);
+}
+
+}  // namespace
+}  // namespace speedbal::native

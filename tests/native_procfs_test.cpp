@@ -1,0 +1,132 @@
+#include "native/procfs.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace speedbal::native {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Build a /proc stat line with the given fields; all other fields zeroed.
+std::string stat_line(pid_t tid, const std::string& comm, char state,
+                      long utime, long stime, int cpu) {
+  std::string line = std::to_string(tid) + " (" + comm + ") " + state;
+  // Fields 4..13 (ppid..cmajflt).
+  for (int i = 0; i < 10; ++i) line += " 0";
+  line += " " + std::to_string(utime) + " " + std::to_string(stime);
+  // Fields 16..38.
+  for (int i = 0; i < 23; ++i) line += " 0";
+  line += " " + std::to_string(cpu);  // Field 39: processor.
+  for (int i = 0; i < 5; ++i) line += " 0";
+  return line;
+}
+
+TEST(ParseStatLine, BasicFields) {
+  const auto t = parse_stat_line(stat_line(1234, "myproc", 'R', 150, 25, 3));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->tid, 1234);
+  EXPECT_EQ(t->state, 'R');
+  EXPECT_EQ(t->utime_ticks, 150);
+  EXPECT_EQ(t->stime_ticks, 25);
+  EXPECT_EQ(t->total_ticks(), 175);
+  EXPECT_EQ(t->cpu, 3);
+}
+
+TEST(ParseStatLine, CommWithSpacesAndParens) {
+  // comm can contain anything, including ") R 1 (": the parser must anchor
+  // on the last ')'.
+  const auto t = parse_stat_line(stat_line(7, "evil) R 99 (name", 'S', 42, 8, 1));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->state, 'S');
+  EXPECT_EQ(t->utime_ticks, 42);
+  EXPECT_EQ(t->stime_ticks, 8);
+  EXPECT_EQ(t->cpu, 1);
+}
+
+TEST(ParseStatLine, RejectsGarbage) {
+  EXPECT_FALSE(parse_stat_line("").has_value());
+  EXPECT_FALSE(parse_stat_line("12 no-parens R 0").has_value());
+  EXPECT_FALSE(parse_stat_line("12 (x) R").has_value());  // Too few fields.
+}
+
+class ProcfsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("speedbal_proc_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void add_thread(pid_t pid, pid_t tid, long utime, long stime, int cpu) {
+    const fs::path dir = root_ / std::to_string(pid) / "task" / std::to_string(tid);
+    fs::create_directories(dir);
+    std::ofstream(dir / "stat") << stat_line(tid, "worker", 'R', utime, stime, cpu)
+                                << "\n";
+  }
+
+  fs::path root_;
+  static int counter_;
+};
+int ProcfsFixture::counter_ = 0;
+
+TEST_F(ProcfsFixture, ListsTidsSorted) {
+  add_thread(100, 103, 0, 0, 0);
+  add_thread(100, 101, 0, 0, 0);
+  add_thread(100, 102, 0, 0, 0);
+  Procfs proc(root_.string());
+  EXPECT_EQ(proc.tids(100), (std::vector<pid_t>{101, 102, 103}));
+}
+
+TEST_F(ProcfsFixture, MissingProcessYieldsEmpty) {
+  Procfs proc(root_.string());
+  EXPECT_TRUE(proc.tids(42).empty());
+  EXPECT_FALSE(proc.task_times(42, 42).has_value());
+  EXPECT_FALSE(proc.alive(42));
+}
+
+TEST_F(ProcfsFixture, ReadsTaskTimes) {
+  add_thread(100, 101, 250, 50, 2);
+  Procfs proc(root_.string());
+  const auto t = proc.task_times(100, 101);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->tid, 101);
+  EXPECT_EQ(t->total_ticks(), 300);
+  EXPECT_EQ(t->cpu, 2);
+  EXPECT_TRUE(proc.alive(100));
+}
+
+TEST_F(ProcfsFixture, AllTaskTimesSweeps) {
+  add_thread(100, 101, 10, 0, 0);
+  add_thread(100, 102, 20, 5, 1);
+  Procfs proc(root_.string());
+  const auto all = proc.all_task_times(100);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].tid, 101);
+  EXPECT_EQ(all[1].total_ticks(), 25);
+}
+
+TEST(Procfs, RealSelfIsReadable) {
+  Procfs proc;
+  const pid_t self = ::getpid();
+  EXPECT_TRUE(proc.alive(self));
+  const auto tids = proc.tids(self);
+  ASSERT_FALSE(tids.empty());
+  const auto t = proc.task_times(self, tids.front());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GE(t->total_ticks(), 0);
+}
+
+TEST(Procfs, TicksPerSecondSane) {
+  const long hz = Procfs::ticks_per_second();
+  EXPECT_GE(hz, 1);
+  EXPECT_LE(hz, 10000);
+}
+
+}  // namespace
+}  // namespace speedbal::native

@@ -1,0 +1,77 @@
+#include "native/spmd_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace speedbal::native {
+namespace {
+
+TEST(BusySpin, RunsApproximatelyRequestedTime) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto iters = busy_spin(std::chrono::microseconds(5'000));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GT(iters, 0u);
+  EXPECT_GE(elapsed, std::chrono::microseconds(5'000));
+  EXPECT_LT(elapsed, std::chrono::milliseconds(200));  // Very loose: CI VMs.
+}
+
+TEST(NativeBarrier, AllThreadsPassTogether) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  NativeBarrier barrier(kThreads, NativeWaitPolicy::Sleep);
+  std::atomic<int> in_round{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int inside = in_round.fetch_add(1) + 1;
+        if (inside > kThreads) violated.store(true);
+        barrier.wait();
+        in_round.fetch_sub(1);
+        barrier.wait();  // Second barrier separates rounds.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
+class BarrierPolicySweep : public ::testing::TestWithParam<NativeWaitPolicy> {};
+
+TEST_P(BarrierPolicySweep, SpmdRunsToCompletion) {
+  NativeSpmdSpec spec;
+  spec.nthreads = 3;
+  spec.phases = 4;
+  spec.work_per_phase = std::chrono::microseconds(500);
+  spec.policy = GetParam();
+  const auto result = run_native_spmd(spec);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  ASSERT_EQ(result.iterations.size(), 3u);
+  for (const auto iters : result.iterations) EXPECT_GT(iters, 0u);
+  // Wall time is at least the per-thread critical path (phases x work),
+  // regardless of how the threads were scheduled.
+  EXPECT_GE(result.wall_seconds, 4 * 500e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BarrierPolicySweep,
+                         ::testing::Values(NativeWaitPolicy::Spin,
+                                           NativeWaitPolicy::Yield,
+                                           NativeWaitPolicy::Sleep,
+                                           NativeWaitPolicy::SleepPoll));
+
+TEST(NativeSpmd, SingleThreadDegenerate) {
+  NativeSpmdSpec spec;
+  spec.nthreads = 1;
+  spec.phases = 2;
+  spec.work_per_phase = std::chrono::microseconds(200);
+  const auto result = run_native_spmd(spec);
+  EXPECT_GE(result.wall_seconds, 2 * 200e-6);
+}
+
+}  // namespace
+}  // namespace speedbal::native

@@ -1,0 +1,126 @@
+#include "sim/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/presets.hpp"
+
+namespace speedbal {
+namespace {
+
+Task make_task(double footprint_kb, double intensity, int id = 0) {
+  TaskSpec spec;
+  spec.name = "t";
+  spec.mem_footprint_kb = footprint_kb;
+  spec.mem_intensity = intensity;
+  return Task(id, spec);
+}
+
+TEST(MemoryModel, NoCostForSameCoreOrFirstPlacement) {
+  const auto topo = presets::tigerton();
+  MemoryModel mm(topo, MemoryModel::tigerton_params());
+  const auto t = make_task(10'000.0, 0.5);
+  EXPECT_EQ(mm.migration_cost_us(t, -1, 3), 0.0);
+  EXPECT_EQ(mm.migration_cost_us(t, 3, 3), 0.0);
+}
+
+TEST(MemoryModel, SameCachePaysOnlyFixedCost) {
+  const auto topo = presets::tigerton();
+  auto params = MemoryModel::tigerton_params();
+  params.migration_fixed_us = 5.0;
+  MemoryModel mm(topo, params);
+  const auto t = make_task(100'000.0, 0.9);
+  // Cores 0 and 1 share the L2 on Tigerton.
+  EXPECT_DOUBLE_EQ(mm.migration_cost_us(t, 0, 1), 5.0);
+}
+
+TEST(MemoryModel, CrossCacheCostScalesWithFootprintUpToLlc) {
+  const auto topo = presets::tigerton();
+  auto params = MemoryModel::tigerton_params();
+  params.migration_fixed_us = 0.0;
+  params.refill_us_per_kb = 0.5;
+  params.llc_kb = 4096.0;
+  MemoryModel mm(topo, params);
+  const auto small = make_task(100.0, 0.5);
+  const auto large = make_task(1'000'000.0, 0.5);
+  // Small footprint: microseconds. Large: capped at the LLC size (~2 ms),
+  // the range Li et al. report (Section 4).
+  EXPECT_DOUBLE_EQ(mm.migration_cost_us(small, 0, 2), 50.0);
+  EXPECT_DOUBLE_EQ(mm.migration_cost_us(large, 0, 2), 2048.0);
+}
+
+TEST(MemoryModel, CrossNumaRefillIsDearer) {
+  const auto topo = presets::barcelona();
+  auto params = MemoryModel::barcelona_params();
+  params.migration_fixed_us = 0.0;
+  params.refill_us_per_kb = 1.0;
+  params.llc_kb = 2048.0;
+  params.numa_refill_factor = 2.0;
+  MemoryModel mm(topo, params);
+  const auto t = make_task(1000.0, 0.5);
+  const double intra = mm.migration_cost_us(t, 4, 5);   // Same node.
+  const double inter = mm.migration_cost_us(t, 4, 12);  // Across nodes.
+  EXPECT_DOUBLE_EQ(intra, 0.0);  // Same cache group on Barcelona.
+  EXPECT_DOUBLE_EQ(inter, 2000.0);
+}
+
+TEST(MemoryModel, PureComputeTaskUnaffectedByEverything) {
+  const auto topo = presets::barcelona();
+  MemoryModel mm(topo, MemoryModel::barcelona_params());
+  auto t = make_task(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(mm.speed_factor(t, 0, 100.0, 100.0), 1.0);
+}
+
+TEST(MemoryModel, BandwidthSaturationScalesInversely) {
+  const auto topo = presets::generic(4);
+  MemoryModelParams params;
+  params.node_bw_capacity = 2.0;
+  params.system_bw_capacity = 2.0;
+  params.numa_remote_penalty = 0.0;
+  MemoryModel mm(topo, params);
+  const auto t = make_task(0.0, 1.0);
+  // Demand below capacity: full speed.
+  EXPECT_DOUBLE_EQ(mm.speed_factor(t, 0, 1.0, 1.0), 1.0);
+  // Twice over capacity: memory-bound task runs at half speed.
+  EXPECT_DOUBLE_EQ(mm.speed_factor(t, 0, 4.0, 4.0), 0.5);
+}
+
+TEST(MemoryModel, MixedIntensityInterpolates) {
+  const auto topo = presets::generic(4);
+  MemoryModelParams params;
+  params.node_bw_capacity = 1.0;
+  params.system_bw_capacity = 1.0;
+  params.numa_remote_penalty = 0.0;
+  MemoryModel mm(topo, params);
+  const auto t = make_task(0.0, 0.5);
+  // r = 2: time = 0.5 + 0.5*2 = 1.5 -> speed 2/3.
+  EXPECT_NEAR(mm.speed_factor(t, 0, 2.0, 2.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MemoryModel, SpeedFactorBounded) {
+  const auto topo = presets::barcelona();
+  MemoryModel mm(topo, MemoryModel::barcelona_params());
+  const auto t = make_task(0.0, 1.0);
+  for (double demand : {0.0, 1.0, 10.0, 100.0}) {
+    const double f = mm.speed_factor(t, 0, demand, demand);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(MemoryModel, TopologyDefaults) {
+  // Tigerton: UMA with a low shared capacity. Barcelona: per-node
+  // controllers, capacity scaling with nodes, plus a remote penalty.
+  const auto tig = MemoryModel::tigerton_params();
+  const auto barc = MemoryModel::barcelona_params();
+  EXPECT_EQ(tig.numa_remote_penalty, 0.0);
+  EXPECT_GT(barc.numa_remote_penalty, 0.0);
+  EXPECT_GT(barc.system_bw_capacity, tig.system_bw_capacity);
+
+  EXPECT_EQ(MemoryModel::for_topology(presets::tigerton()).system_bw_capacity,
+            tig.system_bw_capacity);
+  const auto generic = MemoryModel::for_topology(presets::generic(8));
+  EXPECT_EQ(generic.numa_remote_penalty, 0.0);
+}
+
+}  // namespace
+}  // namespace speedbal

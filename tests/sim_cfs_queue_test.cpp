@@ -1,0 +1,204 @@
+#include "sim/cfs_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace speedbal {
+namespace {
+
+std::unique_ptr<Task> make_task(TaskId id, double weight = 1.0) {
+  TaskSpec spec;
+  spec.name = "t" + std::to_string(id);
+  spec.weight = weight;
+  return std::make_unique<Task>(id, spec);
+}
+
+TEST(CfsQueue, PickNextIsMinVruntime) {
+  CfsQueue q;
+  auto a = make_task(1);
+  auto b = make_task(2);
+  q.enqueue(*a, false);
+  q.enqueue(*b, false);
+  // Equal vruntime: lowest id wins the tiebreak.
+  EXPECT_EQ(q.pick_next(), a.get());
+  q.charge(*a, msec(10));
+  EXPECT_EQ(q.pick_next(), b.get());
+}
+
+TEST(CfsQueue, NrRunningAndLoadTrackMembership) {
+  CfsQueue q;
+  auto a = make_task(1);
+  auto b = make_task(2, 2.0);
+  EXPECT_EQ(q.nr_running(), 0u);
+  q.enqueue(*a, false);
+  q.enqueue(*b, false);
+  EXPECT_EQ(q.nr_running(), 2u);
+  EXPECT_DOUBLE_EQ(q.load(), 3.0);
+  q.dequeue(*a);
+  EXPECT_EQ(q.nr_running(), 1u);
+  EXPECT_DOUBLE_EQ(q.load(), 2.0);
+}
+
+TEST(CfsQueue, TimesliceDividesLatency) {
+  CfsParams p;
+  p.sched_latency = msec(20);
+  p.min_granularity = msec(4);
+  CfsQueue q(p);
+  auto a = make_task(1);
+  auto b = make_task(2);
+  EXPECT_EQ(q.timeslice(), msec(20));  // Empty queue: full latency.
+  q.enqueue(*a, false);
+  EXPECT_EQ(q.timeslice(), msec(20));
+  q.enqueue(*b, false);
+  EXPECT_EQ(q.timeslice(), msec(10));
+}
+
+TEST(CfsQueue, TimesliceFloorsAtMinGranularity) {
+  CfsParams p;
+  p.sched_latency = msec(20);
+  p.min_granularity = msec(4);
+  CfsQueue q(p);
+  std::vector<std::unique_ptr<Task>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(make_task(i));
+    q.enqueue(*tasks.back(), false);
+  }
+  EXPECT_EQ(q.timeslice(), msec(4));  // 20/10 = 2ms < 4ms floor.
+}
+
+TEST(CfsQueue, RequeueBehindPutsTaskLast) {
+  CfsQueue q;
+  auto a = make_task(1);
+  auto b = make_task(2);
+  auto c = make_task(3);
+  q.enqueue(*a, false);
+  q.enqueue(*b, false);
+  q.enqueue(*c, false);
+  q.charge(*b, msec(1));
+  q.charge(*c, msec(2));
+  // a has min vruntime; yield it behind everyone.
+  ASSERT_EQ(q.pick_next(), a.get());
+  q.requeue_behind(*a);
+  EXPECT_EQ(q.pick_next(), b.get());
+  EXPECT_GT(a->vruntime(), c->vruntime());
+}
+
+TEST(CfsQueue, ChargeIsWeightScaled) {
+  CfsQueue q;
+  auto heavy = make_task(1, 2.0);
+  auto light = make_task(2, 1.0);
+  q.enqueue(*heavy, false);
+  q.enqueue(*light, false);
+  q.charge(*heavy, msec(10));
+  q.charge(*light, msec(10));
+  // The heavy task's virtual clock advances half as fast.
+  EXPECT_EQ(heavy->vruntime() * 2, light->vruntime());
+}
+
+TEST(CfsQueue, VruntimeIsQueueRelativeAcrossMigration) {
+  CfsQueue q1;
+  CfsQueue q2;
+  auto a = make_task(1);
+  auto b = make_task(2);
+  auto c = make_task(3);
+  q1.enqueue(*a, false);
+  q1.enqueue(*b, false);
+  // Advance q1's clock far ahead.
+  q1.charge(*a, sec(100));
+  q1.charge(*b, sec(100));
+  q1.dequeue(*a);
+
+  q2.enqueue(*c, false);
+  q2.charge(*c, msec(1));
+  q2.enqueue(*a, false);
+  // The migrated task must not be unfairly ahead or behind on q2.
+  const SimTime gap = a->vruntime() - c->vruntime();
+  EXPECT_LT(std::abs(gap), sec(1));
+}
+
+TEST(CfsQueue, SleeperBonusPlacesNearMinVruntime) {
+  CfsParams p;
+  CfsQueue q(p);
+  auto a = make_task(1);
+  auto sleeper = make_task(2);
+  q.enqueue(*a, false);
+  q.charge(*a, sec(10));
+  q.enqueue(*sleeper, true);
+  // Woken task runs soon (at or before the long-running task)...
+  EXPECT_EQ(q.pick_next(), sleeper.get());
+  // ...but is not placed unboundedly far behind min_vruntime.
+  EXPECT_GE(sleeper->vruntime(), q.min_vruntime() - p.sched_latency);
+}
+
+TEST(CfsQueue, ShouldPreemptUsesWakeupGranularity) {
+  CfsParams p;
+  p.wakeup_granularity = msec(1);
+  CfsQueue q(p);
+  auto running = make_task(1);
+  auto woken = make_task(2);
+  q.enqueue(*running, false);
+  q.charge(*running, msec(10));
+  q.enqueue(*woken, true);
+  EXPECT_TRUE(q.should_preempt(*woken, *running));
+  // A woken task barely behind does not preempt.
+  q.charge(*woken, msec(10));
+  EXPECT_FALSE(q.should_preempt(*woken, *running));
+}
+
+TEST(CfsQueue, MinVruntimeMonotonic) {
+  CfsQueue q;
+  auto a = make_task(1);
+  auto b = make_task(2);
+  q.enqueue(*a, false);
+  q.enqueue(*b, false);
+  SimTime prev = q.min_vruntime();
+  for (int i = 0; i < 100; ++i) {
+    q.charge(*q.pick_next(), msec(5));
+    EXPECT_GE(q.min_vruntime(), prev);
+    prev = q.min_vruntime();
+  }
+}
+
+TEST(CfsQueue, LongRunFairnessTwoTasks) {
+  // Dispatch-loop emulation: repeatedly run the leftmost task for its
+  // timeslice; both tasks must receive equal CPU over time.
+  CfsQueue q;
+  auto a = make_task(1);
+  auto b = make_task(2);
+  q.enqueue(*a, false);
+  q.enqueue(*b, false);
+  SimTime exec_a = 0;
+  SimTime exec_b = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Task* t = q.pick_next();
+    const SimTime slice = q.timeslice();
+    q.charge(*t, slice);
+    (t == a.get() ? exec_a : exec_b) += slice;
+  }
+  EXPECT_NEAR(static_cast<double>(exec_a) / static_cast<double>(exec_b), 1.0, 0.05);
+}
+
+TEST(CfsQueue, HasNonWaiting) {
+  CfsQueue q;
+  auto a = make_task(1);
+  q.enqueue(*a, false);
+  EXPECT_TRUE(q.has_non_waiting());
+}
+
+TEST(CfsQueue, TasksSnapshotInVruntimeOrder) {
+  CfsQueue q;
+  auto a = make_task(1);
+  auto b = make_task(2);
+  q.enqueue(*a, false);
+  q.enqueue(*b, false);
+  q.charge(*a, msec(5));
+  const auto tasks = q.tasks();
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0], b.get());
+  EXPECT_EQ(tasks[1], a.get());
+}
+
+}  // namespace
+}  // namespace speedbal

@@ -1,0 +1,191 @@
+// Edge cases and failure injection for the simulation substrate: behaviours
+// that only show up under unusual interleavings (migration races, dynamic
+// task arrival, zero-work flushes, balancing of dying applications).
+
+#include <gtest/gtest.h>
+
+#include "balance/speed.hpp"
+#include "topo/presets.hpp"
+#include "workload/generator.hpp"
+
+namespace speedbal {
+namespace {
+
+struct Hog : TaskClient {
+  void on_work_complete(Simulator& sim, Task& task) override {
+    sim.assign_work(task, 1e9);
+  }
+};
+
+TEST(SimEdge, MigrateRunningTaskWhoseWorkJustCompleted) {
+  // Regression: flushing accounting during a migration can consume the last
+  // of the task's work; the destination must run the completion path
+  // instead of dispatching a work-less task.
+  Simulator sim(presets::generic(2));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 10'000.0);
+  // Schedule the migration BEFORE starting the task: events at equal times
+  // fire in insertion order, so at t=10ms the migration runs first, its
+  // accounting flush consumes the last of the work, and the cancelled stop
+  // event never fires.
+  sim.schedule_at(msec(10), [&] {
+    if (t.state() != TaskState::Finished)
+      sim.migrate(t, 1, MigrationCause::Affinity);
+  });
+  sim.start_task_on(t, 0, ~0ULL);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  EXPECT_EQ(t.state(), TaskState::Finished);
+  // Exactly the work plus the (microsecond) fixed migration cost.
+  EXPECT_GE(t.total_exec(), msec(10));
+  EXPECT_LT(t.total_exec(), msec(10) + usec(100));
+}
+
+TEST(SimEdge, SyncAccountingAtCompletionInstant) {
+  Simulator sim(presets::generic(1));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 5'000.0);
+  sim.start_task_on(t, 0);
+  sim.schedule_at(msec(5), [&] { sim.sync_all_accounting(); });
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  EXPECT_EQ(t.total_exec(), msec(5));
+}
+
+TEST(SimEdge, SleepImmediatelyAfterStart) {
+  Simulator sim(presets::generic(1));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0);
+  sim.sleep_task(t);  // Before any event ran.
+  EXPECT_EQ(t.state(), TaskState::Sleeping);
+  EXPECT_EQ(t.total_exec(), 0);
+  sim.wake_task(t);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  EXPECT_EQ(t.total_exec(), msec(1));
+}
+
+TEST(SimEdge, DoubleWakeAndStaleTimerAreHarmless) {
+  Simulator sim(presets::generic(1));
+  struct Cli : TaskClient {
+    int completions = 0;
+    void on_work_complete(Simulator& s, Task& task) override {
+      if (++completions == 1) {
+        s.assign_work(task, 1'000.0);
+        s.sleep_task_for(task, msec(10));
+      } else {
+        s.finish_task(task);
+      }
+    }
+  } client;
+  Task& t = sim.create_task({.name = "t", .client = &client});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0);
+  sim.run_until(msec(2));  // Task is now sleeping with a timer at 11 ms.
+  sim.wake_task(t);        // Early explicit wake.
+  sim.wake_task(t);        // Double wake: no-op.
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  // The stale timer at 11 ms must not re-wake or crash anything.
+  sim.run_until(msec(50));
+  EXPECT_EQ(client.completions, 2);
+}
+
+TEST(SimEdge, SpeedBalancerSurvivesManagedTasksFinishing) {
+  // Failure injection: the application dies midway; the balancer keeps
+  // running its periodic passes over a shrinking (then empty) task set.
+  Simulator sim(presets::generic(2), {}, 3);
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 3; ++i) {
+    Task& t = sim.create_task({.name = "t" + std::to_string(i)});
+    sim.assign_work(t, 50'000.0 * (i + 1));
+    sim.start_task(t);
+    tasks.push_back(&t);
+  }
+  SpeedBalancer sb({}, tasks, workload::first_cores(2));
+  sb.attach(sim);
+  // Run well past the point where every task has finished; balancer events
+  // keep firing against the empty set.
+  sim.run_while_pending([] { return false; }, sec(2));
+  for (Task* t : tasks) EXPECT_EQ(t->state(), TaskState::Finished);
+}
+
+TEST(SimEdge, AddManagedPinsToLeastLoadedCore) {
+  Simulator sim(presets::generic(2));
+  Hog hog;
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 2; ++i) {
+    Task& t = sim.create_task({.name = "t" + std::to_string(i), .client = &hog});
+    sim.assign_work(t, 1e9);
+    sim.start_task_on(t, 0, ~0ULL);
+    tasks.push_back(&t);
+  }
+  SpeedBalanceParams params;
+  params.automatic = false;
+  SpeedBalancer sb(params, tasks, workload::first_cores(2));
+  sb.attach(sim);  // Round-robin: one thread per core.
+  // Dynamic parallelism: a thread spawned later joins the managed set.
+  Task& late = sim.create_task({.name = "late", .client = &hog});
+  sim.assign_work(late, 1e9);
+  sim.start_task_on(late, 0, ~0ULL);
+  // Make core 1 the lighter one first by checking loads are 2 vs 1.
+  ASSERT_EQ(sim.core(0).queue().nr_running(), 2u);
+  sb.add_managed(late);
+  EXPECT_EQ(late.core(), 1);
+  EXPECT_TRUE(late.hard_pinned());
+}
+
+TEST(SimEdge, AddManagedBeforeAttachThrows) {
+  Simulator sim(presets::generic(2));
+  Task& t = sim.create_task({.name = "t"});
+  SpeedBalancer sb({}, {}, workload::first_cores(2));
+  EXPECT_THROW(sb.add_managed(t), std::logic_error);
+}
+
+TEST(SimEdge, ZeroLengthTimedSleepStillWakes) {
+  Simulator sim(presets::generic(1));
+  struct Cli : TaskClient {
+    int completions = 0;
+    void on_work_complete(Simulator& s, Task& task) override {
+      if (++completions == 1) {
+        s.assign_work(task, 1'000.0);
+        s.sleep_task_for(task, 0);  // Clamped to 1 us.
+      } else {
+        s.finish_task(task);
+      }
+    }
+  } client;
+  Task& t = sim.create_task({.name = "t", .client = &client});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0);
+  ASSERT_TRUE(sim.run_while_pending(
+      [&] { return t.state() == TaskState::Finished; }, sec(1)));
+  EXPECT_EQ(client.completions, 2);
+}
+
+TEST(SimEdge, MigrationOfSleepingTaskOnlyRetargets) {
+  Simulator sim(presets::generic(2));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 10'000.0);
+  sim.start_task_on(t, 0, ~0ULL);
+  sim.run_until(msec(1));
+  sim.sleep_task(t);
+  sim.migrate(t, 1, MigrationCause::Affinity);
+  EXPECT_EQ(t.state(), TaskState::Sleeping);
+  EXPECT_EQ(t.core(), 1);
+  EXPECT_EQ(t.migrations(), 0);  // Deferred: no queue manipulation happened.
+  sim.wake_task(t);
+  EXPECT_EQ(t.core(), 1);
+}
+
+TEST(SimEdge, AffinityNarrowedWhileSleepingAppliesAtWake) {
+  Simulator sim(presets::generic(4));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 10'000.0);
+  sim.start_task_on(t, 0, ~0ULL);
+  sim.run_until(msec(1));
+  sim.sleep_task(t);
+  sim.set_affinity(t, 0b1000, /*hard_pin=*/false);
+  sim.wake_task(t);
+  EXPECT_EQ(t.core(), 3);
+}
+
+}  // namespace
+}  // namespace speedbal

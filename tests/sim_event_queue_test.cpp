@@ -1,0 +1,119 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace speedbal {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto h = q.schedule(10, [&] { fired = true; });
+  q.cancel(h);
+  q.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  int count = 0;
+  const auto h = q.schedule(10, [&] { ++count; });
+  q.run_all();
+  q.cancel(h);  // Already fired: no-op.
+  q.cancel(h);
+  q.cancel(EventHandle{});  // Invalid handle: no-op.
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, HandlerMaySchedule) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.schedule(1, [&] {
+    times.push_back(q.now());
+    q.schedule(q.now() + 1, [&] { times.push_back(q.now()); });
+  });
+  q.run_all();
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 2}));
+}
+
+TEST(EventQueue, HandlerMayScheduleAtSameTime) {
+  EventQueue q;
+  int count = 0;
+  q.schedule(5, [&] {
+    ++count;
+    q.schedule(5, [&] { ++count; });
+  });
+  q.run_all();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 5);
+}
+
+TEST(EventQueue, HandlerMayCancelLaterEvent) {
+  EventQueue q;
+  bool fired = false;
+  const auto victim = q.schedule(20, [&] { fired = true; });
+  q.schedule(10, [&, victim] { q.cancel(victim); });
+  q.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(5, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule(10, [&] { fired.push_back(10); });
+  q.schedule(20, [&] { fired.push_back(20); });
+  q.schedule(30, [&] { fired.push_back(30); });
+  q.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNever);
+  q.schedule(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+}
+
+}  // namespace
+}  // namespace speedbal

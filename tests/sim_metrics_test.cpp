@@ -1,0 +1,85 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedbal {
+namespace {
+
+TEST(Metrics, RecordsExecByCore) {
+  Metrics m(4);
+  m.record_run(1, 0, msec(10));
+  m.record_run(1, 0, msec(5));
+  m.record_run(1, 3, msec(20));
+  const auto& per_core = m.exec_by_core(1);
+  ASSERT_EQ(per_core.size(), 4u);
+  EXPECT_EQ(per_core[0], msec(15));
+  EXPECT_EQ(per_core[1], 0);
+  EXPECT_EQ(per_core[3], msec(20));
+  EXPECT_EQ(m.total_exec(1), msec(35));
+}
+
+TEST(Metrics, UnknownTaskHasZeroExec) {
+  Metrics m(2);
+  EXPECT_EQ(m.total_exec(42), 0);
+  EXPECT_EQ(m.exec_by_core(42).size(), 2u);
+}
+
+TEST(Metrics, MigrationLogAndCounts) {
+  Metrics m(4);
+  m.record_migration({usec(10), 1, 0, 1, MigrationCause::SpeedBalancer});
+  m.record_migration({usec(20), 2, 1, 2, MigrationCause::LinuxPeriodic});
+  m.record_migration({usec(30), 1, 1, 3, MigrationCause::SpeedBalancer});
+  EXPECT_EQ(m.migration_count(), 3);
+  EXPECT_EQ(m.migration_count(MigrationCause::SpeedBalancer), 2);
+  EXPECT_EQ(m.migration_count(MigrationCause::LinuxPeriodic), 1);
+  EXPECT_EQ(m.migration_count(MigrationCause::Dwrr), 0);
+  ASSERT_EQ(m.migrations().size(), 3u);
+  EXPECT_EQ(m.migrations()[0].task, 1);
+  EXPECT_EQ(m.migrations()[1].from, 1);
+  EXPECT_EQ(m.migrations()[2].to, 3);
+}
+
+TEST(Metrics, SegmentsAndWindowQueries) {
+  Metrics m(2);
+  m.record_segment({1, 0, usec(0), usec(100)});
+  m.record_segment({1, 1, usec(200), usec(100)});
+  m.record_segment({2, 0, usec(100), usec(100)});
+  ASSERT_EQ(m.segments().size(), 3u);
+  // Full window.
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(300)), usec(200));
+  // Clipped at both ends.
+  EXPECT_EQ(m.exec_in_window(1, usec(50), usec(250)), usec(100));
+  // Empty window / unknown task.
+  EXPECT_EQ(m.exec_in_window(1, usec(400), usec(500)), 0);
+  EXPECT_EQ(m.exec_in_window(9, 0, usec(300)), 0);
+}
+
+TEST(Metrics, ResidencyFraction) {
+  Metrics m(4);
+  m.record_run(1, 0, usec(300));
+  m.record_run(1, 3, usec(100));
+  EXPECT_DOUBLE_EQ(m.residency_fraction(1, [](CoreId c) { return c == 0; }), 0.75);
+  EXPECT_DOUBLE_EQ(m.residency_fraction(1, [](CoreId c) { return c < 2; }), 0.75);
+  EXPECT_DOUBLE_EQ(m.residency_fraction(1, [](CoreId) { return true; }), 1.0);
+  EXPECT_DOUBLE_EQ(m.residency_fraction(7, [](CoreId) { return true; }), 0.0);
+}
+
+TEST(Metrics, SegmentsMatchRunTotals) {
+  // Simulator-level consistency: segment sums equal record_run sums.
+  Metrics m(2);
+  m.record_run(1, 0, usec(120));
+  m.record_segment({1, 0, 0, usec(120)});
+  m.record_run(1, 1, usec(80));
+  m.record_segment({1, 1, usec(120), usec(80)});
+  EXPECT_EQ(m.exec_in_window(1, 0, sec(1)), m.total_exec(1));
+}
+
+TEST(Metrics, CauseNames) {
+  EXPECT_STREQ(to_string(MigrationCause::SpeedBalancer), "speed");
+  EXPECT_STREQ(to_string(MigrationCause::LinuxNewIdle), "linux-newidle");
+  EXPECT_STREQ(to_string(MigrationCause::Dwrr), "dwrr");
+  EXPECT_STREQ(to_string(MigrationCause::Ule), "ule");
+}
+
+}  // namespace
+}  // namespace speedbal

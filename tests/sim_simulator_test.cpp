@@ -1,0 +1,466 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "topo/presets.hpp"
+
+namespace speedbal {
+namespace {
+
+/// Test client: records completions and delegates follow-up behaviour to a
+/// lambda (default: finish the task).
+struct Recorder : TaskClient {
+  std::vector<TaskId> completions;
+  std::function<void(Simulator&, Task&)> next;
+
+  void on_work_complete(Simulator& sim, Task& task) override {
+    completions.push_back(task.id());
+    if (next) {
+      next(sim, task);
+    } else {
+      sim.finish_task(task);
+    }
+  }
+};
+
+TEST(Simulator, SingleTaskRunsToCompletion) {
+  Simulator sim(presets::generic(1));
+  Recorder rec;
+  TaskSpec spec;
+  spec.name = "solo";
+  spec.client = &rec;
+  Task& t = sim.create_task(spec);
+  sim.assign_work(t, 50'000.0);  // 50 ms.
+  sim.start_task_on(t, 0);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  EXPECT_EQ(t.state(), TaskState::Finished);
+  EXPECT_EQ(sim.now(), msec(50));  // Exactly the work, at speed 1.
+  EXPECT_EQ(t.total_exec(), msec(50));
+  EXPECT_EQ(rec.completions.size(), 1u);
+}
+
+TEST(Simulator, TwoTasksShareOneCoreFairly) {
+  Simulator sim(presets::generic(1));
+  Task& a = sim.create_task({.name = "a"});
+  Task& b = sim.create_task({.name = "b"});
+  sim.assign_work(a, 100'000.0);
+  sim.assign_work(b, 100'000.0);
+  sim.start_task_on(a, 0);
+  sim.start_task_on(b, 0);
+  sim.run_while_pending(
+      [&] {
+        return a.state() == TaskState::Finished && b.state() == TaskState::Finished;
+      },
+      sec(1));
+  // Total 200 ms of work on one core.
+  EXPECT_EQ(sim.now(), msec(200));
+  // Both finish within one timeslice of each other (interleaved fairly).
+  EXPECT_EQ(a.total_exec(), msec(100));
+  EXPECT_EQ(b.total_exec(), msec(100));
+}
+
+TEST(Simulator, WorkConservation) {
+  // Sum of per-core busy time equals the sum of work executed.
+  Simulator sim(presets::generic(4));
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 7; ++i) {
+    Task& t = sim.create_task({.name = "t" + std::to_string(i)});
+    sim.assign_work(t, 30'000.0 * (i + 1));
+    sim.start_task(t);
+    tasks.push_back(&t);
+  }
+  sim.run_while_pending(
+      [&] {
+        for (Task* t : tasks)
+          if (t->state() != TaskState::Finished) return false;
+        return true;
+      },
+      sec(10));
+  SimTime busy = 0;
+  for (CoreId c = 0; c < 4; ++c) busy += sim.core(c).busy_time();
+  SimTime exec = 0;
+  for (Task* t : tasks) exec += t->total_exec();
+  EXPECT_EQ(busy, exec);
+  EXPECT_EQ(exec, usec(30'000) * (1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(Simulator, SyncAccountingIsExactMidRun) {
+  Simulator sim(presets::generic(1));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 1'000'000.0);
+  sim.start_task_on(t, 0);
+  sim.run_until(msec(37));
+  sim.sync_accounting(0);
+  EXPECT_EQ(t.total_exec(), msec(37));
+  EXPECT_DOUBLE_EQ(t.remaining_work(), 1'000'000.0 - 37'000.0);
+}
+
+TEST(Simulator, SleepRemovesFromQueueAndWakeRestores) {
+  Simulator sim(presets::generic(2));
+  Recorder rec;
+  rec.next = [](Simulator& s, Task& task) { s.sleep_task(task); };
+  Task& t = sim.create_task({.name = "t", .client = &rec});
+  sim.assign_work(t, 10'000.0);
+  sim.start_task_on(t, 0);
+  sim.run_while_pending([&] { return t.state() == TaskState::Sleeping; }, sec(1));
+  EXPECT_EQ(t.state(), TaskState::Sleeping);
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 0u);
+
+  sim.assign_work(t, 5'000.0);
+  rec.next = nullptr;
+  sim.wake_task(t);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  EXPECT_EQ(t.total_exec(), msec(15));
+}
+
+TEST(Simulator, TimedSleepWakesAutomatically) {
+  Simulator sim(presets::generic(1));
+  Recorder rec;
+  int phase = 0;
+  rec.next = [&phase](Simulator& s, Task& task) {
+    if (phase++ == 0) {
+      s.assign_work(task, 1'000.0);
+      s.sleep_task_for(task, msec(20));
+    } else {
+      s.finish_task(task);
+    }
+  };
+  Task& t = sim.create_task({.name = "t", .client = &rec});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  // 1 ms work + 20 ms sleep + 1 ms work.
+  EXPECT_EQ(sim.now(), msec(22));
+  EXPECT_EQ(t.total_exec(), msec(2));
+}
+
+TEST(Simulator, WakePrefersPreviousIdleCore) {
+  Simulator sim(presets::generic(4));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 2);
+  sim.run_until(usec(100));
+  sim.sleep_task(t);
+  sim.assign_work(t, 1'000.0);
+  sim.wake_task(t);
+  EXPECT_EQ(t.core(), 2);
+}
+
+TEST(Simulator, WakeMovesToIdleCoreWhenPrevBusy) {
+  Simulator sim(presets::tigerton());
+  Task& sleeper = sim.create_task({.name = "sleeper"});
+  sim.assign_work(sleeper, 1'000.0);
+  sim.start_task_on(sleeper, 0);
+  sim.run_until(usec(100));
+  sim.sleep_task(sleeper);
+
+  Task& hog = sim.create_task({.name = "hog"});
+  sim.assign_work(hog, 10'000'000.0);
+  sim.start_task_on(hog, 0);
+
+  sim.assign_work(sleeper, 1'000.0);
+  sim.wake_task(sleeper);
+  // Previous core busy: wake placement finds a nearby idle core (the cache
+  // sibling of core 0 on Tigerton is core 1).
+  EXPECT_EQ(sleeper.core(), 1);
+}
+
+TEST(Simulator, MigrationChargesWarmup) {
+  SimParams params;
+  MemoryModelParams mem;
+  mem.migration_fixed_us = 10.0;
+  mem.refill_us_per_kb = 1.0;
+  mem.llc_kb = 1000.0;
+  params.mem = mem;
+  Simulator sim(presets::dual_socket(2), params);
+  Task& t = sim.create_task({.name = "t", .mem_footprint_kb = 500.0});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0, ~0ULL);
+  sim.migrate(t, 2, MigrationCause::Affinity);  // Cross-socket.
+  EXPECT_EQ(t.migrations(), 1);
+  EXPECT_DOUBLE_EQ(t.warmup_remaining(), 10.0 + 500.0);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  // The warmup is real execution time: 1000 us work + 510 us refill.
+  EXPECT_EQ(t.total_exec(), usec(1510));
+}
+
+TEST(Simulator, MigrationOfRunningTaskStopsItImmediately) {
+  // sched_setaffinity semantics: the task does not finish its quantum.
+  Simulator sim(presets::generic(2));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 1'000'000.0);
+  sim.start_task_on(t, 0, ~0ULL);
+  sim.run_until(msec(1));
+  ASSERT_EQ(t.state(), TaskState::Running);
+  sim.migrate(t, 1, MigrationCause::Affinity);
+  EXPECT_EQ(t.core(), 1);
+  EXPECT_EQ(sim.core(0).running(), nullptr);
+  EXPECT_EQ(sim.core(1).running(), &t);  // Idle destination dispatches it.
+  EXPECT_EQ(t.total_exec(), msec(1));    // Accounting flushed at migration.
+}
+
+TEST(Simulator, SetAffinityMovesExcludedTask) {
+  Simulator sim(presets::generic(4));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 100'000.0);
+  sim.start_task_on(t, 0, ~0ULL);
+  sim.set_affinity(t, 1ULL << 3, /*hard_pin=*/true);
+  EXPECT_EQ(t.core(), 3);
+  EXPECT_TRUE(t.hard_pinned());
+  EXPECT_FALSE(t.allowed_on(0));
+}
+
+TEST(Simulator, MigrateRejectsDisallowedDestination) {
+  Simulator sim(presets::generic(2));
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0, 0b01);
+  EXPECT_THROW(sim.migrate(t, 1, MigrationCause::Affinity), std::invalid_argument);
+}
+
+TEST(Simulator, ForkPlacementUsesStaleSnapshot) {
+  // Tasks created within the staleness window all see the same (empty)
+  // load picture: they can clump (the paper's footnote on start-up).
+  SimParams params;
+  params.load_snapshot_period = msec(10);
+  int clumped_runs = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Simulator sim(presets::generic(4), params, seed);
+    std::vector<Task*> tasks;
+    for (int i = 0; i < 4; ++i) {
+      Task& t = sim.create_task({.name = "t" + std::to_string(i)});
+      sim.assign_work(t, 1'000.0);
+      sim.start_task(t);
+      tasks.push_back(&t);
+    }
+    std::set<CoreId> used;
+    for (Task* t : tasks) used.insert(t->core());
+    if (used.size() < 4) ++clumped_runs;
+  }
+  // With stale tie-breaking the placement is random: clumping must occur
+  // in some runs (4 tasks over 4 cores collide with prob ~90%).
+  EXPECT_GT(clumped_runs, 5);
+}
+
+TEST(Simulator, ForkPlacementSeesFreshLoadAfterWindow) {
+  SimParams params;
+  params.load_snapshot_period = msec(10);
+  Simulator sim(presets::generic(2), params, 1);
+  Task& hog = sim.create_task({.name = "hog"});
+  sim.assign_work(hog, 10'000'000.0);
+  sim.start_task_on(hog, 0, ~0ULL);
+  sim.run_until(msec(20));  // Past the snapshot window.
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task(t);
+  EXPECT_EQ(t.core(), 1);  // Fresh snapshot: core 1 is idle.
+}
+
+TEST(Simulator, SmtSiblingContentionSlowsExecution) {
+  Simulator sim(presets::nehalem());
+  Task& a = sim.create_task({.name = "a"});
+  sim.assign_work(a, 100'000.0);
+  sim.start_task_on(a, 0, ~0ULL);
+  Task& b = sim.create_task({.name = "b"});
+  sim.assign_work(b, 100'000.0);
+  sim.start_task_on(b, 1, ~0ULL);  // SMT sibling of core 0.
+  sim.run_while_pending(
+      [&] {
+        return a.state() == TaskState::Finished && b.state() == TaskState::Finished;
+      },
+      sec(10));
+  // Both contexts busy: each runs at the contention factor (0.65 default),
+  // so 100 ms of work takes ~154 ms.
+  EXPECT_GT(sim.now(), msec(150));
+  EXPECT_LT(sim.now(), msec(160));
+}
+
+TEST(Simulator, BandwidthContentionSlowsMemoryTasks) {
+  SimParams params;
+  MemoryModelParams mem;
+  mem.node_bw_capacity = 1.0;
+  mem.system_bw_capacity = 1.0;
+  mem.numa_remote_penalty = 0.0;
+  params.mem = mem;
+  Simulator sim(presets::generic(2), params);
+  // Two fully memory-bound tasks saturate a capacity of 1.0 twice over.
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 2; ++i) {
+    TaskSpec spec;
+    spec.name = "mem" + std::to_string(i);
+    spec.mem_intensity = 1.0;
+    spec.mem_bw_demand = 1.0;
+    Task& t = sim.create_task(spec);
+    sim.assign_work(t, 100'000.0);
+    sim.start_task_on(t, i, ~0ULL);
+    tasks.push_back(&t);
+  }
+  sim.run_while_pending(
+      [&] {
+        return tasks[0]->state() == TaskState::Finished &&
+               tasks[1]->state() == TaskState::Finished;
+      },
+      sec(10));
+  // Demand 2.0 over capacity 1.0: both run at half speed -> 200 ms.
+  EXPECT_NEAR(to_msec(sim.now()), 200.0, 2.0);
+}
+
+TEST(Simulator, ParkAndUnpark) {
+  Simulator sim(presets::generic(1));
+  Task& a = sim.create_task({.name = "a"});
+  Task& b = sim.create_task({.name = "b"});
+  sim.assign_work(a, 50'000.0);
+  sim.assign_work(b, 50'000.0);
+  sim.start_task_on(a, 0);
+  sim.start_task_on(b, 0);
+  sim.run_until(msec(1));
+  sim.park_task(a);
+  EXPECT_EQ(a.state(), TaskState::Parked);
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 1u);
+  sim.run_while_pending([&] { return b.state() == TaskState::Finished; }, sec(1));
+  // b finished while a was parked; a resumes after unpark.
+  sim.unpark_task(a);
+  sim.run_while_pending([&] { return a.state() == TaskState::Finished; }, sec(1));
+  EXPECT_EQ(a.total_exec(), msec(50));
+}
+
+TEST(Simulator, IdleHookInvokedOnIdleTransition) {
+  Simulator sim(presets::generic(2));
+  std::vector<CoreId> idle_calls;
+  sim.set_idle_hook([&](CoreId c) { idle_calls.push_back(c); });
+  Task& t = sim.create_task({.name = "t"});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0);
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  EXPECT_FALSE(idle_calls.empty());
+  EXPECT_EQ(idle_calls.front(), 0);
+}
+
+TEST(Simulator, IdleHookMayPullWork) {
+  // A new-idle style hook migrating a queued task into the idle core.
+  Simulator sim(presets::generic(2));
+  sim.set_idle_hook([&](CoreId c) {
+    const CoreId other = 1 - c;
+    for (Task* cand : sim.tasks_on(other)) {
+      if (cand->state() != TaskState::Running && cand->allowed_on(c)) {
+        sim.migrate(*cand, c, MigrationCause::LinuxNewIdle);
+        return;
+      }
+    }
+  });
+  Task& a = sim.create_task({.name = "a"});
+  Task& b = sim.create_task({.name = "b"});
+  Task& c = sim.create_task({.name = "c"});
+  for (Task* t : {&a, &b, &c}) sim.assign_work(*t, 50'000.0);
+  sim.start_task_on(a, 0, ~0ULL);
+  sim.start_task_on(b, 0, ~0ULL);
+  sim.start_task_on(c, 1, ~0ULL);
+  sim.run_while_pending([&] { return c.state() == TaskState::Finished; }, sec(1));
+  // When core 1 finishes c (at 50 ms), it pulls a or b instead of idling;
+  // total 150 ms of work then completes well before the 150 ms serial time.
+  sim.run_while_pending(
+      [&] {
+        return a.state() == TaskState::Finished && b.state() == TaskState::Finished;
+      },
+      sec(1));
+  EXPECT_LE(sim.now(), msec(110));
+  EXPECT_EQ(sim.metrics().migration_count(MigrationCause::LinuxNewIdle), 1);
+}
+
+TEST(Simulator, SpinWaiterBurnsCpuUntilReleased) {
+  Simulator sim(presets::generic(1));
+  Recorder rec;
+  rec.next = [](Simulator& s, Task& task) { s.set_wait_mode(task, WaitMode::Spin); };
+  Task& t = sim.create_task({.name = "t", .client = &rec});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0);
+  sim.run_until(msec(100));
+  sim.sync_accounting(0);
+  // Spinning the whole time: exec equals wall clock.
+  EXPECT_EQ(t.total_exec(), msec(100));
+  EXPECT_EQ(t.state(), TaskState::Running);
+
+  rec.next = nullptr;
+  sim.assign_work(t, 1'000.0);  // Release.
+  sim.run_while_pending([&] { return t.state() == TaskState::Finished; }, sec(1));
+  EXPECT_EQ(sim.now(), msec(101));
+}
+
+TEST(Simulator, YieldWaiterCedesCpuToWorker) {
+  Simulator sim(presets::generic(1));
+  Recorder rec;
+  rec.next = [](Simulator& s, Task& task) { s.set_wait_mode(task, WaitMode::Yield); };
+  Task& waiter = sim.create_task({.name = "waiter", .client = &rec});
+  sim.assign_work(waiter, 100.0);
+  sim.start_task_on(waiter, 0);
+
+  Task& worker = sim.create_task({.name = "worker"});
+  sim.assign_work(worker, 100'000.0);
+  sim.start_task_on(worker, 0);
+
+  sim.run_while_pending([&] { return worker.state() == TaskState::Finished; },
+                        sec(1));
+  // The yielding waiter stays on the run queue but consumes almost nothing:
+  // the worker's 100 ms of work completes in barely more wall time.
+  EXPECT_LT(sim.now(), msec(105));
+  sim.sync_accounting(0);
+  EXPECT_LT(waiter.total_exec(), msec(5));
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(presets::tigerton(), {}, seed);
+    std::vector<Task*> tasks;
+    for (int i = 0; i < 10; ++i) {
+      Task& t = sim.create_task({.name = "t" + std::to_string(i)});
+      sim.assign_work(t, 10'000.0 * (1 + i % 3));
+      sim.start_task(t);
+      tasks.push_back(&t);
+    }
+    sim.run_while_pending(
+        [&] {
+          for (Task* t : tasks)
+            if (t->state() != TaskState::Finished) return false;
+          return true;
+        },
+        sec(10));
+    return sim.now();
+  };
+  EXPECT_EQ(run(99), run(99));
+  // And placement randomness actually depends on the seed somewhere.
+  bool any_diff = false;
+  for (std::uint64_t s = 0; s < 10 && !any_diff; ++s) any_diff = run(s) != run(s + 100);
+  (void)any_diff;  // Timing may coincide; no assertion — smoke only.
+}
+
+TEST(Simulator, RejectsBadApiUsage) {
+  Simulator sim(presets::generic(1));
+  Task& t = sim.create_task({.name = "t"});
+  EXPECT_THROW(sim.assign_work(t, 0.0), std::invalid_argument);
+  EXPECT_THROW(sim.assign_work(t, -5.0), std::invalid_argument);
+  EXPECT_THROW(sim.start_task(t, 0), std::invalid_argument);
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0);
+  EXPECT_THROW(sim.set_affinity(t, 0, false), std::invalid_argument);
+  sim.finish_task(t);
+  EXPECT_THROW(sim.migrate(t, 0, MigrationCause::Affinity), std::logic_error);
+  EXPECT_THROW(sim.sleep_task(t), std::logic_error);
+}
+
+TEST(Simulator, ClientMustProvideWork) {
+  // A TaskClient that leaves its task runnable without work is a bug; the
+  // simulator reports it instead of spinning forever.
+  Simulator sim(presets::generic(1));
+  Recorder rec;
+  rec.next = [](Simulator&, Task&) { /* forgets to assign work */ };
+  Task& t = sim.create_task({.name = "t", .client = &rec});
+  sim.assign_work(t, 100.0);
+  sim.start_task_on(t, 0);
+  EXPECT_THROW(sim.run_while_pending([] { return false; }, sec(1)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace speedbal

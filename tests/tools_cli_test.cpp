@@ -1,0 +1,101 @@
+// End-to-end coverage of the speedbalancer command-line tool: fork/exec the
+// real binary against short-lived child programs and check exit-status
+// plumbing and option handling. The binary path is injected by CMake.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+#ifndef SPEEDBALANCER_BIN
+#define SPEEDBALANCER_BIN "speedbalancer"
+#endif
+
+/// Run the tool with the given arguments; returns its exit status or -1.
+int run_tool(std::vector<std::string> args) {
+  const pid_t child = fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    std::vector<char*> argv;
+    std::string bin = SPEEDBALANCER_BIN;
+    argv.push_back(bin.data());
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(126);
+  }
+  int status = 0;
+  waitpid(child, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(SpeedbalancerCli, PropagatesChildExitZero) {
+  EXPECT_EQ(run_tool({"--interval=20", "--startup-delay=1", "/bin/true"}), 0);
+}
+
+TEST(SpeedbalancerCli, PropagatesChildExitCode) {
+  EXPECT_EQ(run_tool({"--interval=20", "--startup-delay=1", "/bin/false"}), 1);
+}
+
+TEST(SpeedbalancerCli, BalancesAShortLivedWorkload) {
+  // A real child doing ~100 ms of shell work while the balancer samples it.
+  EXPECT_EQ(run_tool({"--interval=10", "--startup-delay=1", "--cores=0",
+                      "/bin/sh", "-c", "i=0; while [ $i -lt 20000 ]; do i=$((i+1)); done"}),
+            0);
+}
+
+TEST(SpeedbalancerCli, UsageErrorWithoutCommand) {
+  EXPECT_EQ(run_tool({"--interval=20"}), 2);
+}
+
+TEST(SpeedbalancerCli, MissingProgramReports127) {
+  EXPECT_EQ(run_tool({"--startup-delay=1", "/nonexistent-program-xyz"}), 127);
+}
+
+#ifndef SIMRUN_BIN
+#define SIMRUN_BIN "simrun"
+#endif
+
+int run_simrun(std::vector<std::string> args) {
+  const pid_t child = fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    // Silence the table output; only the exit status matters here.
+    if (freopen("/dev/null", "w", stdout) == nullptr) _exit(125);
+    std::vector<char*> argv;
+    std::string bin = SIMRUN_BIN;
+    argv.push_back(bin.data());
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(126);
+  }
+  int status = 0;
+  waitpid(child, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(SimrunCli, RunsSmallScenario) {
+  EXPECT_EQ(run_simrun({"--topo=generic2", "--bench=ep.S", "--threads=3",
+                        "--cores=2", "--setup=SPEED-YIELD", "--repeats=1"}),
+            0);
+}
+
+TEST(SimrunCli, RejectsUnknownSetup) {
+  EXPECT_EQ(run_simrun({"--setup=BOGUS"}), 2);
+}
+
+TEST(SimrunCli, RejectsUnknownTopology) {
+  EXPECT_EQ(run_simrun({"--topo=vax780", "--setup=PINNED"}), 2);
+}
+
+TEST(SimrunCli, RejectsUnknownBenchmark) {
+  EXPECT_EQ(run_simrun({"--bench=linpack.Z"}), 2);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "topo/domains.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/presets.hpp"
+
+namespace speedbal {
+namespace {
+
+TEST(DomainTree, SingleCacheGroupHasOneDomainLevel) {
+  const auto topo = presets::generic(4);
+  const auto tree = DomainTree::build(topo);
+  const auto chain = tree.domains_for(0);
+  ASSERT_EQ(chain.size(), 1u);
+  const auto& d = tree.domain(chain[0]);
+  EXPECT_EQ(d.level, DomainLevel::Cache);
+  EXPECT_EQ(d.cores.size(), 4u);
+  EXPECT_EQ(d.groups.size(), 4u);  // One group per core.
+}
+
+TEST(DomainTree, TigertonHierarchy) {
+  const auto topo = presets::tigerton();
+  const auto tree = DomainTree::build(topo);
+  const auto chain = tree.domains_for(0);
+  // Cache (pair), socket (2 pairs), system (4 sockets).
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(tree.domain(chain[0]).level, DomainLevel::Cache);
+  EXPECT_EQ(tree.domain(chain[0]).cores.size(), 2u);
+  EXPECT_EQ(tree.domain(chain[1]).level, DomainLevel::Socket);
+  EXPECT_EQ(tree.domain(chain[1]).cores.size(), 4u);
+  EXPECT_EQ(tree.domain(chain[2]).cores.size(), 16u);
+  EXPECT_EQ(tree.domain(chain[2]).groups.size(), 4u);
+}
+
+TEST(DomainTree, BarcelonaHasNumaTop) {
+  const auto topo = presets::barcelona();
+  const auto tree = DomainTree::build(topo);
+  const auto chain = tree.domains_for(5);
+  ASSERT_GE(chain.size(), 2u);
+  const auto& top = tree.domain(chain[chain.size() - 1]);
+  EXPECT_EQ(top.level, DomainLevel::Numa);
+  EXPECT_EQ(top.groups.size(), 4u);
+  EXPECT_EQ(top.cores.size(), 16u);
+}
+
+TEST(DomainTree, NehalemHasSmtBottom) {
+  const auto topo = presets::nehalem();
+  const auto tree = DomainTree::build(topo);
+  const auto chain = tree.domains_for(0);
+  ASSERT_GE(chain.size(), 3u);
+  EXPECT_EQ(tree.domain(chain[0]).level, DomainLevel::Smt);
+  EXPECT_EQ(tree.domain(chain[0]).cores.size(), 2u);
+}
+
+TEST(DomainTree, DomainsOrderedBottomUp) {
+  const auto topo = presets::tigerton();
+  const auto tree = DomainTree::build(topo);
+  for (CoreId c = 0; c < topo.num_cores(); ++c) {
+    const auto chain = tree.domains_for(c);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_LE(tree.domain(chain[i - 1]).cores.size(),
+                tree.domain(chain[i]).cores.size());
+    }
+  }
+}
+
+TEST(DomainTree, EveryDomainContainsItsCore) {
+  const auto topo = presets::barcelona();
+  const auto tree = DomainTree::build(topo);
+  for (CoreId c = 0; c < topo.num_cores(); ++c) {
+    for (const auto di : tree.domains_for(c)) {
+      const auto& cores = tree.domain(di).cores;
+      EXPECT_NE(std::find(cores.begin(), cores.end(), c), cores.end());
+    }
+  }
+}
+
+TEST(DomainTree, IntervalsGrowUpTheHierarchy) {
+  // The paper: balancing frequency decreases as the domain level rises.
+  const auto topo = presets::barcelona();
+  const auto tree = DomainTree::build(topo);
+  const auto chain = tree.domains_for(0);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_GE(tree.domain(chain[i]).busy_interval,
+              tree.domain(chain[i - 1]).busy_interval);
+  }
+}
+
+TEST(DomainTree, ImbalancePctDefaults) {
+  const auto nehalem = presets::nehalem();
+  const auto tree = DomainTree::build(nehalem);
+  const auto chain = tree.domains_for(0);
+  // SMT is more tolerant (110) than the upper levels (125), per the paper.
+  EXPECT_EQ(tree.domain(chain[0]).imbalance_pct, 110);
+  EXPECT_EQ(tree.domain(chain[1]).imbalance_pct, 125);
+}
+
+TEST(DomainTree, LowestCommonLevel) {
+  const auto topo = presets::tigerton();
+  const auto tree = DomainTree::build(topo);
+  EXPECT_EQ(tree.lowest_common_level(topo, 0, 1), DomainLevel::Cache);
+  EXPECT_EQ(tree.lowest_common_level(topo, 0, 2), DomainLevel::Socket);
+  // Cross-socket on a UMA machine is still within one NUMA node.
+  EXPECT_EQ(tree.lowest_common_level(topo, 0, 4), DomainLevel::Socket);
+
+  const auto numa = presets::barcelona();
+  const auto numa_tree = DomainTree::build(numa);
+  EXPECT_EQ(numa_tree.lowest_common_level(numa, 0, 4), DomainLevel::Numa);
+}
+
+TEST(DomainTree, NumaIdleIntervalSlower) {
+  const auto topo = presets::barcelona();
+  const auto tree = DomainTree::build(topo);
+  const auto chain = tree.domains_for(0);
+  const auto& top = tree.domain(chain[chain.size() - 1]);
+  ASSERT_EQ(top.level, DomainLevel::Numa);
+  EXPECT_EQ(top.idle_interval, msec(64));  // vs 10ms within a node.
+  EXPECT_EQ(tree.domain(chain[0]).idle_interval, msec(10));
+}
+
+}  // namespace
+}  // namespace speedbal

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedbal {
+namespace {
+
+Cli make_cli(std::vector<const char*> args,
+             std::vector<std::string> known = {}) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data(), std::move(known));
+}
+
+TEST(Cli, ParsesKeyValueFlags) {
+  const auto cli = make_cli({"--topo=tigerton", "--cores=8"});
+  EXPECT_EQ(cli.get("topo"), "tigerton");
+  EXPECT_EQ(cli.get_int("cores", 0), 8);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const auto cli = make_cli({});
+  EXPECT_FALSE(cli.has("x"));
+  EXPECT_EQ(cli.get("x", "def"), "def");
+  EXPECT_EQ(cli.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.5), 0.5);
+  EXPECT_TRUE(cli.get_bool("x", true));
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto cli = make_cli({"--threshold=0.9"});
+  EXPECT_DOUBLE_EQ(cli.get_double("threshold", 0.0), 0.9);
+}
+
+TEST(Cli, BoolParsesCommonForms) {
+  EXPECT_TRUE(make_cli({"--a=true"}).get_bool("a"));
+  EXPECT_TRUE(make_cli({"--a=1"}).get_bool("a"));
+  EXPECT_TRUE(make_cli({"--a=yes"}).get_bool("a"));
+  EXPECT_FALSE(make_cli({"--a=no"}).get_bool("a", true));
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto cli = make_cli({"--flag", "file1", "file2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, UnknownFlagsDetected) {
+  const auto cli = make_cli({"--good=1", "--typo=2"}, {"good"});
+  const auto unknown = cli.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Cli, EmptyKnownSetAcceptsEverything) {
+  const auto cli = make_cli({"--whatever=1"});
+  EXPECT_TRUE(cli.unknown().empty());
+}
+
+}  // namespace
+}  // namespace speedbal

@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace speedbal {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(original);
+}
+
+TEST(Log, MacroSkipsBelowThreshold) {
+  // The streamed expression must not be evaluated when filtered out.
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  SB_LOG(Debug) << "never " << count();
+  EXPECT_EQ(evaluations, 0);
+  SB_LOG(Error) << "once " << count();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+TEST(FormatTime, UnitsAndSentinel) {
+  EXPECT_EQ(format_time(usec(800)), "800us");
+  EXPECT_EQ(format_time(msec(12) + usec(500)), "12.50ms");
+  EXPECT_EQ(format_time(sec(3) + msec(200)), "3.20s");
+  EXPECT_EQ(format_time(kNever), "never");
+  EXPECT_EQ(format_time(0), "0us");
+}
+
+TEST(FormatTime, Boundaries) {
+  EXPECT_EQ(format_time(usec(999)), "999us");
+  EXPECT_EQ(format_time(msec(1)), "1.00ms");
+  EXPECT_EQ(format_time(sec(1)), "1.00s");
+}
+
+}  // namespace
+}  // namespace speedbal

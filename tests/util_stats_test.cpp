@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace speedbal {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = i * 0.37;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Summary, VariationPctIsMaxOverMin) {
+  // The paper's "% variation": run times [10, 12] vary by 20%.
+  const std::vector<double> xs{10.0, 11.0, 12.0};
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.variation_pct(), 20.0, 1e-9);
+}
+
+TEST(Summary, VariationPctDegenerateCases) {
+  EXPECT_EQ(summarize(std::vector<double>{}).variation_pct(), 0.0);
+  EXPECT_EQ(summarize(std::vector<double>{5.0}).variation_pct(), 0.0);
+  EXPECT_EQ(summarize(std::vector<double>{0.0, 1.0}).variation_pct(), 0.0);
+}
+
+TEST(Summary, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(summarize(std::vector<double>{3.0, 1.0, 2.0}).median, 2.0);
+  EXPECT_DOUBLE_EQ(summarize(std::vector<double>{4.0, 1.0, 2.0, 3.0}).median, 2.5);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs{50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+}
+
+TEST(ImprovementPct, RuntimeSemantics) {
+  // Baseline 12s, candidate 10s: candidate is 20% faster.
+  EXPECT_NEAR(improvement_pct(12.0, 10.0), 20.0, 1e-9);
+  // Slower candidate yields a negative improvement.
+  EXPECT_LT(improvement_pct(10.0, 12.0), 0.0);
+  EXPECT_EQ(improvement_pct(10.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace speedbal
