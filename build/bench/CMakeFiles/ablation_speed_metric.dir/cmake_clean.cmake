@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speed_metric.dir/ablation_speed_metric.cpp.o"
+  "CMakeFiles/ablation_speed_metric.dir/ablation_speed_metric.cpp.o.d"
+  "ablation_speed_metric"
+  "ablation_speed_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speed_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

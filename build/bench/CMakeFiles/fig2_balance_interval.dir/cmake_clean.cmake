@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_balance_interval.dir/fig2_balance_interval.cpp.o"
+  "CMakeFiles/fig2_balance_interval.dir/fig2_balance_interval.cpp.o.d"
+  "fig2_balance_interval"
+  "fig2_balance_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_balance_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_npb_improvements.dir/fig4_npb_improvements.cpp.o"
+  "CMakeFiles/fig4_npb_improvements.dir/fig4_npb_improvements.cpp.o.d"
+  "fig4_npb_improvements"
+  "fig4_npb_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_npb_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cpu_hog.dir/fig5_cpu_hog.cpp.o"
+  "CMakeFiles/fig5_cpu_hog.dir/fig5_cpu_hog.cpp.o.d"
+  "fig5_cpu_hog"
+  "fig5_cpu_hog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cpu_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_make_share.dir/fig6_make_share.cpp.o"
+  "CMakeFiles/fig6_make_share.dir/fig6_make_share.cpp.o.d"
+  "fig6_make_share"
+  "fig6_make_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_make_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

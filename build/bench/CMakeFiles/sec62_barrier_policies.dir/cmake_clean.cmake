@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_barrier_policies.dir/sec62_barrier_policies.cpp.o"
+  "CMakeFiles/sec62_barrier_policies.dir/sec62_barrier_policies.cpp.o.d"
+  "sec62_barrier_policies"
+  "sec62_barrier_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_barrier_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_numa.dir/sec64_numa.cpp.o"
+  "CMakeFiles/sec64_numa.dir/sec64_numa.cpp.o.d"
+  "sec64_numa"
+  "sec64_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_npb_characteristics.dir/table2_npb_characteristics.cpp.o"
+  "CMakeFiles/table2_npb_characteristics.dir/table2_npb_characteristics.cpp.o.d"
+  "table2_npb_characteristics"
+  "table2_npb_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_npb_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_rotation.dir/inspect_rotation.cpp.o"
+  "CMakeFiles/inspect_rotation.dir/inspect_rotation.cpp.o.d"
+  "inspect_rotation"
+  "inspect_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

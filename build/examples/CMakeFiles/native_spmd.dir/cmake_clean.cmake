@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_spmd.dir/native_spmd.cpp.o"
+  "CMakeFiles/native_spmd.dir/native_spmd.cpp.o.d"
+  "native_spmd"
+  "native_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

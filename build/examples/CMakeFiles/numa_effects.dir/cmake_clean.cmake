@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_effects.dir/numa_effects.cpp.o"
+  "CMakeFiles/numa_effects.dir/numa_effects.cpp.o.d"
+  "numa_effects"
+  "numa_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

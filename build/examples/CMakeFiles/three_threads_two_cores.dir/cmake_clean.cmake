@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_threads_two_cores.dir/three_threads_two_cores.cpp.o"
+  "CMakeFiles/three_threads_two_cores.dir/three_threads_two_cores.cpp.o.d"
+  "three_threads_two_cores"
+  "three_threads_two_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_threads_two_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for three_threads_two_cores.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrun.dir/tools/simrun_main.cpp.o"
+  "CMakeFiles/simrun.dir/tools/simrun_main.cpp.o.d"
+  "simrun"
+  "simrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

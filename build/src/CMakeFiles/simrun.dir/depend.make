@@ -1,0 +1,2 @@
+# Empty dependencies file for simrun.
+# This may be replaced when dependencies are built.

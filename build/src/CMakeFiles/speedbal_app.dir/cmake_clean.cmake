@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_app.dir/app/barrier.cpp.o"
+  "CMakeFiles/speedbal_app.dir/app/barrier.cpp.o.d"
+  "CMakeFiles/speedbal_app.dir/app/multiprog.cpp.o"
+  "CMakeFiles/speedbal_app.dir/app/multiprog.cpp.o.d"
+  "CMakeFiles/speedbal_app.dir/app/spmd.cpp.o"
+  "CMakeFiles/speedbal_app.dir/app/spmd.cpp.o.d"
+  "libspeedbal_app.a"
+  "libspeedbal_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/balance/balancer.cpp" "src/CMakeFiles/speedbal_balance.dir/balance/balancer.cpp.o" "gcc" "src/CMakeFiles/speedbal_balance.dir/balance/balancer.cpp.o.d"
+  "/root/repo/src/balance/dwrr.cpp" "src/CMakeFiles/speedbal_balance.dir/balance/dwrr.cpp.o" "gcc" "src/CMakeFiles/speedbal_balance.dir/balance/dwrr.cpp.o.d"
+  "/root/repo/src/balance/linux_load.cpp" "src/CMakeFiles/speedbal_balance.dir/balance/linux_load.cpp.o" "gcc" "src/CMakeFiles/speedbal_balance.dir/balance/linux_load.cpp.o.d"
+  "/root/repo/src/balance/pinned.cpp" "src/CMakeFiles/speedbal_balance.dir/balance/pinned.cpp.o" "gcc" "src/CMakeFiles/speedbal_balance.dir/balance/pinned.cpp.o.d"
+  "/root/repo/src/balance/speed.cpp" "src/CMakeFiles/speedbal_balance.dir/balance/speed.cpp.o" "gcc" "src/CMakeFiles/speedbal_balance.dir/balance/speed.cpp.o.d"
+  "/root/repo/src/balance/ule.cpp" "src/CMakeFiles/speedbal_balance.dir/balance/ule.cpp.o" "gcc" "src/CMakeFiles/speedbal_balance.dir/balance/ule.cpp.o.d"
+  "/root/repo/src/balance/userlevel_count.cpp" "src/CMakeFiles/speedbal_balance.dir/balance/userlevel_count.cpp.o" "gcc" "src/CMakeFiles/speedbal_balance.dir/balance/userlevel_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/speedbal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_balance.dir/balance/balancer.cpp.o"
+  "CMakeFiles/speedbal_balance.dir/balance/balancer.cpp.o.d"
+  "CMakeFiles/speedbal_balance.dir/balance/dwrr.cpp.o"
+  "CMakeFiles/speedbal_balance.dir/balance/dwrr.cpp.o.d"
+  "CMakeFiles/speedbal_balance.dir/balance/linux_load.cpp.o"
+  "CMakeFiles/speedbal_balance.dir/balance/linux_load.cpp.o.d"
+  "CMakeFiles/speedbal_balance.dir/balance/pinned.cpp.o"
+  "CMakeFiles/speedbal_balance.dir/balance/pinned.cpp.o.d"
+  "CMakeFiles/speedbal_balance.dir/balance/speed.cpp.o"
+  "CMakeFiles/speedbal_balance.dir/balance/speed.cpp.o.d"
+  "CMakeFiles/speedbal_balance.dir/balance/ule.cpp.o"
+  "CMakeFiles/speedbal_balance.dir/balance/ule.cpp.o.d"
+  "CMakeFiles/speedbal_balance.dir/balance/userlevel_count.cpp.o"
+  "CMakeFiles/speedbal_balance.dir/balance/userlevel_count.cpp.o.d"
+  "libspeedbal_balance.a"
+  "libspeedbal_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/speedbal_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/speedbal_core.dir/core/scenarios.cpp.o"
+  "CMakeFiles/speedbal_core.dir/core/scenarios.cpp.o.d"
+  "libspeedbal_core.a"
+  "libspeedbal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_model.dir/model/analytic.cpp.o"
+  "CMakeFiles/speedbal_model.dir/model/analytic.cpp.o.d"
+  "libspeedbal_model.a"
+  "libspeedbal_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

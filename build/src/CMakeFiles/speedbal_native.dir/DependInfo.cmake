@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/native/affinity.cpp" "src/CMakeFiles/speedbal_native.dir/native/affinity.cpp.o" "gcc" "src/CMakeFiles/speedbal_native.dir/native/affinity.cpp.o.d"
+  "/root/repo/src/native/cpu_topology.cpp" "src/CMakeFiles/speedbal_native.dir/native/cpu_topology.cpp.o" "gcc" "src/CMakeFiles/speedbal_native.dir/native/cpu_topology.cpp.o.d"
+  "/root/repo/src/native/procfs.cpp" "src/CMakeFiles/speedbal_native.dir/native/procfs.cpp.o" "gcc" "src/CMakeFiles/speedbal_native.dir/native/procfs.cpp.o.d"
+  "/root/repo/src/native/speed_balancer.cpp" "src/CMakeFiles/speedbal_native.dir/native/speed_balancer.cpp.o" "gcc" "src/CMakeFiles/speedbal_native.dir/native/speed_balancer.cpp.o.d"
+  "/root/repo/src/native/spmd_runtime.cpp" "src/CMakeFiles/speedbal_native.dir/native/spmd_runtime.cpp.o" "gcc" "src/CMakeFiles/speedbal_native.dir/native/spmd_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/speedbal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_native.dir/native/affinity.cpp.o"
+  "CMakeFiles/speedbal_native.dir/native/affinity.cpp.o.d"
+  "CMakeFiles/speedbal_native.dir/native/cpu_topology.cpp.o"
+  "CMakeFiles/speedbal_native.dir/native/cpu_topology.cpp.o.d"
+  "CMakeFiles/speedbal_native.dir/native/procfs.cpp.o"
+  "CMakeFiles/speedbal_native.dir/native/procfs.cpp.o.d"
+  "CMakeFiles/speedbal_native.dir/native/speed_balancer.cpp.o"
+  "CMakeFiles/speedbal_native.dir/native/speed_balancer.cpp.o.d"
+  "CMakeFiles/speedbal_native.dir/native/spmd_runtime.cpp.o"
+  "CMakeFiles/speedbal_native.dir/native/spmd_runtime.cpp.o.d"
+  "libspeedbal_native.a"
+  "libspeedbal_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeedbal_native.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cpp" "src/CMakeFiles/speedbal_sim.dir/sim/cache_model.cpp.o" "gcc" "src/CMakeFiles/speedbal_sim.dir/sim/cache_model.cpp.o.d"
+  "/root/repo/src/sim/cfs_queue.cpp" "src/CMakeFiles/speedbal_sim.dir/sim/cfs_queue.cpp.o" "gcc" "src/CMakeFiles/speedbal_sim.dir/sim/cfs_queue.cpp.o.d"
+  "/root/repo/src/sim/core_state.cpp" "src/CMakeFiles/speedbal_sim.dir/sim/core_state.cpp.o" "gcc" "src/CMakeFiles/speedbal_sim.dir/sim/core_state.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/speedbal_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/speedbal_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/speedbal_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/speedbal_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/speedbal_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/speedbal_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/task.cpp" "src/CMakeFiles/speedbal_sim.dir/sim/task.cpp.o" "gcc" "src/CMakeFiles/speedbal_sim.dir/sim/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/speedbal_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_sim.dir/sim/cache_model.cpp.o"
+  "CMakeFiles/speedbal_sim.dir/sim/cache_model.cpp.o.d"
+  "CMakeFiles/speedbal_sim.dir/sim/cfs_queue.cpp.o"
+  "CMakeFiles/speedbal_sim.dir/sim/cfs_queue.cpp.o.d"
+  "CMakeFiles/speedbal_sim.dir/sim/core_state.cpp.o"
+  "CMakeFiles/speedbal_sim.dir/sim/core_state.cpp.o.d"
+  "CMakeFiles/speedbal_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/speedbal_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/speedbal_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/speedbal_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/speedbal_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/speedbal_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/speedbal_sim.dir/sim/task.cpp.o"
+  "CMakeFiles/speedbal_sim.dir/sim/task.cpp.o.d"
+  "libspeedbal_sim.a"
+  "libspeedbal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeedbal_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_topo.dir/topo/domains.cpp.o"
+  "CMakeFiles/speedbal_topo.dir/topo/domains.cpp.o.d"
+  "CMakeFiles/speedbal_topo.dir/topo/presets.cpp.o"
+  "CMakeFiles/speedbal_topo.dir/topo/presets.cpp.o.d"
+  "CMakeFiles/speedbal_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/speedbal_topo.dir/topo/topology.cpp.o.d"
+  "libspeedbal_topo.a"
+  "libspeedbal_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_util.dir/util/cli.cpp.o"
+  "CMakeFiles/speedbal_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/speedbal_util.dir/util/log.cpp.o"
+  "CMakeFiles/speedbal_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/speedbal_util.dir/util/rng.cpp.o"
+  "CMakeFiles/speedbal_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/speedbal_util.dir/util/stats.cpp.o"
+  "CMakeFiles/speedbal_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/speedbal_util.dir/util/table.cpp.o"
+  "CMakeFiles/speedbal_util.dir/util/table.cpp.o.d"
+  "libspeedbal_util.a"
+  "libspeedbal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

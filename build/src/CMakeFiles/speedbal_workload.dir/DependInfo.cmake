@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/speedbal_workload.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/speedbal_workload.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/npb.cpp" "src/CMakeFiles/speedbal_workload.dir/workload/npb.cpp.o" "gcc" "src/CMakeFiles/speedbal_workload.dir/workload/npb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/speedbal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbal_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/speedbal_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/speedbal_workload.dir/workload/npb.cpp.o"
+  "CMakeFiles/speedbal_workload.dir/workload/npb.cpp.o.d"
+  "libspeedbal_workload.a"
+  "libspeedbal_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbal_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

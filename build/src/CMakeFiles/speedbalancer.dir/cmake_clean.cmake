@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedbalancer.dir/tools/speedbalancer_main.cpp.o"
+  "CMakeFiles/speedbalancer.dir/tools/speedbalancer_main.cpp.o.d"
+  "speedbalancer"
+  "speedbalancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedbalancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

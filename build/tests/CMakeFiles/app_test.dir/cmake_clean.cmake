@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_test.dir/app_barrier_policy_test.cpp.o"
+  "CMakeFiles/app_test.dir/app_barrier_policy_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app_multiprog_test.cpp.o"
+  "CMakeFiles/app_test.dir/app_multiprog_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app_spmd_test.cpp.o"
+  "CMakeFiles/app_test.dir/app_spmd_test.cpp.o.d"
+  "app_test"
+  "app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

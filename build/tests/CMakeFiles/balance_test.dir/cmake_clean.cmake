@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_test.dir/balance_count_test.cpp.o"
+  "CMakeFiles/balance_test.dir/balance_count_test.cpp.o.d"
+  "CMakeFiles/balance_test.dir/balance_dwrr_test.cpp.o"
+  "CMakeFiles/balance_test.dir/balance_dwrr_test.cpp.o.d"
+  "CMakeFiles/balance_test.dir/balance_linux_load_test.cpp.o"
+  "CMakeFiles/balance_test.dir/balance_linux_load_test.cpp.o.d"
+  "CMakeFiles/balance_test.dir/balance_pinned_test.cpp.o"
+  "CMakeFiles/balance_test.dir/balance_pinned_test.cpp.o.d"
+  "CMakeFiles/balance_test.dir/balance_speed_test.cpp.o"
+  "CMakeFiles/balance_test.dir/balance_speed_test.cpp.o.d"
+  "CMakeFiles/balance_test.dir/balance_ule_test.cpp.o"
+  "CMakeFiles/balance_test.dir/balance_ule_test.cpp.o.d"
+  "balance_test"
+  "balance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_test.dir/native_affinity_test.cpp.o"
+  "CMakeFiles/native_test.dir/native_affinity_test.cpp.o.d"
+  "CMakeFiles/native_test.dir/native_balancer_test.cpp.o"
+  "CMakeFiles/native_test.dir/native_balancer_test.cpp.o.d"
+  "CMakeFiles/native_test.dir/native_cpu_topology_test.cpp.o"
+  "CMakeFiles/native_test.dir/native_cpu_topology_test.cpp.o.d"
+  "CMakeFiles/native_test.dir/native_failure_test.cpp.o"
+  "CMakeFiles/native_test.dir/native_failure_test.cpp.o.d"
+  "CMakeFiles/native_test.dir/native_procfs_test.cpp.o"
+  "CMakeFiles/native_test.dir/native_procfs_test.cpp.o.d"
+  "CMakeFiles/native_test.dir/native_spmd_test.cpp.o"
+  "CMakeFiles/native_test.dir/native_spmd_test.cpp.o.d"
+  "native_test"
+  "native_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim_cache_model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim_cache_model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim_cfs_queue_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim_cfs_queue_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim_edge_cases_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim_edge_cases_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim_event_queue_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim_event_queue_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim_metrics_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim_metrics_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim_simulator_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim_simulator_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_test.dir/topo_domains_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo_domains_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo_presets_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo_presets_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo_topology_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo_topology_test.cpp.o.d"
+  "topo_test"
+  "topo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_cli_test.cpp" "tests/CMakeFiles/util_test.dir/util_cli_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_cli_test.cpp.o.d"
+  "/root/repo/tests/util_log_test.cpp" "tests/CMakeFiles/util_test.dir/util_log_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_log_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/util_test.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/util_test.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/util_test.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/speedbal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/speedbal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
