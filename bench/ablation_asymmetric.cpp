@@ -38,6 +38,7 @@ Topology slow_first() {
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("ablation_asymmetric", args);
   bench::print_paper_note(
       "Ablation: asymmetric cores (Turbo-Boost scenario, Sections 1/4/7)",
       "queue-length balancing cannot see clock asymmetry; the clock-weighted\n"
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
         }
       }
     }
-    table.print(std::cout);
+    report.emit(fast_cores_first ? "fast-first" : "fast-last", table);
   }
 
   std::cout << "\nReading: with fast cores first, round-robin pinning is the "

@@ -25,6 +25,7 @@ using scenarios::Setup;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("ablation_oversubscription", args);
   bench::print_paper_note(
       "Ablation: oversubscription as application-level load balancing (§7)",
       "with enough oversubscription, SPEED absorbs a 3x per-thread work\n"
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
                      Table::num(result.variation_pct(), 1)});
     }
   }
-  table.print(std::cout);
+  report.emit("oversubscription", table);
 
   std::cout << "\n(Ideal = total work / cores = " << Table::num(ideal_s, 2)
             << " s; the skewed one-per-core bound is 1.5x ideal.)\n"

@@ -62,6 +62,7 @@ double mean_of(bool with_hog, int threads, int cores, Kind kind, int repeats,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("ablation_speed_metric", args);
   bench::print_paper_note(
       "Ablation: the speed metric vs the balancing machinery",
       "a user-level count balancer matches SPEED when queue lengths expose\n"
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
       const double t = mean_of(false, 3, 2, kind, repeats, args.seed);
       table.add_row({name, Table::num(t, 2), Table::num(t / kIdeal, 2) + "x"});
     }
-    table.print(std::cout);
+    report.emit("dedicated", table);
   }
 
   print_heading(std::cout,
@@ -93,7 +94,7 @@ int main(int argc, char** argv) {
       const double t = mean_of(true, 8, 8, kind, repeats, args.seed);
       table.add_row({name, Table::num(t, 2), Table::num(t / kIdeal, 2) + "x"});
     }
-    table.print(std::cout);
+    report.emit("cpu-hog", table);
   }
 
   std::cout << "\nScenario 1: both user-level balancers fix what queue "

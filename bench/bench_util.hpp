@@ -5,14 +5,17 @@
 // the regenerated rows/series, through the same Table formatter, so that
 // EXPERIMENTS.md can quote either verbatim.
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scenarios.hpp"
 #include "topo/presets.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace speedbal::bench {
@@ -41,11 +44,13 @@ inline void print_paper_note(std::string_view figure, std::string_view claim) {
             << "\n";
 }
 
-/// Standard bench flags: --repeats, --seed, --quick (halves the sweep).
+/// Standard bench flags: --repeats, --seed, --quick (halves the sweep),
+/// --report-json=FILE (machine-readable mirror of the printed tables).
 struct BenchArgs {
   int repeats = 5;
   std::uint64_t seed = 42;
   bool quick = false;
+  std::string report_json;
 
   static BenchArgs parse(int argc, char** argv) {
     const Cli cli(argc, argv);
@@ -53,8 +58,59 @@ struct BenchArgs {
     args.repeats = static_cast<int>(cli.get_int("repeats", args.repeats));
     args.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     args.quick = cli.get_bool("quick", false);
+    args.report_json = cli.get("report-json");
     return args;
   }
+};
+
+/// Mirrors a bench binary's printed tables into a flat JSON run report when
+/// --report-json=FILE was passed. Usage: replace `table.print(std::cout)`
+/// with `report.emit("series name", table)`; the file is written on
+/// destruction:
+///   {"bench": "...", "repeats": N, "seed": N,
+///    "tables": {"series name": [{col: value, ...}, ...]}}
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, BenchArgs args)
+      : name_(std::move(bench_name)), args_(std::move(args)) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Print the table to stdout and record it for the JSON report.
+  void emit(const std::string& title, const Table& table) {
+    table.print(std::cout);
+    if (!args_.report_json.empty()) tables_.emplace_back(title, table);
+  }
+
+  ~BenchReport() {
+    if (args_.report_json.empty()) return;
+    std::ofstream os(args_.report_json);
+    if (!os) {
+      std::cerr << name_ << ": cannot open report file '" << args_.report_json
+                << "'\n";
+      return;
+    }
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("bench", name_);
+    w.kv("repeats", args_.repeats);
+    w.kv("seed", static_cast<std::int64_t>(args_.seed));
+    w.kv("quick", args_.quick);
+    w.key("tables").begin_object();
+    for (const auto& [title, table] : tables_) {
+      w.key(title);
+      table.write_json(w);
+    }
+    w.end_object();
+    w.end_object();
+    os << "\n";
+  }
+
+ private:
+  std::string name_;
+  BenchArgs args_;
+  std::vector<std::pair<std::string, Table>> tables_;
 };
 
 }  // namespace speedbal::bench

@@ -11,13 +11,16 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "model/analytic.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace speedbal;
   using namespace speedbal::model;
 
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("fig1_smin_surface", args);
   print_heading(std::cout, "Figure 1: minimum profitable S(N, M), B = 1");
 
   // Sample of the surface: rows are core counts, columns thread multiples.
@@ -53,7 +56,7 @@ int main() {
     }
     table.add_row(row);
   }
-  table.print(std::cout);
+  report.emit("surface-sample", table);
 
   // Full-surface statistics over the figure's plotted domain (the paper's
   // axes reach ~100 cores and ~350 threads).
@@ -72,6 +75,6 @@ int main() {
   stats.add_row({"worst diagonal (M=100, N=199)",
                  Table::num(min_profitable_s({199, 100}, 1.0), 1),
                  "high values on diagonals"});
-  stats.print(std::cout);
+  report.emit("surface-stats", stats);
   return 0;
 }

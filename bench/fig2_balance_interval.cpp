@@ -48,6 +48,7 @@ double run_once(SimTime barrier_interval, SimTime balance_interval,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("fig2_balance_interval", args);
   bench::print_paper_note(
       "Figure 2",
       "more frequent balancing helps; ~20 ms interval is best for EP; the\n"
@@ -93,7 +94,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  table.print(std::cout);
+  report.emit("slowdown", table);
   std::cout << "\n(1.0 = ideal rotated makespan; the static/LOAD limit is "
                "1.333.)\n";
   return 0;

@@ -17,6 +17,7 @@ using scenarios::Setup;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("fig3_ep_speedup", args);
   bench::print_paper_note(
       "Figure 3",
       "SPEED ~= One-per-core everywhere; PINNED dips at non-divisors;\n"
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
       }
       table.add_row(row);
     }
-    table.print(std::cout);
+    report.emit(std::string("speedup ") + machine_name, table);
   }
   return 0;
 }

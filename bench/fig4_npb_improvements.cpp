@@ -15,6 +15,7 @@ using scenarios::Setup;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("fig4_npb_improvements", args);
   bench::print_paper_note(
       "Figure 4",
       "LB_WORST/SB_WORST up to ~1.7, LB_AVG/SB_AVG up to ~1.5;\n"
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
                      Table::num(lb.variation_pct(), 1)});
     }
   }
-  table.print(std::cout);
+  report.emit("per-benchmark", table);
 
   std::cout << '\n';
   Table summary({"metric", "measured", "paper"});
@@ -66,6 +67,6 @@ int main(int argc, char** argv) {
                    Table::num(sb_variation.mean(), 1) + "%", "~2%"});
   summary.add_row({"mean LOAD variation",
                    Table::num(lb_variation.mean(), 1) + "%", "up to 67%"});
-  summary.print(std::cout);
+  report.emit("summary", summary);
   return 0;
 }

@@ -19,6 +19,7 @@ using scenarios::Setup;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("fig5_cpu_hog", args);
   bench::print_paper_note(
       "Figure 5",
       "One-per-core runs at ~50% with the hog; SPEED degrades gracefully\n"
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  table.print(std::cout);
+  report.emit("cpu-hog", table);
   std::cout << "\n(Ideal without the hog would be speedup == cores; with it, "
                "cores - 0.5.)\n";
   return 0;

@@ -15,6 +15,7 @@ using scenarios::Setup;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("fig6_make_share", args);
   bench::print_paper_note(
       "Figure 6",
       "SPEED/LOAD runtime ratio < 1 (SPEED faster) across the NPB when\n"
@@ -49,6 +50,6 @@ int main(int argc, char** argv) {
                    Table::num(sb.variation_pct(), 1),
                    Table::num(lb.variation_pct(), 1)});
   }
-  table.print(std::cout);
+  report.emit("make-share", table);
   return 0;
 }

@@ -36,6 +36,7 @@ ExperimentResult run_with_barrier(const Topology& topo, const NpbProfile& prof,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("sec62_barrier_policies", args);
   bench::print_paper_note(
       "Section 6.2 (OpenMP barrier study)",
       "LOAD+polling suboptimal; LOAD+KMP_BLOCKTIME-default better;\n"
@@ -83,6 +84,6 @@ int main(int argc, char** argv) {
                      Table::num(result.variation_pct(), 1)});
     }
   }
-  table.print(std::cout);
+  report.emit("barrier-policies", table);
   return 0;
 }

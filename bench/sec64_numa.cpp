@@ -31,6 +31,7 @@ std::int64_t cross_node_migrations(const Topology& topo, const Metrics& metrics)
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("sec64_numa", args);
   bench::print_paper_note(
       "Section 6.4 (NUMA, Barcelona)",
       "blocking cross-node migrations preserves locality for memory-bound\n"
@@ -104,6 +105,6 @@ int main(int argc, char** argv) {
                    Table::num((runtime.max() / std::max(runtime.min(), 1e-9) - 1.0) * 100.0, 1),
                    Table::num(crossings.mean(), 0)});
   }
-  table.print(std::cout);
+  report.emit("numa", table);
   return 0;
 }

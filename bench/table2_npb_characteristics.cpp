@@ -17,6 +17,7 @@ using scenarios::Setup;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("table2_npb_characteristics", args);
   bench::print_paper_note(
       "Table 2",
       "memory-bound NPB scale to only ~5x on the Tigerton's shared FSB but\n"
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
                    Table::num(speedups[0], 1), Table::num(speedups[1], 1),
                    Table::num(phase_ms, 1)});
   }
-  table.print(std::cout);
+  report.emit("measured", table);
 
   std::cout << "\nPaper (Table 2):\n";
   Table paper({"BM", "RSS", "tigerton", "barcelona", "inter-barrier (ms)"});
@@ -58,6 +59,6 @@ int main(int argc, char** argv) {
   paper.add_row({"is.C", "3.1 total", "4.8", "8.4", "44-63"});
   paper.add_row({"sp.A", "0.1 total", "7.2", "12.4", "~2"});
   paper.add_row({"cg.B", "-", "-", "-", "~4 (Section 6.2)"});
-  paper.print(std::cout);
+  report.emit("paper", paper);
   return 0;
 }

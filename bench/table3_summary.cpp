@@ -15,6 +15,7 @@ using scenarios::Setup;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchReport report("table3_summary", args);
   bench::print_paper_note(
       "Table 3",
       "SPEED improvement: vs PINNED 8-24%, vs LOAD-avg 20-46%, vs\n"
@@ -70,6 +71,6 @@ int main(int argc, char** argv) {
                  Table::num(all_lb_worst.mean(), 0),
                  Table::num(all_sb_var.mean(), 1),
                  Table::num(all_lb_var.mean(), 1)});
-  table.print(std::cout);
+  report.emit("summary", table);
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + ctest, then a ThreadSanitizer build of the
+# native balancer tests (worker thread + trace recorder). Run from anywhere;
+# build trees live under build/ and build-tsan/ at the repo root.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== tsan: native balancer tests =="
+cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs" --target native_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -R native_test
+
+echo "check.sh: all green"

@@ -127,6 +127,24 @@ std::map<CoreId, double> SpeedBalancer::measure_core_speeds(
   return core_speed;
 }
 
+void SpeedBalancer::record_sample(CoreId local,
+                                  const std::map<CoreId, double>& core_speed,
+                                  double global) {
+  obs::SpeedSample s;
+  s.ts_us = sim_->now();
+  s.observer = local;
+  s.global = global;
+  s.core_speed.reserve(cores_.size());
+  for (const CoreId c : cores_) {
+    const auto it = core_speed.find(c);
+    const double sp = it != core_speed.end() ? it->second : 0.0;
+    s.core_speed.push_back(sp);
+    s.queue_len.push_back(static_cast<int>(sim_->core(c).queue().nr_running()));
+    s.below_threshold.push_back(global > 0.0 && sp / global < params_.threshold);
+  }
+  recorder_->timeline().add(std::move(s));
+}
+
 void SpeedBalancer::balance_once(CoreId local) {
   std::map<TaskId, double> thread_speed;
   const auto core_speed = measure_core_speeds(local, thread_speed);
@@ -139,11 +157,33 @@ void SpeedBalancer::balance_once(CoreId local) {
   }
   global /= static_cast<double>(core_speed.size());
   last_global_ = global;
+
+  const double local_speed = core_speed.at(local);
+  const auto log_decision = [&](obs::PullReason reason, CoreId source,
+                                double source_speed, TaskId victim = -1,
+                                bool tie_break = false) {
+    if (recorder_ == nullptr) return;
+    obs::DecisionRecord rec;
+    rec.ts_us = sim_->now();
+    rec.local = local;
+    rec.source = source;
+    rec.victim = victim;
+    rec.tie_break = tie_break;
+    rec.local_speed = local_speed;
+    rec.source_speed = source_speed;
+    rec.global = global;
+    rec.reason = reason;
+    recorder_->decisions().add(rec);
+  };
+
+  if (recorder_ != nullptr) record_sample(local, core_speed, global);
   if (global <= 0.0) return;
 
   // Attempt to balance only when the local core is faster than average.
-  const double local_speed = core_speed.at(local);
-  if (local_speed <= global) return;
+  if (local_speed <= global) {
+    log_decision(obs::PullReason::BelowAverage, -1, 0.0);
+    return;
+  }
 
   // Post-migration block: both parties of a recent migration sit out for at
   // least two balance intervals so neither side's speed is stale. Pairs
@@ -168,34 +208,58 @@ void SpeedBalancer::balance_once(CoreId local) {
   double source_speed = std::numeric_limits<double>::max();
   for (const auto& [c, s] : core_speed) {
     if (c == local) continue;
-    if (s / global >= params_.threshold) continue;
-    if (params_.block_numa && !sim_->topo().same_numa(local, c)) continue;
-    if (sim_->domains().lowest_common_level(sim_->topo(), local, c) >
-        params_.max_migration_level)
+    if (s / global >= params_.threshold) {
+      log_decision(obs::PullReason::AboveThreshold, c, s);
       continue;
-    if (pair_blocked(c)) continue;
+    }
+    if (params_.block_numa && !sim_->topo().same_numa(local, c)) {
+      log_decision(obs::PullReason::NumaBlocked, c, s);
+      continue;
+    }
+    if (sim_->domains().lowest_common_level(sim_->topo(), local, c) >
+        params_.max_migration_level) {
+      log_decision(obs::PullReason::DomainBlocked, c, s);
+      continue;
+    }
+    if (pair_blocked(c)) {
+      log_decision(obs::PullReason::MigrationBlocked, c, s);
+      continue;
+    }
     if (s < source_speed) {
       source_speed = s;
       source = c;
     }
   }
-  if (source < 0) return;
+  if (source < 0) {
+    log_decision(obs::PullReason::NoCandidate, -1, 0.0);
+    return;
+  }
 
   // Pull the managed thread on the source core that has migrated the least
   // (avoids creating "hot-potato" tasks that bounce between queues).
   Task* victim = nullptr;
+  int co_minimal = 0;  // Threads tied at the minimum migration count.
   for (Task* t : managed_) {
     if (t->state() == TaskState::Finished) continue;
     if (t->core() != source) continue;
-    if (victim == nullptr || t->migrations() < victim->migrations() ||
-        (t->migrations() == victim->migrations() && t->id() < victim->id()))
+    if (victim == nullptr || t->migrations() < victim->migrations()) {
       victim = t;
+      co_minimal = 1;
+    } else if (t->migrations() == victim->migrations()) {
+      ++co_minimal;
+      if (t->id() < victim->id()) victim = t;
+    }
   }
-  if (victim == nullptr) return;
+  if (victim == nullptr) {
+    log_decision(obs::PullReason::NoVictim, source, source_speed);
+    return;
+  }
 
   SB_LOG(Debug) << "speedbalancer: pull task " << victim->id() << " from core "
                 << source << " (s=" << source_speed << ") to core " << local
                 << " (s=" << local_speed << ", global=" << global << ")";
+  log_decision(obs::PullReason::Pulled, source, source_speed, victim->id(),
+               /*tie_break=*/co_minimal > 1);
   sim_->set_affinity(*victim, 1ULL << local, /*hard_pin=*/true,
                      MigrationCause::SpeedBalancer);
   last_involved_[local] = sim_->now();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "balance/balancer.hpp"
+#include "obs/recorder.hpp"
 #include "topo/domains.hpp"
 
 namespace speedbal {
@@ -94,6 +95,16 @@ class SpeedBalancer : public Balancer {
   /// Exposed for tests: run one balancing pass for the given local core.
   void balance_once(CoreId local);
 
+  /// Attach an observability recorder: every balance pass then appends a
+  /// SpeedTimeline sample (per-core speeds, global average, queue lengths,
+  /// threshold state) and logs why each candidate pull was taken or
+  /// rejected. Null (the default) disables recording entirely.
+  void set_recorder(obs::RunRecorder* rec) {
+    recorder_ = rec;
+    if (rec != nullptr)
+      rec->timeline().set_cores(std::vector<int>(cores_.begin(), cores_.end()));
+  }
+
   /// Exposed for tests: current per-core speeds as of the last pass.
   double last_global_speed() const { return last_global_; }
 
@@ -106,6 +117,9 @@ class SpeedBalancer : public Balancer {
   };
 
   void balancer_wake(CoreId local);
+  /// Append the pass's speed/queue observation to the recorder's timeline.
+  void record_sample(CoreId local, const std::map<CoreId, double>& core_speed,
+                     double global);
   /// Measure all managed thread speeds since the last snapshot for `local`'s
   /// balancer; returns per-core speeds (cores with no managed threads
   /// report full nominal speed: a thread moved there could run unimpeded).
@@ -124,6 +138,7 @@ class SpeedBalancer : public Balancer {
   // Shared (intra-process) record of each core's last migration involvement.
   std::map<CoreId, SimTime> last_involved_;
   double last_global_ = 0.0;
+  obs::RunRecorder* recorder_ = nullptr;
 };
 
 }  // namespace speedbal

@@ -33,9 +33,23 @@ double ExperimentResult::mean_migrations() const {
   return sum / static_cast<double>(runs.size());
 }
 
+std::map<MigrationCause, double> ExperimentResult::mean_migrations_by_cause() const {
+  std::map<MigrationCause, double> out;
+  if (runs.empty()) return out;
+  for (const auto& r : runs)
+    for (const auto& [cause, count] : r.migrations_by_cause)
+      out[cause] += static_cast<double>(count);
+  for (auto& [cause, sum] : out) {
+    (void)cause;
+    sum /= static_cast<double>(runs.size());
+  }
+  return out;
+}
+
 namespace {
 
-RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
+RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
+                   obs::RunRecorder* recorder) {
   SimParams sim_params = config.sim;
   // FreeBSD's sched_pickcpu consults the current queue states at thread
   // creation; the stale-snapshot quirk is specific to the Linux fork path
@@ -43,6 +57,7 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
   // like static pinning, as the paper observes (Fig. 3).
   if (config.policy == Policy::Ule) sim_params.load_snapshot_period = 0;
   Simulator sim(config.topo, sim_params, seed);
+  sim.set_recorder(recorder);
   const int k = config.cores > 0 ? config.cores : config.topo.num_cores();
   const auto cores = workload::first_cores(k);
 
@@ -90,6 +105,7 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
   if (config.policy == Policy::Speed) {
     speed = std::make_unique<SpeedBalancer>(config.speed, app.threads(), cores);
     speed->attach(sim);
+    if (recorder != nullptr) speed->set_recorder(recorder);
   } else if (config.policy == Policy::Pinned) {
     pinned = std::make_unique<PinnedBalancer>(app.threads(), cores);
     pinned->attach(sim);
@@ -101,6 +117,8 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
   result.runtime_s = result.completed ? to_sec(app.elapsed())
                                       : to_sec(config.time_cap);
   result.total_migrations = sim.metrics().migration_count();
+  result.migrations_by_cause = sim.metrics().migration_counts_by_cause();
+  if (recorder != nullptr) export_run_to_recorder(sim.metrics(), *recorder);
   switch (config.policy) {
     case Policy::Speed:
       result.policy_migrations =
@@ -130,7 +148,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (int rep = 0; rep < config.repeats; ++rep) {
     const std::uint64_t seed =
         config.seed * 1000003ULL + static_cast<std::uint64_t>(rep) * 7919ULL + 1;
-    out.runs.push_back(run_once(config, seed));
+    obs::RunRecorder* recorder =
+        rep == config.recorded_repeat ? config.recorder : nullptr;
+    out.runs.push_back(run_once(config, seed, recorder));
     runtimes.push_back(out.runs.back().runtime_s);
   }
   out.runtime = summarize(runtimes);

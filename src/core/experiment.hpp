@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "balance/linux_load.hpp"
 #include "balance/speed.hpp"
 #include "balance/ule.hpp"
+#include "obs/recorder.hpp"
 #include "topo/topology.hpp"
 #include "util/stats.hpp"
 
@@ -54,6 +56,13 @@ struct ExperimentConfig {
   bool cpu_hog = false;
   CoreId cpu_hog_core = 0;
   std::optional<MakeSpec> make;
+
+  /// Observability: when set, the repeat selected by `recorded_repeat` runs
+  /// with full tracing (speed timeline, decision log, migration events, run
+  /// segments) into this recorder. Null = no tracing (the default; the only
+  /// residual cost is a pointer test on the hot paths).
+  obs::RunRecorder* recorder = nullptr;
+  int recorded_repeat = 0;
 };
 
 /// Outcome of a single run.
@@ -62,6 +71,9 @@ struct RunResult {
   double runtime_s = 0.0;  ///< Application elapsed time (seconds).
   std::int64_t total_migrations = 0;
   std::int64_t policy_migrations = 0;  ///< By the policy under test.
+  /// Migration totals attributed to each mechanism (fork/wake placement,
+  /// kernel balancing, the policy under test, ...).
+  std::map<MigrationCause, std::int64_t> migrations_by_cause;
 };
 
 /// Aggregated outcome across repeats.
@@ -76,6 +88,8 @@ struct ExperimentResult {
   /// The paper's "% variation": max/min - 1 over the repeated runs.
   double variation_pct() const { return runtime.variation_pct(); }
   double mean_migrations() const;
+  /// Per-cause migration means over the repeated runs.
+  std::map<MigrationCause, double> mean_migrations_by_cause() const;
 };
 
 /// Run the experiment: `repeats` independent simulations with derived

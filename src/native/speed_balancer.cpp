@@ -29,6 +29,12 @@ NativeSpeedBalancer::NativeSpeedBalancer(pid_t target,
   }
 }
 
+void NativeSpeedBalancer::set_recorder(obs::RunRecorder* rec) {
+  recorder_ = rec;
+  trace_origin_ = Clock::now();
+  if (rec != nullptr) rec->timeline().set_cores(cores_);
+}
+
 void NativeSpeedBalancer::pin_round_robin() {
   const auto tids = procfs_.tids(target_);
   std::size_t i = 0;
@@ -110,6 +116,32 @@ int NativeSpeedBalancer::step() {
   global /= static_cast<double>(core_speed.size());
   core_speeds_ = core_speed;
   global_speed_ = global;
+
+  const std::int64_t ts_us =
+      recorder_ == nullptr
+          ? 0
+          : std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                  trace_origin_)
+                .count();
+  if (recorder_ != nullptr) {
+    obs::SpeedSample sample;
+    sample.ts_us = ts_us;
+    sample.observer = -1;  // Sequential sweep, not a per-core balancer.
+    sample.global = global;
+    for (const int c : cores_) {
+      const double s = core_speed.at(c);
+      sample.core_speed.push_back(s);
+      int managed = 0;
+      for (const auto& [tid, core] : thread_core) {
+        (void)tid;
+        if (core == c) ++managed;
+      }
+      sample.queue_len.push_back(managed);
+      sample.below_threshold.push_back(global > 0.0 &&
+                                       s / global < config_.threshold);
+    }
+    recorder_->timeline().add(std::move(sample));
+  }
   if (global <= 0.0) return 0;
 
   const auto now = Clock::now();
@@ -117,6 +149,22 @@ int NativeSpeedBalancer::step() {
   const auto blocked = [&](int c) {
     const auto it = last_involved_.find(c);
     return it != last_involved_.end() && now - it->second < block;
+  };
+  const auto log_decision = [&](int local, obs::PullReason reason, int source,
+                                double source_speed, std::int64_t victim = -1,
+                                bool tie_break = false) {
+    if (recorder_ == nullptr) return;
+    obs::DecisionRecord rec;
+    rec.ts_us = ts_us;
+    rec.local = local;
+    rec.source = source;
+    rec.victim = victim;
+    rec.tie_break = tie_break;
+    rec.local_speed = core_speed.at(local);
+    rec.source_speed = source_speed;
+    rec.global = global;
+    rec.reason = reason;
+    recorder_->decisions().add(rec);
   };
 
   // Per-core balancer passes in random order (the distributed balancers of
@@ -127,34 +175,60 @@ int NativeSpeedBalancer::step() {
 
   int moved = 0;
   for (int local : order) {
-    if (core_speed.at(local) <= global || blocked(local)) continue;
+    if (core_speed.at(local) <= global) {
+      log_decision(local, obs::PullReason::BelowAverage, -1, 0.0);
+      continue;
+    }
+    if (blocked(local)) {
+      log_decision(local, obs::PullReason::LocalBlocked, -1, 0.0);
+      continue;
+    }
     int source = -1;
     double source_speed = 2.0;
     for (int c : cores_) {
-      if (c == local || blocked(c)) continue;
+      if (c == local) continue;
       const double s = core_speed.at(c);
-      if (s / global >= config_.threshold) continue;
-      if (config_.block_numa && c < topo_.num_cpus() &&
-          local < topo_.num_cpus() && !topo_.same_numa(local, c))
+      if (blocked(c)) {
+        log_decision(local, obs::PullReason::MigrationBlocked, c, s);
         continue;
+      }
+      if (s / global >= config_.threshold) {
+        log_decision(local, obs::PullReason::AboveThreshold, c, s);
+        continue;
+      }
+      if (config_.block_numa && c < topo_.num_cpus() &&
+          local < topo_.num_cpus() && !topo_.same_numa(local, c)) {
+        log_decision(local, obs::PullReason::NumaBlocked, c, s);
+        continue;
+      }
       if (s < source_speed) {
         source_speed = s;
         source = c;
       }
     }
-    if (source < 0) continue;
+    if (source < 0) {
+      log_decision(local, obs::PullReason::NoCandidate, -1, 0.0);
+      continue;
+    }
 
     pid_t victim = -1;
     int victim_migrations = 0;
+    int co_minimal = 0;  // Threads tied at the minimum migration count.
     for (const auto& [tid, core] : thread_core) {
       if (core != source) continue;
       const int m = tids_[tid].migrations;
       if (victim < 0 || m < victim_migrations) {
         victim = tid;
         victim_migrations = m;
+        co_minimal = 1;
+      } else if (m == victim_migrations) {
+        ++co_minimal;
       }
     }
-    if (victim < 0) continue;
+    if (victim < 0) {
+      log_decision(local, obs::PullReason::NoVictim, source, source_speed);
+      continue;
+    }
     if (!set_affinity(victim, CpuSet::single(local))) continue;  // Tid raced away.
     ++tids_[victim].migrations;
     ++migrations_;
@@ -162,6 +236,16 @@ int NativeSpeedBalancer::step() {
     last_involved_[local] = now;
     last_involved_[source] = now;
     thread_core[victim] = local;
+    log_decision(local, obs::PullReason::Pulled, source, source_speed, victim,
+                 /*tie_break=*/co_minimal > 1);
+    if (recorder_ != nullptr) {
+      recorder_->trace().instant(ts_us, local, "migration", "migrate",
+                                 {{"tid", static_cast<double>(victim)},
+                                  {"from", static_cast<double>(source)},
+                                  {"to", static_cast<double>(local)}},
+                                 {{"cause", "speed"}});
+      recorder_->incr("migrations.speed");
+    }
     SB_LOG(Debug) << "native speedbalancer: tid " << victim << " core "
                   << source << " -> " << local;
   }

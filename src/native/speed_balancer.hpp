@@ -11,6 +11,7 @@
 #include "native/affinity.hpp"
 #include "native/cpu_topology.hpp"
 #include "native/procfs.hpp"
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace speedbal::native {
@@ -67,6 +68,13 @@ class NativeSpeedBalancer {
   const std::map<int, double>& core_speeds() const { return core_speeds_; }
   double global_speed() const { return global_speed_; }
 
+  /// Attach an observability recorder: every step() then appends a speed
+  /// timeline sample, logs each pull decision with its reason, and emits an
+  /// instant trace event per migration. Timestamps are microseconds of wall
+  /// time since this call. The recorder is internally synchronized, so it
+  /// may be read/exported after stop() regardless of the worker thread.
+  void set_recorder(obs::RunRecorder* rec);
+
  private:
   struct TidState {
     long last_ticks = 0;
@@ -93,6 +101,9 @@ class NativeSpeedBalancer {
   std::map<int, double> core_speeds_;
   double global_speed_ = 0.0;
   std::int64_t migrations_ = 0;
+
+  obs::RunRecorder* recorder_ = nullptr;
+  std::chrono::steady_clock::time_point trace_origin_{};
 
   std::thread worker_;
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,60 @@
+#include "obs/decision_log.hpp"
+
+namespace speedbal::obs {
+
+const char* to_string(PullReason r) {
+  switch (r) {
+    case PullReason::Pulled: return "pulled";
+    case PullReason::BelowAverage: return "below-average";
+    case PullReason::LocalBlocked: return "local-blocked";
+    case PullReason::AboveThreshold: return "above-threshold";
+    case PullReason::MigrationBlocked: return "migration-blocked";
+    case PullReason::NumaBlocked: return "numa-blocked";
+    case PullReason::DomainBlocked: return "domain-blocked";
+    case PullReason::NoCandidate: return "no-candidate";
+    case PullReason::NoVictim: return "no-victim";
+  }
+  return "?";
+}
+
+void DecisionLog::add(const DecisionRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[static_cast<std::size_t>(rec.reason)];
+  if (records_.size() >= record_cap_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(rec);
+}
+
+std::vector<DecisionRecord> DecisionLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::int64_t DecisionLog::count(PullReason r) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<std::size_t>(r)];
+}
+
+std::array<std::int64_t, kNumPullReasons> DecisionLog::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::int64_t DecisionLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void DecisionLog::set_record_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_cap_ = cap;
+}
+
+}  // namespace speedbal::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace speedbal::obs {
+
+/// Why a balance pass pulled — or declined to pull — a thread. Shared
+/// reason codes between the simulated and the native speed balancer, so
+/// reproduction failures are attributable instead of silent.
+enum class PullReason {
+  Pulled = 0,        ///< A migration was performed.
+  BelowAverage,      ///< Pass skipped: local core not faster than the global average.
+  LocalBlocked,      ///< Pass skipped: local core inside its post-migration block.
+  AboveThreshold,    ///< Candidate rejected: s_k / s_global >= T_s.
+  MigrationBlocked,  ///< Candidate rejected: inside its post-migration block.
+  NumaBlocked,       ///< Candidate rejected: would cross a NUMA boundary.
+  DomainBlocked,     ///< Candidate rejected: above the allowed scheduling-domain level.
+  NoCandidate,       ///< Pass found no source core after all rejections.
+  NoVictim,          ///< Source chosen but it held no managed thread to pull.
+};
+
+inline constexpr int kNumPullReasons = 9;
+
+const char* to_string(PullReason r);
+
+/// One decision-log entry. Candidate rejections record the rejected core in
+/// `source`; pass-level outcomes (BelowAverage, NoCandidate, Pulled) record
+/// the pass's local core and, where applicable, the chosen source/victim.
+struct DecisionRecord {
+  std::int64_t ts_us = 0;
+  int local = -1;
+  int source = -1;
+  /// Pulled only: the migrated thread (sim TaskId or native tid) and
+  /// whether the least-migrated pick fell back to the id tie-break
+  /// (hot-potato avoidance between equally-migrated threads).
+  std::int64_t victim = -1;
+  bool tie_break = false;
+  double local_speed = 0.0;
+  double source_speed = 0.0;
+  double global = 0.0;
+  PullReason reason = PullReason::NoCandidate;
+};
+
+/// Append-only balancer decision log with per-reason counters. Record
+/// storage is capped (counters are not) so pathological runs cannot grow
+/// the log unboundedly.
+class DecisionLog {
+ public:
+  void add(const DecisionRecord& rec);
+
+  std::vector<DecisionRecord> snapshot() const;
+  std::size_t size() const;
+
+  std::int64_t count(PullReason r) const;
+  std::array<std::int64_t, kNumPullReasons> counts() const;
+  std::int64_t dropped() const;
+
+  void set_record_cap(std::size_t cap);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DecisionRecord> records_;
+  std::array<std::int64_t, kNumPullReasons> counts_{};
+  std::size_t record_cap_ = 100000;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace speedbal::obs

@@ -1,0 +1,227 @@
+#include "obs/recorder.hpp"
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace speedbal::obs {
+
+void RunRecorder::set_meta(std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_[std::move(key)] = std::move(value);
+}
+
+std::map<std::string, std::string> RunRecorder::meta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return meta_;
+}
+
+void RunRecorder::incr(const std::string& name, std::int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += n;
+}
+
+void RunRecorder::set_counter(const std::string& name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = value;
+}
+
+std::map<std::string, std::int64_t> RunRecorder::counters() const {
+  std::map<std::string, std::int64_t> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = counters_;
+  }
+  const auto counts = decisions_.counts();
+  for (int r = 0; r < kNumPullReasons; ++r) {
+    const auto reason = static_cast<PullReason>(r);
+    if (reason == PullReason::Pulled)
+      out["pulls.performed"] = counts[static_cast<std::size_t>(r)];
+    else
+      out["pulls.rejected." + std::string(to_string(reason))] =
+          counts[static_cast<std::size_t>(r)];
+  }
+  const std::int64_t dropped = trace_.dropped_spans();
+  if (dropped > 0) out["trace.dropped_spans"] = dropped;
+  return out;
+}
+
+void RunRecorder::write_chrome_trace(std::ostream& os) const {
+  auto events = trace_.snapshot();
+  const auto cores = timeline_.cores();
+
+  // Speed timeline -> counter tracks. One "global speed" counter, one
+  // multi-series "core speed" counter, one "queue length" counter.
+  for (const auto& s : timeline_.snapshot()) {
+    {
+      TraceEvent ev;
+      ev.kind = EventKind::Counter;
+      ev.ts_us = s.ts_us;
+      ev.name = "global speed";
+      ev.num_args.emplace_back("speed", s.global);
+      events.push_back(std::move(ev));
+    }
+    if (!s.core_speed.empty()) {
+      TraceEvent ev;
+      ev.kind = EventKind::Counter;
+      ev.ts_us = s.ts_us;
+      ev.name = "core speed";
+      for (std::size_t i = 0; i < s.core_speed.size(); ++i) {
+        const int core = i < cores.size() ? cores[i] : static_cast<int>(i);
+        ev.num_args.emplace_back("c" + std::to_string(core), s.core_speed[i]);
+      }
+      events.push_back(std::move(ev));
+    }
+    if (!s.queue_len.empty()) {
+      TraceEvent ev;
+      ev.kind = EventKind::Counter;
+      ev.ts_us = s.ts_us;
+      ev.name = "queue length";
+      for (std::size_t i = 0; i < s.queue_len.size(); ++i) {
+        if (s.queue_len[i] < 0) continue;
+        const int core = i < cores.size() ? cores[i] : static_cast<int>(i);
+        ev.num_args.emplace_back("c" + std::to_string(core),
+                                 static_cast<double>(s.queue_len[i]));
+      }
+      events.push_back(std::move(ev));
+    }
+  }
+
+  // Performed pulls -> instant events on the destination core's track.
+  for (const auto& d : decisions_.snapshot()) {
+    if (d.reason != PullReason::Pulled) continue;
+    TraceEvent ev;
+    ev.kind = EventKind::Instant;
+    ev.ts_us = d.ts_us;
+    ev.track = d.local;
+    ev.name = "pull";
+    ev.cat = "balance";
+    ev.num_args.emplace_back("victim", static_cast<double>(d.victim));
+    ev.num_args.emplace_back("from", static_cast<double>(d.source));
+    ev.num_args.emplace_back("to", static_cast<double>(d.local));
+    ev.num_args.emplace_back("local_speed", d.local_speed);
+    ev.num_args.emplace_back("source_speed", d.source_speed);
+    ev.num_args.emplace_back("global", d.global);
+    events.push_back(std::move(ev));
+  }
+
+  std::string process = "speedbal";
+  const auto meta = this->meta();
+  if (const auto it = meta.find("tool"); it != meta.end()) process = it->second;
+
+  std::vector<std::pair<int, std::string>> track_names;
+  for (const int c : cores)
+    track_names.emplace_back(c, "core " + std::to_string(c));
+
+  obs::write_chrome_trace(os, events, process, track_names);
+}
+
+void RunRecorder::write_report_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+
+  w.key("meta").begin_object();
+  for (const auto& [k, v] : meta()) w.kv(k, v);
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters()) w.kv(k, v);
+  w.end_object();
+
+  const auto stats = timeline_.global_stats();
+  w.key("global_speed").begin_object();
+  w.kv("samples", stats.samples);
+  w.kv("mean", stats.mean);
+  w.kv("variance", stats.variance);
+  w.kv("min", stats.min);
+  w.kv("max", stats.max);
+  w.end_object();
+
+  const auto cores = timeline_.cores();
+  w.key("cores").begin_array();
+  for (const int c : cores) w.value(c);
+  w.end_array();
+
+  w.key("speed_timeline").begin_array();
+  for (const auto& s : timeline_.snapshot()) {
+    w.begin_object();
+    w.kv("t_us", s.ts_us);
+    w.kv("observer", s.observer);
+    w.kv("global", s.global);
+    w.key("core_speed").begin_array();
+    for (const double v : s.core_speed) w.value(v);
+    w.end_array();
+    w.key("queue_len").begin_array();
+    for (const int v : s.queue_len) w.value(v);
+    w.end_array();
+    w.key("below_threshold").begin_array();
+    for (const bool v : s.below_threshold) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("decisions").begin_object();
+  w.key("by_reason").begin_object();
+  const auto counts = decisions_.counts();
+  for (int r = 0; r < kNumPullReasons; ++r)
+    w.kv(to_string(static_cast<PullReason>(r)),
+         counts[static_cast<std::size_t>(r)]);
+  w.end_object();
+  w.kv("dropped_records", decisions_.dropped());
+  w.key("records").begin_array();
+  for (const auto& d : decisions_.snapshot()) {
+    w.begin_object();
+    w.kv("t_us", d.ts_us);
+    w.kv("reason", to_string(d.reason));
+    w.kv("local", d.local);
+    w.kv("source", d.source);
+    if (d.reason == PullReason::Pulled) {
+      w.kv("victim", d.victim);
+      w.kv("tie_break", d.tie_break);
+    }
+    w.kv("local_speed", d.local_speed);
+    w.kv("source_speed", d.source_speed);
+    w.kv("global", d.global);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  os << "\n";
+}
+
+namespace {
+
+bool write_file(const std::string& path, const char* what,
+                const std::function<void(std::ostream&)>& fn) {
+  if (path == "-") {
+    fn(std::cout);
+    return true;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    SB_LOG(Error) << "obs: cannot open " << what << " output file '" << path << "'";
+    return false;
+  }
+  fn(os);
+  return os.good();
+}
+
+}  // namespace
+
+bool write_trace_file(const RunRecorder& rec, const std::string& path) {
+  return write_file(path, "trace",
+                    [&rec](std::ostream& os) { rec.write_chrome_trace(os); });
+}
+
+bool write_report_file(const RunRecorder& rec, const std::string& path) {
+  return write_file(path, "report",
+                    [&rec](std::ostream& os) { rec.write_report_json(os); });
+}
+
+}  // namespace speedbal::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/decision_log.hpp"
+#include "obs/speed_timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace speedbal::obs {
+
+/// The observability facade for one recorded run, shared by the simulator
+/// and the native balancer: a trace event buffer, the per-interval speed
+/// time-series, the balancer decision log, named aggregate counters, and
+/// free-form metadata. Exports a Chrome trace-event JSON file (loadable in
+/// chrome://tracing / Perfetto) and a flat JSON run report.
+///
+/// Producers hold a RunRecorder* that is null when observability is off, so
+/// the disabled cost is a pointer test; every member is internally
+/// synchronized, so sim code, the native balancer worker thread, and the
+/// exporting thread need no external locking.
+class RunRecorder {
+ public:
+  TraceCollector& trace() { return trace_; }
+  const TraceCollector& trace() const { return trace_; }
+  SpeedTimeline& timeline() { return timeline_; }
+  const SpeedTimeline& timeline() const { return timeline_; }
+  DecisionLog& decisions() { return decisions_; }
+  const DecisionLog& decisions() const { return decisions_; }
+
+  /// Free-form run metadata rendered into both exports' headers.
+  void set_meta(std::string key, std::string value);
+  std::map<std::string, std::string> meta() const;
+
+  /// Named aggregate counters (e.g. "migrations.speed"). Merged with the
+  /// decision log's per-reason counts in the run report's "counters" map.
+  void incr(const std::string& name, std::int64_t n = 1);
+  void set_counter(const std::string& name, std::int64_t value);
+  /// All counters, including the derived "pull_rejected.<reason>" /
+  /// "pulls.performed" decision counts.
+  std::map<std::string, std::int64_t> counters() const;
+
+  /// Chrome trace export: collector events plus counter tracks derived from
+  /// the speed timeline ("global speed", "core speed", "queue length") and
+  /// instant events for every pull decision that migrated a thread.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Flat JSON run report: metadata, counters, global-speed statistics, the
+  /// per-interval sample array, and the decision log.
+  void write_report_json(std::ostream& os) const;
+
+ private:
+  TraceCollector trace_;
+  SpeedTimeline timeline_;
+  DecisionLog decisions_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> meta_;
+  std::map<std::string, std::int64_t> counters_;
+};
+
+/// Write one of the exports to `path` ("-" = stdout). Returns false (and
+/// logs) when the file cannot be opened. `what` selects the export:
+bool write_trace_file(const RunRecorder& rec, const std::string& path);
+bool write_report_file(const RunRecorder& rec, const std::string& path);
+
+}  // namespace speedbal::obs

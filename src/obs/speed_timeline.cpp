@@ -1,0 +1,55 @@
+#include "obs/speed_timeline.hpp"
+
+#include <algorithm>
+
+namespace speedbal::obs {
+
+void SpeedTimeline::set_cores(std::vector<int> cores) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cores_ = std::move(cores);
+}
+
+std::vector<int> SpeedTimeline::cores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cores_;
+}
+
+void SpeedTimeline::add(SpeedSample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(std::move(sample));
+}
+
+std::size_t SpeedTimeline::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+std::vector<SpeedSample> SpeedTimeline::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+SpeedTimeline::GlobalStats SpeedTimeline::global_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GlobalStats out;
+  if (samples_.empty()) return out;
+  out.samples = static_cast<std::int64_t>(samples_.size());
+  out.min = samples_.front().global;
+  out.max = samples_.front().global;
+  double sum = 0.0;
+  for (const auto& s : samples_) {
+    sum += s.global;
+    out.min = std::min(out.min, s.global);
+    out.max = std::max(out.max, s.global);
+  }
+  out.mean = sum / static_cast<double>(samples_.size());
+  double sq = 0.0;
+  for (const auto& s : samples_) {
+    const double d = s.global - out.mean;
+    sq += d * d;
+  }
+  out.variance = sq / static_cast<double>(samples_.size());
+  return out;
+}
+
+}  // namespace speedbal::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace speedbal::obs {
+
+/// One balance-interval observation of the speed state the balancer acted
+/// on: per-core speeds, the global average, run-queue lengths, and which
+/// cores sat below the pull threshold T_s at that instant. Vectors are
+/// indexed by position in the timeline's `cores()` list (the managed cores),
+/// not by raw core id.
+struct SpeedSample {
+  std::int64_t ts_us = 0;
+  /// Which balancer took the sample (the local core of the pass); -1 for a
+  /// centralized observer such as the native balancer's sequential sweep.
+  int observer = -1;
+  double global = 0.0;
+  std::vector<double> core_speed;
+  /// Run-queue length (sim) or managed-thread count (native); -1 unknown.
+  std::vector<int> queue_len;
+  std::vector<bool> below_threshold;
+};
+
+/// Append-only per-interval speed time-series, the signal the paper's whole
+/// argument rests on. Populated by the simulated and native speed balancers
+/// at every balance pass; exported as counter tracks in the Chrome trace and
+/// as a sample array plus summary statistics in the JSON run report.
+class SpeedTimeline {
+ public:
+  /// Set once before sampling: the managed cores, defining the meaning of
+  /// each per-core vector slot.
+  void set_cores(std::vector<int> cores);
+  std::vector<int> cores() const;
+
+  void add(SpeedSample sample);
+
+  std::size_t size() const;
+  std::vector<SpeedSample> snapshot() const;
+
+  /// Moments of the recorded global-speed series (variance is the
+  /// population variance; all zero when no samples were taken).
+  struct GlobalStats {
+    std::int64_t samples = 0;
+    double mean = 0.0;
+    double variance = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  GlobalStats global_stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int> cores_;
+  std::vector<SpeedSample> samples_;
+};
+
+}  // namespace speedbal::obs

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace speedbal::obs {
+
+/// Event kinds, mapping onto Chrome trace-event phases: Counter -> "C",
+/// Instant -> "i", Span -> "X" (complete event with a duration).
+enum class EventKind { Counter, Instant, Span };
+
+/// One recorded trace event. Timestamps are microseconds on the run's
+/// timebase: simulated time for the simulator, wall time since recorder
+/// attach for the native balancer. `track` renders as the Chrome "tid" so
+/// per-core activity lines up as one row per core.
+struct TraceEvent {
+  EventKind kind = EventKind::Instant;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;  ///< Span only.
+  int track = 0;
+  std::string name;
+  std::string cat;
+  /// Small sets of numeric and string arguments ("args" in the JSON).
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/// Low-overhead append-only trace event buffer, shared by the simulator and
+/// the native balancer. Appends take one mutex (contention is negligible:
+/// events are produced at balance-interval granularity, not per simulated
+/// event); when disabled every emitter is a single relaxed atomic load.
+/// Span events can be capped so long runs cannot produce unboundedly large
+/// trace files; the number dropped is reported.
+class TraceCollector {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  void counter(std::int64_t ts_us, std::string name,
+               std::vector<std::pair<std::string, double>> series);
+  void instant(std::int64_t ts_us, int track, std::string name, std::string cat,
+               std::vector<std::pair<std::string, double>> num_args = {},
+               std::vector<std::pair<std::string, std::string>> str_args = {});
+  void span(std::int64_t ts_us, std::int64_t dur_us, int track,
+            std::string name, std::string cat);
+
+  void set_span_cap(std::size_t cap);
+  std::int64_t dropped_spans() const;
+
+  std::size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  void push(TraceEvent ev);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t span_cap_ = 200000;
+  std::size_t span_count_ = 0;
+  std::int64_t dropped_spans_ = 0;
+  std::atomic<bool> enabled_{true};
+};
+
+/// Serialize events as a Chrome trace-event JSON document ({"traceEvents":
+/// [...]}), loadable in chrome://tracing and Perfetto. Events are emitted
+/// sorted by timestamp; `process_name` labels the single process track and
+/// `track_names` (track id -> label) become thread-name metadata records.
+void write_chrome_trace(
+    std::ostream& os, const std::vector<TraceEvent>& events,
+    std::string_view process_name,
+    const std::vector<std::pair<int, std::string>>& track_names = {});
+
+}  // namespace speedbal::obs

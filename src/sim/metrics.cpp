@@ -28,13 +28,19 @@ void Metrics::record_run(TaskId task, CoreId core, SimTime dur) {
 
 void Metrics::record_migration(const MigrationRecord& rec) {
   migrations_.push_back(rec);
+  if (recorder_ != nullptr) {
+    recorder_->trace().instant(
+        rec.time, rec.to, "migration", "migrate",
+        {{"task", static_cast<double>(rec.task)},
+         {"from", static_cast<double>(rec.from)},
+         {"to", static_cast<double>(rec.to)}},
+        {{"cause", to_string(rec.cause)}});
+  }
 }
 
 const std::vector<SimTime>& Metrics::exec_by_core(TaskId task) const {
   const auto it = exec_.find(task);
-  if (it != exec_.end()) return it->second;
-  if (empty_.empty()) empty_.assign(static_cast<std::size_t>(num_cores_), 0);
-  return empty_;
+  return it != exec_.end() ? it->second : empty_;
 }
 
 SimTime Metrics::total_exec(TaskId task) const {
@@ -69,6 +75,20 @@ double Metrics::residency_fraction(
 std::int64_t Metrics::migration_count(MigrationCause cause) const {
   return std::count_if(migrations_.begin(), migrations_.end(),
                        [cause](const MigrationRecord& m) { return m.cause == cause; });
+}
+
+std::map<MigrationCause, std::int64_t> Metrics::migration_counts_by_cause() const {
+  std::map<MigrationCause, std::int64_t> out;
+  for (const auto& m : migrations_) ++out[m.cause];
+  return out;
+}
+
+void export_run_to_recorder(const Metrics& metrics, obs::RunRecorder& rec) {
+  for (const auto& [cause, count] : metrics.migration_counts_by_cause())
+    rec.incr(std::string("migrations.") + to_string(cause), count);
+  for (const auto& seg : metrics.segments())
+    rec.trace().span(seg.start, seg.dur, seg.core,
+                     "task " + std::to_string(seg.task), "run");
 }
 
 }  // namespace speedbal

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "sim/task.hpp"
 #include "topo/topology.hpp"
 #include "util/time.hpp"
@@ -50,10 +51,18 @@ struct RunSegment {
 /// the property tests and figure harnesses read it back.
 class Metrics {
  public:
-  explicit Metrics(int num_cores) : num_cores_(num_cores) {}
+  explicit Metrics(int num_cores)
+      : num_cores_(num_cores),
+        empty_(static_cast<std::size_t>(num_cores), SimTime{0}) {}
 
   void record_run(TaskId task, CoreId core, SimTime dur);
   void record_migration(const MigrationRecord& rec);
+
+  /// Attach an observability recorder: every subsequent migration also
+  /// becomes an instant trace event. Null (the default) disables tracing at
+  /// the cost of one pointer test per migration.
+  void set_recorder(obs::RunRecorder* rec) { recorder_ = rec; }
+  obs::RunRecorder* recorder() const { return recorder_; }
 
   /// Record run segments with timestamps (`record_run` is called with the
   /// segment end = start + dur by the Simulator). Segment capture costs
@@ -80,6 +89,8 @@ class Metrics {
   std::int64_t migration_count() const {
     return static_cast<std::int64_t>(migrations_.size());
   }
+  /// Migration totals attributed to each cause that occurred at least once.
+  std::map<MigrationCause, std::int64_t> migration_counts_by_cause() const;
 
   int num_cores() const { return num_cores_; }
 
@@ -88,7 +99,15 @@ class Metrics {
   std::map<TaskId, std::vector<SimTime>> exec_;
   std::vector<MigrationRecord> migrations_;
   std::vector<RunSegment> segments_;
-  mutable std::vector<SimTime> empty_;
+  /// Correctly-sized all-zero row returned for tasks that never ran, so
+  /// callers may always index [core].
+  std::vector<SimTime> empty_;
+  obs::RunRecorder* recorder_ = nullptr;
 };
+
+/// Flush a finished run's metrics into the recorder: per-segment span
+/// events (one track per core, capped by the collector's span cap) and
+/// "migrations.<cause>" aggregate counters.
+void export_run_to_recorder(const Metrics& metrics, obs::RunRecorder& rec);
 
 }  // namespace speedbal

@@ -61,6 +61,12 @@ class Simulator {
   const MemoryModel& memory() const { return memory_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
+
+  /// Attach an observability recorder: migrations become instant trace
+  /// events as they happen (see obs::RunRecorder). Null (default) is free
+  /// apart from one pointer test per migration.
+  void set_recorder(obs::RunRecorder* rec) { metrics_.set_recorder(rec); }
+  obs::RunRecorder* recorder() const { return metrics_.recorder(); }
   Rng& rng() { return rng_; }
   SimTime now() const { return events_.now(); }
   int num_cores() const { return topo_.num_cores(); }

@@ -2,29 +2,41 @@
 //
 //   simrun [--topo=tigerton] [--bench=ep.C] [--threads=16] [--cores=4]
 //          [--setup=SPEED-YIELD] [--repeats=5] [--seed=42]
+//          [--trace-out=FILE] [--report-json=FILE] [--log-level=LVL]
 //
 // Runs the configuration and prints runtime statistics, the speedup
-// against a single-core run, and migration counts.
+// against a single-core run, and migration counts. With --trace-out the
+// first repeat is recorded as a Chrome trace-event file (open in
+// chrome://tracing or https://ui.perfetto.dev); --report-json writes the
+// flat JSON run report (speed timeline, decision counters).
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/scenarios.hpp"
+#include "obs/recorder.hpp"
 #include "topo/presets.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 speedbal::scenarios::Setup parse_setup(const std::string& name) {
   using speedbal::scenarios::Setup;
-  for (Setup s : {Setup::OnePerCore, Setup::Pinned, Setup::LoadYield,
-                  Setup::LoadSleep, Setup::SpeedYield, Setup::SpeedSleep,
-                  Setup::Dwrr, Setup::FreeBsd}) {
+  constexpr Setup kAll[] = {Setup::OnePerCore, Setup::Pinned, Setup::LoadYield,
+                            Setup::LoadSleep,  Setup::SpeedYield,
+                            Setup::SpeedSleep, Setup::Dwrr, Setup::FreeBsd};
+  std::string available;
+  for (Setup s : kAll) {
     if (name == to_string(s)) return s;
+    if (!available.empty()) available += ", ";
+    available += to_string(s);
   }
-  throw std::invalid_argument("unknown setup: " + name);
+  throw std::invalid_argument("unknown setup: " + name +
+                              " (available: " + available + ")");
 }
 
 }  // namespace
@@ -33,6 +45,14 @@ int main(int argc, char** argv) {
   using namespace speedbal;
   try {
     const Cli cli(argc, argv);
+    if (cli.has("log-level")) {
+      const auto level = parse_log_level(cli.get("log-level"));
+      if (!level)
+        throw std::invalid_argument(
+            "unknown log level: " + cli.get("log-level") +
+            " (available: trace, debug, info, warn, error)");
+      set_log_level(*level);
+    }
     const auto topo = presets::by_name(cli.get("topo", "tigerton"));
     const auto prof = npb::by_name(cli.get("bench", "ep.C"));
     const int threads = static_cast<int>(cli.get_int("threads", 16));
@@ -40,10 +60,26 @@ int main(int argc, char** argv) {
     const auto setup = parse_setup(cli.get("setup", "SPEED-YIELD"));
     const int repeats = static_cast<int>(cli.get_int("repeats", 5));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const std::string trace_out = cli.get("trace-out");
+    const std::string report_json = cli.get("report-json");
 
     const double serial = scenarios::serial_runtime_s(topo, prof, threads, seed);
-    const auto result =
-        scenarios::run_npb(topo, prof, threads, cores, setup, repeats, seed);
+
+    auto config =
+        scenarios::npb_config(topo, prof, threads, cores, setup, repeats, seed);
+    obs::RunRecorder recorder;
+    const bool record = !trace_out.empty() || !report_json.empty();
+    if (record) {
+      recorder.set_meta("tool", "simrun");
+      recorder.set_meta("machine", topo.name());
+      recorder.set_meta("benchmark", prof.full_name());
+      recorder.set_meta("setup", to_string(setup));
+      recorder.set_meta("threads", std::to_string(threads));
+      recorder.set_meta("cores", std::to_string(cores));
+      recorder.set_meta("seed", std::to_string(seed));
+      config.recorder = &recorder;
+    }
+    const auto result = run_experiment(config);
 
     Table table({"metric", "value"});
     table.add_row({"machine", topo.name()});
@@ -58,8 +94,37 @@ int main(int argc, char** argv) {
     table.add_row({"variation %", Table::num(result.variation_pct(), 1)});
     table.add_row({"speedup vs 1 core", Table::num(serial / result.mean_runtime(), 2)});
     table.add_row({"mean migrations", Table::num(result.mean_migrations(), 1)});
+    {
+      std::ostringstream by_cause;
+      for (const auto& [cause, mean] : result.mean_migrations_by_cause()) {
+        if (by_cause.tellp() > 0) by_cause << "  ";
+        by_cause << to_string(cause) << ":" << Table::num(mean, 1);
+      }
+      table.add_row({"migrations by cause", by_cause.str()});
+    }
+    if (record) {
+      const auto stats = recorder.timeline().global_stats();
+      table.add_row({"speed samples", std::to_string(stats.samples)});
+      table.add_row({"global speed mean", Table::num(stats.mean, 3)});
+      table.add_row({"global speed variance", Table::num(stats.variance, 5)});
+      std::ostringstream rejects;
+      for (const auto& [name, count] : recorder.counters()) {
+        if (name.rfind("pulls.rejected.", 0) != 0 || count == 0) continue;
+        if (rejects.tellp() > 0) rejects << "  ";
+        rejects << name.substr(std::string("pulls.rejected.").size()) << ":"
+                << count;
+      }
+      table.add_row({"pulls performed",
+                     std::to_string(recorder.counters()["pulls.performed"])});
+      table.add_row({"pulls rejected", rejects.str()});
+    }
     table.print(std::cout);
-    return 0;
+
+    bool io_ok = true;
+    if (!trace_out.empty()) io_ok &= obs::write_trace_file(recorder, trace_out);
+    if (!report_json.empty())
+      io_ok &= obs::write_report_file(recorder, report_json);
+    return io_ok ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "simrun: %s\n", e.what());
     return 2;

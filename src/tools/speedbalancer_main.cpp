@@ -1,11 +1,15 @@
 // The paper's speedbalancer as a stand-alone tool (Section 5.2):
 //
 //   speedbalancer [--interval=100] [--threshold=0.9] [--cores=0-3]
-//                 [--no-numa-block] [--startup-delay=100] <program> [args...]
+//                 [--no-numa-block] [--startup-delay=100]
+//                 [--trace-out=FILE] [--report-json=FILE] [--log-level=LVL]
+//                 <program> [args...]
 //
 // Forks the target program, discovers its threads through /proc, pins them
 // round-robin over the requested cores, and balances their speed until the
-// program exits. Exits with the child's status.
+// program exits. Exits with the child's status. With --trace-out /
+// --report-json the balancer records its speed timeline and pull decisions
+// and writes a Chrome trace-event file / flat JSON run report on exit.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -16,7 +20,9 @@
 #include <vector>
 
 #include "native/speed_balancer.hpp"
+#include "obs/recorder.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -24,7 +30,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: speedbalancer [--interval=MS] [--threshold=T]\n"
                "                     [--cores=LIST] [--no-numa-block]\n"
-               "                     [--startup-delay=MS] <program> [args...]\n");
+               "                     [--startup-delay=MS] [--trace-out=FILE]\n"
+               "                     [--report-json=FILE] [--log-level=LVL]\n"
+               "                     <program> [args...]\n");
 }
 
 }  // namespace
@@ -43,6 +51,16 @@ int main(int argc, char** argv) {
   }
   const Cli cli(split, argv);
 
+  if (cli.has("log-level")) {
+    const auto level = parse_log_level(cli.get("log-level"));
+    if (!level) {
+      std::fprintf(stderr, "speedbalancer: unknown log level: %s\n",
+                   cli.get("log-level").c_str());
+      return 2;
+    }
+    set_log_level(*level);
+  }
+
   NativeBalancerConfig config;
   config.interval = std::chrono::milliseconds(cli.get_int("interval", 100));
   config.threshold = cli.get_double("threshold", 0.9);
@@ -50,6 +68,8 @@ int main(int argc, char** argv) {
   config.startup_delay =
       std::chrono::milliseconds(cli.get_int("startup-delay", 100));
   if (cli.has("cores")) config.cores = CpuSet::parse_list(cli.get("cores"));
+  const std::string trace_out = cli.get("trace-out");
+  const std::string report_json = cli.get("report-json");
 
   const pid_t child = fork();
   if (child < 0) {
@@ -65,12 +85,31 @@ int main(int argc, char** argv) {
   }
 
   NativeSpeedBalancer balancer(child, config);
+  obs::RunRecorder recorder;
+  const bool record = !trace_out.empty() || !report_json.empty();
+  if (record) {
+    recorder.set_meta("tool", "speedbalancer");
+    std::string target;
+    for (int i = split; i < argc; ++i) {
+      if (!target.empty()) target += ' ';
+      target += argv[i];
+    }
+    recorder.set_meta("target", target);
+    recorder.set_meta("interval_ms", std::to_string(config.interval.count()));
+    recorder.set_meta("threshold", std::to_string(config.threshold));
+    balancer.set_recorder(&recorder);
+  }
   balancer.run();  // Returns when the child exits.
 
   int status = 0;
   waitpid(child, &status, 0);
   std::fprintf(stderr, "speedbalancer: %lld migrations\n",
                static_cast<long long>(balancer.migrations()));
+  bool io_ok = true;
+  if (!trace_out.empty()) io_ok &= obs::write_trace_file(recorder, trace_out);
+  if (!report_json.empty())
+    io_ok &= obs::write_report_file(recorder, report_json);
+  if (!io_ok) return 2;
   if (WIFEXITED(status)) return WEXITSTATUS(status);
   return 1;
 }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace speedbal {
 
@@ -15,8 +17,22 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Core logging entry point (writes to stderr with a severity prefix).
+/// Parse a level name ("trace".."error"); nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Core logging entry point. The full line — wall-clock timestamp, thread
+/// id, severity, message — is assembled in one buffer and emitted as a
+/// single write(2), so lines from concurrent threads (native balancer,
+/// SPMD runtime) never interleave mid-line.
 void log_message(LogLevel level, const std::string& msg);
+
+/// Render the line exactly as log_message writes it (including the trailing
+/// newline): "HH:MM:SS.mmm [tid] LEVEL message\n". Exposed for tests.
+std::string format_log_line(LogLevel level, std::string_view msg);
+
+/// Redirect log output to another file descriptor (tests capture through a
+/// pipe); returns the previous fd. Default: 2 (stderr).
+int set_log_fd(int fd);
 
 namespace detail {
 class LogLine {

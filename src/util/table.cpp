@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
+
+#include "util/json.hpp"
 
 namespace speedbal {
 
@@ -52,6 +55,27 @@ void Table::print_csv(std::ostream& os) const {
   };
   emit(headers_);
   for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      w.key(headers_[c]);
+      // Numeric cells become JSON numbers so downstream tooling can plot
+      // them without re-parsing strings.
+      const std::string& cell = row[c];
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (!cell.empty() && end == cell.c_str() + cell.size())
+        w.value(v);
+      else
+        w.value(cell);
+    }
+    w.end_object();
+  }
+  w.end_array();
 }
 
 void print_heading(std::ostream& os, std::string_view title) {

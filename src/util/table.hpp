@@ -30,6 +30,11 @@ class Table {
   /// Comma-separated output (no quoting; cells must not contain commas).
   void print_csv(std::ostream& os) const;
 
+  /// Emit as a JSON value through an in-progress writer: an array of
+  /// objects, one per row, keyed by the column headers. Numeric-looking
+  /// cells are emitted as numbers.
+  void write_json(class JsonWriter& w) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

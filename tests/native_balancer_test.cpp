@@ -4,9 +4,14 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <thread>
+
+#include "obs/recorder.hpp"
+#include "util/json.hpp"
 
 namespace speedbal::native {
 namespace {
@@ -148,6 +153,78 @@ TEST(NativeSpeedBalancer, MigrationAttemptOnFakeTidsFailsSafely) {
   // fails; the balancer must carry on without counting a migration.
   EXPECT_EQ(balancer.step(), 0);
   EXPECT_EQ(balancer.migrations(), 0);
+}
+
+TEST(NativeSpeedBalancer, RecorderCapturesTimelineAndDecisions) {
+  if (!improbable_pids_free()) GTEST_SKIP();
+  FakeProc proc;
+  const long hz = Procfs::ticks_per_second();
+  proc.set_thread(kPid, kTidA, 0, 0);
+  proc.set_thread(kPid, kTidB, 0, 1);
+  NativeSpeedBalancer balancer(kPid, test_config(), Procfs(proc.root()),
+                               two_cpu_topology());
+  obs::RunRecorder rec;
+  balancer.set_recorder(&rec);
+  balancer.step();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  proc.set_thread(kPid, kTidA, 100 * hz, 0);  // CPU0 fast, CPU1 slow.
+  proc.set_thread(kPid, kTidB, 0, 1);
+  balancer.step();
+
+  // Every step after the first snapshot records one speed sample from the
+  // centralized sweep, and the imbalance produces decision-log entries.
+  EXPECT_GE(rec.timeline().size(), 1u);
+  EXPECT_GT(rec.decisions().size(), 0u);
+  const auto sample = rec.timeline().snapshot().back();
+  EXPECT_EQ(sample.observer, -1);
+  ASSERT_EQ(sample.core_speed.size(), 2u);
+  EXPECT_NEAR(sample.core_speed[0], 1.0, 1e-9);
+
+  // Both exports must be valid JSON with native data in them.
+  std::ostringstream trace_os, report_os;
+  rec.write_chrome_trace(trace_os);
+  rec.write_report_json(report_os);
+  const auto trace = JsonValue::parse(trace_os.str());
+  EXPECT_GT(trace.at("traceEvents").size(), 0u);
+  const auto report = JsonValue::parse(report_os.str());
+  EXPECT_GE(report.at("global_speed").at("samples").as_int(), 1);
+}
+
+TEST(NativeSpeedBalancer, RecorderSafeAcrossThreads) {
+  // TSan coverage: the balancer steps on a worker thread (as run() does)
+  // while the main thread reads counters and snapshots, mirroring the CLI
+  // exporting after join. All synchronization lives inside the recorder.
+  if (!improbable_pids_free()) GTEST_SKIP();
+  FakeProc proc;
+  const long hz = Procfs::ticks_per_second();
+  proc.set_thread(kPid, kTidA, 0, 0);
+  proc.set_thread(kPid, kTidB, 0, 1);
+  NativeSpeedBalancer balancer(kPid, test_config(), Procfs(proc.root()),
+                               two_cpu_topology());
+  obs::RunRecorder rec;
+  balancer.set_recorder(&rec);
+
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    for (int i = 0; i < 20; ++i) {
+      proc.set_thread(kPid, kTidA, (i + 1) * 10 * hz, 0);
+      proc.set_thread(kPid, kTidB, 0, 1);
+      if (balancer.step() < 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true);
+  });
+  std::size_t reads = 0;
+  while (!done.load()) {
+    (void)rec.counters();
+    (void)rec.timeline().snapshot();
+    (void)rec.decisions().counts();
+    ++reads;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  worker.join();
+  EXPECT_GT(reads, 0u);
+  EXPECT_GE(rec.timeline().size(), 1u);
 }
 
 TEST(NativeSpeedBalancer, BalancesRealSelfWithoutCrashing) {

@@ -1,0 +1,270 @@
+// Observability layer: the trace collector, speed timeline, decision log,
+// and the RunRecorder exporters. The Chrome-trace and run-report outputs
+// are parsed back with the in-tree JSON parser, so these tests double as
+// validity checks for what --trace-out / --report-json write to disk.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/scenarios.hpp"
+#include "obs/recorder.hpp"
+#include "topo/presets.hpp"
+#include "util/json.hpp"
+
+namespace speedbal {
+namespace {
+
+using obs::DecisionRecord;
+using obs::PullReason;
+using obs::RunRecorder;
+using obs::SpeedSample;
+
+TEST(Json, WriterParserRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "a \"quoted\"\nstring");
+  w.kv("count", 42);
+  w.kv("ratio", 0.5);
+  w.kv("on", true);
+  w.key("list").begin_array().value(1).value(2).value(3).end_array();
+  w.key("nested").begin_object().kv("k", "v").end_object();
+  w.end_object();
+
+  const auto doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("name").as_string(), "a \"quoted\"\nstring");
+  EXPECT_EQ(doc.at("count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 0.5);
+  EXPECT_TRUE(doc.at("on").as_bool());
+  ASSERT_EQ(doc.at("list").size(), 3u);
+  EXPECT_EQ(doc.at("list")[2].as_int(), 3);
+  EXPECT_EQ(doc.at("nested").at("k").as_string(), "v");
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformed) {
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+}
+
+TEST(TraceCollector, DisabledEmitsNothing) {
+  obs::TraceCollector tc;
+  tc.set_enabled(false);
+  tc.counter(0, "x", {{"v", 1.0}});
+  tc.instant(0, 0, "e", "cat");
+  tc.span(0, 10, 0, "s", "cat");
+  EXPECT_EQ(tc.size(), 0u);
+}
+
+TEST(TraceCollector, SpanCapCountsDrops) {
+  obs::TraceCollector tc;
+  tc.set_span_cap(2);
+  for (int i = 0; i < 5; ++i) tc.span(i, 1, 0, "s", "run");
+  tc.instant(9, 0, "e", "cat");  // Instants are never capped.
+  EXPECT_EQ(tc.size(), 3u);
+  EXPECT_EQ(tc.dropped_spans(), 3);
+}
+
+/// Parse a Chrome trace and return the traceEvents array.
+JsonValue parse_trace(const std::string& text) {
+  auto doc = JsonValue::parse(text);
+  EXPECT_NE(doc.find("traceEvents"), nullptr);
+  return doc;
+}
+
+TEST(TraceCollector, ChromeTraceParsesAndIsOrderedPerTrack) {
+  obs::TraceCollector tc;
+  // Emit out of timestamp order across two tracks.
+  tc.instant(300, 1, "c", "cat");
+  tc.instant(100, 0, "a", "cat");
+  tc.span(200, 50, 1, "b", "run");
+  tc.counter(150, "speed", {{"v", 2.0}});
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tc.snapshot(), "test-proc",
+                          {{0, "core 0"}, {1, "core 1"}});
+  const auto doc = parse_trace(os.str());
+  const auto& events = doc.at("traceEvents");
+
+  std::map<std::int64_t, std::int64_t> last_ts_by_tid;
+  bool saw_process_name = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      if (ev.at("name").as_string() == "process_name")
+        saw_process_name =
+            ev.at("args").at("name").as_string() == "test-proc";
+      continue;
+    }
+    const std::int64_t tid = ev.at("tid").as_int();
+    const std::int64_t ts = ev.at("ts").as_int();
+    auto it = last_ts_by_tid.find(tid);
+    if (it != last_ts_by_tid.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts_by_tid[tid] = ts;
+  }
+  EXPECT_TRUE(saw_process_name);
+  // 4 events beyond the 3 metadata records.
+  EXPECT_EQ(events.size(), 3u + 4u);
+}
+
+TEST(SpeedTimeline, GlobalStats) {
+  obs::SpeedTimeline tl;
+  tl.set_cores({0, 1});
+  for (const double g : {1.0, 2.0, 3.0}) {
+    SpeedSample s;
+    s.ts_us = static_cast<std::int64_t>(g * 100);
+    s.global = g;
+    s.core_speed = {g, g};
+    s.queue_len = {1, 1};
+    s.below_threshold = {false, false};
+    tl.add(s);
+  }
+  const auto stats = tl.global_stats();
+  EXPECT_EQ(stats.samples, 3);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.variance, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+}
+
+TEST(DecisionLog, CountsAndRecordCap) {
+  obs::DecisionLog log;
+  log.set_record_cap(2);
+  DecisionRecord rec;
+  rec.reason = PullReason::Pulled;
+  log.add(rec);
+  rec.reason = PullReason::AboveThreshold;
+  log.add(rec);
+  log.add(rec);
+  EXPECT_EQ(log.count(PullReason::Pulled), 1);
+  EXPECT_EQ(log.count(PullReason::AboveThreshold), 2);
+  // Counters keep counting past the cap; record storage does not.
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1);
+}
+
+TEST(RunRecorder, ReportRoundTripsCounters) {
+  RunRecorder rec;
+  rec.set_meta("tool", "unit-test");
+  rec.incr("migrations.speed", 7);
+  rec.incr("migrations.speed", 3);
+  DecisionRecord d;
+  d.reason = PullReason::Pulled;
+  rec.decisions().add(d);
+  d.reason = PullReason::NumaBlocked;
+  rec.decisions().add(d);
+
+  std::ostringstream os;
+  rec.write_report_json(os);
+  const auto doc = JsonValue::parse(os.str());
+
+  EXPECT_EQ(doc.at("meta").at("tool").as_string(), "unit-test");
+  const auto& counters = doc.at("counters");
+  EXPECT_EQ(counters.at("migrations.speed").as_int(), 10);
+  EXPECT_EQ(counters.at("pulls.performed").as_int(), 1);
+  EXPECT_EQ(counters.at("pulls.rejected.numa-blocked").as_int(), 1);
+  EXPECT_EQ(doc.at("decisions").at("by_reason").at("pulled").as_int(), 1);
+  ASSERT_EQ(doc.at("decisions").at("records").size(), 2u);
+  EXPECT_EQ(doc.at("decisions").at("records")[0].at("reason").as_string(),
+            "pulled");
+}
+
+TEST(RunRecorder, TraceContainsTimelineAndPullEvents) {
+  RunRecorder rec;
+  rec.set_meta("tool", "unit-test");
+  rec.timeline().set_cores({0, 1});
+  SpeedSample s;
+  s.ts_us = 100;
+  s.global = 1.5;
+  s.core_speed = {1.0, 2.0};
+  s.queue_len = {2, 1};
+  s.below_threshold = {true, false};
+  rec.timeline().add(s);
+  DecisionRecord d;
+  d.ts_us = 100;
+  d.local = 0;
+  d.source = 1;
+  d.victim = 42;
+  d.reason = PullReason::Pulled;
+  rec.decisions().add(d);
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const auto doc = JsonValue::parse(os.str());
+  const auto& events = doc.at("traceEvents");
+
+  bool saw_global_counter = false;
+  bool saw_pull_instant = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "C" && ev.at("name").as_string() == "global speed") {
+      saw_global_counter = true;
+      EXPECT_DOUBLE_EQ(ev.at("args").at("speed").as_number(), 1.5);
+    }
+    if (ph == "i" && ev.at("name").as_string() == "pull") {
+      saw_pull_instant = true;
+      EXPECT_EQ(ev.at("args").at("victim").as_int(), 42);
+      EXPECT_EQ(ev.at("args").at("from").as_int(), 1);
+      EXPECT_EQ(ev.at("args").at("to").as_int(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_global_counter);
+  EXPECT_TRUE(saw_pull_instant);
+}
+
+/// End-to-end: a small SPEED-YIELD simulation recorded through the same
+/// path simrun uses, then both exports parsed back.
+TEST(RunRecorder, EndToEndSimulatedRun) {
+  const auto topo = presets::by_name("generic2");
+  const auto prof = npb::by_name("ep.S");
+  auto config = scenarios::npb_config(topo, prof, /*threads=*/3, /*cores=*/2,
+                                      scenarios::Setup::SpeedYield,
+                                      /*repeats=*/1, /*seed=*/42);
+  RunRecorder rec;
+  config.recorder = &rec;
+  const auto result = run_experiment(config);
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_TRUE(result.runs[0].completed);
+
+  // The balancer sampled speeds at balance intervals and logged decisions.
+  EXPECT_GT(rec.timeline().size(), 0u);
+  EXPECT_GT(rec.decisions().size(), 0u);
+  const auto stats = rec.timeline().global_stats();
+  EXPECT_GT(stats.mean, 0.0);
+
+  // One "migration" instant per recorded migration.
+  std::ostringstream trace_os;
+  rec.write_chrome_trace(trace_os);
+  const auto trace = JsonValue::parse(trace_os.str());
+  std::int64_t migration_instants = 0;
+  const auto& events = trace.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    if (ev.at("ph").as_string() == "i" &&
+        ev.at("name").as_string() == "migration")
+      ++migration_instants;
+  }
+  EXPECT_EQ(migration_instants, result.runs[0].total_migrations);
+
+  // The report's counters agree with the run's per-cause migration totals.
+  std::ostringstream report_os;
+  rec.write_report_json(report_os);
+  const auto report = JsonValue::parse(report_os.str());
+  EXPECT_EQ(report.at("global_speed").at("samples").as_int(),
+            static_cast<std::int64_t>(rec.timeline().size()));
+  std::int64_t counted = 0;
+  for (const auto& [name, value] : report.at("counters").members())
+    if (name.rfind("migrations.", 0) == 0) counted += value.as_int();
+  EXPECT_EQ(counted, result.runs[0].total_migrations);
+}
+
+}  // namespace
+}  // namespace speedbal

@@ -24,6 +24,32 @@ TEST(Metrics, UnknownTaskHasZeroExec) {
   EXPECT_EQ(m.exec_by_core(42).size(), 2u);
 }
 
+TEST(Metrics, UnknownTaskVectorSizedToCores) {
+  // Regression: the shared fallback vector must be sized to the core count
+  // at construction, for every Metrics instance, before any run is
+  // recorded — callers index it with raw core ids.
+  Metrics wide(8);
+  Metrics narrow(3);
+  const auto& w = wide.exec_by_core(7);
+  const auto& n = narrow.exec_by_core(7);
+  ASSERT_EQ(w.size(), 8u);
+  ASSERT_EQ(n.size(), 3u);
+  for (const SimTime t : w) EXPECT_EQ(t, 0);
+  for (const SimTime t : n) EXPECT_EQ(t, 0);
+  EXPECT_EQ(w[7], 0);  // Indexable across the full core range.
+}
+
+TEST(Metrics, MigrationCountsByCause) {
+  Metrics m(4);
+  m.record_migration({usec(10), 1, 0, 1, MigrationCause::SpeedBalancer});
+  m.record_migration({usec(20), 2, 1, 2, MigrationCause::LinuxPeriodic});
+  m.record_migration({usec(30), 1, 1, 3, MigrationCause::SpeedBalancer});
+  const auto by_cause = m.migration_counts_by_cause();
+  ASSERT_EQ(by_cause.size(), 2u);
+  EXPECT_EQ(by_cause.at(MigrationCause::SpeedBalancer), 2);
+  EXPECT_EQ(by_cause.at(MigrationCause::LinuxPeriodic), 1);
+}
+
 TEST(Metrics, MigrationLogAndCounts) {
   Metrics m(4);
   m.record_migration({usec(10), 1, 0, 1, MigrationCause::SpeedBalancer});

@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -61,12 +63,19 @@ TEST(SpeedbalancerCli, MissingProgramReports127) {
 #define SIMRUN_BIN "simrun"
 #endif
 
-int run_simrun(std::vector<std::string> args) {
+/// Run simrun with stdout silenced and stderr captured into *stderr_out
+/// (when non-null); returns the exit status or -1.
+int run_simrun(std::vector<std::string> args, std::string* stderr_out = nullptr) {
+  const std::string err_path =
+      testing::TempDir() + "simrun_stderr_" + std::to_string(getpid()) + ".txt";
   const pid_t child = fork();
   if (child < 0) return -1;
   if (child == 0) {
     // Silence the table output; only the exit status matters here.
     if (freopen("/dev/null", "w", stdout) == nullptr) _exit(125);
+    if (stderr_out != nullptr &&
+        freopen(err_path.c_str(), "w", stderr) == nullptr)
+      _exit(125);
     std::vector<char*> argv;
     std::string bin = SIMRUN_BIN;
     argv.push_back(bin.data());
@@ -77,7 +86,23 @@ int run_simrun(std::vector<std::string> args) {
   }
   int status = 0;
   waitpid(child, &status, 0);
+  if (stderr_out != nullptr) {
+    std::ifstream is(err_path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    *stderr_out = ss.str();
+    std::remove(err_path.c_str());
+  }
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// True when `path` exists, is non-empty, and starts with a JSON object.
+bool is_nonempty_json_object(const std::string& path) {
+  std::ifstream is(path);
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  const auto first = text.find_first_not_of(" \t\n");
+  return first != std::string::npos && text[first] == '{';
 }
 
 TEST(SimrunCli, RunsSmallScenario) {
@@ -88,6 +113,74 @@ TEST(SimrunCli, RunsSmallScenario) {
 
 TEST(SimrunCli, RejectsUnknownSetup) {
   EXPECT_EQ(run_simrun({"--setup=BOGUS"}), 2);
+}
+
+TEST(SimrunCli, UnknownSetupErrorListsAvailableSetups) {
+  std::string err;
+  EXPECT_EQ(run_simrun({"--setup=BOGUS"}, &err), 2);
+  EXPECT_NE(err.find("unknown setup: BOGUS"), std::string::npos) << err;
+  // The error enumerates every accepted name.
+  for (const char* name : {"One-per-core", "PINNED", "LOAD-YIELD",
+                           "LOAD-SLEEP", "SPEED-YIELD", "SPEED-SLEEP", "DWRR",
+                           "FreeBSD"})
+    EXPECT_NE(err.find(name), std::string::npos) << "missing " << name
+                                                 << " in: " << err;
+}
+
+TEST(SimrunCli, RejectsUnknownLogLevel) {
+  std::string err;
+  EXPECT_EQ(run_simrun({"--setup=PINNED", "--log-level=chatty"}, &err), 2);
+  EXPECT_NE(err.find("unknown log level"), std::string::npos) << err;
+}
+
+TEST(SimrunCli, WritesTraceAndReportFiles) {
+  const std::string trace = testing::TempDir() + "simrun_trace.json";
+  const std::string report = testing::TempDir() + "simrun_report.json";
+  EXPECT_EQ(run_simrun({"--topo=generic2", "--bench=ep.S", "--threads=3",
+                        "--cores=2", "--setup=SPEED-YIELD", "--repeats=1",
+                        "--trace-out=" + trace, "--report-json=" + report}),
+            0);
+  EXPECT_TRUE(is_nonempty_json_object(trace));
+  EXPECT_TRUE(is_nonempty_json_object(report));
+  // Spot-check the expected top-level structure.
+  std::ifstream tr(trace);
+  std::string trace_text((std::istreambuf_iterator<char>(tr)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(trace_text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_text.find("global speed"), std::string::npos);
+  std::ifstream rp(report);
+  std::string report_text((std::istreambuf_iterator<char>(rp)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_NE(report_text.find("\"speed_timeline\""), std::string::npos);
+  EXPECT_NE(report_text.find("\"pulls.performed\""), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(report.c_str());
+}
+
+TEST(SimrunCli, UnwritableTraceFileFails) {
+  EXPECT_EQ(run_simrun({"--topo=generic2", "--bench=ep.S", "--threads=3",
+                        "--cores=2", "--setup=SPEED-YIELD", "--repeats=1",
+                        "--trace-out=/nonexistent-dir/t.json"}),
+            2);
+}
+
+TEST(SpeedbalancerCli, WritesTraceAndReportFiles) {
+  const std::string trace = testing::TempDir() + "sbal_trace.json";
+  const std::string report = testing::TempDir() + "sbal_report.json";
+  EXPECT_EQ(run_tool({"--interval=10", "--startup-delay=1", "--cores=0",
+                      "--trace-out=" + trace, "--report-json=" + report,
+                      "/bin/sh", "-c",
+                      "i=0; while [ $i -lt 20000 ]; do i=$((i+1)); done"}),
+            0);
+  EXPECT_TRUE(is_nonempty_json_object(trace));
+  EXPECT_TRUE(is_nonempty_json_object(report));
+  std::ifstream rp(report);
+  std::string report_text((std::istreambuf_iterator<char>(rp)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_NE(report_text.find("\"tool\""), std::string::npos);
+  EXPECT_NE(report_text.find("speedbalancer"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(report.c_str());
 }
 
 TEST(SimrunCli, RejectsUnknownTopology) {

@@ -1,6 +1,13 @@
 #include "util/log.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/time.hpp"
 
@@ -30,6 +37,73 @@ TEST(Log, MacroSkipsBelowThreshold) {
   SB_LOG(Error) << "once " << count();
   EXPECT_EQ(evaluations, 1);
   set_log_level(original);
+}
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(Log, FormatLineStructure) {
+  // "HH:MM:SS.mmm [tid] LEVEL message\n" — wall-clock prefix, bracketed
+  // thread id, severity tag, then the message verbatim.
+  const std::string line = format_log_line(LogLevel::Warn, "queue is hot");
+  const std::regex shape(
+      R"(\d{2}:\d{2}:\d{2}\.\d{3} \[\d+\] WARN queue is hot\n)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << "got: " << line;
+  // The same thread formats the same tid every time.
+  const std::string again = format_log_line(LogLevel::Error, "x");
+  const auto tid_of = [](const std::string& s) {
+    return s.substr(s.find('['), s.find(']') - s.find('[') + 1);
+  };
+  EXPECT_EQ(tid_of(line), tid_of(again));
+}
+
+TEST(Log, ConcurrentWritersDoNotInterleave) {
+  // Each line is emitted with a single write(2); writers on four threads
+  // through a pipe must produce only whole, well-formed lines. Total volume
+  // stays far below the 64 KiB pipe capacity so writes cannot block.
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Info);
+  const int prev_fd = set_log_fd(fds[1]);
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i)
+        SB_LOG(Info) << "worker=" << t << " line=" << i << " tail";
+    });
+  for (auto& w : workers) w.join();
+
+  set_log_fd(prev_fd);
+  set_log_level(original);
+  close(fds[1]);
+
+  std::string captured;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) captured.append(buf, n);
+  close(fds[0]);
+
+  std::istringstream is(captured);
+  std::string line;
+  int count = 0;
+  const std::regex shape(
+      R"(\d{2}:\d{2}:\d{2}\.\d{3} \[\d+\] INFO worker=\d+ line=\d+ tail)");
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(std::regex_match(line, shape)) << "interleaved: " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 TEST(FormatTime, UnitsAndSentinel) {
