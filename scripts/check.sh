@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest, then a ThreadSanitizer build of the
-# native balancer tests (worker thread + trace recorder). Run from anywhere;
-# build trees live under build/ and build-tsan/ at the repo root.
+# native balancer tests (worker thread + trace recorder) and an
+# AddressSanitizer build of the perturbation + native tests (timeline
+# parsing, fault-injection paths, hotplug drain). Run from anywhere; build
+# trees live under build/, build-tsan/, and build-asan/ at the repo root.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,7 +16,12 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo "== tsan: native balancer tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" -j "$jobs" --target native_test
-ctest --test-dir "$repo/build-tsan" --output-on-failure -R native_test
+cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test'
+
+echo "== asan: perturbation + native tests =="
+cmake -B "$repo/build-asan" -S "$repo" -DSPEEDBAL_SANITIZE=address >/dev/null
+cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test
+ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test'
 
 echo "check.sh: all green"

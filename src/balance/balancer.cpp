@@ -5,6 +5,7 @@ namespace speedbal::balance_detail {
 std::vector<Task*> kernel_movable(const Simulator& sim, CoreId source,
                                   CoreId dest) {
   std::vector<Task*> out;
+  if (!sim.core_online(dest)) return out;  // Never pull into a dead core.
   for (Task* t : sim.tasks_on(source)) {
     if (t->state() == TaskState::Running) continue;
     if (t->hard_pinned()) continue;

@@ -24,6 +24,7 @@ void DwrrBalancer::tick() {
   // is waiting locally. A CPU with no tasks at all only steals — it has no
   // round to finish, so it must not race its round number ahead.
   for (CoreId c = 0; c < sim_->num_cores(); ++c) {
+    if (!sim_->core_online(c)) continue;  // Never steal into a dead core.
     if (core_has_active(c)) continue;
     if (try_steal(c)) continue;
     if (core_has_parked(c)) advance_round(c);

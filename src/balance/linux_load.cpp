@@ -35,6 +35,7 @@ void LinuxLoadBalancer::tick(CoreId core) {
 }
 
 void LinuxLoadBalancer::rebalance_core(CoreId core) {
+  if (!sim_->core_online(core)) return;  // Hotplugged out; tick idles.
   const auto chain = sim_->domains().domains_for(core);
   const bool idle = sim_->core(core).idle();
   for (std::size_t i = 0; i < chain.size(); ++i) {
@@ -121,7 +122,8 @@ bool LinuxLoadBalancer::balance_domain(CoreId core, const Domain& dom) {
     if (victim != nullptr && !victim->hard_pinned()) {
       CoreId idle_dest = -1;
       for (CoreId c : dom.cores) {
-        if (c != source && sim_->core(c).idle() && victim->allowed_on(c)) {
+        if (c != source && sim_->core_online(c) && sim_->core(c).idle() &&
+            victim->allowed_on(c)) {
           idle_dest = c;
           break;
         }

@@ -113,6 +113,7 @@ std::map<CoreId, double> SpeedBalancer::measure_core_speeds(
 
   std::map<CoreId, double> core_speed;
   for (CoreId c : cores_) {
+    if (!sim_->core_online(c)) continue;  // Hotplugged out of the pool.
     const auto it = per_core.find(c);
     if (it == per_core.end() || it->second.empty()) {
       // No managed threads: a thread migrated here could run at the core's
@@ -146,6 +147,18 @@ void SpeedBalancer::record_sample(CoreId local,
 }
 
 void SpeedBalancer::balance_once(CoreId local) {
+  if (!sim_->core_online(local)) {
+    // The core this balancer pulls for is gone; sit the pass out (it keeps
+    // ticking — the core may come back).
+    if (recorder_ != nullptr) {
+      obs::DecisionRecord rec;
+      rec.ts_us = sim_->now();
+      rec.local = local;
+      rec.reason = obs::PullReason::CoreOffline;
+      recorder_->decisions().add(rec);
+    }
+    return;
+  }
   std::map<TaskId, double> thread_speed;
   const auto core_speed = measure_core_speeds(local, thread_speed);
   if (core_speed.empty()) return;
@@ -255,13 +268,19 @@ void SpeedBalancer::balance_once(CoreId local) {
     return;
   }
 
+  if (!sim_->set_affinity(*victim, 1ULL << local, /*hard_pin=*/true,
+                          MigrationCause::SpeedBalancer)) {
+    // EINVAL: the local core was hotplugged out between the entry check and
+    // the pull. The pass degrades to a no-op rather than wedging.
+    log_decision(obs::PullReason::CoreOffline, source, source_speed,
+                 victim->id());
+    return;
+  }
   SB_LOG(Debug) << "speedbalancer: pull task " << victim->id() << " from core "
                 << source << " (s=" << source_speed << ") to core " << local
                 << " (s=" << local_speed << ", global=" << global << ")";
   log_decision(obs::PullReason::Pulled, source, source_speed, victim->id(),
                /*tie_break=*/co_minimal > 1);
-  sim_->set_affinity(*victim, 1ULL << local, /*hard_pin=*/true,
-                     MigrationCause::SpeedBalancer);
   last_involved_[local] = sim_->now();
   last_involved_[source] = sim_->now();
 }

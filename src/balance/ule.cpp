@@ -23,6 +23,7 @@ void UleBalancer::push_once() {
   std::size_t max_load = 0;
   std::size_t min_load = std::numeric_limits<std::size_t>::max();
   for (CoreId c = 0; c < sim_->num_cores(); ++c) {
+    if (!sim_->core_online(c)) continue;  // An offline core looks empty.
     const std::size_t load = sim_->core(c).queue().nr_running();
     if (load > max_load) {
       max_load = load;

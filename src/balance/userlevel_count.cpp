@@ -43,6 +43,7 @@ std::map<CoreId, int> CountBalancer::count_per_core() const {
 }
 
 void CountBalancer::balance_once(CoreId local) {
+  if (!sim_->core_online(local)) return;  // Hotplugged out; pass idles.
   const auto counts = count_per_core();
   const auto it = counts.find(local);
   if (it == counts.end()) return;
@@ -79,8 +80,9 @@ void CountBalancer::balance_once(CoreId local) {
     if (victim == nullptr || t->migrations() < victim->migrations()) victim = t;
   }
   if (victim == nullptr) return;
-  sim_->set_affinity(*victim, 1ULL << local, /*hard_pin=*/true,
-                     MigrationCause::Affinity);
+  if (!sim_->set_affinity(*victim, 1ULL << local, /*hard_pin=*/true,
+                          MigrationCause::Affinity))
+    return;  // Local core hotplugged out mid-pass.
   last_involved_[local] = sim_->now();
   last_involved_[source] = sim_->now();
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "balance/pinned.hpp"
+#include "perturb/sim_driver.hpp"
 #include "workload/generator.hpp"
 
 namespace speedbal {
@@ -49,7 +50,7 @@ std::map<MigrationCause, double> ExperimentResult::mean_migrations_by_cause() co
 namespace {
 
 RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
-                   obs::RunRecorder* recorder) {
+                   obs::RunRecorder* recorder, int rep) {
   SimParams sim_params = config.sim;
   // FreeBSD's sched_pickcpu consults the current queue states at thread
   // creation; the stale-snapshot quirk is specific to the Linux fork path
@@ -69,6 +70,14 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   }
   std::unique_ptr<MakeWorkload> make;
   if (config.make) make = std::make_unique<MakeWorkload>(sim, *config.make);
+
+  // Scripted interference timeline (DVFS, hotplug, hogs, spikes).
+  std::unique_ptr<perturb::SimPerturbDriver> perturber;
+  if (!config.perturb.empty()) {
+    perturber = std::make_unique<perturb::SimPerturbDriver>(sim, config.perturb);
+    perturber->set_recorder(recorder);
+    perturber->arm();
+  }
 
   // Kernel-level policy. Speed/Pinned coexist with the Linux balancer;
   // DWRR and ULE replace it.
@@ -111,9 +120,12 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
     pinned->attach(sim);
   }
 
+  if (config.on_run_start) config.on_run_start(sim, app, rep);
+
   RunResult result;
   result.completed = sim.run_while_pending([&] { return app.finished(); },
                                            config.time_cap);
+  if (config.on_run_end) config.on_run_end(sim, app, rep);
   result.runtime_s = result.completed ? to_sec(app.elapsed())
                                       : to_sec(config.time_cap);
   result.total_migrations = sim.metrics().migration_count();
@@ -150,7 +162,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         config.seed * 1000003ULL + static_cast<std::uint64_t>(rep) * 7919ULL + 1;
     obs::RunRecorder* recorder =
         rep == config.recorded_repeat ? config.recorder : nullptr;
-    out.runs.push_back(run_once(config, seed, recorder));
+    out.runs.push_back(run_once(config, seed, recorder, rep));
     runtimes.push_back(out.runs.back().runtime_s);
   }
   out.runtime = summarize(runtimes);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -13,6 +14,7 @@
 #include "balance/speed.hpp"
 #include "balance/ule.hpp"
 #include "obs/recorder.hpp"
+#include "perturb/timeline.hpp"
 #include "topo/topology.hpp"
 #include "util/stats.hpp"
 
@@ -56,6 +58,19 @@ struct ExperimentConfig {
   bool cpu_hog = false;
   CoreId cpu_hog_core = 0;
   std::optional<MakeSpec> make;
+
+  /// Scripted interference: DVFS changes, hotplug, cpu-hog start/stop, work
+  /// spikes, injected failures — applied at their scheduled times in every
+  /// repeat (see perturb::SimPerturbDriver).
+  perturb::PerturbTimeline perturb;
+
+  /// Per-run hooks, called with the repeat index: `on_run_start` right
+  /// after the application and balancers are attached (install custom
+  /// probes via Simulator::schedule_at here), `on_run_end` when the run is
+  /// over but the simulation state is still alive (harvest application
+  /// series such as phase times). Null = unused.
+  std::function<void(Simulator&, SpmdApp&, int)> on_run_start;
+  std::function<void(Simulator&, SpmdApp&, int)> on_run_end;
 
   /// Observability: when set, the repeat selected by `recorded_repeat` runs
   /// with full tracing (speed timeline, decision log, migration events, run

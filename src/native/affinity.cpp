@@ -3,8 +3,10 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 
 namespace speedbal::native {
 
@@ -64,11 +66,38 @@ CpuSet CpuSet::parse_list(const std::string& list) {
   return s;
 }
 
-bool set_affinity(pid_t tid, const CpuSet& set) {
+namespace {
+
+bool transient_errno(int err) { return err == EINTR || err == EAGAIN; }
+
+}  // namespace
+
+int set_affinity_errno(pid_t tid, const CpuSet& set, const RetryPolicy& retry,
+                       perturb::FaultInjector* inject) {
   cpu_set_t cs;
   CPU_ZERO(&cs);
   for (int c : set.cpus()) CPU_SET(c, &cs);
-  return sched_setaffinity(tid, sizeof(cs), &cs) == 0;
+  auto backoff = retry.initial_backoff;
+  int err = EINVAL;
+  const int attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    err = 0;
+    if (inject != nullptr)
+      err = inject->next_error(perturb::FaultOp::SetAffinity);
+    if (err == 0)
+      err = sched_setaffinity(tid, sizeof(cs), &cs) == 0 ? 0 : errno;
+    if (err == 0) return 0;
+    if (!transient_errno(err)) return err;  // Permanent; retrying cannot help.
+  }
+  return err;
+}
+
+bool set_affinity(pid_t tid, const CpuSet& set) {
+  return set_affinity_errno(tid, set) == 0;
 }
 
 CpuSet get_affinity(pid_t tid) {

@@ -2,9 +2,12 @@
 
 #include <sys/types.h>
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "perturb/fault_injection.hpp"
 
 namespace speedbal::native {
 
@@ -37,9 +40,26 @@ class CpuSet {
   std::uint64_t mask_ = 0;
 };
 
-/// sched_setaffinity for a specific thread (tid); returns false on failure
-/// (e.g. the thread exited) and never throws — balancers must tolerate
-/// threads racing with them.
+/// Bounded retry policy for transient syscall failures (EINTR/EAGAIN):
+/// up to `max_attempts` tries, sleeping `initial_backoff` before the first
+/// retry and doubling it each time. Permanent errors (ESRCH: thread gone,
+/// EINVAL: no usable CPU in the mask) are never retried.
+struct RetryPolicy {
+  int max_attempts = 3;
+  std::chrono::microseconds initial_backoff{200};
+};
+
+/// sched_setaffinity for a specific thread (tid) with bounded
+/// retry-with-backoff on transient failures. Returns 0 on success or the
+/// last errno; never throws. When `inject` is non-null it is consulted
+/// before every real syscall attempt and a nonzero armed errno is treated
+/// exactly like the syscall failing with it (the fault-injection shim).
+int set_affinity_errno(pid_t tid, const CpuSet& set,
+                       const RetryPolicy& retry = {},
+                       perturb::FaultInjector* inject = nullptr);
+
+/// Boolean convenience wrapper over set_affinity_errno (default retries,
+/// no injection) — balancers must tolerate threads racing with them.
 bool set_affinity(pid_t tid, const CpuSet& set);
 
 /// sched_getaffinity; returns an empty set on failure.

@@ -3,10 +3,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace speedbal::native {
 
@@ -53,14 +56,31 @@ std::vector<pid_t> Procfs::tids(pid_t pid) const {
 std::optional<TaskTimes> Procfs::task_times(pid_t pid, pid_t tid) const {
   const std::string path = root_ + "/" + std::to_string(pid) + "/task/" +
                            std::to_string(tid) + "/stat";
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::string line;
-  std::getline(in, line);
-  if (line.empty()) return std::nullopt;
-  auto parsed = parse_stat_line(line);
-  if (parsed) parsed->tid = tid;
-  return parsed;
+  auto backoff = std::chrono::microseconds(200);
+  for (int attempt = 0; attempt < max_read_attempts_; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    if (inject_ != nullptr) {
+      const int err = inject_->next_error(perturb::FaultOp::ProcfsRead);
+      if (err == EINTR || err == EAGAIN) continue;  // Transient: retry.
+      if (err != 0) {                               // Permanent failure.
+        ++read_failures_;
+        return std::nullopt;
+      }
+    }
+    std::ifstream in(path);
+    if (!in) return std::nullopt;  // Thread exited: gone, not a failure.
+    std::string line;
+    std::getline(in, line);
+    if (line.empty()) return std::nullopt;
+    auto parsed = parse_stat_line(line);
+    if (parsed) parsed->tid = tid;
+    return parsed;  // Malformed lines will not improve on retry.
+  }
+  ++read_failures_;  // Transient failures exhausted the retry budget.
+  return std::nullopt;
 }
 
 std::vector<TaskTimes> Procfs::all_task_times(pid_t pid) const {

@@ -2,9 +2,13 @@
 
 #include <sys/types.h>
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "perturb/fault_injection.hpp"
 
 namespace speedbal::native {
 
@@ -28,10 +32,34 @@ struct TaskTimes {
 std::optional<TaskTimes> parse_stat_line(const std::string& line);
 
 /// Procfs reader with an injectable root so tests can run against a
-/// synthetic /proc tree.
+/// synthetic /proc tree, and an optional fault-injection shim exercising
+/// the readers' retry/degradation paths. Transient injected read failures
+/// (EINTR/EAGAIN) are retried up to `max_read_attempts` times; permanent
+/// ones surface as a failed read (nullopt), counted in `read_failures`.
 class Procfs {
  public:
   explicit Procfs(std::string root = "/proc") : root_(std::move(root)) {}
+
+  Procfs(const Procfs& o)
+      : root_(o.root_),
+        inject_(o.inject_),
+        max_read_attempts_(o.max_read_attempts_),
+        read_failures_(o.read_failures_.load()) {}
+  Procfs& operator=(const Procfs& o) {
+    root_ = o.root_;
+    inject_ = o.inject_;
+    max_read_attempts_ = o.max_read_attempts_;
+    read_failures_.store(o.read_failures_.load());
+    return *this;
+  }
+
+  /// Route every stat read through this injector (null disables).
+  void set_fault_injector(perturb::FaultInjector* inj) { inject_ = inj; }
+  void set_max_read_attempts(int n) { max_read_attempts_ = n > 0 ? n : 1; }
+
+  /// Stat reads that failed permanently (after retries) so far; balancers
+  /// compare across a sweep to detect incomplete samples.
+  std::int64_t read_failures() const { return read_failures_.load(); }
 
   /// Thread ids of a process (the /proc/<pid>/task directory). Empty if the
   /// process is gone.
@@ -51,6 +79,9 @@ class Procfs {
 
  private:
   std::string root_;
+  perturb::FaultInjector* inject_ = nullptr;
+  int max_read_attempts_ = 3;
+  mutable std::atomic<std::int64_t> read_failures_{0};
 };
 
 }  // namespace speedbal::native

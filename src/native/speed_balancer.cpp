@@ -1,6 +1,7 @@
 #include "native/speed_balancer.hpp"
 
 #include <algorithm>
+#include <cerrno>
 
 #include "util/log.hpp"
 
@@ -22,6 +23,7 @@ NativeSpeedBalancer::NativeSpeedBalancer(pid_t target,
       procfs_(std::move(procfs)),
       topo_(std::move(topo)),
       rng_(config_.seed) {
+  procfs_.set_fault_injector(config_.fault_injector);
   if (config_.cores.empty()) {
     for (int c = 0; c < online_cpus() && c < 64; ++c) cores_.push_back(c);
   } else {
@@ -35,14 +37,25 @@ void NativeSpeedBalancer::set_recorder(obs::RunRecorder* rec) {
   if (rec != nullptr) rec->timeline().set_cores(cores_);
 }
 
+std::vector<int> NativeSpeedBalancer::quarantined_cores() const {
+  std::vector<int> out;
+  for (const auto& [c, until] : dead_until_)
+    if (pass_count_ < until) out.push_back(c);
+  return out;
+}
+
 void NativeSpeedBalancer::pin_round_robin() {
   const auto tids = procfs_.tids(target_);
   std::size_t i = 0;
   for (pid_t tid : tids) {
     auto [it, inserted] = tids_.emplace(tid, TidState{});
     it->second.seen = true;
-    if (inserted && config_.initial_round_robin)
-      set_affinity(tid, CpuSet::single(cores_[i % cores_.size()]));
+    if (inserted && config_.initial_round_robin) {
+      const int err =
+          set_affinity_errno(tid, CpuSet::single(cores_[i % cores_.size()]),
+                             config_.affinity_retry, config_.fault_injector);
+      if (err != 0 && err != ESRCH) ++affinity_failures_;
+    }
     ++i;
   }
 }
@@ -50,8 +63,16 @@ void NativeSpeedBalancer::pin_round_robin() {
 bool NativeSpeedBalancer::measure(std::map<int, double>& core_speed,
                                   std::map<pid_t, double>& thread_speed,
                                   std::map<pid_t, int>& thread_core) {
+  const std::int64_t fails_before = procfs_.read_failures();
   const auto samples = procfs_.all_task_times(target_);
   const auto now = Clock::now();
+  if (procfs_.read_failures() > fails_before) {
+    // The sweep was incomplete (stat reads failed past the retry budget):
+    // balancing on partial speeds would mistake unread threads for absent
+    // ones. Skip the pass; last_ticks stay put so the next delta is exact.
+    ++sample_failures_;
+    return false;
+  }
   if (samples.empty()) return false;
 
   const double hz = static_cast<double>(Procfs::ticks_per_second());
@@ -87,12 +108,34 @@ bool NativeSpeedBalancer::measure(std::map<int, double>& core_speed,
 }
 
 int NativeSpeedBalancer::step() {
+  ++pass_count_;
   if (!procfs_.alive(target_)) return -1;
+  const std::int64_t ts_us =
+      recorder_ == nullptr
+          ? 0
+          : std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                  trace_origin_)
+                .count();
+  const auto log_sample_failed = [&] {
+    if (recorder_ == nullptr) return;
+    obs::DecisionRecord rec;
+    rec.ts_us = ts_us;
+    rec.reason = obs::PullReason::SampleFailed;
+    recorder_->decisions().add(rec);
+  };
   // A target that exited but has not been reaped yet keeps its /proc entry
   // as a zombie; treat an all-zombie (or thread-less) process as exited, or
   // the balancer would spin forever waiting for its own caller's waitpid.
   {
+    const std::int64_t fails_before = procfs_.read_failures();
     const auto samples = procfs_.all_task_times(target_);
+    if (procfs_.read_failures() > fails_before) {
+      // Incomplete probe: do NOT mistake unreadable threads for a dead
+      // target — skip the pass and try again next interval.
+      ++sample_failures_;
+      log_sample_failed();
+      return 0;
+    }
     bool any_live = false;
     for (const auto& s : samples)
       if (s.state != 'Z' && s.state != 'X') {
@@ -106,7 +149,11 @@ int NativeSpeedBalancer::step() {
   std::map<int, double> core_speed;
   std::map<pid_t, double> thread_speed;
   std::map<pid_t, int> thread_core;
-  if (!measure(core_speed, thread_speed, thread_core)) return 0;
+  const std::int64_t sample_fails_before = sample_failures_;
+  if (!measure(core_speed, thread_speed, thread_core)) {
+    if (sample_failures_ > sample_fails_before) log_sample_failed();
+    return 0;
+  }
 
   double global = 0.0;
   for (const auto& [c, s] : core_speed) {
@@ -117,12 +164,6 @@ int NativeSpeedBalancer::step() {
   core_speeds_ = core_speed;
   global_speed_ = global;
 
-  const std::int64_t ts_us =
-      recorder_ == nullptr
-          ? 0
-          : std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                  trace_origin_)
-                .count();
   if (recorder_ != nullptr) {
     obs::SpeedSample sample;
     sample.ts_us = ts_us;
@@ -173,8 +214,20 @@ int NativeSpeedBalancer::step() {
   for (std::size_t i = order.size(); i > 1; --i)
     std::swap(order[i - 1], order[rng_.uniform_u64(i)]);
 
+  // Graceful degradation: a core whose pulls failed with EINVAL has been
+  // hotplugged out from under us; quarantine it for a few passes instead of
+  // hammering a dead destination every interval.
+  const auto quarantined = [&](int c) {
+    const auto it = dead_until_.find(c);
+    return it != dead_until_.end() && pass_count_ < it->second;
+  };
+
   int moved = 0;
   for (int local : order) {
+    if (quarantined(local)) {
+      log_decision(local, obs::PullReason::CoreOffline, -1, 0.0);
+      continue;
+    }
     if (core_speed.at(local) <= global) {
       log_decision(local, obs::PullReason::BelowAverage, -1, 0.0);
       continue;
@@ -188,6 +241,10 @@ int NativeSpeedBalancer::step() {
     for (int c : cores_) {
       if (c == local) continue;
       const double s = core_speed.at(c);
+      if (quarantined(c)) {
+        log_decision(local, obs::PullReason::CoreOffline, c, s);
+        continue;
+      }
       if (blocked(c)) {
         log_decision(local, obs::PullReason::MigrationBlocked, c, s);
         continue;
@@ -229,7 +286,28 @@ int NativeSpeedBalancer::step() {
       log_decision(local, obs::PullReason::NoVictim, source, source_speed);
       continue;
     }
-    if (!set_affinity(victim, CpuSet::single(local))) continue;  // Tid raced away.
+    const int err = set_affinity_errno(victim, CpuSet::single(local),
+                                       config_.affinity_retry,
+                                       config_.fault_injector);
+    if (err == ESRCH) continue;  // Tid raced away; not a failure.
+    if (err == EINVAL) {
+      // The destination core vanished (hotplug): every pull into it would
+      // fail the same way, so quarantine it instead of retrying blindly.
+      dead_until_[local] = pass_count_ + config_.dead_core_backoff_passes;
+      ++affinity_failures_;
+      log_decision(local, obs::PullReason::CoreOffline, source, source_speed,
+                   victim);
+      if (recorder_ != nullptr) recorder_->incr("affinity.einval");
+      continue;
+    }
+    if (err != 0) {
+      ++affinity_failures_;
+      log_decision(local, obs::PullReason::AffinityFailed, source, source_speed,
+                   victim);
+      if (recorder_ != nullptr) recorder_->incr("affinity.failed");
+      continue;
+    }
+    dead_until_.erase(local);  // A successful pull proves the core is back.
     ++tids_[victim].migrations;
     ++migrations_;
     ++moved;

@@ -29,6 +29,15 @@ struct NativeBalancerConfig {
   std::chrono::milliseconds startup_delay{100};
   bool initial_round_robin = true;
   std::uint64_t seed = 1;
+
+  /// Bounded retry-with-backoff for transient sched_setaffinity failures.
+  RetryPolicy affinity_retry;
+  /// Fault-injection shim consulted before every affinity call and (routed
+  /// into the Procfs reader) every stat read; null = real syscalls only.
+  perturb::FaultInjector* fault_injector = nullptr;
+  /// A core whose pulls fail with EINVAL (hotplugged out from under us) is
+  /// quarantined for this many passes before being probed again.
+  int dead_core_backoff_passes = 10;
 };
 
 /// The paper's speedbalancer as a real POSIX program component: monitors
@@ -67,6 +76,13 @@ class NativeSpeedBalancer {
   /// Speeds from the most recent pass, per core (for tests/telemetry).
   const std::map<int, double>& core_speeds() const { return core_speeds_; }
   double global_speed() const { return global_speed_; }
+  /// Cores currently quarantined after EINVAL pull failures (hotplugged
+  /// out); probed again after dead_core_backoff_passes passes.
+  std::vector<int> quarantined_cores() const;
+  /// Passes skipped because the speed sample was incomplete (procfs reads
+  /// failed) and pulls that failed permanently, for tests/telemetry.
+  std::int64_t sample_failures() const { return sample_failures_; }
+  std::int64_t affinity_failures() const { return affinity_failures_; }
 
   /// Attach an observability recorder: every step() then appends a speed
   /// timeline sample, logs each pull decision with its reason, and emits an
@@ -101,6 +117,11 @@ class NativeSpeedBalancer {
   std::map<int, double> core_speeds_;
   double global_speed_ = 0.0;
   std::int64_t migrations_ = 0;
+  /// Quarantine bookkeeping: core -> pass index at which to probe again.
+  std::map<int, std::int64_t> dead_until_;
+  std::int64_t pass_count_ = 0;
+  std::int64_t sample_failures_ = 0;
+  std::int64_t affinity_failures_ = 0;
 
   obs::RunRecorder* recorder_ = nullptr;
   std::chrono::steady_clock::time_point trace_origin_{};

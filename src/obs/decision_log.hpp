@@ -20,9 +20,13 @@ enum class PullReason {
   DomainBlocked,     ///< Candidate rejected: above the allowed scheduling-domain level.
   NoCandidate,       ///< Pass found no source core after all rejections.
   NoVictim,          ///< Source chosen but it held no managed thread to pull.
+  // Perturbation-caused outcomes (hotplug / fault injection).
+  CoreOffline,       ///< Local or destination core hotplugged out mid-pass.
+  AffinityFailed,    ///< sched_setaffinity failed permanently (retries spent).
+  SampleFailed,      ///< Speed measurement failed (procfs read error).
 };
 
-inline constexpr int kNumPullReasons = 9;
+inline constexpr int kNumPullReasons = 12;
 
 const char* to_string(PullReason r);
 

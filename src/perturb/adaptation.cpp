@@ -1,0 +1,81 @@
+#include "perturb/adaptation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace speedbal::perturb {
+
+AdaptationResult analyze_step_response(const std::vector<double>& series,
+                                       SimTime window, SimTime perturb_time,
+                                       double tolerance, int stable_windows) {
+  if (series.empty())
+    throw std::invalid_argument("analyze_step_response: empty series");
+  if (window <= 0)
+    throw std::invalid_argument("analyze_step_response: window must be > 0");
+  const SimTime series_end = static_cast<SimTime>(series.size()) * window;
+  if (perturb_time < 0 || perturb_time >= series_end)
+    throw std::invalid_argument(
+        "analyze_step_response: perturbation outside the sampled range");
+
+  // First window fully after the perturbation (a window straddling the step
+  // mixes pre- and post-step behavior and cannot count as converged).
+  const std::size_t first =
+      static_cast<std::size_t>((perturb_time + window - 1) / window);
+  const std::size_t n = series.size();
+
+  AdaptationResult out;
+  out.windows_analyzed = static_cast<int>(n - first);
+  if (first >= n) {
+    // The step landed in the final window; nothing measurable follows.
+    out.windows_analyzed = 0;
+    return out;
+  }
+
+  // Steady state: mean of the last quarter (at least one window) of the
+  // post-step series. Using the tail rather than a supplied constant keeps
+  // the analysis policy-agnostic — each policy converges to its own level.
+  const std::size_t post = n - first;
+  const std::size_t tail = std::max<std::size_t>(post / 4, 1);
+  double steady = 0.0;
+  for (std::size_t i = n - tail; i < n; ++i) steady += series[i];
+  steady /= static_cast<double>(tail);
+  out.steady_value = steady;
+
+  const double band = tolerance * std::max(std::abs(steady), 1e-12);
+  const auto settled = [&](std::size_t i) {
+    return std::abs(series[i] - steady) <= band;
+  };
+
+  // Find the earliest window from which the series stays within the band
+  // for `stable_windows` consecutive windows AND never leaves it again
+  // (a dip after apparent convergence resets the clock).
+  std::size_t settle_at = n;  // n = never.
+  for (std::size_t i = n; i-- > first;) {
+    if (settled(i))
+      settle_at = i;
+    else
+      break;
+  }
+  const std::size_t run_len = n - settle_at;
+  if (settle_at < n && run_len >= static_cast<std::size_t>(stable_windows)) {
+    out.converged = true;
+    const SimTime settle_time = static_cast<SimTime>(settle_at) * window;
+    out.latency = std::max<SimTime>(settle_time - perturb_time, 0);
+  }
+
+  // Imbalance integral over everything after the perturbation, clipping the
+  // straddling window to its post-step part.
+  for (std::size_t i =
+           static_cast<std::size_t>(perturb_time / window);
+       i < n; ++i) {
+    const SimTime lo = std::max<SimTime>(
+        static_cast<SimTime>(i) * window, perturb_time);
+    const SimTime hi = static_cast<SimTime>(i + 1) * window;
+    out.imbalance_integral +=
+        std::abs(series[i] - steady) * to_sec(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace speedbal::perturb

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace speedbal::perturb {
+
+/// Outcome of a step-response analysis: how a time-series (windowed program
+/// speed, in practice) behaved after a perturbation at a known instant.
+/// Boulmier et al. argue re-convergence time after a perturbation is the
+/// balancer metric that matters; this quantifies it.
+struct AdaptationResult {
+  /// Whether the series settled into the post-step steady band at all.
+  bool converged = false;
+  /// Time from the perturbation to the start of the first window run that
+  /// stays within tolerance of the steady value (0 when already settled).
+  SimTime latency = 0;
+  /// Integral of |value - steady| dt over [perturbation, end) — the total
+  /// speed lost (or spuriously gained) while re-converging. Units:
+  /// value x seconds.
+  double imbalance_integral = 0.0;
+  /// The post-perturbation steady-state value the series converged to
+  /// (mean of the final quarter of post-step windows).
+  double steady_value = 0.0;
+  int windows_analyzed = 0;
+};
+
+/// Analyze the step response of `series`, a time-series sampled on fixed
+/// `window`-length intervals starting at t=0 (series[i] covers
+/// [i*window, (i+1)*window)). The step lands at `perturb_time`. The steady
+/// value is estimated from the final quarter of the post-step windows;
+/// convergence requires `stable_windows` consecutive windows within
+/// `tolerance` (relative) of it, and the run must stay converged through
+/// the end of the series. Throws std::invalid_argument on an empty series,
+/// a non-positive window, or a perturbation outside the sampled range.
+AdaptationResult analyze_step_response(const std::vector<double>& series,
+                                       SimTime window, SimTime perturb_time,
+                                       double tolerance = 0.05,
+                                       int stable_windows = 3);
+
+}  // namespace speedbal::perturb

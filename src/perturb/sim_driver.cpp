@@ -1,0 +1,103 @@
+#include "perturb/sim_driver.hpp"
+
+#include <string>
+
+#include "util/log.hpp"
+
+namespace speedbal::perturb {
+
+SimPerturbDriver::SimPerturbDriver(Simulator& sim, PerturbTimeline timeline)
+    : sim_(sim), timeline_(std::move(timeline)) {}
+
+void SimPerturbDriver::arm() {
+  for (const PerturbEvent& ev : timeline_.events()) {
+    const PerturbEvent copy = ev;
+    sim_.schedule_at(std::max(ev.at, sim_.now()), [this, copy] { apply(copy); });
+  }
+}
+
+void SimPerturbDriver::apply(const PerturbEvent& ev) {
+  const bool ok = apply_one(ev);
+  if (ok)
+    ++applied_;
+  else
+    ++skipped_;
+  SB_LOG(Debug) << "perturb: " << (ok ? "applied " : "skipped ") << ev.to_spec();
+  emit_trace(ev, ok);
+}
+
+bool SimPerturbDriver::apply_one(const PerturbEvent& ev) {
+  const bool core_valid = ev.core >= 0 && ev.core < sim_.num_cores();
+  switch (ev.kind) {
+    case PerturbKind::Dvfs:
+      if (!core_valid) return false;
+      sim_.set_clock_scale(ev.core, ev.scale);
+      return true;
+    case PerturbKind::CoreOffline:
+      if (!core_valid || sim_.num_online_cores() <= 1 ||
+          !sim_.core_online(ev.core))
+        return false;
+      sim_.set_core_online(ev.core, false);
+      return true;
+    case PerturbKind::CoreOnline:
+      if (!core_valid || sim_.core_online(ev.core)) return false;
+      sim_.set_core_online(ev.core, true);
+      return true;
+    case PerturbKind::HogStart: {
+      if (ev.core >= 0 && !core_valid) return false;
+      if (ev.core >= 0 && !sim_.core_online(ev.core)) return false;
+      const int key = ev.core >= 0 ? ev.core : -1;
+      if (hogs_.count(key) > 0) return false;  // Already hogging there.
+      auto hog = std::make_unique<CpuHog>(
+          sim_, key >= 0 ? "cpu-hog.c" + std::to_string(key) : "cpu-hog");
+      hog->launch(key >= 0 ? std::optional<CoreId>(key) : std::nullopt);
+      hogs_[key] = std::move(hog);
+      return true;
+    }
+    case PerturbKind::HogStop: {
+      const int key = ev.core >= 0 ? ev.core : -1;
+      const auto it = hogs_.find(key);
+      if (it == hogs_.end()) return false;
+      it->second->stop();
+      hogs_.erase(it);
+      return true;
+    }
+    case PerturbKind::WorkSpike: {
+      if (ev.work_us <= 0.0) return false;
+      if (ev.core >= 0 && (!core_valid || !sim_.core_online(ev.core)))
+        return false;
+      TaskSpec ts;
+      ts.name = "spike" + std::to_string(spike_seq_++);
+      Task& t = sim_.create_task(ts);  // No client: finishes with its work.
+      sim_.assign_work(t, ev.work_us);
+      if (ev.core >= 0)
+        sim_.start_task_on(t, ev.core, 1ULL << ev.core);
+      else
+        sim_.start_task(t);
+      return true;
+    }
+    case PerturbKind::FailAffinity:
+      if (injector_ == nullptr) return false;
+      injector_->fail_next(FaultOp::SetAffinity, ev.count, ev.err);
+      return true;
+    case PerturbKind::FailProcfs:
+      if (injector_ == nullptr) return false;
+      injector_->fail_next(FaultOp::ProcfsRead, ev.count, ev.err);
+      return true;
+  }
+  return false;
+}
+
+void SimPerturbDriver::emit_trace(const PerturbEvent& ev, bool applied) {
+  if (recorder_ == nullptr) return;
+  recorder_->incr(applied ? "perturb.applied" : "perturb.skipped");
+  recorder_->trace().instant(
+      sim_.now(), ev.core >= 0 ? ev.core : 0,
+      std::string("perturb:") + to_string(ev.kind), "perturb",
+      {{"core", static_cast<double>(ev.core)},
+       {"scale", ev.scale},
+       {"work_us", ev.work_us}},
+      {{"applied", applied ? "yes" : "no"}, {"spec", ev.to_spec()}});
+}
+
+}  // namespace speedbal::perturb

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "app/multiprog.hpp"
+#include "obs/recorder.hpp"
+#include "perturb/fault_injection.hpp"
+#include "perturb/timeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace speedbal::perturb {
+
+/// Plays a PerturbTimeline against a Simulator: every event becomes a
+/// scheduled callback that mutates the machine (DVFS, hotplug), the
+/// competing workload (cpu-hogs, work spikes), or an attached FaultInjector
+/// (the fail-* events, meaningful when a native-style component consults
+/// the injector). When a recorder is attached each applied perturbation
+/// emits an Instant trace event and bumps "perturb.applied" /
+/// "perturb.skipped" counters, so traces show the step and the balancer's
+/// response on the same clock.
+class SimPerturbDriver {
+ public:
+  SimPerturbDriver(Simulator& sim, PerturbTimeline timeline);
+
+  SimPerturbDriver(const SimPerturbDriver&) = delete;
+  SimPerturbDriver& operator=(const SimPerturbDriver&) = delete;
+
+  /// Route fail-affinity / fail-procfs events to this injector (optional;
+  /// without one those events are counted as skipped).
+  void set_fault_injector(FaultInjector* inj) { injector_ = inj; }
+  void set_recorder(obs::RunRecorder* rec) { recorder_ = rec; }
+
+  /// Schedule every timeline event on the simulator. Call once, before the
+  /// run; events already in the past (relative to sim.now()) fire on the
+  /// next step, preserving order.
+  void arm();
+
+  /// Events applied / skipped so far. An event is skipped rather than
+  /// fatal when it cannot apply to the current machine state — offlining
+  /// the last core, stopping a hog that is not running, a fail-* event
+  /// with no injector attached, or an out-of-range core id.
+  int applied() const { return applied_; }
+  int skipped() const { return skipped_; }
+
+ private:
+  void apply(const PerturbEvent& ev);
+  bool apply_one(const PerturbEvent& ev);
+  void emit_trace(const PerturbEvent& ev, bool applied);
+
+  Simulator& sim_;
+  PerturbTimeline timeline_;
+  FaultInjector* injector_ = nullptr;
+  obs::RunRecorder* recorder_ = nullptr;
+  /// Hogs started by HogStart, keyed by pin core (-1 = unpinned).
+  std::map<int, std::unique_ptr<CpuHog>> hogs_;
+  int applied_ = 0;
+  int skipped_ = 0;
+  int spike_seq_ = 0;
+};
+
+}  // namespace speedbal::perturb

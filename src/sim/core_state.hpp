@@ -23,6 +23,10 @@ class CoreState {
   Task* running() const { return running_; }
   bool idle() const { return running_ == nullptr && queue_.empty(); }
 
+  /// Hotplug state: offline cores execute nothing and reject placements
+  /// (Simulator::set_core_online drains them). Mirrors Linux cpu_online_mask.
+  bool online() const { return online_; }
+
   /// Effective execution speed of the running task (clock scale x memory
   /// effects); meaningless when nothing is running.
   double current_speed() const { return current_speed_; }
@@ -46,6 +50,7 @@ class CoreState {
 
   SimTime busy_time_ = 0;
   SimTime idle_since_ = 0;
+  bool online_ = true;
 };
 
 }  // namespace speedbal

@@ -16,6 +16,7 @@ const char* to_string(MigrationCause cause) {
     case MigrationCause::SpeedBalancer: return "speed";
     case MigrationCause::Dwrr: return "dwrr";
     case MigrationCause::Ule: return "ule";
+    case MigrationCause::Hotplug: return "hotplug";
   }
   return "?";
 }

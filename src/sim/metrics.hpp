@@ -25,6 +25,7 @@ enum class MigrationCause {
   SpeedBalancer,    ///< The paper's user-level speed balancer.
   Dwrr,             ///< DWRR round balancing steal.
   Ule,              ///< FreeBSD ULE push migration.
+  Hotplug,          ///< Forced off an offlined core (perturbation drain).
 };
 
 const char* to_string(MigrationCause cause);

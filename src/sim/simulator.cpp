@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -47,6 +48,8 @@ void Simulator::start_task_on(Task& t, CoreId core, std::uint64_t allowed_mask) 
   t.allowed_ = allowed_mask & usable;
   if (!t.allowed_on(core))
     throw std::invalid_argument("start_task_on: core outside affinity");
+  if (!core_online(core))
+    throw std::invalid_argument("start_task_on: core offline");
   enqueue_on(t, core, /*sleeper_bonus=*/false);
 }
 
@@ -112,6 +115,8 @@ void Simulator::sleep_task_for(Task& t, SimTime dur) {
 void Simulator::wake_task(Task& t) {
   if (t.state_ != TaskState::Sleeping) return;  // Benign lost race.
   ++t.wake_seq_;
+  if ((t.allowed_ & online_mask()) == 0)
+    t.allowed_ = online_mask();  // select_fallback_rq: every allowed core offline.
   const CoreId prev = t.core_;
   const CoreId c = select_core_wake(t);
   if (c != prev && prev >= 0) {
@@ -169,36 +174,41 @@ void Simulator::park_task(Task& t) {
 
 void Simulator::unpark_task(Task& t) {
   if (t.state_ != TaskState::Parked) return;
-  enqueue_on(t, t.core_, /*sleeper_bonus=*/false);
+  CoreId c = t.core_;
+  if (!core(c).online()) {
+    // The core went away while the task sat on an expired/parked list.
+    if ((t.allowed_ & online_mask()) == 0) t.allowed_ = online_mask();
+    c = least_loaded_online(t.allowed_);
+    metrics_.record_migration({now(), t.id(), t.core_, c, MigrationCause::Hotplug});
+  }
+  enqueue_on(t, c, /*sleeper_bonus=*/false);
 }
 
-void Simulator::set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
+bool Simulator::set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
                              MigrationCause cause) {
   const std::uint64_t usable =
       topo_.num_cores() >= 64 ? ~0ULL : ((1ULL << topo_.num_cores()) - 1);
   mask &= usable;
   if (mask == 0) throw std::invalid_argument("set_affinity: empty mask");
+  // The kernel rejects a mask with no online CPU (EINVAL) and leaves the
+  // old affinity in place; callers must cope, like the real balancer does.
+  if ((mask & online_mask()) == 0) return false;
   t.allowed_ = mask;
   if (hard_pin) t.hard_pinned_ = true;
-  if (t.state_ == TaskState::Finished) return;
-  if (t.allowed_on(t.core_)) return;
-  // Current core excluded: the kernel moves the task immediately. Pick the
-  // least-loaded allowed core.
-  CoreId best = -1;
-  std::size_t best_load = std::numeric_limits<std::size_t>::max();
-  for (CoreId c = 0; c < num_cores(); ++c) {
-    if (!t.allowed_on(c)) continue;
-    const std::size_t load = core(c).queue().nr_running();
-    if (load < best_load) {
-      best_load = load;
-      best = c;
-    }
-  }
+  if (t.state_ == TaskState::Finished) return true;
+  if (t.allowed_on(t.core_) &&
+      (core(t.core_).online() || t.state_ == TaskState::Sleeping ||
+       t.state_ == TaskState::Parked))
+    return true;  // Sleepers on a dead core are redirected at wake/unpark.
+  // Current core excluded (or offline): the kernel moves the task
+  // immediately to the least-loaded allowed online core.
+  const CoreId best = least_loaded_online(t.allowed_);
   if (t.state_ == TaskState::Sleeping || t.state_ == TaskState::Parked) {
     t.core_ = best;  // Takes effect at wake-up / unpark.
-    return;
+    return true;
   }
   migrate(t, best, cause);
+  return true;
 }
 
 void Simulator::migrate(Task& t, CoreId to, MigrationCause cause) {
@@ -206,6 +216,8 @@ void Simulator::migrate(Task& t, CoreId to, MigrationCause cause) {
     throw std::logic_error("migrate on finished task");
   if (!t.allowed_on(to))
     throw std::invalid_argument("migrate: destination outside affinity");
+  if (!core(to).online())
+    throw std::invalid_argument("migrate: destination core offline");
   const CoreId from = t.core_;
   if (to == from) return;
 
@@ -231,6 +243,57 @@ void Simulator::migrate(Task& t, CoreId to, MigrationCause cause) {
 
   if (core(to).running_ == nullptr) dispatch(to);
   if (was_running) dispatch(from);
+}
+
+// --- Perturbations (DVFS & hotplug) -----------------------------------------
+
+void Simulator::set_clock_scale(CoreId c, double scale) {
+  topo_.set_clock_scale(c, scale);
+  // Clock scale enters the speed model for this core only; SMT contention
+  // and memory effects are unchanged, so only this core needs a refresh.
+  auto& cs = core(c);
+  if (cs.running_ == nullptr) return;
+  const double ns = compute_speed(*cs.running_, c);
+  if (std::abs(ns - cs.current_speed_) < 1e-12) return;
+  flush_accounting(c);  // Charge the elapsed part at the old speed.
+  cs.current_speed_ = ns;
+  reschedule_stop(c);
+}
+
+void Simulator::set_core_online(CoreId c, bool online) {
+  auto& cs = core(c);
+  if (cs.online_ == online) return;
+  if (online) {
+    cs.online_ = true;
+    cs.idle_since_ = now();
+    return;
+  }
+  if (num_online_cores() <= 1)
+    throw std::invalid_argument("set_core_online: cannot offline the last core");
+  cs.online_ = false;
+  // Drain: stop the running task (it rejoins the queue) and push everything
+  // to online cores. Like the kernel's CPU-down path, a task whose mask
+  // holds no online core gets the mask broken open (select_fallback_rq).
+  halt_running(c);
+  while (true) {
+    const auto queued = cs.queue().tasks();
+    if (queued.empty()) break;
+    Task* t = queued.front();
+    if ((t->allowed_ & online_mask()) == 0) t->allowed_ = online_mask();
+    migrate(*t, least_loaded_online(t->allowed_), MigrationCause::Hotplug);
+  }
+  cs.idle_since_ = now();
+}
+
+std::uint64_t Simulator::online_mask() const {
+  std::uint64_t m = 0;
+  for (CoreId c = 0; c < num_cores(); ++c)
+    if (core(c).online()) m |= 1ULL << c;
+  return m;
+}
+
+int Simulator::num_online_cores() const {
+  return std::popcount(online_mask());
 }
 
 // --- Time control -------------------------------------------------------
@@ -273,13 +336,17 @@ std::vector<Task*> Simulator::tasks_on(CoreId c) const {
 }
 
 bool Simulator::can_migrate(const Task& t, CoreId to) const {
-  return t.state() != TaskState::Finished && t.allowed_on(to) && t.core() != to;
+  return t.state() != TaskState::Finished && t.allowed_on(to) &&
+         t.core() != to && core(to).online();
 }
 
 // --- Dispatch engine ----------------------------------------------------
 
 void Simulator::dispatch(CoreId c) {
   auto& cs = core(c);
+  // An offline core executes nothing — in particular its idle hook must not
+  // fire, or new-idle balancing would pull work into a dead core.
+  if (!cs.online_) return;
   if (cs.running_ != nullptr || in_dispatch_[static_cast<std::size_t>(c)]) return;
   in_dispatch_[static_cast<std::size_t>(c)] = true;
   Task* pick = cs.queue().pick_next();
@@ -464,6 +531,7 @@ void Simulator::refresh_speeds(const Task& changed) {
 
 void Simulator::enqueue_on(Task& t, CoreId c, bool sleeper_bonus) {
   auto& cs = core(c);
+  assert(cs.online_);  // Every placement path filters offline cores.
   t.core_ = c;
   t.state_ = TaskState::Runnable;
   cs.queue().enqueue(t, sleeper_bonus);
@@ -490,7 +558,7 @@ CoreId Simulator::select_core_fork(const Task& t) {
   int best_load = std::numeric_limits<int>::max();
   std::vector<CoreId> best;
   for (CoreId c = 0; c < num_cores(); ++c) {
-    if (!t.allowed_on(c)) continue;
+    if (!t.allowed_on(c) || !core(c).online()) continue;
     const int load = load_snapshot_[static_cast<std::size_t>(c)];
     if (load < best_load) {
       best_load = load;
@@ -499,18 +567,23 @@ CoreId Simulator::select_core_fork(const Task& t) {
       best.push_back(c);
     }
   }
-  assert(!best.empty());
+  if (best.empty())
+    throw std::invalid_argument("start_task: no online core in affinity");
   return best[rng_.uniform_u64(best.size())];
 }
 
 CoreId Simulator::select_core_wake(const Task& t) {
   const CoreId prev = t.core_;
-  if (prev >= 0 && t.allowed_on(prev) && core(prev).idle()) return prev;
+  if (prev >= 0 && t.allowed_on(prev) && core(prev).online() &&
+      core(prev).idle())
+    return prev;
   // Search for an idle core, nearest first (same cache, socket, NUMA node).
+  // An offline core looks idle (nothing runs there) but must never attract
+  // a wake-up.
   CoreId best = -1;
   int best_rank = std::numeric_limits<int>::max();
   for (CoreId c = 0; c < num_cores(); ++c) {
-    if (!t.allowed_on(c) || !core(c).idle()) continue;
+    if (!t.allowed_on(c) || !core(c).online() || !core(c).idle()) continue;
     int rank = 3;
     if (prev >= 0) {
       if (topo_.same_cache(prev, c)) rank = 0;
@@ -523,18 +596,22 @@ CoreId Simulator::select_core_wake(const Task& t) {
     }
   }
   if (best >= 0) return best;
-  if (prev >= 0 && t.allowed_on(prev)) return prev;
-  // No idle core and previous core disallowed: least-loaded allowed core.
+  if (prev >= 0 && t.allowed_on(prev) && core(prev).online()) return prev;
+  // No idle core and previous core unusable: least-loaded allowed core.
+  return least_loaded_online(t.allowed_);
+}
+
+CoreId Simulator::least_loaded_online(std::uint64_t mask) const {
   std::size_t best_load = std::numeric_limits<std::size_t>::max();
-  CoreId fallback = -1;
+  CoreId best = -1;
   for (CoreId c = 0; c < num_cores(); ++c) {
-    if (!t.allowed_on(c)) continue;
+    if (((mask >> c) & 1ULL) == 0 || !core(c).online()) continue;
     if (core(c).queue().nr_running() < best_load) {
       best_load = core(c).queue().nr_running();
-      fallback = c;
+      best = c;
     }
   }
-  return fallback;
+  return best;
 }
 
 }  // namespace speedbal

@@ -117,13 +117,36 @@ class Simulator {
   /// sched_setaffinity: restrict the task to `mask` and migrate immediately
   /// if its current core is excluded. `hard_pin` marks the task as moved by
   /// a user-level balancer: the Linux load balancer will never touch it.
-  void set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
+  /// Returns false — affinity unchanged, mirroring the kernel's EINVAL —
+  /// when the mask contains no online core.
+  bool set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
                     MigrationCause cause = MigrationCause::Affinity);
 
   /// Move a task to another core's run queue (balancer migration). The
   /// currently running task is stopped first (sched_setaffinity semantics:
   /// it does not get to finish its quantum). Charges the cache-refill cost.
   void migrate(Task& t, CoreId to, MigrationCause cause);
+
+  // --- Perturbations (DVFS & hotplug) -------------------------------------
+
+  /// DVFS: change one core's relative clock speed mid-run. The running
+  /// task's partial execution is charged at the old speed before the new
+  /// one takes effect, and its stop event is rescheduled.
+  void set_clock_scale(CoreId core, double scale);
+
+  /// CPU hotplug. Offlining drains the core: the running task is stopped
+  /// and every queued task migrates to the least-loaded online core in its
+  /// affinity mask (MigrationCause::Hotplug); a task with no online allowed
+  /// core has its mask widened to all online cores, mirroring the kernel's
+  /// select_fallback_rq affinity-breaking. Onlining marks the core eligible
+  /// for placement again (nothing moves back automatically — that is the
+  /// balancers' job). No-op when the state already matches; throws
+  /// std::invalid_argument when offlining would leave no core online.
+  void set_core_online(CoreId core, bool online);
+
+  bool core_online(CoreId c) const { return core(c).online(); }
+  std::uint64_t online_mask() const;
+  int num_online_cores() const;
 
   // --- Time control -------------------------------------------------------
 
@@ -183,10 +206,11 @@ class Simulator {
   void refresh_speeds(const Task& changed);
   CoreId select_core_fork(const Task& t);
   CoreId select_core_wake(const Task& t);
+  CoreId least_loaded_online(std::uint64_t mask) const;
   void enqueue_on(Task& t, CoreId core, bool sleeper_bonus);
   void maybe_refresh_load_snapshot();
 
-  const Topology topo_;
+  Topology topo_;  // Non-const: DVFS perturbations mutate clock scales.
   const DomainTree domains_;
   SimParams params_;
   MemoryModel memory_;

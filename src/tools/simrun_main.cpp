@@ -3,12 +3,19 @@
 //   simrun [--topo=tigerton] [--bench=ep.C] [--threads=16] [--cores=4]
 //          [--setup=SPEED-YIELD] [--repeats=5] [--seed=42]
 //          [--trace-out=FILE] [--report-json=FILE] [--log-level=LVL]
+//          [--perturb=SPECS] [--perturb-json=FILE] [--list-setups]
 //
 // Runs the configuration and prints runtime statistics, the speedup
 // against a single-core run, and migration counts. With --trace-out the
 // first repeat is recorded as a Chrome trace-event file (open in
 // chrome://tracing or https://ui.perfetto.dev); --report-json writes the
 // flat JSON run report (speed timeline, decision counters).
+//
+// --perturb takes semicolon-separated compact event specs, e.g.
+//   --perturb="at=2s dvfs core=3 scale=0.6; at=4s offline core=1"
+// --perturb-json loads the same timeline from a JSON file ({"events":
+// [{"at_s": 2, "kind": "dvfs", "core": 3, "scale": 0.6}, ...]}).
+// --list-setups prints the available setup names, one per line, and exits.
 
 #include <cstdio>
 #include <iostream>
@@ -17,6 +24,7 @@
 
 #include "core/scenarios.hpp"
 #include "obs/recorder.hpp"
+#include "perturb/timeline.hpp"
 #include "topo/presets.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -24,11 +32,19 @@
 
 namespace {
 
+constexpr speedbal::scenarios::Setup kAllSetups[] = {
+    speedbal::scenarios::Setup::OnePerCore,
+    speedbal::scenarios::Setup::Pinned,
+    speedbal::scenarios::Setup::LoadYield,
+    speedbal::scenarios::Setup::LoadSleep,
+    speedbal::scenarios::Setup::SpeedYield,
+    speedbal::scenarios::Setup::SpeedSleep,
+    speedbal::scenarios::Setup::Dwrr,
+    speedbal::scenarios::Setup::FreeBsd};
+
 speedbal::scenarios::Setup parse_setup(const std::string& name) {
   using speedbal::scenarios::Setup;
-  constexpr Setup kAll[] = {Setup::OnePerCore, Setup::Pinned, Setup::LoadYield,
-                            Setup::LoadSleep,  Setup::SpeedYield,
-                            Setup::SpeedSleep, Setup::Dwrr, Setup::FreeBsd};
+  constexpr const auto& kAll = kAllSetups;
   std::string available;
   for (Setup s : kAll) {
     if (name == to_string(s)) return s;
@@ -45,6 +61,10 @@ int main(int argc, char** argv) {
   using namespace speedbal;
   try {
     const Cli cli(argc, argv);
+    if (cli.has("list-setups")) {
+      for (const auto s : kAllSetups) std::cout << to_string(s) << "\n";
+      return 0;
+    }
     if (cli.has("log-level")) {
       const auto level = parse_log_level(cli.get("log-level"));
       if (!level)
@@ -63,10 +83,20 @@ int main(int argc, char** argv) {
     const std::string trace_out = cli.get("trace-out");
     const std::string report_json = cli.get("report-json");
 
+    perturb::PerturbTimeline timeline;
+    if (cli.has("perturb"))
+      timeline = perturb::PerturbTimeline::parse_specs(cli.get("perturb"));
+    if (cli.has("perturb-json")) {
+      auto from_file =
+          perturb::PerturbTimeline::load_json_file(cli.get("perturb-json"));
+      for (const auto& ev : from_file.events()) timeline.add(ev);
+    }
+
     const double serial = scenarios::serial_runtime_s(topo, prof, threads, seed);
 
     auto config =
         scenarios::npb_config(topo, prof, threads, cores, setup, repeats, seed);
+    config.perturb = timeline;
     obs::RunRecorder recorder;
     const bool record = !trace_out.empty() || !report_json.empty();
     if (record) {
@@ -77,6 +107,14 @@ int main(int argc, char** argv) {
       recorder.set_meta("threads", std::to_string(threads));
       recorder.set_meta("cores", std::to_string(cores));
       recorder.set_meta("seed", std::to_string(seed));
+      if (!timeline.empty()) {
+        std::ostringstream specs;
+        for (const auto& ev : timeline.events()) {
+          if (specs.tellp() > 0) specs << "; ";
+          specs << ev.to_spec();
+        }
+        recorder.set_meta("perturb", specs.str());
+      }
       config.recorder = &recorder;
     }
     const auto result = run_experiment(config);

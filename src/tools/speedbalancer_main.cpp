@@ -3,6 +3,7 @@
 //   speedbalancer [--interval=100] [--threshold=0.9] [--cores=0-3]
 //                 [--no-numa-block] [--startup-delay=100]
 //                 [--trace-out=FILE] [--report-json=FILE] [--log-level=LVL]
+//                 [--fail-affinity=N] [--fail-procfs=N] [--fail-errno=E]
 //                 <program> [args...]
 //
 // Forks the target program, discovers its threads through /proc, pins them
@@ -10,10 +11,15 @@
 // program exits. Exits with the child's status. With --trace-out /
 // --report-json the balancer records its speed timeline and pull decisions
 // and writes a Chrome trace-event file / flat JSON run report on exit.
+//
+// --fail-affinity / --fail-procfs arm the fault-injection shim so the next
+// N sched_setaffinity calls / procfs stat reads fail with errno E (default
+// EINTR), exercising the retry and graceful-degradation paths end to end.
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,7 +38,8 @@ void usage() {
                "                     [--cores=LIST] [--no-numa-block]\n"
                "                     [--startup-delay=MS] [--trace-out=FILE]\n"
                "                     [--report-json=FILE] [--log-level=LVL]\n"
-               "                     <program> [args...]\n");
+               "                     [--fail-affinity=N] [--fail-procfs=N]\n"
+               "                     [--fail-errno=E] <program> [args...]\n");
 }
 
 }  // namespace
@@ -70,6 +77,16 @@ int main(int argc, char** argv) {
   if (cli.has("cores")) config.cores = CpuSet::parse_list(cli.get("cores"));
   const std::string trace_out = cli.get("trace-out");
   const std::string report_json = cli.get("report-json");
+
+  perturb::FaultInjector injector;
+  const int fail_affinity = cli.get_int("fail-affinity", 0);
+  const int fail_procfs = cli.get_int("fail-procfs", 0);
+  const int fail_errno = cli.get_int("fail-errno", EINTR);
+  if (fail_affinity > 0)
+    injector.fail_next(perturb::FaultOp::SetAffinity, fail_affinity, fail_errno);
+  if (fail_procfs > 0)
+    injector.fail_next(perturb::FaultOp::ProcfsRead, fail_procfs, fail_errno);
+  if (fail_affinity > 0 || fail_procfs > 0) config.fault_injector = &injector;
 
   const pid_t child = fork();
   if (child < 0) {

@@ -32,9 +32,11 @@ struct TopologySpec {
   std::vector<double> clock_scales;
 };
 
-/// Immutable description of a multicore machine: the hardware-resource
-/// sharing relationships the schedulers and balancers consult. Mirrors what
-/// Linux learns from /sys/devices/system/cpu (Section 5.2 of the paper).
+/// Description of a multicore machine: the hardware-resource sharing
+/// relationships the schedulers and balancers consult. Mirrors what Linux
+/// learns from /sys/devices/system/cpu (Section 5.2 of the paper). The
+/// sharing structure is immutable after build; only per-core clock scales
+/// may change at runtime (DVFS, see set_clock_scale).
 class Topology {
  public:
   /// Validates and builds the topology; throws std::invalid_argument on a
@@ -50,6 +52,11 @@ class Topology {
 
   const CoreInfo& core(CoreId id) const { return cores_.at(static_cast<std::size_t>(id)); }
   const std::vector<CoreInfo>& cores() const { return cores_; }
+
+  /// DVFS: change one core's relative clock speed mid-run. Callers that
+  /// cache speeds (the Simulator) must refresh them afterwards. Throws
+  /// std::invalid_argument unless scale > 0.
+  void set_clock_scale(CoreId id, double scale);
 
   bool same_numa(CoreId a, CoreId b) const;
   bool same_socket(CoreId a, CoreId b) const;

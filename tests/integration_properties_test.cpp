@@ -10,6 +10,7 @@
 #include "balance/speed.hpp"
 #include "core/scenarios.hpp"
 #include "model/analytic.hpp"
+#include "perturb/sim_driver.hpp"
 #include "topo/presets.hpp"
 #include "workload/generator.hpp"
 
@@ -63,6 +64,73 @@ INSTANTIATE_TEST_SUITE_P(
                                          scenarios::Setup::LoadYield,
                                          scenarios::Setup::SpeedYield),
                        ::testing::Values(2, 3, 4)));
+
+// --- Conservation & safety under perturbations -------------------------------
+
+class PerturbationSweep
+    : public ::testing::TestWithParam<scenarios::Setup> {};
+
+TEST_P(PerturbationSweep, WorkConservedAndOfflineCoresStayEmpty) {
+  // Under a timeline of hotplug and cpu-hog perturbations (no DVFS: clock
+  // changes alter the exec-time cost of fixed work by design), every policy
+  // still executes exactly the assigned work (plus bounded migration
+  // warmup), and no task is ever observed enqueued on an offline core.
+  const auto setup = GetParam();
+  const int cores = 3;
+  const auto topo = presets::generic(4);
+  auto cfg = scenarios::npb_config(topo, npb::ep('S'), 6, cores, setup, 1, 7);
+  cfg.app.barrier.policy = WaitPolicy::Sleep;
+  cfg.app.barrier.block_time = 0;
+  cfg.app.work_jitter = 0.0;
+  cfg.app.phases = 4;
+  cfg.app.work_per_phase_us = 100000.0;  // Long enough to span the timeline.
+
+  Simulator sim(cfg.topo, cfg.sim, 7);
+  LinuxLoadBalancer lb(cfg.linux_load);
+  lb.attach(sim);
+  SpmdApp app(sim, cfg.app);
+  app.launch(cfg.policy == Policy::Pinned ? SpmdApp::Placement::RoundRobin
+                                          : SpmdApp::Placement::LinuxFork,
+             workload::first_cores(cores));
+  SpeedBalancer sb(cfg.speed, app.threads(), workload::first_cores(cores));
+  if (cfg.policy == Policy::Speed) sb.attach(sim);
+
+  perturb::SimPerturbDriver driver(
+      sim, perturb::PerturbTimeline::parse_specs(
+               "at=30ms offline core=1; at=60ms hog-start core=0; "
+               "at=90ms spike core=2 work=20ms; at=150ms online core=1; "
+               "at=250ms hog-stop core=0"));
+  driver.arm();
+
+  // Safety probe: at no observable instant does an offline core hold tasks.
+  int violations = 0;
+  std::function<void()> probe = [&] {
+    for (CoreId c = 0; c < sim.num_cores(); ++c)
+      if (!sim.core_online(c) && sim.core(c).queue().nr_running() > 0)
+        ++violations;
+    if (!app.finished()) sim.schedule_after(msec(1), probe);
+  };
+  sim.schedule_after(msec(1), probe);
+
+  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(600)));
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(driver.applied(), 5);
+  EXPECT_GE(sim.metrics().migration_count(MigrationCause::Hotplug), 0);
+
+  const double per_thread_work = cfg.app.work_per_phase_us * cfg.app.phases;
+  for (Task* t : app.threads()) {
+    const double exec_us = static_cast<double>(t->total_exec());
+    EXPECT_GE(exec_us, per_thread_work - 1.0) << t->name();
+    const double max_overhead =
+        (t->migrations() + 4.0) * (5.0 + 4096.0 * 0.5) + 1000.0;
+    EXPECT_LE(exec_us, per_thread_work + max_overhead) << t->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PerturbationSweep,
+                         ::testing::Values(scenarios::Setup::Pinned,
+                                           scenarios::Setup::LoadYield,
+                                           scenarios::Setup::SpeedYield));
 
 // --- Lemma 1: every thread runs on a fast core -------------------------------
 

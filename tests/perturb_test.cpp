@@ -1,0 +1,420 @@
+// Tests for the perturbation subsystem: timeline parsing (compact specs and
+// JSON), the fault-injection shim, the step-response analysis, and the
+// simulator driver that plays timelines against a live machine.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "perturb/adaptation.hpp"
+#include "perturb/fault_injection.hpp"
+#include "perturb/sim_driver.hpp"
+#include "perturb/timeline.hpp"
+#include "topo/presets.hpp"
+
+namespace speedbal::perturb {
+namespace {
+
+// ---------------------------------------------------------------- timeline
+
+TEST(PerturbTimeline, ParsesCompactSpec) {
+  const auto ev = PerturbTimeline::parse_spec("at=2s dvfs core=3 scale=0.6");
+  EXPECT_EQ(ev.at, sec(2));
+  EXPECT_EQ(ev.kind, PerturbKind::Dvfs);
+  EXPECT_EQ(ev.core, 3);
+  EXPECT_DOUBLE_EQ(ev.scale, 0.6);
+}
+
+TEST(PerturbTimeline, TimeSuffixes) {
+  EXPECT_EQ(PerturbTimeline::parse_spec("at=250ms offline core=1").at, msec(250));
+  EXPECT_EQ(PerturbTimeline::parse_spec("at=1500us online core=1").at, usec(1500));
+  EXPECT_EQ(PerturbTimeline::parse_spec("at=42 spike work=1ms").at, usec(42));
+}
+
+TEST(PerturbTimeline, SpecRoundTripsThroughToSpec) {
+  const char* specs[] = {
+      "at=2s dvfs core=3 scale=0.6",
+      "at=500ms offline core=1",
+      "at=1s hog-start core=0",
+      "at=3s hog-stop core=0",
+      "at=4s spike core=2 work=250ms",
+      "at=5s fail-affinity count=3 err=22",
+      "at=6s fail-procfs count=2 err=4",
+  };
+  for (const char* spec : specs) {
+    const auto ev = PerturbTimeline::parse_spec(spec);
+    const auto again = PerturbTimeline::parse_spec(ev.to_spec());
+    EXPECT_EQ(again.at, ev.at) << spec;
+    EXPECT_EQ(again.kind, ev.kind) << spec;
+    EXPECT_EQ(again.core, ev.core) << spec;
+    EXPECT_DOUBLE_EQ(again.scale, ev.scale) << spec;
+    EXPECT_DOUBLE_EQ(again.work_us, ev.work_us) << spec;
+    EXPECT_EQ(again.count, ev.count) << spec;
+    EXPECT_EQ(again.err, ev.err) << spec;
+  }
+}
+
+TEST(PerturbTimeline, ParseSpecsSplitsOnSemicolonsAndSorts) {
+  const auto tl = PerturbTimeline::parse_specs(
+      "at=4s offline core=1; at=2s dvfs core=0 scale=0.5 ;; at=3s hog-start");
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl.events()[0].kind, PerturbKind::Dvfs);
+  EXPECT_EQ(tl.events()[1].kind, PerturbKind::HogStart);
+  EXPECT_EQ(tl.events()[2].kind, PerturbKind::CoreOffline);
+}
+
+TEST(PerturbTimeline, TiesPreserveInsertionOrder) {
+  PerturbTimeline tl;
+  tl.add(PerturbTimeline::parse_spec("at=1s dvfs core=0 scale=0.5"));
+  tl.add(PerturbTimeline::parse_spec("at=1s offline core=1"));
+  tl.add(PerturbTimeline::parse_spec("at=1s online core=1"));
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl.events()[0].kind, PerturbKind::Dvfs);
+  EXPECT_EQ(tl.events()[1].kind, PerturbKind::CoreOffline);
+  EXPECT_EQ(tl.events()[2].kind, PerturbKind::CoreOnline);
+}
+
+TEST(PerturbTimeline, ErrorsNameTheOffendingToken) {
+  try {
+    PerturbTimeline::parse_spec("at=2s wibble core=0");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("wibble"), std::string::npos);
+    // The message lists the valid kinds so the CLI is self-documenting.
+    EXPECT_NE(std::string(e.what()).find("dvfs"), std::string::npos);
+  }
+  EXPECT_THROW(PerturbTimeline::parse_spec("at=2x dvfs core=0"),
+               std::invalid_argument);
+  EXPECT_THROW(PerturbTimeline::parse_spec("at=2s dvfs bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(PerturbTimeline::parse_spec("at=2s dvfs scale=0"),
+               std::invalid_argument);
+  EXPECT_THROW(PerturbTimeline::parse_spec("at=2s core=0"),
+               std::invalid_argument);
+  EXPECT_THROW(PerturbTimeline::parse_spec("at=2s dvfs offline"),
+               std::invalid_argument);
+}
+
+TEST(PerturbTimeline, ParsesJson) {
+  const auto tl = PerturbTimeline::parse_json(R"({"events": [
+    {"at_s": 2, "kind": "dvfs", "core": 3, "scale": 0.6},
+    {"at_ms": 500, "kind": "offline", "core": 1},
+    {"at_us": 100, "kind": "fail-affinity", "count": 2, "err": 22}
+  ]})");
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl.events()[0].at, usec(100));
+  EXPECT_EQ(tl.events()[0].kind, PerturbKind::FailAffinity);
+  EXPECT_EQ(tl.events()[0].count, 2);
+  EXPECT_EQ(tl.events()[0].err, 22);
+  EXPECT_EQ(tl.events()[1].at, msec(500));
+  EXPECT_EQ(tl.events()[2].at, sec(2));
+  EXPECT_DOUBLE_EQ(tl.events()[2].scale, 0.6);
+}
+
+TEST(PerturbTimeline, JsonErrors) {
+  EXPECT_THROW(PerturbTimeline::parse_json(R"({"nope": []})"),
+               std::invalid_argument);
+  EXPECT_THROW(PerturbTimeline::parse_json(
+                   R"({"events": [{"at_s": 1, "kind": "wibble"}]})"),
+               std::invalid_argument);
+  // Exactly one of at_us / at_ms / at_s.
+  EXPECT_THROW(PerturbTimeline::parse_json(
+                   R"({"events": [{"at_s": 1, "at_ms": 5, "kind": "dvfs"}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PerturbTimeline::parse_json(R"({"events": [{"kind": "dvfs"}]})"),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------- fault injector
+
+TEST(FaultInjector, ArmsConsecutiveFailures) {
+  FaultInjector inj;
+  EXPECT_EQ(inj.next_error(FaultOp::SetAffinity), 0);
+  inj.fail_next(FaultOp::SetAffinity, 2, EINTR);
+  EXPECT_EQ(inj.pending(FaultOp::SetAffinity), 2);
+  EXPECT_EQ(inj.next_error(FaultOp::SetAffinity), EINTR);
+  EXPECT_EQ(inj.next_error(FaultOp::SetAffinity), EINTR);
+  EXPECT_EQ(inj.next_error(FaultOp::SetAffinity), 0);
+  EXPECT_EQ(inj.injected(FaultOp::SetAffinity), 2);
+  // Ops are independent.
+  EXPECT_EQ(inj.next_error(FaultOp::ProcfsRead), 0);
+  EXPECT_EQ(inj.injected(FaultOp::ProcfsRead), 0);
+}
+
+TEST(FaultInjector, RepeatedArmsAccumulate) {
+  FaultInjector inj;
+  inj.fail_next(FaultOp::ProcfsRead, 1, EINTR);
+  inj.fail_next(FaultOp::ProcfsRead, 1, EIO);  // New errno wins.
+  EXPECT_EQ(inj.pending(FaultOp::ProcfsRead), 2);
+  EXPECT_EQ(inj.next_error(FaultOp::ProcfsRead), EIO);
+  EXPECT_EQ(inj.next_error(FaultOp::ProcfsRead), EIO);
+  EXPECT_EQ(inj.next_error(FaultOp::ProcfsRead), 0);
+}
+
+// -------------------------------------------------------------- adaptation
+
+TEST(Adaptation, CleanStepConverges) {
+  // 1.0 for 10 windows, a dip, then steady at 0.8 from window 13 on.
+  std::vector<double> s(10, 1.0);
+  s.insert(s.end(), {0.5, 0.6, 0.7});
+  s.insert(s.end(), 7, 0.8);
+  const SimTime w = msec(100);
+  const auto r = analyze_step_response(s, w, sec(1));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.steady_value, 0.8, 1e-9);
+  // Windows 10..12 are outside the 5% band; window 13 starts the settled
+  // suffix -> latency = 13*100ms - 1s = 300ms.
+  EXPECT_EQ(r.latency, msec(300));
+  EXPECT_EQ(r.windows_analyzed, 10);
+  // Integral: |0.5-0.8|*0.1 + |0.6-0.8|*0.1 + |0.7-0.8|*0.1 = 0.06.
+  EXPECT_NEAR(r.imbalance_integral, 0.06, 1e-9);
+}
+
+TEST(Adaptation, DipAfterSettlingResetsConvergence) {
+  std::vector<double> s(10, 1.0);
+  s.insert(s.end(), 5, 0.8);
+  s.push_back(0.2);  // Late dip: the series never stays settled to the end.
+  s.insert(s.end(), 2, 0.8);  // Only 2 stable windows remain (< 3 required).
+  const auto r = analyze_step_response(s, msec(100), sec(1));
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Adaptation, AlreadySettledHasZeroLatency) {
+  const std::vector<double> s(20, 1.0);
+  const auto r = analyze_step_response(s, msec(100), sec(1));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.latency, 0);
+  EXPECT_NEAR(r.imbalance_integral, 0.0, 1e-12);
+}
+
+TEST(Adaptation, RejectsBadInput) {
+  EXPECT_THROW(analyze_step_response({}, msec(100), 0), std::invalid_argument);
+  EXPECT_THROW(analyze_step_response({1.0}, 0, 0), std::invalid_argument);
+  EXPECT_THROW(analyze_step_response({1.0, 1.0}, msec(100), msec(200)),
+               std::invalid_argument);
+  EXPECT_THROW(analyze_step_response({1.0, 1.0}, msec(100), -1),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- sim driver
+
+struct Spinner : TaskClient {
+  void on_work_complete(Simulator& sim, Task& task) override {
+    sim.assign_work(task, 1e9);
+  }
+};
+
+std::vector<Task*> spinners(Simulator& sim, Spinner& client, int n, CoreId on) {
+  std::vector<Task*> out;
+  for (int i = 0; i < n; ++i) {
+    Task& t =
+        sim.create_task({.name = "t" + std::to_string(i), .client = &client});
+    sim.assign_work(t, 1e9);
+    sim.start_task_on(t, on);
+    out.push_back(&t);
+  }
+  return out;
+}
+
+TEST(SimPerturbDriver, AppliesDvfsAtScheduledTime) {
+  Simulator sim(presets::generic(2));
+  Spinner cl;
+  spinners(sim, cl, 1, 0);
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs("at=10ms dvfs core=0 scale=0.5"));
+  driver.arm();
+  sim.run_until(msec(5));
+  EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 1.0);
+  sim.run_until(msec(20));
+  EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 0.5);
+  EXPECT_EQ(driver.applied(), 1);
+  EXPECT_EQ(driver.skipped(), 0);
+}
+
+TEST(SimPerturbDriver, OfflineDrainsAndOnlineRestores) {
+  Simulator sim(presets::generic(2));
+  Spinner cl;
+  spinners(sim, cl, 2, 1);
+  SimPerturbDriver driver(sim, PerturbTimeline::parse_specs(
+                                   "at=10ms offline core=1; at=30ms online core=1"));
+  driver.arm();
+  sim.run_until(msec(20));
+  EXPECT_FALSE(sim.core_online(1));
+  // Both tasks were drained to the surviving core; none run on the dead one.
+  EXPECT_EQ(sim.core(1).queue().nr_running(), 0u);
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 2u);
+  EXPECT_GE(sim.metrics().migration_count(MigrationCause::Hotplug), 2);
+  sim.run_until(msec(40));
+  EXPECT_TRUE(sim.core_online(1));
+  EXPECT_EQ(driver.applied(), 2);
+}
+
+TEST(SimPerturbDriver, RefusesToOfflineLastCore) {
+  Simulator sim(presets::generic(2));
+  Spinner cl;
+  spinners(sim, cl, 1, 0);
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs(
+               "at=10ms offline core=0; at=11ms offline core=1"));
+  driver.arm();
+  sim.run_until(msec(20));
+  EXPECT_FALSE(sim.core_online(0));
+  EXPECT_TRUE(sim.core_online(1));  // The last core survives.
+  EXPECT_EQ(driver.applied(), 1);
+  EXPECT_EQ(driver.skipped(), 1);
+}
+
+TEST(SimPerturbDriver, HogStartAndStop) {
+  Simulator sim(presets::generic(2));
+  Spinner cl;
+  spinners(sim, cl, 1, 1);
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs(
+               "at=10ms hog-start core=0; at=30ms hog-stop core=0"));
+  driver.arm();
+  sim.run_until(msec(20));
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 1u);  // The hog.
+  sim.run_until(msec(40));
+  EXPECT_EQ(sim.core(0).queue().nr_running(), 0u);  // Stopped and gone.
+  EXPECT_EQ(driver.applied(), 2);
+}
+
+TEST(SimPerturbDriver, StoppingAnAbsentHogIsSkipped) {
+  Simulator sim(presets::generic(2));
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs("at=10ms hog-stop core=0"));
+  driver.arm();
+  sim.run_until(msec(20));
+  EXPECT_EQ(driver.applied(), 0);
+  EXPECT_EQ(driver.skipped(), 1);
+}
+
+TEST(SimPerturbDriver, WorkSpikeRunsAndFinishes) {
+  Simulator sim(presets::generic(2));
+  SimPerturbDriver driver(sim, PerturbTimeline::parse_specs(
+                                   "at=10ms spike core=1 work=5ms"));
+  driver.arm();
+  sim.run_until(msec(12));
+  EXPECT_EQ(sim.core(1).queue().nr_running(), 1u);
+  sim.run_until(msec(30));
+  EXPECT_EQ(sim.core(1).queue().nr_running(), 0u);  // Ran its 5ms and exited.
+  EXPECT_EQ(driver.applied(), 1);
+}
+
+TEST(SimPerturbDriver, FailEventsArmTheInjector) {
+  Simulator sim(presets::generic(2));
+  FaultInjector inj;
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs(
+               "at=1ms fail-affinity count=3 err=22; at=1ms fail-procfs count=1"));
+  driver.set_fault_injector(&inj);
+  driver.arm();
+  sim.run_until(msec(2));
+  EXPECT_EQ(inj.pending(FaultOp::SetAffinity), 3);
+  EXPECT_EQ(inj.next_error(FaultOp::SetAffinity), 22);
+  EXPECT_EQ(inj.pending(FaultOp::ProcfsRead), 1);
+  EXPECT_EQ(driver.applied(), 2);
+}
+
+TEST(SimPerturbDriver, FailEventsWithoutInjectorAreSkipped) {
+  Simulator sim(presets::generic(2));
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs("at=1ms fail-affinity count=3"));
+  driver.arm();
+  sim.run_until(msec(2));
+  EXPECT_EQ(driver.skipped(), 1);
+}
+
+TEST(SimPerturbDriver, EmitsTraceInstantsAndCounters) {
+  Simulator sim(presets::generic(2));
+  Spinner cl;
+  spinners(sim, cl, 1, 0);
+  obs::RunRecorder rec;
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs(
+               "at=10ms dvfs core=0 scale=0.5; at=20ms hog-stop core=3"));
+  driver.set_recorder(&rec);
+  driver.arm();
+  sim.run_until(msec(30));
+  const auto counters = rec.counters();
+  EXPECT_EQ(counters.at("perturb.applied"), 1);
+  EXPECT_EQ(counters.at("perturb.skipped"), 1);
+  bool saw_dvfs = false;
+  for (const auto& ev : rec.trace().snapshot()) {
+    if (ev.name == "perturb:dvfs" && ev.cat == "perturb") {
+      saw_dvfs = true;
+      EXPECT_EQ(ev.ts_us, msec(10));
+      bool applied_arg = false;
+      for (const auto& [k, v] : ev.str_args)
+        if (k == "applied" && v == "yes") applied_arg = true;
+      EXPECT_TRUE(applied_arg);
+    }
+  }
+  EXPECT_TRUE(saw_dvfs);
+}
+
+// ------------------------------------------------- end-to-end + determinism
+
+ExperimentConfig perturbed_config() {
+  ExperimentConfig cfg;
+  cfg.topo = presets::generic(4);
+  cfg.policy = Policy::Speed;
+  cfg.repeats = 1;
+  cfg.seed = 7;
+  cfg.time_cap = sec(30);
+  cfg.app.nthreads = 6;
+  cfg.app.phases = 20;
+  cfg.app.work_per_phase_us = 20000.0;
+  cfg.app.work_jitter = 0.1;
+  cfg.perturb = PerturbTimeline::parse_specs(
+      "at=50ms dvfs core=3 scale=0.5; at=100ms offline core=1; "
+      "at=200ms hog-start core=0; at=300ms online core=1");
+  return cfg;
+}
+
+TEST(PerturbIntegration, PerturbationsLeadToAttributedDecisions) {
+  // Acceptance shape: the recorded run's trace has the perturbation
+  // instants, and the decision log afterwards cites perturbation-caused
+  // reason codes (a hotplugged core is reported as CoreOffline, not as a
+  // silent no-op).
+  auto cfg = perturbed_config();
+  obs::RunRecorder rec;
+  cfg.recorder = &rec;
+  const auto result = run_experiment(cfg);
+  EXPECT_TRUE(result.all_completed());
+
+  std::int64_t offline_ts = -1;
+  for (const auto& ev : rec.trace().snapshot())
+    if (ev.name == "perturb:offline") offline_ts = ev.ts_us;
+  ASSERT_EQ(offline_ts, msec(100));
+
+  bool offline_decision_after = false;
+  for (const auto& d : rec.decisions().snapshot())
+    if (d.reason == obs::PullReason::CoreOffline && d.ts_us >= offline_ts)
+      offline_decision_after = true;
+  EXPECT_TRUE(offline_decision_after);
+  EXPECT_GE(rec.counters().at("perturb.applied"), 4);
+}
+
+TEST(PerturbIntegration, IdenticalSeedAndTimelineReplayByteIdentical) {
+  // Same seed + same timeline => byte-identical run reports (and therefore
+  // byte-identical migration decision logs).
+  std::string reports[2];
+  for (auto& report : reports) {
+    auto cfg = perturbed_config();
+    obs::RunRecorder rec;
+    cfg.recorder = &rec;
+    run_experiment(cfg);
+    std::ostringstream os;
+    rec.write_report_json(os);
+    report = os.str();
+    EXPECT_GT(rec.decisions().size(), 0u);
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+}
+
+}  // namespace
+}  // namespace speedbal::perturb

@@ -183,6 +183,75 @@ TEST(SpeedbalancerCli, WritesTraceAndReportFiles) {
   std::remove(report.c_str());
 }
 
+/// Run simrun with stdout captured into *stdout_out; returns exit status.
+int run_simrun_stdout(std::vector<std::string> args, std::string* stdout_out) {
+  const std::string out_path =
+      testing::TempDir() + "simrun_stdout_" + std::to_string(getpid()) + ".txt";
+  const pid_t child = fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    if (freopen(out_path.c_str(), "w", stdout) == nullptr) _exit(125);
+    std::vector<char*> argv;
+    std::string bin = SIMRUN_BIN;
+    argv.push_back(bin.data());
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(126);
+  }
+  int status = 0;
+  waitpid(child, &status, 0);
+  std::ifstream is(out_path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *stdout_out = ss.str();
+  std::remove(out_path.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(SimrunCli, ListSetupsPrintsOnePerLineAndExitsZero) {
+  std::string out;
+  EXPECT_EQ(run_simrun_stdout({"--list-setups"}, &out), 0);
+  for (const char* name : {"One-per-core", "PINNED", "LOAD-YIELD",
+                           "LOAD-SLEEP", "SPEED-YIELD", "SPEED-SLEEP", "DWRR",
+                           "FreeBSD"})
+    EXPECT_NE(out.find(std::string(name) + "\n"), std::string::npos)
+        << "missing " << name << " in: " << out;
+  // Nothing but the names: no table header, no scenario output.
+  EXPECT_EQ(out.find("=="), std::string::npos) << out;
+}
+
+TEST(SimrunCli, RunsPerturbedScenario) {
+  EXPECT_EQ(
+      run_simrun({"--topo=generic2", "--bench=ep.S", "--threads=3",
+                  "--cores=2", "--setup=SPEED-YIELD", "--repeats=1",
+                  "--perturb=at=5ms dvfs core=0 scale=0.5; at=10ms offline core=1"}),
+      0);
+}
+
+TEST(SimrunCli, MalformedPerturbSpecNamesTheToken) {
+  std::string err;
+  EXPECT_EQ(run_simrun({"--topo=generic2", "--bench=ep.S", "--threads=3",
+                        "--cores=2", "--setup=SPEED-YIELD", "--repeats=1",
+                        "--perturb=at=2s wibble core=0"},
+                       &err),
+            2);
+  EXPECT_NE(err.find("simrun:"), std::string::npos) << err;
+  EXPECT_NE(err.find("wibble"), std::string::npos) << err;
+  // The message teaches the valid kinds.
+  EXPECT_NE(err.find("dvfs"), std::string::npos) << err;
+}
+
+TEST(SimrunCli, MissingPerturbJsonFileFails) {
+  std::string err;
+  EXPECT_EQ(run_simrun({"--topo=generic2", "--bench=ep.S", "--threads=3",
+                        "--cores=2", "--setup=SPEED-YIELD", "--repeats=1",
+                        "--perturb-json=/nonexistent-dir/timeline.json"},
+                       &err),
+            2);
+  EXPECT_NE(err.find("timeline"), std::string::npos) << err;
+}
+
 TEST(SimrunCli, RejectsUnknownTopology) {
   EXPECT_EQ(run_simrun({"--topo=vax780", "--setup=PINNED"}), 2);
 }
