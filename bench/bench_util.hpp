@@ -16,9 +16,25 @@
 #include "topo/presets.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace speedbal::bench {
+
+/// Shared latency-percentile reporting: every bench that prints tail
+/// latency uses the same columns, formatted from a LatencyHistogram (ns)
+/// in milliseconds.
+inline const std::vector<std::string> kLatencyCols = {"p50 ms", "p95 ms",
+                                                      "p99 ms", "p99.9 ms"};
+
+inline std::vector<std::string> latency_cells(const LatencyHistogram& h,
+                                              int digits = 2) {
+  std::vector<std::string> out;
+  out.reserve(kLatencyCols.size());
+  for (const double p : {50.0, 95.0, 99.0, 99.9})
+    out.push_back(Table::num(h.percentile(p) / 1e6, digits));
+  return out;
+}
 
 /// Cache of single-core baselines keyed by (machine, benchmark, threads):
 /// several series in one figure share the same denominator.

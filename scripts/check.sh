@@ -14,14 +14,17 @@ cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== tsan: native balancer tests =="
-cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test
-ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test'
+echo "== smoke: serve tail-latency bench =="
+"$repo/build/bench/serve_tail_latency" --quick
 
-echo "== asan: perturbation + native tests =="
+echo "== tsan: native balancer + serve tests =="
+cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test'
+
+echo "== asan: perturbation + native + serve tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSPEEDBAL_SANITIZE=address >/dev/null
-cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test
-ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test'
+cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test
+ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test'
 
 echo "check.sh: all green"

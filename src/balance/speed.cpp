@@ -89,14 +89,24 @@ std::map<CoreId, double> SpeedBalancer::measure_core_speeds(
     for (const Task* t : managed_)
       if (t->state() != TaskState::Finished) ++managed_on[t->core()];
 
-  // speed_i = t_exec / t_real over the elapsed balance interval.
+  // speed_i = t_exec / t_real over the elapsed balance interval (demand
+  // time instead of real time when demand_scaled; see SpeedBalanceParams).
   std::map<CoreId, std::vector<double>> per_core;
   for (Task* t : managed_) {
     if (t->state() == TaskState::Finished) continue;
     const SimTime exec = t->total_exec();
     const SimTime delta = exec - snaps[t->id()].exec;
     snaps[t->id()].exec = exec;
-    double s = static_cast<double>(delta) / static_cast<double>(elapsed);
+    SimTime denom = elapsed;
+    if (params_.demand_scaled) {
+      const SimTime slept = sim_->total_sleep(*t);
+      const SimTime sleep_delta = slept - snaps[t->id()].sleep;
+      snaps[t->id()].sleep = slept;
+      denom = std::max<SimTime>(elapsed - sleep_delta, 0);
+      // Mostly-asleep threads carry no speed signal this interval.
+      if (denom < elapsed / 20) continue;
+    }
+    double s = static_cast<double>(delta) / static_cast<double>(denom);
     if (params_.scale_by_clock) s *= sim_->topo().core(t->core()).clock_scale;
     if (params_.smt_aware) {
       // A hardware context whose sibling is also busy delivers less real

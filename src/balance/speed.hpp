@@ -63,6 +63,15 @@ struct SpeedBalanceParams {
   /// "weighting ... with the relative core speed"). A no-op on homogeneous
   /// machines.
   bool scale_by_clock = true;
+  /// Measure each thread's speed over its *demand* time (elapsed minus time
+  /// spent blocked) instead of wall time — the serving adaptation. The
+  /// paper's SPMD threads are always runnable, so t_exec / t_real is core
+  /// speed; a request-serving worker sleeps whenever its queue is empty,
+  /// and with wall-time measurement that idleness reads as slowness,
+  /// driving migrations toward (not away from) genuinely slow cores.
+  /// Threads with negligible demand in an interval carry no speed signal
+  /// and are skipped. Off by default (the paper's batch semantics).
+  bool demand_scaled = false;
   /// When false, attach() pins and initializes state but schedules no
   /// periodic balancer wake-ups — tests drive balance_once directly.
   bool automatic = true;
@@ -114,6 +123,7 @@ class SpeedBalancer : public Balancer {
  private:
   struct TaskSnap {
     SimTime exec = 0;
+    SimTime sleep = 0;
   };
 
   void balancer_wake(CoreId local);

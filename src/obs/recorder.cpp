@@ -19,6 +19,17 @@ std::map<std::string, std::string> RunRecorder::meta() const {
   return meta_;
 }
 
+void RunRecorder::add_latency_histogram(const std::string& name,
+                                        const LatencyHistogram& hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].merge(hist);
+}
+
+std::map<std::string, LatencyHistogram> RunRecorder::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_;
+}
+
 void RunRecorder::incr(const std::string& name, std::int64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += n;
@@ -130,6 +141,24 @@ void RunRecorder::write_report_json(std::ostream& os) const {
   w.key("counters").begin_object();
   for (const auto& [k, v] : counters()) w.kv(k, v);
   w.end_object();
+
+  if (const auto hists = histograms(); !hists.empty()) {
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : hists) {
+      w.key(name).begin_object();
+      w.kv("count", h.count());
+      w.kv("min_ns", h.min());
+      w.kv("max_ns", h.max());
+      w.kv("mean_ns", h.mean());
+      w.kv("p50_ns", h.percentile(50.0));
+      w.kv("p90_ns", h.percentile(90.0));
+      w.kv("p95_ns", h.percentile(95.0));
+      w.kv("p99_ns", h.percentile(99.0));
+      w.kv("p999_ns", h.percentile(99.9));
+      w.end_object();
+    }
+    w.end_object();
+  }
 
   const auto stats = timeline_.global_stats();
   w.key("global_speed").begin_object();

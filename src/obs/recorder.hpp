@@ -10,6 +10,7 @@
 #include "obs/decision_log.hpp"
 #include "obs/speed_timeline.hpp"
 #include "obs/trace.hpp"
+#include "util/stats.hpp"
 
 namespace speedbal::obs {
 
@@ -36,6 +37,13 @@ class RunRecorder {
   void set_meta(std::string key, std::string value);
   std::map<std::string, std::string> meta() const;
 
+  /// Named latency histograms (e.g. "request_latency"), rendered as a
+  /// percentile summary in the run report's "histograms" map. Re-adding a
+  /// name merges into the existing histogram.
+  void add_latency_histogram(const std::string& name,
+                             const LatencyHistogram& hist);
+  std::map<std::string, LatencyHistogram> histograms() const;
+
   /// Named aggregate counters (e.g. "migrations.speed"). Merged with the
   /// decision log's per-reason counts in the run report's "counters" map.
   void incr(const std::string& name, std::int64_t n = 1);
@@ -61,6 +69,7 @@ class RunRecorder {
   mutable std::mutex mu_;
   std::map<std::string, std::string> meta_;
   std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, LatencyHistogram> histograms_;
 };
 
 /// Write one of the exports to `path` ("-" = stdout). Returns false (and

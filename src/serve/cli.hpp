@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string_view>
+
+#include "serve/scenarios.hpp"
+#include "util/cli.hpp"
+
+namespace speedbal::serve {
+
+/// Build a ServeConfig from command-line flags (see servesim_main.cpp for
+/// the flag reference). Throws std::invalid_argument — naming the valid
+/// values — on unknown policy / dispatch / arrival / service names.
+ServeConfig parse_serve_config(const Cli& cli);
+
+/// The complete serve front end shared by `servesim` and `simrun --serve`:
+/// parse flags, run the scenario, print the stats table, write the optional
+/// trace / JSON report. Returns the process exit code.
+int serve_main(const Cli& cli, std::string_view tool);
+
+}  // namespace speedbal::serve

@@ -1,0 +1,62 @@
+#include "serve/dispatch.hpp"
+
+#include <stdexcept>
+
+namespace speedbal::serve {
+
+const char* to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::RoundRobin: return "rr";
+    case DispatchPolicy::LeastLoaded: return "least-loaded";
+    case DispatchPolicy::JoinShortestQueue: return "jsq";
+  }
+  return "?";
+}
+
+std::vector<std::string> dispatch_policy_names() {
+  return {"rr", "least-loaded", "jsq"};
+}
+
+DispatchPolicy parse_dispatch_policy(std::string_view name) {
+  for (DispatchPolicy p :
+       {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
+        DispatchPolicy::JoinShortestQueue})
+    if (name == to_string(p)) return p;
+  std::string available;
+  for (const auto& n : dispatch_policy_names()) {
+    if (!available.empty()) available += ", ";
+    available += n;
+  }
+  throw std::invalid_argument("unknown dispatch policy: " + std::string(name) +
+                              " (available: " + available + ")");
+}
+
+int pick_shard(DispatchPolicy policy, std::span<const ShardLoad> shards,
+               std::uint64_t& rr_cursor) {
+  if (shards.empty()) throw std::invalid_argument("pick_shard: no shards");
+  switch (policy) {
+    case DispatchPolicy::RoundRobin:
+      return static_cast<int>(rr_cursor++ % shards.size());
+    case DispatchPolicy::LeastLoaded: {
+      int best = 0;
+      for (int i = 1; i < static_cast<int>(shards.size()); ++i)
+        if (shards[static_cast<std::size_t>(i)].pending_us <
+            shards[static_cast<std::size_t>(best)].pending_us)
+          best = i;
+      return best;
+    }
+    case DispatchPolicy::JoinShortestQueue: {
+      int best = 0;
+      const auto depth = [&shards](int i) {
+        const auto& s = shards[static_cast<std::size_t>(i)];
+        return s.queued + (s.busy ? 1 : 0);
+      };
+      for (int i = 1; i < static_cast<int>(shards.size()); ++i)
+        if (depth(i) < depth(best)) best = i;
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace speedbal::serve

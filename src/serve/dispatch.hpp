@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speedbal::serve {
+
+/// How the dispatch layer assigns an admitted request to a worker shard.
+/// Round-robin is oblivious; least-loaded compares pending service demand
+/// (what a backlog-aware proxy estimates); join-shortest-queue compares
+/// request counts (the classic JSQ policy from the queueing literature).
+enum class DispatchPolicy {
+  RoundRobin,
+  LeastLoaded,
+  JoinShortestQueue,
+};
+
+const char* to_string(DispatchPolicy p);
+/// Parse "rr" / "least-loaded" / "jsq"; throws std::invalid_argument naming
+/// the valid values otherwise.
+DispatchPolicy parse_dispatch_policy(std::string_view name);
+std::vector<std::string> dispatch_policy_names();
+
+/// Instantaneous load of one worker shard, as the dispatcher sees it.
+struct ShardLoad {
+  int queued = 0;          ///< Requests waiting (excludes the one in service).
+  double pending_us = 0.0; ///< Waiting + in-service nominal demand.
+  bool busy = false;       ///< A request (or bootstrap work) is in service.
+};
+
+/// Choose the shard for the next request. `rr_cursor` is the round-robin
+/// position, advanced only by RoundRobin. Ties break to the lowest index so
+/// dispatch is deterministic.
+int pick_shard(DispatchPolicy policy, std::span<const ShardLoad> shards,
+               std::uint64_t& rr_cursor);
+
+}  // namespace speedbal::serve

@@ -1,0 +1,42 @@
+#include "serve/loadgen.hpp"
+
+namespace speedbal::serve {
+
+namespace {
+/// Independent derived seeds so the arrival clock and the service-demand
+/// draws are separate streams (reordering one cannot perturb the other).
+constexpr std::uint64_t kArrivalSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kServiceSalt = 0xd1b54a32d192ed03ULL;
+}  // namespace
+
+LoadGenerator::LoadGenerator(Simulator& sim, ServeRuntime& runtime,
+                             workload::ArrivalSpec arrival,
+                             workload::ServiceSpec service, SimTime until,
+                             SimTime warmup, std::uint64_t seed)
+    : sim_(sim),
+      runtime_(runtime),
+      arrivals_(arrival, seed ^ kArrivalSalt),
+      service_(service, seed ^ kServiceSalt),
+      until_(until),
+      warmup_(warmup) {}
+
+void LoadGenerator::start() {
+  const SimTime first = arrivals_.next(sim_.now());
+  if (first >= until_) return;
+  sim_.schedule_at(first, [this, first] { arrive_at(first); });
+}
+
+void LoadGenerator::arrive_at(SimTime t) {
+  Request r;
+  r.id = next_id_++;
+  r.arrival = t;
+  r.service_us = service_.sample();
+  r.recorded = t >= warmup_;
+  runtime_.inject(r);
+
+  const SimTime next = arrivals_.next(t);
+  if (next >= until_) return;
+  sim_.schedule_at(next, [this, next] { arrive_at(next); });
+}
+
+}  // namespace speedbal::serve

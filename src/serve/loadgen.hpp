@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "serve/server.hpp"
+#include "sim/simulator.hpp"
+#include "workload/arrivals.hpp"
+
+namespace speedbal::serve {
+
+/// Open-loop load generator: walks an ArrivalProcess over simulated time,
+/// drawing each request's service demand from a ServiceTimeDist, and
+/// injects into the ServeRuntime via Simulator events. Open-loop means
+/// arrivals never wait for completions — under overload the queues (and the
+/// drop counters), not the generator, absorb the excess, which is what
+/// makes tail latency the honest metric.
+class LoadGenerator {
+ public:
+  /// Requests arriving at or after `until` are not generated; requests
+  /// arriving before `warmup` are marked unrecorded.
+  LoadGenerator(Simulator& sim, ServeRuntime& runtime,
+                workload::ArrivalSpec arrival, workload::ServiceSpec service,
+                SimTime until, SimTime warmup, std::uint64_t seed);
+
+  /// Schedule the first arrival. Call once, before running the simulation.
+  void start();
+
+  std::int64_t generated() const { return next_id_; }
+
+ private:
+  void arrive_at(SimTime t);
+
+  Simulator& sim_;
+  ServeRuntime& runtime_;
+  workload::ArrivalProcess arrivals_;
+  workload::ServiceTimeDist service_;
+  SimTime until_;
+  SimTime warmup_;
+  std::int64_t next_id_ = 0;
+};
+
+}  // namespace speedbal::serve

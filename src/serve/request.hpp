@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace speedbal::serve {
+
+/// One request flowing through the serving subsystem. Latency accounting
+/// follows the open-loop convention: sojourn = completion - arrival, which
+/// includes shard-queue wait, so an overloaded shard shows up in the tail
+/// even though each request's service demand is modest.
+struct Request {
+  std::int64_t id = 0;
+  SimTime arrival = 0;     ///< Offered to the dispatch layer.
+  double service_us = 0;   ///< Nominal-speed work the request costs.
+  SimTime started = 0;     ///< Handed to a worker (leaves the shard queue).
+  /// Whether this request counts toward the recorded statistics (false for
+  /// requests that arrive during warmup).
+  bool recorded = true;
+};
+
+}  // namespace speedbal::serve

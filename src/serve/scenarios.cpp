@@ -1,0 +1,142 @@
+#include "serve/scenarios.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "balance/pinned.hpp"
+#include "perturb/sim_driver.hpp"
+#include "workload/generator.hpp"
+
+namespace speedbal::serve {
+
+double capacity(const Topology& topo, int cores) {
+  const int k = cores > 0 ? cores : topo.num_cores();
+  double cap = 0.0;
+  for (CoreId c = 0; c < k; ++c) cap += topo.core(c).clock_scale;
+  return cap;
+}
+
+double rate_for_utilization(const Topology& topo, int cores,
+                            double utilization, double mean_service_us) {
+  if (utilization <= 0.0 || mean_service_us <= 0.0)
+    throw std::invalid_argument(
+        "rate_for_utilization: utilization and mean service must be > 0");
+  // capacity [work-units/s] = cap * 1e6 us/s; rate = util * capacity / mean.
+  return utilization * capacity(topo, cores) * 1e6 / mean_service_us;
+}
+
+std::vector<std::string> serve_setup_names() {
+  std::vector<std::string> out;
+  for (Policy p : {Policy::Speed, Policy::Load, Policy::Pinned, Policy::Dwrr,
+                   Policy::Ule, Policy::None})
+    out.push_back(std::string("SERVE-") + to_string(p));
+  return out;
+}
+
+Policy parse_serve_policy(std::string_view name) {
+  for (Policy p : {Policy::Speed, Policy::Load, Policy::Pinned, Policy::Dwrr,
+                   Policy::Ule, Policy::None})
+    if (name == to_string(p)) return p;
+  std::string available;
+  for (Policy p : {Policy::Speed, Policy::Load, Policy::Pinned, Policy::Dwrr,
+                   Policy::Ule, Policy::None}) {
+    if (!available.empty()) available += ", ";
+    available += to_string(p);
+  }
+  throw std::invalid_argument("unknown serve policy: " + std::string(name) +
+                              " (available: " + available + ")");
+}
+
+ServeResult run_serve(const ServeConfig& config) {
+  if (config.warmup >= config.duration)
+    throw std::invalid_argument("run_serve: warmup must be < duration");
+
+  SimParams sim_params = config.sim;
+  // Same ULE quirk as the batch experiments: the stale-snapshot fork
+  // placement is Linux-specific (paper footnote 1).
+  if (config.policy == Policy::Ule) sim_params.load_snapshot_period = 0;
+  Simulator sim(config.topo, sim_params, config.seed);
+  obs::RunRecorder* recorder = config.recorder;
+  sim.set_recorder(recorder);
+  const int k = config.cores > 0 ? config.cores : config.topo.num_cores();
+  const auto cores = workload::first_cores(k);
+
+  // Scripted interference (DVFS steps, hotplug, hogs) over the serving run.
+  std::unique_ptr<perturb::SimPerturbDriver> perturber;
+  if (!config.perturb.empty()) {
+    perturber = std::make_unique<perturb::SimPerturbDriver>(sim, config.perturb);
+    perturber->set_recorder(recorder);
+    perturber->arm();
+  }
+
+  // Kernel-level policy, exactly as in the batch experiments: SPEED/PINNED
+  // run on top of the Linux balancer, DWRR/ULE replace it.
+  std::unique_ptr<LinuxLoadBalancer> linux_lb;
+  std::unique_ptr<DwrrBalancer> dwrr;
+  std::unique_ptr<UleBalancer> ule;
+  switch (config.policy) {
+    case Policy::Dwrr:
+      dwrr = std::make_unique<DwrrBalancer>(config.dwrr);
+      dwrr->attach(sim);
+      break;
+    case Policy::Ule:
+      ule = std::make_unique<UleBalancer>(config.ule);
+      ule->attach(sim);
+      break;
+    case Policy::None:
+      break;
+    default:
+      linux_lb = std::make_unique<LinuxLoadBalancer>(config.linux_load);
+      linux_lb->attach(sim);
+      break;
+  }
+
+  ServeParams serve_params = config.serve;
+  serve_params.warmup = config.warmup;
+  ServeRuntime runtime(sim, serve_params);
+  runtime.set_recorder(recorder);
+  runtime.open(cores, /*round_robin=*/config.policy == Policy::Pinned);
+
+  // User-level policy over the worker pool.
+  std::unique_ptr<SpeedBalancer> speed;
+  std::unique_ptr<PinnedBalancer> pinned;
+  if (config.policy == Policy::Speed) {
+    speed = std::make_unique<SpeedBalancer>(config.speed, runtime.workers(),
+                                            cores);
+    speed->attach(sim);
+    if (recorder != nullptr) speed->set_recorder(recorder);
+  } else if (config.policy == Policy::Pinned) {
+    pinned = std::make_unique<PinnedBalancer>(runtime.workers(), cores);
+    pinned->attach(sim);
+  }
+
+  LoadGenerator gen(sim, runtime, config.arrival, config.service,
+                    config.duration, config.warmup, config.seed);
+  gen.start();
+
+  sim.run_until(config.duration);
+  runtime.close();
+
+  ServeResult result;
+  result.stats = runtime.stats();
+  result.generated = gen.generated();
+  result.goodput_rps =
+      result.stats.goodput_rps(config.duration - config.warmup);
+  result.total_migrations = sim.metrics().migration_count();
+  result.migrations_by_cause = sim.metrics().migration_counts_by_cause();
+
+  if (recorder != nullptr) {
+    recorder->add_latency_histogram("request_latency", result.stats.latency);
+    recorder->add_latency_histogram("queue_wait", result.stats.queue_wait);
+    recorder->set_counter("serve.offered", result.stats.offered);
+    recorder->set_counter("serve.admitted", result.stats.admitted);
+    recorder->set_counter("serve.completed", result.stats.completed);
+    recorder->set_counter("serve.dropped", result.stats.dropped);
+    recorder->set_counter("serve.max_queue_depth", result.stats.max_queue_depth);
+    recorder->set_counter("serve.generated", result.generated);
+    export_run_to_recorder(sim.metrics(), *recorder);
+  }
+  return result;
+}
+
+}  // namespace speedbal::serve

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "perturb/timeline.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "workload/arrivals.hpp"
+
+namespace speedbal::serve {
+
+/// SPEED defaults for serving: demand-scaled measurement, so a worker that
+/// sleeps on an empty queue does not read as a slow worker (the batch
+/// default conflates idleness with slowness and migrates the wrong way).
+inline SpeedBalanceParams serve_speed_defaults() {
+  SpeedBalanceParams p;
+  p.demand_scaled = true;
+  return p;
+}
+
+/// One serve run: an open-loop load generator feeding the sharded dispatch
+/// layer into a worker pool balanced by `policy` (the same Policy set the
+/// batch experiments use — SPEED/LOAD/PINNED coexist with the kernel Linux
+/// balancer; DWRR/ULE replace it; NONE leaves fork placement alone).
+struct ServeConfig {
+  Topology topo = Topology::build({});
+  /// Restrict to the first `cores` cores (taskset); 0 = all.
+  int cores = 0;
+  Policy policy = Policy::Speed;
+  ServeParams serve;
+  workload::ArrivalSpec arrival;
+  workload::ServiceSpec service;
+  SimTime duration = sec(10);
+  /// Requests arriving before `warmup` are served but not measured.
+  SimTime warmup = sec(1);
+  std::uint64_t seed = 42;
+
+  SpeedBalanceParams speed = serve_speed_defaults();
+  LinuxLoadParams linux_load;
+  DwrrParams dwrr;
+  UleParams ule;
+  SimParams sim;
+
+  /// Scripted interference applied mid-serving (DVFS, hotplug, hogs).
+  perturb::PerturbTimeline perturb;
+
+  /// When set, the run records into this recorder: latency histograms, drop
+  /// and throughput counters, queue-depth trace samples, balancer decisions.
+  obs::RunRecorder* recorder = nullptr;
+};
+
+/// Outcome of a serve run.
+struct ServeResult {
+  ServeStats stats;
+  std::int64_t generated = 0;  ///< All arrivals, including warmup.
+  double goodput_rps = 0.0;    ///< Completed / measured window.
+  std::int64_t total_migrations = 0;
+  std::map<MigrationCause, std::int64_t> migrations_by_cause;
+};
+
+/// Run the serving scenario once (serve runs are long and deterministic
+/// under the seed; repeat-averaging is the caller's choice).
+ServeResult run_serve(const ServeConfig& config);
+
+/// Sum of the managed cores' relative clock speeds: the machine's service
+/// capacity in nominal-work units per unit time.
+double capacity(const Topology& topo, int cores);
+
+/// Arrival rate (requests/s) that offers `utilization` of the managed
+/// cores' capacity given the mean per-request service demand.
+double rate_for_utilization(const Topology& topo, int cores,
+                            double utilization, double mean_service_us);
+
+/// The named serve scenarios advertised by `simrun --list-setups`
+/// ("SERVE-SPEED", "SERVE-LOAD", ...): one per balancing policy.
+std::vector<std::string> serve_setup_names();
+
+/// Parse a serve policy name ("SPEED", "LOAD", "PINNED", "DWRR", "ULE",
+/// "NONE"); throws std::invalid_argument naming the valid values otherwise.
+Policy parse_serve_policy(std::string_view name);
+
+}  // namespace speedbal::serve

@@ -1,0 +1,185 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace speedbal::serve {
+
+namespace {
+/// Bootstrap work that parks each worker into its steady-state sleep/wake
+/// cycle (a worker must be started with work before it can block).
+constexpr double kBootWorkUs = 1.0;
+}  // namespace
+
+const char* to_string(IdleMode m) {
+  switch (m) {
+    case IdleMode::Sleep: return "sleep";
+    case IdleMode::Yield: return "yield";
+  }
+  return "?";
+}
+
+IdleMode parse_idle_mode(std::string_view name) {
+  if (name == "sleep") return IdleMode::Sleep;
+  if (name == "yield") return IdleMode::Yield;
+  throw std::invalid_argument("unknown idle mode: " + std::string(name) +
+                              " (available: sleep, yield)");
+}
+
+ServeRuntime::ServeRuntime(Simulator& sim, ServeParams params)
+    : sim_(sim), params_(params) {
+  if (params_.workers < 1)
+    throw std::invalid_argument("ServeRuntime: workers must be >= 1");
+}
+
+void ServeRuntime::open(std::span<const CoreId> cores, bool round_robin) {
+  if (!workers_.empty()) throw std::logic_error("ServeRuntime::open called twice");
+  if (cores.empty()) throw std::invalid_argument("ServeRuntime: no cores");
+
+  std::uint64_t mask = 0;
+  for (CoreId c : cores) mask |= 1ULL << c;
+
+  shards_.resize(static_cast<std::size_t>(params_.workers));
+  for (int i = 0; i < params_.workers; ++i) {
+    TaskSpec ts;
+    ts.name = "serve.w" + std::to_string(i);
+    ts.client = this;
+    ts.mem_footprint_kb = params_.mem_footprint_kb;
+    ts.mem_intensity = params_.mem_intensity;
+    Task& t = sim_.create_task(ts);
+    workers_.push_back(&t);
+    shards_[static_cast<std::size_t>(i)].busy = true;  // Bootstrap work.
+    sim_.assign_work(t, kBootWorkUs);
+    if (round_robin) {
+      sim_.start_task_on(
+          t, cores[static_cast<std::size_t>(i) % cores.size()], mask);
+    } else {
+      sim_.start_task(t, mask);
+    }
+  }
+
+  if (recorder_ != nullptr && params_.sample_interval > 0)
+    sim_.schedule_after(params_.sample_interval, [this] { sample(); });
+}
+
+ShardLoad ServeRuntime::load_of(const Shard& s) const {
+  ShardLoad l;
+  l.queued = static_cast<int>(s.queue.size());
+  l.pending_us =
+      s.queued_demand_us + (s.has_current ? s.current.service_us : 0.0);
+  l.busy = s.busy;
+  return l;
+}
+
+bool ServeRuntime::inject(Request r) {
+  if (workers_.empty()) throw std::logic_error("ServeRuntime: not open");
+  if (r.recorded) ++stats_.offered;
+
+  std::vector<ShardLoad> loads;
+  loads.reserve(shards_.size());
+  for (const Shard& s : shards_) loads.push_back(load_of(s));
+  const int w = pick_shard(params_.dispatch, loads, rr_cursor_);
+  Shard& shard = shards_[static_cast<std::size_t>(w)];
+
+  if (params_.queue_capacity > 0 &&
+      static_cast<int>(shard.queue.size()) >= params_.queue_capacity) {
+    if (r.recorded) ++stats_.dropped;
+    if (recorder_ != nullptr) {
+      recorder_->incr("serve.dropped");
+      recorder_->trace().instant(sim_.now(), workers_[static_cast<std::size_t>(w)]->core(),
+                                 "drop", "serve",
+                                 {{"request", static_cast<double>(r.id)},
+                                  {"worker", static_cast<double>(w)}});
+    }
+    return false;
+  }
+
+  if (r.recorded) ++stats_.admitted;
+  ++in_flight_;
+  shard.queue.push_back(r);
+  shard.queued_demand_us += r.service_us;
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, static_cast<int>(shard.queue.size()));
+  if (!shard.busy) start_next(w);
+  return true;
+}
+
+void ServeRuntime::start_next(int worker) {
+  Shard& shard = shards_[static_cast<std::size_t>(worker)];
+  shard.current = shard.queue.front();
+  shard.queue.pop_front();
+  shard.queued_demand_us =
+      std::max(0.0, shard.queued_demand_us - shard.current.service_us);
+  shard.current.started = sim_.now();
+  shard.has_current = true;
+  shard.busy = true;
+  Task& t = *workers_[static_cast<std::size_t>(worker)];
+  sim_.assign_work(t, shard.current.service_us);
+  sim_.wake_task(t);  // No-op when the worker is already running.
+}
+
+void ServeRuntime::finish_current(int worker) {
+  Shard& shard = shards_[static_cast<std::size_t>(worker)];
+  const Request& r = shard.current;
+  --in_flight_;
+  if (r.recorded) {
+    ++stats_.completed;
+    stats_.latency.record((sim_.now() - r.arrival) * 1000);
+    stats_.queue_wait.record((r.started - r.arrival) * 1000);
+  }
+  shard.has_current = false;
+}
+
+void ServeRuntime::on_work_complete(Simulator& sim, Task& task) {
+  const auto it = std::find(workers_.begin(), workers_.end(), &task);
+  if (it == workers_.end())
+    throw std::logic_error("ServeRuntime: unknown worker task");
+  const int w = static_cast<int>(it - workers_.begin());
+  Shard& shard = shards_[static_cast<std::size_t>(w)];
+
+  if (shard.has_current) finish_current(w);
+
+  if (!shard.queue.empty()) {
+    start_next(w);  // Worker is running; the new work continues seamlessly.
+    return;
+  }
+  shard.busy = false;
+  if (params_.idle == IdleMode::Sleep) {
+    sim.sleep_task(task);
+  } else {
+    sim.set_wait_mode(task, WaitMode::Yield);  // Busy-poll the empty queue.
+  }
+}
+
+void ServeRuntime::close() { open_ = false; }
+
+int ServeRuntime::queued(int worker) const {
+  return static_cast<int>(shards_.at(static_cast<std::size_t>(worker)).queue.size());
+}
+
+int ServeRuntime::total_queued() const {
+  int n = 0;
+  for (const Shard& s : shards_) n += static_cast<int>(s.queue.size());
+  return n;
+}
+
+int ServeRuntime::busy_workers() const {
+  int n = 0;
+  for (const Shard& s : shards_) n += s.busy ? 1 : 0;
+  return n;
+}
+
+std::int64_t ServeRuntime::in_flight() const { return in_flight_; }
+
+void ServeRuntime::sample() {
+  if (!open_ || recorder_ == nullptr) return;
+  recorder_->trace().counter(
+      sim_.now(), "serve load",
+      {{"queued", static_cast<double>(total_queued())},
+       {"busy", static_cast<double>(busy_workers())}});
+  sim_.schedule_after(params_.sample_interval, [this] { sample(); });
+}
+
+}  // namespace speedbal::serve

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "serve/dispatch.hpp"
+#include "serve/request.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace speedbal::serve {
+
+/// What a worker does when its shard queue empties — the serving analogue
+/// of the paper's barrier wait modes (Section 3), and the fork in the road
+/// for every balancer: a sleeping worker leaves the run queue (queue
+/// lengths carry load information, and the kernel re-places it at every
+/// wake), while a polling worker stays runnable (queue lengths are flat and
+/// only *speed* reveals where capacity is).
+enum class IdleMode {
+  Sleep,  ///< Block on the empty queue; woken by the next dispatch.
+  Yield,  ///< Busy-poll with sched_yield (DPDK/seastar-style runtimes).
+};
+
+const char* to_string(IdleMode m);
+/// Parse "sleep" / "yield"; throws std::invalid_argument naming the valid
+/// values otherwise.
+IdleMode parse_idle_mode(std::string_view name);
+
+/// Tunables of the serving runtime.
+struct ServeParams {
+  /// Worker threads in the pool. More workers than cores is the interesting
+  /// regime: placement then matters, and that is what the balancers under
+  /// test control.
+  int workers = 8;
+  /// Admission control: waiting requests a shard may hold (excludes the one
+  /// in service). A request dispatched to a full shard is dropped — the
+  /// load-shedding answer to unbounded queueing delay. <= 0 disables.
+  int queue_capacity = 64;
+  DispatchPolicy dispatch = DispatchPolicy::JoinShortestQueue;
+  IdleMode idle = IdleMode::Sleep;
+  /// Requests arriving before this instant are served but not recorded.
+  SimTime warmup = 0;
+  /// Recorder queue-depth sampling period (0 disables sampling).
+  SimTime sample_interval = msec(10);
+  /// Per-worker memory behaviour (see TaskSpec); requests inherit it.
+  double mem_footprint_kb = 0.0;
+  double mem_intensity = 0.0;
+};
+
+/// Tail-latency accounting for one serve run. Counters cover requests that
+/// arrive after warmup; histograms are in nanoseconds.
+struct ServeStats {
+  std::int64_t offered = 0;    ///< Post-warmup arrivals.
+  std::int64_t admitted = 0;   ///< Accepted into a shard queue.
+  std::int64_t dropped = 0;    ///< Rejected by admission control.
+  std::int64_t completed = 0;  ///< Finished inside the measured window.
+  int max_queue_depth = 0;     ///< Deepest shard queue ever observed.
+  LatencyHistogram latency;     ///< Sojourn: completion - arrival.
+  LatencyHistogram queue_wait;  ///< Dispatch delay: started - arrival.
+
+  double drop_rate() const {
+    return offered > 0 ? static_cast<double>(dropped) /
+                             static_cast<double>(offered)
+                       : 0.0;
+  }
+  /// Completed requests per second of measured (post-warmup) time.
+  double goodput_rps(SimTime measured_window) const {
+    return measured_window > 0
+               ? static_cast<double>(completed) / to_sec(measured_window)
+               : 0.0;
+  }
+};
+
+/// The request-serving runtime: a pool of simulated worker threads, each
+/// owning one bounded request queue (a shard). An open-loop load generator
+/// injects requests; the dispatch layer routes each to a shard (round-robin
+/// / least-loaded / JSQ) or drops it when the shard is full. Workers sleep
+/// when their shard empties and are woken by the next dispatch, so the
+/// run-queue picture the balancers observe is exactly what a real serving
+/// process shows the kernel: busy workers on-queue, idle workers blocked.
+///
+/// Crucially the runtime never places workers itself after launch — thread
+/// placement and migration belong to the attached balancer (src/balance),
+/// which is the variable under test.
+class ServeRuntime : public TaskClient {
+ public:
+  ServeRuntime(Simulator& sim, ServeParams params);
+
+  /// Create and start the worker tasks on `cores`. `round_robin` pins the
+  /// initial placement (PINNED-style launch); otherwise Linux fork placement
+  /// chooses. Call once.
+  void open(std::span<const CoreId> cores, bool round_robin);
+
+  /// Dispatch one request at sim.now(). Returns false iff dropped.
+  bool inject(Request r);
+
+  /// Stop recorder sampling (the run is over; workers may still drain).
+  void close();
+
+  const std::vector<Task*>& workers() const { return workers_; }
+  const ServeStats& stats() const { return stats_; }
+  ServeStats& stats() { return stats_; }
+
+  int queued(int worker) const;
+  int total_queued() const;
+  int busy_workers() const;
+  std::int64_t in_flight() const;  ///< Admitted but not yet completed.
+
+  void set_recorder(obs::RunRecorder* rec) { recorder_ = rec; }
+
+  void on_work_complete(Simulator& sim, Task& task) override;
+
+ private:
+  struct Shard {
+    std::deque<Request> queue;
+    bool busy = false;         ///< Work (request or bootstrap) in service.
+    bool has_current = false;  ///< `current` holds a real request.
+    Request current;
+    double queued_demand_us = 0.0;  ///< Sum of waiting requests' service.
+  };
+
+  ShardLoad load_of(const Shard& s) const;
+  void start_next(int worker);
+  void finish_current(int worker);
+  void sample();
+
+  Simulator& sim_;
+  ServeParams params_;
+  std::vector<Task*> workers_;
+  std::vector<Shard> shards_;
+  std::uint64_t rr_cursor_ = 0;
+  bool open_ = true;
+  ServeStats stats_;
+  std::int64_t in_flight_ = 0;
+  obs::RunRecorder* recorder_ = nullptr;
+};
+
+}  // namespace speedbal::serve

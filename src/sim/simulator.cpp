@@ -31,6 +31,7 @@ Simulator::Simulator(const Topology& topo, SimParams params, std::uint64_t seed)
 
 Task& Simulator::create_task(TaskSpec spec) {
   tasks_.push_back(std::make_unique<Task>(next_task_id_++, std::move(spec)));
+  tasks_.back()->sleep_since_ = now();  // Born sleeping.
   return *tasks_.back();
 }
 
@@ -83,6 +84,7 @@ void Simulator::sleep_task(Task& t) {
     case TaskState::Parked:
       t.state_ = TaskState::Sleeping;
       t.wait_mode_ = WaitMode::None;
+      t.sleep_since_ = now();
       return;
     case TaskState::Finished:
       throw std::logic_error("sleep_task on finished task");
@@ -92,6 +94,7 @@ void Simulator::sleep_task(Task& t) {
       core(c).queue().dequeue(t);
       t.state_ = TaskState::Sleeping;
       t.wait_mode_ = WaitMode::None;
+      t.sleep_since_ = now();
       dispatch(c);
       return;
     }
@@ -99,6 +102,7 @@ void Simulator::sleep_task(Task& t) {
       core(t.core_).queue().dequeue(t);
       t.state_ = TaskState::Sleeping;
       t.wait_mode_ = WaitMode::None;
+      t.sleep_since_ = now();
       return;
   }
 }
@@ -532,6 +536,10 @@ void Simulator::refresh_speeds(const Task& changed) {
 void Simulator::enqueue_on(Task& t, CoreId c, bool sleeper_bonus) {
   auto& cs = core(c);
   assert(cs.online_);  // Every placement path filters offline cores.
+  if (t.sleep_since_ != kNever) {  // Close the sleep interval (wake/start).
+    t.total_sleep_ += now() - t.sleep_since_;
+    t.sleep_since_ = kNever;
+  }
   t.core_ = c;
   t.state_ = TaskState::Runnable;
   cs.queue().enqueue(t, sleeper_bonus);

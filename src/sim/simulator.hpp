@@ -174,6 +174,13 @@ class Simulator {
   void sync_accounting(CoreId core);
   void sync_all_accounting();
 
+  /// Total time `t` has spent blocked, including an in-progress sleep
+  /// (Task::total_sleep only covers closed intervals).
+  SimTime total_sleep(const Task& t) const {
+    return t.total_sleep() +
+           (t.sleep_since() != kNever ? now() - t.sleep_since() : 0);
+  }
+
   /// All live (non-finished) tasks, and those queued on a given core.
   std::vector<Task*> live_tasks() const;
   std::vector<Task*> tasks_on(CoreId core) const;

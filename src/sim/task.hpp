@@ -97,6 +97,11 @@ class Task {
   double warmup_remaining() const { return warmup_remaining_; }
 
   SimTime total_exec() const { return total_exec_; }
+  /// Accumulated time spent Sleeping (closed intervals only; an in-progress
+  /// sleep is charged at wake — use Simulator::total_sleep for a live view).
+  SimTime total_sleep() const { return total_sleep_; }
+  /// Instant the current sleep began (kNever when not sleeping).
+  SimTime sleep_since() const { return sleep_since_; }
   SimTime vruntime() const { return vruntime_; }
   int migrations() const { return migrations_; }
   SimTime last_migration() const { return last_migration_; }
@@ -123,6 +128,8 @@ class Task {
   double warmup_remaining_ = 0.0;
 
   SimTime total_exec_ = 0;
+  SimTime total_sleep_ = 0;
+  SimTime sleep_since_ = kNever;
   SimTime vruntime_ = 0;  // Queue-relative while enqueued (CFS convention).
   int migrations_ = 0;
   SimTime last_migration_ = kNever;

@@ -16,6 +16,12 @@
 // --perturb-json loads the same timeline from a JSON file ({"events":
 // [{"at_s": 2, "kind": "dvfs", "core": 3, "scale": 0.6}, ...]}).
 // --list-setups prints the available setup names, one per line, and exits.
+//
+// --serve[=POLICY] (or --setup=SERVE-<POLICY>) switches to the
+// request-serving mode: an open-loop load generator feeds a worker pool
+// balanced by POLICY and the tool reports tail-latency percentiles,
+// goodput, and drops. See servesim for the full serve flag reference —
+// the two front ends share it.
 
 #include <cstdio>
 #include <iostream>
@@ -25,6 +31,7 @@
 #include "core/scenarios.hpp"
 #include "obs/recorder.hpp"
 #include "perturb/timeline.hpp"
+#include "serve/cli.hpp"
 #include "topo/presets.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -63,6 +70,7 @@ int main(int argc, char** argv) {
     const Cli cli(argc, argv);
     if (cli.has("list-setups")) {
       for (const auto s : kAllSetups) std::cout << to_string(s) << "\n";
+      for (const auto& s : serve::serve_setup_names()) std::cout << s << "\n";
       return 0;
     }
     if (cli.has("log-level")) {
@@ -73,6 +81,8 @@ int main(int argc, char** argv) {
             " (available: trace, debug, info, warn, error)");
       set_log_level(*level);
     }
+    if (cli.has("serve") || cli.get("setup").rfind("SERVE-", 0) == 0)
+      return serve::serve_main(cli, "simrun");
     const auto topo = presets::by_name(cli.get("topo", "tigerton"));
     const auto prof = npb::by_name(cli.get("bench", "ep.C"));
     const int threads = static_cast<int>(cli.get_int("threads", 16));

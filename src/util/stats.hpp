@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -53,5 +55,49 @@ double percentile(std::span<const double> xs, double p);
 /// Relative improvement of `candidate` over `baseline` in percent, where
 /// both are runtimes (lower is better): 100*(baseline/candidate - 1).
 double improvement_pct(double baseline_runtime, double candidate_runtime);
+
+/// Fixed-footprint log-bucketed latency histogram: percentile queries over
+/// millions of request latencies without storing samples. Values are
+/// nanoseconds; each power of two is split into 32 linear sub-buckets, so a
+/// recorded value lands in a bucket whose width is at most 1/32 (~3.1%) of
+/// its magnitude — percentile error is bounded by that ratio. Values below
+/// 32 ns are exact. The table is ~15 KB and merge is element-wise, so
+/// per-shard histograms can be kept independently and combined at report
+/// time.
+class LatencyHistogram {
+ public:
+  /// Record one latency. Negative values clamp to 0; values beyond ~2^62 ns
+  /// (a century) clamp to the top bucket.
+  void record(std::int64_t ns);
+
+  /// Combine another histogram into this one (per-shard -> global).
+  void merge(const LatencyHistogram& other);
+
+  std::int64_t count() const { return count_; }
+  std::int64_t min() const { return count_ ? min_ : 0; }  ///< Exact, ns.
+  std::int64_t max() const { return count_ ? max_ : 0; }  ///< Exact, ns.
+  double mean() const;                                    ///< Exact, ns.
+
+  /// p-th percentile (0..100) in nanoseconds, interpolated within the
+  /// containing bucket and clamped to [min, max]; 0 when empty.
+  double percentile(double p) const;
+
+ private:
+  static constexpr int kSubBits = 5;                  // 32 sub-buckets.
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kRows = 63 - kSubBits;         // Exponent rows.
+  static constexpr int kNumBuckets = kSub + kRows * kSub;
+
+  static int bucket_index(std::int64_t ns);
+  /// Inclusive lower bound and width of bucket `i`.
+  static std::int64_t bucket_lo(int i);
+  static std::int64_t bucket_width(int i);
+
+  std::array<std::int64_t, static_cast<std::size_t>(kNumBuckets)> buckets_{};
+  std::int64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
 
 }  // namespace speedbal

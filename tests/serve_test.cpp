@@ -1,0 +1,198 @@
+// Request-serving subsystem tests: dispatch policy behaviour, admission
+// control, idle modes, and end-to-end serve runs under the balancers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/dispatch.hpp"
+#include "serve/scenarios.hpp"
+#include "serve/server.hpp"
+#include "topo/presets.hpp"
+
+namespace speedbal::serve {
+namespace {
+
+// --- Dispatch unit behaviour -------------------------------------------------
+
+TEST(Dispatch, RoundRobinCyclesThroughShards) {
+  std::vector<ShardLoad> shards(3);
+  std::uint64_t cursor = 0;
+  EXPECT_EQ(pick_shard(DispatchPolicy::RoundRobin, shards, cursor), 0);
+  EXPECT_EQ(pick_shard(DispatchPolicy::RoundRobin, shards, cursor), 1);
+  EXPECT_EQ(pick_shard(DispatchPolicy::RoundRobin, shards, cursor), 2);
+  EXPECT_EQ(pick_shard(DispatchPolicy::RoundRobin, shards, cursor), 0);
+}
+
+TEST(Dispatch, JsqPicksShortestQueueCountingInService) {
+  // Shard 0: empty but busy (1 in flight); shard 1: idle; shard 2: deep.
+  std::vector<ShardLoad> shards(3);
+  shards[0].busy = true;
+  shards[2].queued = 4;
+  shards[2].busy = true;
+  std::uint64_t cursor = 0;
+  EXPECT_EQ(pick_shard(DispatchPolicy::JoinShortestQueue, shards, cursor), 1);
+}
+
+TEST(Dispatch, JsqBreaksTiesToLowestIndex) {
+  std::vector<ShardLoad> shards(4);
+  std::uint64_t cursor = 0;
+  EXPECT_EQ(pick_shard(DispatchPolicy::JoinShortestQueue, shards, cursor), 0);
+}
+
+TEST(Dispatch, LeastLoadedComparesPendingDemandNotCounts) {
+  // Shard 0 holds one huge request; shard 1 holds three tiny ones. JSQ would
+  // pick shard 0; least-loaded must pick shard 1.
+  std::vector<ShardLoad> shards(2);
+  shards[0].queued = 1;
+  shards[0].pending_us = 50000.0;
+  shards[1].queued = 3;
+  shards[1].pending_us = 30.0;
+  std::uint64_t cursor = 0;
+  EXPECT_EQ(pick_shard(DispatchPolicy::LeastLoaded, shards, cursor), 1);
+  EXPECT_EQ(pick_shard(DispatchPolicy::JoinShortestQueue, shards, cursor), 0);
+}
+
+// --- Name parsing ------------------------------------------------------------
+
+TEST(ServeNames, IdleModeRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_idle_mode("sleep"), IdleMode::Sleep);
+  EXPECT_EQ(parse_idle_mode("yield"), IdleMode::Yield);
+  EXPECT_STREQ(to_string(IdleMode::Sleep), "sleep");
+  EXPECT_STREQ(to_string(IdleMode::Yield), "yield");
+  try {
+    parse_idle_mode("spin");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("available: sleep, yield"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ServeNames, ServePolicyErrorListsAllPolicies) {
+  EXPECT_EQ(parse_serve_policy("SPEED"), Policy::Speed);
+  EXPECT_EQ(parse_serve_policy("DWRR"), Policy::Dwrr);
+  try {
+    parse_serve_policy("FASTEST");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* name : {"SPEED", "LOAD", "PINNED", "DWRR", "ULE", "NONE"})
+      EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name
+                                                   << " in: " << msg;
+  }
+}
+
+TEST(ServeNames, SetupNamesCoverEveryPolicy) {
+  const auto names = serve_setup_names();
+  EXPECT_EQ(names.size(), 6u);
+  for (const char* n : {"SERVE-SPEED", "SERVE-LOAD", "SERVE-PINNED",
+                        "SERVE-DWRR", "SERVE-ULE", "SERVE-NONE"})
+    EXPECT_NE(std::find(names.begin(), names.end(), n), names.end())
+        << "missing " << n;
+}
+
+// --- End-to-end serve runs ---------------------------------------------------
+
+/// A short pinned-worker run used to isolate one variable at a time.
+ServeConfig base_config(const Topology& topo, int cores) {
+  ServeConfig config;
+  config.topo = topo;
+  config.cores = cores;
+  config.policy = Policy::Pinned;  // No balancer motion: dispatch is isolated.
+  config.serve.workers = cores;
+  config.service.kind = workload::ServiceKind::Exp;
+  config.service.mean_us = 5000.0;
+  config.duration = sec(5);
+  config.warmup = msec(500);
+  config.seed = 7;
+  return config;
+}
+
+TEST(ServeRun, JsqBeatsRoundRobinOnP99UnderHeterogeneousCoreSpeeds) {
+  // Cores 0-1 run at 2x, cores 2-3 at 1x. Round-robin sends each pinned
+  // worker the same request rate, so at 85% total utilization the workers on
+  // slow cores are individually overloaded and their queues dominate the
+  // tail; JSQ routes by backlog and stays stable on every shard.
+  const Topology topo = presets::asymmetric(4, 2, 2.0);
+  ServeConfig config = base_config(topo, 4);
+  config.arrival.rate_rps = rate_for_utilization(topo, 4, 0.85, 5000.0);
+
+  config.serve.dispatch = DispatchPolicy::RoundRobin;
+  const ServeResult rr = run_serve(config);
+  config.serve.dispatch = DispatchPolicy::JoinShortestQueue;
+  const ServeResult jsq = run_serve(config);
+
+  ASSERT_GT(rr.stats.completed, 0);
+  ASSERT_GT(jsq.stats.completed, 0);
+  EXPECT_LT(jsq.stats.latency.percentile(99),
+            rr.stats.latency.percentile(99) * 0.5)
+      << "jsq p99 " << jsq.stats.latency.percentile(99) / 1e6 << "ms vs rr "
+      << rr.stats.latency.percentile(99) / 1e6 << "ms";
+  EXPECT_LE(jsq.stats.dropped, rr.stats.dropped);
+}
+
+TEST(ServeRun, AdmissionControlBoundsQueueDepthAndSheds) {
+  // Offered load at 2x capacity with tiny queues: the runtime must shed the
+  // excess at admission, never let a shard queue exceed its bound, and keep
+  // the request accounting identity offered = admitted + dropped.
+  ServeConfig config = base_config(presets::generic(2), 2);
+  config.serve.queue_capacity = 4;
+  config.arrival.rate_rps = rate_for_utilization(config.topo, 2, 2.0, 5000.0);
+  config.duration = sec(3);
+
+  const ServeResult r = run_serve(config);
+  EXPECT_GT(r.stats.dropped, 0);
+  EXPECT_GT(r.stats.completed, 0);
+  EXPECT_LE(r.stats.max_queue_depth, 4);
+  EXPECT_EQ(r.stats.offered, r.stats.admitted + r.stats.dropped);
+  EXPECT_LE(r.stats.completed, r.stats.admitted);
+  // Goodput saturates near capacity (2 cores / 5ms mean = 400 req/s).
+  EXPECT_GT(r.goodput_rps, 300.0);
+  EXPECT_LT(r.goodput_rps, 440.0);
+}
+
+TEST(ServeRun, UnboundedQueueNeverDrops) {
+  ServeConfig config = base_config(presets::generic(2), 2);
+  config.serve.queue_capacity = 0;  // Disable admission control.
+  config.arrival.rate_rps = rate_for_utilization(config.topo, 2, 1.5, 5000.0);
+  config.duration = sec(2);
+  const ServeResult r = run_serve(config);
+  EXPECT_EQ(r.stats.dropped, 0);
+  EXPECT_EQ(r.stats.offered, r.stats.admitted);
+}
+
+TEST(ServeRun, SpeedMigratesBusyPollWorkersOffThrottledCores) {
+  // The bench scenario in miniature: busy-poll workers, half the cores DVFS
+  // to half speed mid-run. SPEED must move work (migrations happen) and
+  // sustain the offered load without shedding.
+  ServeConfig config = base_config(presets::generic(4), 4);
+  config.policy = Policy::Speed;
+  config.serve.workers = 8;
+  config.serve.idle = IdleMode::Yield;
+  // Offered at 70% of the *post-throttle* capacity (4 - 2*0.5 = 3).
+  config.arrival.rate_rps = 0.7 * 3.0 * 1e6 / 5000.0;
+  config.perturb = perturb::PerturbTimeline::parse_specs(
+      "at=100ms dvfs core=0 scale=0.5; at=100ms dvfs core=1 scale=0.5");
+
+  const ServeResult r = run_serve(config);
+  EXPECT_GT(r.stats.completed, 0);
+  EXPECT_GT(r.total_migrations, 0);
+  EXPECT_EQ(r.stats.dropped, 0);
+  // Goodput tracks the offered rate (420 req/s) through the throttle.
+  EXPECT_GT(r.goodput_rps, 0.9 * config.arrival.rate_rps);
+}
+
+TEST(ServeRun, CapacityAndRateHelpers) {
+  const Topology topo = presets::asymmetric(4, 2, 2.0);
+  EXPECT_DOUBLE_EQ(capacity(topo, 4), 6.0);
+  EXPECT_DOUBLE_EQ(capacity(topo, 2), 4.0);
+  // util * capacity * 1e6 / mean_us.
+  EXPECT_DOUBLE_EQ(rate_for_utilization(topo, 4, 0.5, 5000.0), 600.0);
+}
+
+}  // namespace
+}  // namespace speedbal::serve

@@ -217,8 +217,126 @@ TEST(SimrunCli, ListSetupsPrintsOnePerLineAndExitsZero) {
                            "FreeBSD"})
     EXPECT_NE(out.find(std::string(name) + "\n"), std::string::npos)
         << "missing " << name << " in: " << out;
+  // The serve scenarios are advertised alongside the batch setups.
+  for (const char* name : {"SERVE-SPEED", "SERVE-LOAD", "SERVE-PINNED",
+                           "SERVE-DWRR", "SERVE-ULE", "SERVE-NONE"})
+    EXPECT_NE(out.find(std::string(name) + "\n"), std::string::npos)
+        << "missing " << name << " in: " << out;
   // Nothing but the names: no table header, no scenario output.
   EXPECT_EQ(out.find("=="), std::string::npos) << out;
+}
+
+// --- Serve mode --------------------------------------------------------------
+
+TEST(SimrunCli, RunsServeScenario) {
+  EXPECT_EQ(run_simrun({"--serve", "--topo=generic2", "--workers=2",
+                        "--rate=200", "--duration-s=0.3", "--warmup-s=0.05"}),
+            0);
+}
+
+TEST(SimrunCli, ServeSetupSpellingRoutesToServeMode) {
+  EXPECT_EQ(run_simrun({"--setup=SERVE-PINNED", "--topo=generic2",
+                        "--workers=2", "--rate=200", "--duration-s=0.3",
+                        "--warmup-s=0.05"}),
+            0);
+}
+
+TEST(SimrunCli, UnknownServePolicyListsValidValues) {
+  std::string err;
+  EXPECT_EQ(run_simrun({"--serve=FASTEST", "--duration-s=0.1"}, &err), 2);
+  EXPECT_NE(err.find("unknown serve policy: FASTEST"), std::string::npos)
+      << err;
+  for (const char* name : {"SPEED", "LOAD", "PINNED", "DWRR", "ULE", "NONE"})
+    EXPECT_NE(err.find(name), std::string::npos) << "missing " << name
+                                                 << " in: " << err;
+}
+
+TEST(SimrunCli, UnknownArrivalProcessListsValidValues) {
+  std::string err;
+  EXPECT_EQ(run_simrun({"--serve", "--arrival=lunar", "--duration-s=0.1"},
+                       &err),
+            2);
+  EXPECT_NE(err.find("unknown arrival process: lunar"), std::string::npos)
+      << err;
+  for (const char* name : {"poisson", "bursty", "diurnal"})
+    EXPECT_NE(err.find(name), std::string::npos) << "missing " << name
+                                                 << " in: " << err;
+}
+
+TEST(SimrunCli, UnknownIdleModeListsValidValues) {
+  std::string err;
+  EXPECT_EQ(run_simrun({"--serve", "--idle=spin", "--duration-s=0.1"}, &err),
+            2);
+  EXPECT_NE(err.find("unknown idle mode: spin"), std::string::npos) << err;
+  EXPECT_NE(err.find("sleep, yield"), std::string::npos) << err;
+}
+
+TEST(SimrunCli, ServeWritesReportWithLatencyHistograms) {
+  const std::string report = testing::TempDir() + "serve_report.json";
+  EXPECT_EQ(run_simrun({"--serve", "--topo=generic2", "--workers=2",
+                        "--rate=200", "--duration-s=0.5", "--warmup-s=0.05",
+                        "--report-json=" + report}),
+            0);
+  EXPECT_TRUE(is_nonempty_json_object(report));
+  std::ifstream rp(report);
+  std::string text((std::istreambuf_iterator<char>(rp)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"request_latency\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(text.find("\"serve.completed\""), std::string::npos);
+  std::remove(report.c_str());
+}
+
+#ifndef SERVESIM_BIN
+#define SERVESIM_BIN "servesim"
+#endif
+
+/// Run servesim with stdout captured; returns exit status.
+int run_servesim(std::vector<std::string> args, std::string* stdout_out) {
+  const std::string out_path = testing::TempDir() + "servesim_stdout_" +
+                               std::to_string(getpid()) + ".txt";
+  const pid_t child = fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    if (freopen(out_path.c_str(), "w", stdout) == nullptr) _exit(125);
+    std::vector<char*> argv;
+    std::string bin = SERVESIM_BIN;
+    argv.push_back(bin.data());
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(126);
+  }
+  int status = 0;
+  waitpid(child, &status, 0);
+  std::ifstream is(out_path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *stdout_out = ss.str();
+  std::remove(out_path.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ServesimCli, ListPoliciesAndDispatchExitZero) {
+  std::string out;
+  EXPECT_EQ(run_servesim({"--list-policies"}, &out), 0);
+  for (const char* name : {"SPEED", "LOAD", "PINNED"})
+    EXPECT_NE(out.find(name), std::string::npos) << "missing " << name;
+  EXPECT_EQ(run_servesim({"--list-dispatch"}, &out), 0);
+  for (const char* name : {"rr", "least-loaded", "jsq"})
+    EXPECT_NE(out.find(name), std::string::npos) << "missing " << name;
+  EXPECT_EQ(run_servesim({"--list-arrivals"}, &out), 0);
+  EXPECT_NE(out.find("poisson"), std::string::npos);
+}
+
+TEST(ServesimCli, RunsShortServe) {
+  std::string out;
+  EXPECT_EQ(run_servesim({"--topo=generic2", "--workers=2", "--rate=200",
+                          "--duration-s=0.3", "--warmup-s=0.05",
+                          "--policy=LOAD"},
+                         &out),
+            0);
+  EXPECT_NE(out.find("latency p99"), std::string::npos) << out;
 }
 
 TEST(SimrunCli, RunsPerturbedScenario) {

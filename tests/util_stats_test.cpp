@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace speedbal {
@@ -96,6 +99,109 @@ TEST(Percentile, Interpolates) {
 TEST(Percentile, UnsortedInput) {
   const std::vector<double> xs{50.0, 10.0, 40.0, 20.0, 30.0};
   EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+}
+
+TEST(LatencyHistogram, Empty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueExactEverywhere) {
+  LatencyHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  EXPECT_DOUBLE_EQ(h.mean(), 12345.0);
+  for (double p : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(h.percentile(p), 12345.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Small values land in unit-width buckets, so they are recorded exactly.
+  LatencyHistogram h;
+  for (int v : {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 9.0);
+  EXPECT_NEAR(h.percentile(50.0), 4.5, 0.5);
+}
+
+TEST(LatencyHistogram, BoundedRelativeError) {
+  // Log-bucketing with 2^5 sub-buckets per power of two bounds the quantile
+  // at 1/32 (~3.1%) relative error against the order statistics bracketing
+  // the rank (in-bucket interpolation cannot recover the gaps *between*
+  // sparse samples, so the exact interpolated quantile is not the bound).
+  LatencyHistogram h;
+  std::vector<std::int64_t> values;
+  std::int64_t v = 3;
+  while (v < (std::int64_t{1} << 40)) {
+    values.push_back(v);
+    h.record(v);
+    v = v * 7 + 13;
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo =
+        static_cast<double>(values[static_cast<std::size_t>(rank)]);
+    const auto hi = static_cast<double>(
+        values[static_cast<std::size_t>(std::ceil(rank))]);
+    const double q = h.percentile(p);
+    EXPECT_GE(q, lo * (1.0 - 1.0 / 32.0) - 1.0) << "at p" << p;
+    EXPECT_LE(q, hi * (1.0 + 1.0 / 32.0) + 1.0) << "at p" << p;
+  }
+}
+
+TEST(LatencyHistogram, PercentileIsMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 977);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev) << "at p" << p;
+    prev = q;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0 * 977.0);
+}
+
+TEST(LatencyHistogram, MergeEqualsSequential) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t x = i * i * 31 + 7;
+    ((i % 2 == 0) ? a : b).record(x);
+    all.record(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (double p : {1.0, 50.0, 95.0, 99.9})
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+}
+
+TEST(LatencyHistogram, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflow) {
+  LatencyHistogram h;
+  const std::int64_t big = std::int64_t{1} << 61;
+  h.record(big);
+  h.record(big + (std::int64_t{1} << 40));
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_GE(h.percentile(100.0), static_cast<double>(big));
 }
 
 TEST(ImprovementPct, RuntimeSemantics) {
