@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
            {Setup::Pinned, Setup::LoadYield, Setup::SpeedYield}) {
         auto cfg = scenarios::npb_config(topo, prof, threads, 8, setup,
                                          args.repeats, args.seed);
+        cfg.jobs = args.jobs;
         const auto result = run_experiment(cfg);
         table.add_row({std::to_string(threads), to_string(setup),
                        Table::num(result.mean_runtime(), 3),

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
       cfg.app = workload::uniform_app(threads, phases,
                                       total_work_us / threads / phases);
       cfg.app.thread_skew = 1.0;
+      cfg.jobs = args.jobs;
       const auto result = run_experiment(cfg);
       table.add_row({std::to_string(threads), to_string(setup),
                      Table::num(result.mean_runtime(), 2),

@@ -51,11 +51,11 @@ double run_scenario(bool with_hog, int threads, int cores, Kind kind,
 }
 
 double mean_of(bool with_hog, int threads, int cores, Kind kind, int repeats,
-               std::uint64_t seed) {
-  double sum = 0.0;
-  for (int rep = 0; rep < repeats; ++rep)
-    sum += run_scenario(with_hog, threads, cores, kind, seed + rep * 7919);
-  return sum / repeats;
+               std::uint64_t seed, int jobs) {
+  return bench::mean_over_repeats(jobs, repeats, [&](int rep) {
+    return run_scenario(with_hog, threads, cores, kind,
+                        seed + static_cast<std::uint64_t>(rep) * 7919);
+  });
 }
 
 }  // namespace
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
     for (const auto& [kind, name] :
          {std::pair{Kind::None, "LOAD only"}, std::pair{Kind::Count, "user-level count"},
           std::pair{Kind::Speed, "user-level speed"}}) {
-      const double t = mean_of(false, 3, 2, kind, repeats, args.seed);
+      const double t = mean_of(false, 3, 2, kind, repeats, args.seed, args.jobs);
       table.add_row({name, Table::num(t, 2), Table::num(t / kIdeal, 2) + "x"});
     }
     report.emit("dedicated", table);
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
     for (const auto& [kind, name] :
          {std::pair{Kind::None, "LOAD only"}, std::pair{Kind::Count, "user-level count"},
           std::pair{Kind::Speed, "user-level speed"}}) {
-      const double t = mean_of(true, 8, 8, kind, repeats, args.seed);
+      const double t = mean_of(true, 8, 8, kind, repeats, args.seed, args.jobs);
       table.add_row({name, Table::num(t, 2), Table::num(t / kIdeal, 2) + "x"});
     }
     report.emit("cpu-hog", table);

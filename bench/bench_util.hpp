@@ -6,6 +6,7 @@
 // EXPERIMENTS.md can quote either verbatim.
 
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
@@ -16,6 +17,7 @@
 #include "topo/presets.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -61,10 +63,14 @@ inline void print_paper_note(std::string_view figure, std::string_view claim) {
 }
 
 /// Standard bench flags: --repeats, --seed, --quick (halves the sweep),
-/// --report-json=FILE (machine-readable mirror of the printed tables).
+/// --jobs=N (replica parallelism; default hardware concurrency — results
+/// are byte-identical for any value, so jobs is deliberately not part of
+/// the JSON report), --report-json=FILE (machine-readable mirror of the
+/// printed tables).
 struct BenchArgs {
   int repeats = 5;
   std::uint64_t seed = 42;
+  int jobs = 1;
   bool quick = false;
   std::string report_json;
 
@@ -73,11 +79,26 @@ struct BenchArgs {
     BenchArgs args;
     args.repeats = static_cast<int>(cli.get_int("repeats", args.repeats));
     args.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    args.jobs = resolve_jobs(static_cast<int>(cli.get_int("jobs", 0)));
     args.quick = cli.get_bool("quick", false);
     args.report_json = cli.get("report-json");
     return args;
   }
 };
+
+/// Mean over `repeats` replicas of a per-replica runtime, executed up to
+/// `jobs`-way parallel. `body(rep)` must be independent across reps;
+/// summation happens in replica order so the mean is bit-for-bit identical
+/// for any `jobs`.
+inline double mean_over_repeats(int jobs, int repeats,
+                                const std::function<double(int)>& body) {
+  std::vector<double> vals(static_cast<std::size_t>(repeats), 0.0);
+  parallel_for(jobs, static_cast<std::size_t>(repeats),
+               [&](std::size_t rep) { vals[rep] = body(static_cast<int>(rep)); });
+  double sum = 0.0;
+  for (const double v : vals) sum += v;
+  return sum / static_cast<double>(repeats);
+}
 
 /// Mirrors a bench binary's printed tables into a flat JSON run report when
 /// --report-json=FILE was passed. Usage: replace `table.print(std::cout)`
@@ -99,6 +120,13 @@ class BenchReport {
     if (!args_.report_json.empty()) tables_.emplace_back(title, table);
   }
 
+  /// Flat name->value map written as a top-level "metrics" object; the
+  /// regression gate (micro_hotpath --check-against) reads this back, so
+  /// record every metric higher-is-better.
+  void set_metrics(std::map<std::string, double> metrics) {
+    metrics_ = std::move(metrics);
+  }
+
   ~BenchReport() {
     if (args_.report_json.empty()) return;
     std::ofstream os(args_.report_json);
@@ -113,6 +141,11 @@ class BenchReport {
     w.kv("repeats", args_.repeats);
     w.kv("seed", static_cast<std::int64_t>(args_.seed));
     w.kv("quick", args_.quick);
+    if (!metrics_.empty()) {
+      w.key("metrics").begin_object();
+      for (const auto& [key, value] : metrics_) w.kv(key, value);
+      w.end_object();
+    }
     w.key("tables").begin_object();
     for (const auto& [title, table] : tables_) {
       w.key(title);
@@ -126,6 +159,7 @@ class BenchReport {
  private:
   std::string name_;
   BenchArgs args_;
+  std::map<std::string, double> metrics_;
   std::vector<std::pair<std::string, Table>> tables_;
 };
 

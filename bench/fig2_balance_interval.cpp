@@ -73,10 +73,12 @@ int main(int argc, char** argv) {
   for (const SimTime s : barrier_intervals) {
     std::vector<std::string> row{format_time(s)};
     for (const SimTime b : balance_intervals) {
-      double sum = 0.0;
-      for (int rep = 0; rep < args.repeats; ++rep)
-        sum += run_once(s, b, total_work_us, args.seed + rep);
-      row.push_back(Table::num(sum / args.repeats / ideal_s, 3));
+      const double mean = bench::mean_over_repeats(
+          args.jobs, args.repeats, [&](int rep) {
+            return run_once(s, b, total_work_us,
+                            args.seed + static_cast<std::uint64_t>(rep));
+          });
+      row.push_back(Table::num(mean / ideal_s, 3));
     }
     {
       // Baseline: Linux load balancing only (static 2x slowdown = 1.333

@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
       for (const Setup setup : setups) {
         const double serial = baselines.get(topo, prof, threads, args.seed);
         const auto result = scenarios::run_npb(topo, prof, threads, cores,
-                                               setup, args.repeats, args.seed);
+                                               setup, args.repeats, args.seed,
+                                               args.jobs);
         row.push_back(Table::num(serial / result.mean_runtime(), 2));
       }
       table.add_row(row);

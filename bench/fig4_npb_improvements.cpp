@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
 
   for (const auto& prof : profiles) {
     for (const int cores : core_counts) {
-      const auto sb = scenarios::run_npb(topo, prof, 16, cores,
-                                         Setup::SpeedYield, repeats, args.seed);
-      const auto lb = scenarios::run_npb(topo, prof, 16, cores,
-                                         Setup::LoadYield, repeats, args.seed);
+      const auto sb = scenarios::run_npb(topo, prof, 16, cores, Setup::SpeedYield,
+                                         repeats, args.seed, args.jobs);
+      const auto lb = scenarios::run_npb(topo, prof, 16, cores, Setup::LoadYield,
+                                         repeats, args.seed, args.jobs);
       const double avg_ratio = lb.mean_runtime() / sb.mean_runtime();
       const double worst_ratio = lb.worst_runtime() / sb.worst_runtime();
       avg_ratio_max = std::max(avg_ratio_max, avg_ratio);

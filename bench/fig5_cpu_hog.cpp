@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
                                        args.repeats, args.seed);
       cfg.cpu_hog = true;
       cfg.cpu_hog_core = 0;
+      cfg.jobs = args.jobs;
       const double serial = baselines.get(topo, prof, 16, args.seed);
       const auto result = run_experiment(cfg);
       row.push_back(Table::num(serial / result.mean_runtime(), 2));

@@ -39,9 +39,11 @@ int main(int argc, char** argv) {
     auto lb_cfg = scenarios::npb_config(topo, prof, 16, cores, Setup::LoadYield,
                                         args.repeats, args.seed);
     lb_cfg.make = make;
+    lb_cfg.jobs = args.jobs;
     auto sb_cfg = scenarios::npb_config(topo, prof, 16, cores, Setup::SpeedYield,
                                         args.repeats, args.seed);
     sb_cfg.make = make;
+    sb_cfg.jobs = args.jobs;
     const auto lb = run_experiment(lb_cfg);
     const auto sb = run_experiment(sb_cfg);
     table.add_row({prof.full_name(), Table::num(lb.mean_runtime(), 2),

@@ -1,0 +1,223 @@
+// Hot-path microbenchmarks tracking the simulator's perf trajectory:
+//
+//   1. Event-queue churn: schedule / 25% cancel+reschedule / run against a
+//      steady pending set (64, 1024, 16384 events) with a realistic 24-byte
+//      event capture. Reports events/sec and ns/event.
+//   2. End-to-end simulation throughput: a full SPEED-YIELD NPB run on the
+//      tigerton preset, reporting simulator events/sec and wall-clock.
+//   3. Sweep wall-clock: run_experiment at --jobs=1 vs --jobs=N for the
+//      same config (results are byte-identical; only wall-clock differs).
+//
+//   micro_hotpath [--quick] [--seed=42] [--jobs=N] [--report-json=FILE]
+//                 [--check-against=FILE] [--check-tolerance=0.20]
+//
+// Every metric is recorded higher-is-better (events/sec, not ns) so the
+// regression gate is one rule. --check-against loads a committed baseline
+// (the "metrics" object of a previous --report-json) and exits non-zero if
+// any metric regressed more than --check-tolerance (default 20%). Timings
+// are min-of-3 passes to shave scheduler noise; expect several percent of
+// run-to-run jitter anyway — the gate tolerance is deliberately generous.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "balance/linux_load.hpp"
+#include "balance/speed.hpp"
+#include "bench_util.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace speedbal;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best (minimum) wall-clock over `passes` runs of `body`, which returns
+/// the number of events it processed; result is events/sec.
+template <typename Body>
+double best_events_per_sec(int passes, Body&& body) {
+  double best = 0.0;
+  for (int p = 0; p < passes; ++p) {
+    const auto t0 = Clock::now();
+    const std::uint64_t events = body();
+    const double dt = seconds_since(t0);
+    if (dt > 0) best = std::max(best, static_cast<double>(events) / dt);
+  }
+  return best;
+}
+
+/// Pattern 1: steady-state churn against `live` pending events. Every
+/// iteration schedules one event at a pseudo-random future time, cancels
+/// and reschedules a quarter of them (the Simulator's cancel+reschedule on
+/// every dispatch), and runs one event. The 24-byte capture (pointer + two
+/// scalars) is the shape of a real run-stop or balancer-tick event.
+std::uint64_t churn(int live, std::uint64_t iters) {
+  EventQueue q;
+  std::uint64_t fired = 0;
+  std::uint64_t* fp = &fired;
+  for (int i = 0; i < live; ++i) q.schedule(i, [fp] { ++*fp; });
+  std::uint64_t x = 12345;
+  const std::uint64_t span = static_cast<std::uint64_t>(live) * 4;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const SimTime t =
+        q.now() + 1 + static_cast<SimTime>((x >> 40) % span);
+    auto h = q.schedule(t, [fp, t, i] { *fp += (t >= 0) + (i + 1 > 0); });
+    if ((x & 3) == 0) {
+      q.cancel(h);
+      q.schedule(t, [fp, t, i] { *fp += (t >= 0) + (i + 1 > 0); });
+    }
+    q.run_next();
+  }
+  return iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace speedbal;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const Cli cli(argc, argv);
+  const std::string check_against = cli.get("check-against");
+  const double tolerance = cli.get_double("check-tolerance", 0.20);
+  // Min-of-3 even in --quick mode: single-pass numbers swing far more than
+  // the gate tolerance on a busy host; shrinking the per-pass work is the
+  // safe way to be fast.
+  const int passes = 3;
+  const std::uint64_t iters = args.quick ? 400000 : 1000000;
+
+  bench::BenchReport report("micro_hotpath", args);
+  std::map<std::string, double> metrics;
+
+  // --- 1. Event-queue churn ------------------------------------------------
+  {
+    Table table({"pending events", "M events/s", "ns/event"});
+    for (const int live : {64, 1024, 16384}) {
+      const double eps =
+          best_events_per_sec(passes, [&] { return churn(live, iters); });
+      metrics["queue_churn_n" + std::to_string(live) + "_events_per_sec"] = eps;
+      table.add_row({std::to_string(live), Table::num(eps / 1e6, 2),
+                     Table::num(1e9 / eps, 1)});
+    }
+    report.emit("event-queue churn (schedule + 25% cancel + run, 24B capture)",
+                table);
+  }
+
+  // --- 2. End-to-end simulation throughput --------------------------------
+  {
+    const Topology topo = presets::tigerton();
+    const auto prof = npb::by_name("ep.C");
+    double best_eps = 0.0;
+    double best_wall = 0.0;
+    for (int p = 0; p < passes; ++p) {
+      Simulator sim(topo, {}, args.seed);
+      SpmdAppSpec spec = prof.to_spec(16, {});
+      SpmdApp app(sim, spec);
+      LinuxLoadBalancer lb;
+      lb.attach(sim);
+      app.launch(SpmdApp::Placement::LinuxFork, workload::first_cores(8));
+      SpeedBalancer speed({}, app.threads(), workload::first_cores(8));
+      speed.attach(sim);
+      const auto t0 = Clock::now();
+      sim.run_while_pending([&] { return app.finished(); }, sec(3600));
+      const double dt = seconds_since(t0);
+      const double eps =
+          dt > 0 ? static_cast<double>(sim.events_executed()) / dt : 0.0;
+      if (eps > best_eps) {
+        best_eps = eps;
+        best_wall = dt;
+      }
+    }
+    metrics["sim_end_to_end_events_per_sec"] = best_eps;
+    Table table({"scenario", "M events/s", "wall s"});
+    table.add_row({"ep.C x16 on 8 cores, SPEED-YIELD",
+                   Table::num(best_eps / 1e6, 2), Table::num(best_wall, 3)});
+    report.emit("end-to-end simulation throughput", table);
+  }
+
+  // --- 3. Sweep wall-clock: --jobs=1 vs --jobs=N ---------------------------
+  {
+    auto cfg = scenarios::npb_config(presets::tigerton(), npb::by_name("ep.C"),
+                                     16, 8, scenarios::Setup::SpeedYield,
+                                     /*repeats=*/args.quick ? 4 : 8, args.seed);
+    cfg.jobs = 1;
+    auto t0 = Clock::now();
+    const auto seq = run_experiment(cfg);
+    const double wall_seq = seconds_since(t0);
+    cfg.jobs = args.jobs;
+    t0 = Clock::now();
+    const auto par = run_experiment(cfg);
+    const double wall_par = seconds_since(t0);
+    // Determinism spot-check (full byte-level property lives in the test
+    // suite): aggregates must match exactly.
+    if (seq.mean_runtime() != par.mean_runtime() ||
+        seq.mean_migrations() != par.mean_migrations()) {
+      std::fprintf(stderr,
+                   "micro_hotpath: --jobs=1 and --jobs=%d results diverged\n",
+                   args.jobs);
+      return 1;
+    }
+    metrics["sweep_runs_per_sec_jobs1"] =
+        static_cast<double>(cfg.repeats) / wall_seq;
+    metrics["sweep_runs_per_sec_jobsN"] =
+        static_cast<double>(cfg.repeats) / wall_par;
+    Table table({"jobs", "wall s", "runs/s", "speedup"});
+    table.add_row({"1", Table::num(wall_seq, 3),
+                   Table::num(cfg.repeats / wall_seq, 2), "1.00x"});
+    table.add_row({std::to_string(args.jobs), Table::num(wall_par, 3),
+                   Table::num(cfg.repeats / wall_par, 2),
+                   Table::num(wall_seq / wall_par, 2) + "x"});
+    report.emit("experiment sweep wall-clock (8 replicas, identical results)",
+                table);
+  }
+
+  // --- Metrics mirror + regression gate ------------------------------------
+  report.set_metrics(metrics);
+  {
+    Table table({"metric", "value"});
+    for (const auto& [name, value] : metrics)
+      table.add_row({name, Table::num(value, 1)});
+    report.emit("metrics (higher is better)", table);
+  }
+
+  if (!check_against.empty()) {
+    std::ifstream is(check_against);
+    if (!is) {
+      std::fprintf(stderr, "micro_hotpath: cannot open baseline '%s'\n",
+                   check_against.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const auto doc = JsonValue::parse(buf.str());
+    const JsonValue* base = doc.find("metrics");
+    if (base == nullptr) base = &doc;  // Allow a bare metrics object.
+    int failures = 0;
+    for (const auto& [name, baseline] : base->members()) {
+      const auto it = metrics.find(name);
+      if (it == metrics.end()) continue;  // Metrics may be added over time.
+      const double floor = baseline.as_number() * (1.0 - tolerance);
+      const bool ok = it->second >= floor;
+      std::printf("check %-40s baseline %12.0f current %12.0f  %s\n",
+                  name.c_str(), baseline.as_number(), it->second,
+                  ok ? "ok" : "REGRESSED");
+      if (!ok) ++failures;
+    }
+    if (failures > 0) {
+      std::fprintf(stderr,
+                   "micro_hotpath: %d metric(s) regressed >%g%% vs %s\n",
+                   failures, tolerance * 100, check_against.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

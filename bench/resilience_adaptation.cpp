@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
       cfg.app.work_per_phase_us = 300000.0;
       cfg.app.work_jitter = 0.05;
       cfg.app.barrier.policy = WaitPolicy::Yield;
+      cfg.jobs = args.jobs;  // on_run_end only touches its repeat's slot.
       cfg.perturb = perturb::PerturbTimeline::parse_specs(scenario.spec);
 
       // Windowed phase-throughput series, one per repeat, rebuilt from the

@@ -24,11 +24,12 @@ namespace {
 ExperimentResult run_with_barrier(const Topology& topo, const NpbProfile& prof,
                                   int cores, Policy policy,
                                   const BarrierConfig& barrier, int repeats,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, int jobs) {
   auto cfg = scenarios::npb_config(topo, prof, 16, cores, Setup::LoadYield,
                                    repeats, seed);
   cfg.policy = policy;
   cfg.app.barrier = barrier;
+  cfg.jobs = jobs;
   return run_experiment(cfg);
 }
 
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
     for (const auto& variant : variants) {
       const auto result = run_with_barrier(topo, prof, cores, variant.policy,
                                            variant.barrier, args.repeats,
-                                           args.seed);
+                                           args.seed, args.jobs);
       if (std::string(variant.name).rfind("LB_INF", 0) == 0)
         lb_inf_runtime[prof.full_name()] = result.mean_runtime();
       table.add_row({prof.full_name(), variant.name,

@@ -10,6 +10,10 @@
 //
 //   serve_tail_latency [--quick] [--seed=42] [--report-json=FILE]
 //                      [--duration-s=10] [--workers=16] [--cores=8]
+//                      [--repeats=5] [--jobs=N]
+//
+// Each cell pools --repeats salted replicas (histograms merged exactly);
+// --jobs runs replicas in parallel without changing any number printed.
 
 #include <string>
 #include <vector>
@@ -28,7 +32,7 @@ struct Cell {
 
 Cell run_cell(const Topology& topo, int cores, int workers, Policy policy,
               double utilization, double post_dvfs_capacity, SimTime duration,
-              std::uint64_t seed) {
+              std::uint64_t seed, int repeats, int jobs) {
   serve::ServeConfig config;
   config.topo = topo;
   config.cores = cores;
@@ -58,7 +62,10 @@ Cell run_cell(const Topology& topo, int cores, int workers, Policy policy,
 
   Cell cell;
   cell.rate_rps = config.arrival.rate_rps;
-  cell.result = serve::run_serve(config);
+  // Replicated cells: per-replica latency histograms are combined with
+  // LatencyHistogram::merge (exact bucket-wise addition), so the percentile
+  // columns below summarize the pooled distribution, not one lucky run.
+  cell.result = serve::run_serve_repeats(config, repeats, jobs);
   return cell;
 }
 
@@ -94,7 +101,8 @@ int main(int argc, char** argv) {
   for (const double util : {0.5, 0.8, 0.95}) {
     for (const Policy policy : {Policy::Speed, Policy::Load, Policy::Pinned}) {
       const Cell cell = run_cell(topo, cores, workers, policy, util,
-                                 post_dvfs_capacity, duration, args.seed);
+                                 post_dvfs_capacity, duration, args.seed,
+                                 args.quick ? 1 : args.repeats, args.jobs);
       const serve::ServeStats& s = cell.result.stats;
       std::vector<std::string> row = {Table::num(util, 2), to_string(policy),
                                       Table::num(cell.rate_rps, 0)};

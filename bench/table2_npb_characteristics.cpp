@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
       const auto& topo = *topo_ptr;
       auto cfg = scenarios::npb_config(topo, prof, 16, 16, Setup::OnePerCore,
                                        args.repeats, args.seed);
+      cfg.jobs = args.jobs;
       const auto result = run_experiment(cfg);
       speedups[i++] =
           baselines.get(topo, prof, 16, args.seed) / result.mean_runtime();

@@ -44,12 +44,12 @@ int main(int argc, char** argv) {
     OnlineStats sb_var;
     OnlineStats lb_var;
     for (const int cores : core_counts) {
-      const auto sb = scenarios::run_npb(topo, prof, 16, cores,
-                                         Setup::SpeedYield, repeats, args.seed);
-      const auto lb = scenarios::run_npb(topo, prof, 16, cores,
-                                         Setup::LoadYield, repeats, args.seed);
-      const auto pinned = scenarios::run_npb(topo, prof, 16, cores,
-                                             Setup::Pinned, repeats, args.seed);
+      const auto sb = scenarios::run_npb(topo, prof, 16, cores, Setup::SpeedYield,
+                                         repeats, args.seed, args.jobs);
+      const auto lb = scenarios::run_npb(topo, prof, 16, cores, Setup::LoadYield,
+                                         repeats, args.seed, args.jobs);
+      const auto pinned = scenarios::run_npb(topo, prof, 16, cores, Setup::Pinned,
+                                             repeats, args.seed, args.jobs);
       vs_pinned.add(improvement_pct(pinned.mean_runtime(), sb.mean_runtime()));
       vs_lb_avg.add(improvement_pct(lb.mean_runtime(), sb.mean_runtime()));
       vs_lb_worst.add(improvement_pct(lb.worst_runtime(), sb.worst_runtime()));

@@ -17,10 +17,25 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 echo "== smoke: serve tail-latency bench =="
 "$repo/build/bench/serve_tail_latency" --quick
 
+echo "== bench-smoke: hot-path micro vs committed baseline =="
+# Tolerance 0.5 (not the bench's default 0.2): shared CI hosts show up to
+# ~40% run-to-run noise, while the regressions this gate exists to catch —
+# e.g. the event queue sliding back toward the old std::map implementation —
+# cost 60-70% and still trip it. Regenerate bench/baseline_hotpath.json
+# after intentional perf changes (see the "note" field inside it).
+"$repo/build/bench/micro_hotpath" --quick \
+  --check-against="$repo/bench/baseline_hotpath.json" --check-tolerance=0.5
+
 echo "== tsan: native balancer + serve tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test'
+
+echo "== tsan: parallel sweep (--jobs=4) under ThreadSanitizer =="
+cmake --build "$repo/build-tsan" -j "$jobs" --target simrun util_parallel_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'util_parallel_test'
+"$repo/build-tsan/src/simrun" --setup=SPEED-YIELD --bench=ep.C \
+  --threads=8 --cores=4 --repeats=8 --jobs=4 >/dev/null
 
 echo "== asan: perturbation + native + serve tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSPEEDBAL_SANITIZE=address >/dev/null

@@ -5,6 +5,7 @@
 
 #include "balance/pinned.hpp"
 #include "perturb/sim_driver.hpp"
+#include "util/parallel.hpp"
 #include "workload/generator.hpp"
 
 namespace speedbal {
@@ -156,15 +157,20 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult out;
+  out.runs.resize(static_cast<std::size_t>(std::max(config.repeats, 0)));
+  // Each replica is an independent Simulator with its own salted seed; only
+  // the recorded repeat carries the recorder. Results land in their repeat
+  // slot, so aggregates below see the same order regardless of jobs.
+  parallel_for_seeds(config.jobs, config.repeats, config.seed,
+                     [&](int rep, std::uint64_t seed) {
+                       obs::RunRecorder* recorder =
+                           rep == config.recorded_repeat ? config.recorder : nullptr;
+                       out.runs[static_cast<std::size_t>(rep)] =
+                           run_once(config, seed, recorder, rep);
+                     });
   std::vector<double> runtimes;
-  for (int rep = 0; rep < config.repeats; ++rep) {
-    const std::uint64_t seed =
-        config.seed * 1000003ULL + static_cast<std::uint64_t>(rep) * 7919ULL + 1;
-    obs::RunRecorder* recorder =
-        rep == config.recorded_repeat ? config.recorder : nullptr;
-    out.runs.push_back(run_once(config, seed, recorder, rep));
-    runtimes.push_back(out.runs.back().runtime_s);
-  }
+  runtimes.reserve(out.runs.size());
+  for (const RunResult& r : out.runs) runtimes.push_back(r.runtime_s);
   out.runtime = summarize(runtimes);
   return out;
 }

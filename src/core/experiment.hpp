@@ -45,6 +45,11 @@ struct ExperimentConfig {
   int cores = 0;
   int repeats = 10;
   std::uint64_t seed = 42;
+  /// Replicas executed concurrently (each on its own Simulator with its own
+  /// salted RNG stream). Results are merged in repeat order, so every
+  /// aggregate, report, and trace is byte-identical for any value; 1 (the
+  /// default) runs today's sequential loop. 0 means hardware concurrency.
+  int jobs = 1;
   /// Simulated-time cap per run; runs that exceed it are marked incomplete.
   SimTime time_cap = sec(3600);
 
@@ -68,7 +73,9 @@ struct ExperimentConfig {
   /// after the application and balancers are attached (install custom
   /// probes via Simulator::schedule_at here), `on_run_end` when the run is
   /// over but the simulation state is still alive (harvest application
-  /// series such as phase times). Null = unused.
+  /// series such as phase times). Null = unused. With jobs > 1 the hooks
+  /// run concurrently from pool workers: they must only touch per-repeat
+  /// state (e.g. write into a slot indexed by the repeat argument).
   std::function<void(Simulator&, SpmdApp&, int)> on_run_start;
   std::function<void(Simulator&, SpmdApp&, int)> on_run_end;
 

@@ -67,8 +67,10 @@ ExperimentConfig npb_config(const Topology& topo, const NpbProfile& prof,
 
 ExperimentResult run_npb(const Topology& topo, const NpbProfile& prof,
                          int nthreads, int cores, Setup setup, int repeats,
-                         std::uint64_t seed) {
-  return run_experiment(npb_config(topo, prof, nthreads, cores, setup, repeats, seed));
+                         std::uint64_t seed, int jobs) {
+  auto cfg = npb_config(topo, prof, nthreads, cores, setup, repeats, seed);
+  cfg.jobs = jobs;
+  return run_experiment(cfg);
 }
 
 double serial_runtime_s(const Topology& topo, const NpbProfile& prof,

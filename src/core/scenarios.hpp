@@ -31,10 +31,13 @@ ExperimentConfig npb_config(const Topology& topo, const NpbProfile& prof,
                             int nthreads, int cores, Setup setup,
                             int repeats = 10, std::uint64_t seed = 42);
 
-/// Run the configuration built by npb_config.
+/// Run the configuration built by npb_config. `jobs` replicas execute
+/// concurrently (see ExperimentConfig::jobs); results are identical for
+/// any value.
 ExperimentResult run_npb(const Topology& topo, const NpbProfile& prof,
                          int nthreads, int cores, Setup setup,
-                         int repeats = 10, std::uint64_t seed = 42);
+                         int repeats = 10, std::uint64_t seed = 42,
+                         int jobs = 1);
 
 /// Baseline for speedup curves: the same `nthreads`-thread binary run on a
 /// single core (pinned). One run suffices — it is deterministic up to work

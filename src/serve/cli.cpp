@@ -6,6 +6,7 @@
 
 #include "obs/recorder.hpp"
 #include "topo/presets.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace speedbal::serve {
@@ -110,12 +111,15 @@ int serve_main(const Cli& cli, std::string_view tool) {
     config.recorder = &recorder;
   }
 
-  const ServeResult result = run_serve(config);
+  const int repeats = static_cast<int>(cli.get_int("repeats", 1));
+  const int jobs = resolve_jobs(static_cast<int>(cli.get_int("jobs", 0)));
+  const ServeResult result = run_serve_repeats(config, repeats, jobs);
   const ServeStats& s = result.stats;
 
   Table table({"metric", "value"});
   table.add_row({"machine", config.topo.name()});
   table.add_row({"policy", to_string(config.policy)});
+  if (repeats > 1) table.add_row({"replicas", std::to_string(repeats)});
   table.add_row({"dispatch", to_string(config.serve.dispatch)});
   table.add_row({"workers / cores", std::to_string(config.serve.workers) +
                                         " / " + std::to_string(config.cores)});

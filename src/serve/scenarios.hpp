@@ -67,6 +67,14 @@ struct ServeResult {
 /// under the seed; repeat-averaging is the caller's choice).
 ServeResult run_serve(const ServeConfig& config);
 
+/// Run `repeats` independent replicas (salted seeds derived from
+/// config.seed via replica_seed) up to `jobs`-way parallel and merge:
+/// counters are summed, latency histograms merged, goodput averaged. Only
+/// replica 0 records into config.recorder. Merging happens in replica
+/// order, so the result is byte-identical for any `jobs`. repeats <= 1 is
+/// exactly run_serve.
+ServeResult run_serve_repeats(const ServeConfig& config, int repeats, int jobs);
+
 /// Sum of the managed cores' relative clock speeds: the machine's service
 /// capacity in nominal-work units per unit time.
 double capacity(const Topology& topo, int cores);

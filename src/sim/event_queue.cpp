@@ -1,46 +1,83 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-#include <stdexcept>
+#include <algorithm>
 
 namespace speedbal {
 
-EventHandle EventQueue::schedule(SimTime t, std::function<void()> fn) {
-  if (t < now_) throw std::invalid_argument("EventQueue: schedule in the past");
-  const EventHandle h{t, next_seq_++};
-  events_.emplace(Key{h.time, h.seq}, std::move(fn));
-  return h;
-}
-
-void EventQueue::cancel(EventHandle h) {
-  if (!h.valid()) return;
-  events_.erase(Key{h.time, h.seq});
-}
-
-SimTime EventQueue::next_time() const {
-  return events_.empty() ? kNever : events_.begin()->first.first;
-}
-
-bool EventQueue::run_next() {
-  if (events_.empty()) return false;
-  auto it = events_.begin();
-  now_ = it->first.first;
-  // Move the function out before erasing so the handler can schedule or
-  // cancel other events (including at the same timestamp) safely.
-  auto fn = std::move(it->second);
-  events_.erase(it);
-  fn();
-  return true;
-}
-
 void EventQueue::run_until(SimTime t) {
-  while (!events_.empty() && events_.begin()->first.first <= t) run_next();
+  while (!heap_.empty() && heap_[0].time <= t) run_next();
   if (now_ < t) now_ = t;
 }
 
 void EventQueue::run_all() {
   while (run_next()) {
   }
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, e);
+}
+
+/// Index of the smallest child of `i`, or `n` if `i` is a leaf.
+std::size_t EventQueue::min_child(std::size_t i, std::size_t n) const {
+  const std::size_t first = kArity * i + 1;
+  if (first >= n) return n;
+  const std::size_t last = std::min(first + kArity, n);
+  std::size_t best = first;
+  for (std::size_t c = first + 1; c < last; ++c)
+    if (before(heap_[c], heap_[best])) best = c;
+  return best;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t child = min_child(i, n);
+    if (child >= n || !before(heap_[child], e)) break;
+    place(i, heap_[child]);
+    i = child;
+  }
+  place(i, e);
+}
+
+void EventQueue::pop_root() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Floyd's hole scheme: walk the hole from the root down the min-child
+  // path to a leaf, then drop the tail entry in and bubble it up. The tail
+  // of a min-heap almost always belongs near the bottom, so the bubble-up
+  // usually exits immediately.
+  std::size_t hole = 0;
+  std::size_t child;
+  while ((child = min_child(hole, n)) < n) {
+    place(hole, heap_[child]);
+    hole = child;
+  }
+  place(hole, last);
+  sift_up(hole);
+}
+
+void EventQueue::heap_erase(std::size_t i) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (i == heap_.size()) return;  // Erased the tail entry.
+  heap_[i] = last;
+  slot_pos_[last.slot] = static_cast<std::uint32_t>(i);
+  // The moved entry may need to travel either way relative to position i.
+  if (i > 0 && before(heap_[i], heap_[(i - 1) / kArity]))
+    sift_up(i);
+  else
+    sift_down(i);
 }
 
 }  // namespace speedbal

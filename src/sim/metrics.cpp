@@ -22,13 +22,16 @@ const char* to_string(MigrationCause cause) {
 }
 
 void Metrics::record_run(TaskId task, CoreId core, SimTime dur) {
-  auto& per_core = exec_[task];
+  const auto t = static_cast<std::size_t>(task);
+  if (t >= exec_.size()) exec_.resize(t + 1);
+  auto& per_core = exec_[t];
   if (per_core.empty()) per_core.assign(static_cast<std::size_t>(num_cores_), 0);
   per_core[static_cast<std::size_t>(core)] += dur;
 }
 
 void Metrics::record_migration(const MigrationRecord& rec) {
   migrations_.push_back(rec);
+  ++cause_counts_[static_cast<std::size_t>(rec.cause)];
   if (recorder_ != nullptr) {
     recorder_->trace().instant(
         rec.time, rec.to, "migration", "migrate",
@@ -39,9 +42,32 @@ void Metrics::record_migration(const MigrationRecord& rec) {
   }
 }
 
+void Metrics::record_segment(const RunSegment& seg) {
+  segments_.push_back(seg);
+  const auto t = static_cast<std::size_t>(seg.task);
+  if (t >= intervals_.size()) intervals_.resize(t + 1);
+  auto& iv = intervals_[t];
+  if (iv.empty() || seg.start >= iv.back().start) {
+    const SimTime cum = iv.empty() ? 0 : iv.back().cum + iv.back().dur;
+    iv.push_back({seg.start, seg.dur, cum});
+    return;
+  }
+  // Out-of-order recording (not produced by the Simulator, but legal for
+  // external callers): sorted insert, then rebuild the running sums from
+  // the insertion point.
+  const auto pos = std::upper_bound(
+      iv.begin(), iv.end(), seg.start,
+      [](SimTime s, const Interval& i) { return s < i.start; });
+  const auto idx = static_cast<std::size_t>(pos - iv.begin());
+  iv.insert(pos, {seg.start, seg.dur, 0});
+  for (std::size_t i = idx; i < iv.size(); ++i)
+    iv[i].cum = i == 0 ? 0 : iv[i - 1].cum + iv[i - 1].dur;
+}
+
 const std::vector<SimTime>& Metrics::exec_by_core(TaskId task) const {
-  const auto it = exec_.find(task);
-  return it != exec_.end() ? it->second : empty_;
+  const auto t = static_cast<std::size_t>(task);
+  if (task < 0 || t >= exec_.size() || exec_[t].empty()) return empty_;
+  return exec_[t];
 }
 
 SimTime Metrics::total_exec(TaskId task) const {
@@ -50,13 +76,22 @@ SimTime Metrics::total_exec(TaskId task) const {
 }
 
 SimTime Metrics::exec_in_window(TaskId task, SimTime from, SimTime to) const {
-  SimTime total = 0;
-  for (const auto& seg : segments_) {
-    if (seg.task != task) continue;
-    const SimTime lo = std::max(seg.start, from);
-    const SimTime hi = std::min(seg.start + seg.dur, to);
-    if (hi > lo) total += hi - lo;
-  }
+  const auto t = static_cast<std::size_t>(task);
+  if (task < 0 || t >= intervals_.size() || from >= to) return 0;
+  const auto& iv = intervals_[t];
+  // First segment ending after `from` and first segment starting at/after
+  // `to` bound the overlapping range; the running sums give its total
+  // duration without iterating it.
+  const auto lo = std::partition_point(
+      iv.begin(), iv.end(), [from](const Interval& i) { return i.end() <= from; });
+  const auto hi = std::partition_point(
+      iv.begin(), iv.end(), [to](const Interval& i) { return i.start < to; });
+  if (lo >= hi) return 0;
+  const Interval& first = *lo;
+  const Interval& last = *(hi - 1);
+  SimTime total = last.cum + last.dur - first.cum;
+  total -= std::max<SimTime>(0, from - first.start);
+  total -= std::max<SimTime>(0, last.end() - to);
   return total;
 }
 
@@ -73,14 +108,10 @@ double Metrics::residency_fraction(
                    : 0.0;
 }
 
-std::int64_t Metrics::migration_count(MigrationCause cause) const {
-  return std::count_if(migrations_.begin(), migrations_.end(),
-                       [cause](const MigrationRecord& m) { return m.cause == cause; });
-}
-
 std::map<MigrationCause, std::int64_t> Metrics::migration_counts_by_cause() const {
   std::map<MigrationCause, std::int64_t> out;
-  for (const auto& m : migrations_) ++out[m.cause];
+  for (std::size_t i = 0; i < kNumMigrationCauses; ++i)
+    if (cause_counts_[i] > 0) out[static_cast<MigrationCause>(i)] = cause_counts_[i];
   return out;
 }
 

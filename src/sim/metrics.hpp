@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -28,6 +29,10 @@ enum class MigrationCause {
   Hotplug,          ///< Forced off an offlined core (perturbation drain).
 };
 
+/// Number of MigrationCause enumerators (dense, starting at 0).
+inline constexpr std::size_t kNumMigrationCauses =
+    static_cast<std::size_t>(MigrationCause::Hotplug) + 1;
+
 const char* to_string(MigrationCause cause);
 
 /// One recorded migration event.
@@ -50,11 +55,19 @@ struct RunSegment {
 /// Run-wide observability: execution accounting per task per core, the
 /// migration log, and completion times. Collected unconditionally (cheap);
 /// the property tests and figure harnesses read it back.
+///
+/// All per-task state is held in dense vectors indexed by TaskId (the
+/// Simulator hands out ids sequentially from 0), and migration totals per
+/// cause are maintained as a running array — so the per-dispatch accounting
+/// hot path is a couple of indexed adds, and report generation never
+/// rescans the migration or segment logs.
 class Metrics {
  public:
   explicit Metrics(int num_cores)
       : num_cores_(num_cores),
-        empty_(static_cast<std::size_t>(num_cores), SimTime{0}) {}
+        empty_(static_cast<std::size_t>(num_cores), SimTime{0}) {
+    cause_counts_.fill(0);
+  }
 
   void record_run(TaskId task, CoreId core, SimTime dur);
   void record_migration(const MigrationRecord& rec);
@@ -68,11 +81,14 @@ class Metrics {
   /// Record run segments with timestamps (`record_run` is called with the
   /// segment end = start + dur by the Simulator). Segment capture costs
   /// memory proportional to context switches; it is always on — runs are
-  /// short-lived objects.
-  void record_segment(const RunSegment& seg) { segments_.push_back(seg); }
+  /// short-lived objects. Segments of one task are expected in
+  /// non-decreasing start order (they cannot overlap); out-of-order
+  /// recording is tolerated but pays a sorted insert.
+  void record_segment(const RunSegment& seg);
   const std::vector<RunSegment>& segments() const { return segments_; }
 
   /// Execution time of `task` within the window [from, to) (clipped).
+  /// O(log segments-of-task) via the per-task interval accumulator.
   SimTime exec_in_window(TaskId task, SimTime from, SimTime to) const;
 
   /// Fraction of the task's execution spent on cores where `pred(core)`
@@ -86,19 +102,37 @@ class Metrics {
   SimTime total_exec(TaskId task) const;
 
   const std::vector<MigrationRecord>& migrations() const { return migrations_; }
-  std::int64_t migration_count(MigrationCause cause) const;
+  /// O(1): served from the running per-cause tally.
+  std::int64_t migration_count(MigrationCause cause) const {
+    return cause_counts_[static_cast<std::size_t>(cause)];
+  }
   std::int64_t migration_count() const {
     return static_cast<std::int64_t>(migrations_.size());
   }
   /// Migration totals attributed to each cause that occurred at least once.
+  /// Built from the running tally — does not rescan the migration log.
   std::map<MigrationCause, std::int64_t> migration_counts_by_cause() const;
 
   int num_cores() const { return num_cores_; }
 
  private:
+  /// One run segment of a task, with the task's cumulative execution before
+  /// this segment (`cum`), enabling O(log n) windowed sums.
+  struct Interval {
+    SimTime start = 0;
+    SimTime dur = 0;
+    SimTime cum = 0;
+    SimTime end() const { return start + dur; }
+  };
+
   int num_cores_;
-  std::map<TaskId, std::vector<SimTime>> exec_;
+  /// Per-task per-core execution, indexed [task][core]; rows are allocated
+  /// on a task's first run.
+  std::vector<std::vector<SimTime>> exec_;
+  /// Per-task interval accumulator, indexed [task]; sorted by start.
+  std::vector<std::vector<Interval>> intervals_;
   std::vector<MigrationRecord> migrations_;
+  std::array<std::int64_t, kNumMigrationCauses> cause_counts_;
   std::vector<RunSegment> segments_;
   /// Correctly-sized all-zero row returned for tasks that never ran, so
   /// callers may always index [core].

@@ -302,11 +302,11 @@ int Simulator::num_online_cores() const {
 
 // --- Time control -------------------------------------------------------
 
-EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime t, EventFn fn) {
   return events_.schedule(t, std::move(fn));
 }
 
-EventHandle Simulator::schedule_after(SimTime dt, std::function<void()> fn) {
+EventHandle Simulator::schedule_after(SimTime dt, EventFn fn) {
   return events_.schedule(now() + dt, std::move(fn));
 }
 

@@ -150,13 +150,17 @@ class Simulator {
 
   // --- Time control -------------------------------------------------------
 
-  EventHandle schedule_at(SimTime t, std::function<void()> fn);
-  EventHandle schedule_after(SimTime dt, std::function<void()> fn);
+  EventHandle schedule_at(SimTime t, EventFn fn);
+  EventHandle schedule_after(SimTime dt, EventFn fn);
   void cancel(EventHandle h) { events_.cancel(h); }
 
   /// Execute one event; false when none are pending.
   bool step() { return events_.run_next(); }
   void run_until(SimTime t) { events_.run_until(t); }
+
+  /// Total events executed so far; wall-clock / events gives the
+  /// simulator's end-to-end cost per event (see bench/micro_hotpath).
+  std::uint64_t events_executed() const { return events_.executed(); }
 
   /// Run until `until()` returns true or the time cap / event exhaustion is
   /// hit; returns true if the predicate was satisfied.

@@ -5,6 +5,7 @@
 //            [--arrival=poisson] [--rate=RPS | --utilization=0.8]
 //            [--service=exp] [--service-mean-us=5000] [--service-cv=1.5]
 //            [--duration-s=10] [--warmup-s=1] [--seed=42]
+//            [--repeats=1] [--jobs=N]
 //            [--perturb=SPECS] [--perturb-json=FILE]
 //            [--trace-out=FILE] [--report-json=FILE] [--log-level=LVL]
 //
@@ -13,6 +14,10 @@
 // tail-latency percentiles, goodput, and admission-control drops. Without
 // --rate the arrival rate is derived from --utilization (offered load as a
 // fraction of the managed cores' aggregate speed).
+//
+// --repeats=R runs R independent replicas (salted seeds) and merges their
+// statistics; --jobs=N executes them N-way parallel (default: hardware
+// concurrency) with output byte-identical for any N.
 //
 // Listing flags (print one name per line and exit):
 //   --list-policies --list-dispatch --list-arrivals --list-services

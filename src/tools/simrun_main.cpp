@@ -1,7 +1,7 @@
 // Command-line front end for the simulator:
 //
 //   simrun [--topo=tigerton] [--bench=ep.C] [--threads=16] [--cores=4]
-//          [--setup=SPEED-YIELD] [--repeats=5] [--seed=42]
+//          [--setup=SPEED-YIELD] [--repeats=5] [--seed=42] [--jobs=N]
 //          [--trace-out=FILE] [--report-json=FILE] [--log-level=LVL]
 //          [--perturb=SPECS] [--perturb-json=FILE] [--list-setups]
 //
@@ -10,6 +10,10 @@
 // first repeat is recorded as a Chrome trace-event file (open in
 // chrome://tracing or https://ui.perfetto.dev); --report-json writes the
 // flat JSON run report (speed timeline, decision counters).
+//
+// --jobs=N runs the repeats N-way parallel (default: hardware
+// concurrency); every replica is an independent simulator with its own
+// seed, and reports/traces are byte-identical for any N.
 //
 // --perturb takes semicolon-separated compact event specs, e.g.
 //   --perturb="at=2s dvfs core=3 scale=0.6; at=4s offline core=1"
@@ -35,6 +39,7 @@
 #include "topo/presets.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
     const auto setup = parse_setup(cli.get("setup", "SPEED-YIELD"));
     const int repeats = static_cast<int>(cli.get_int("repeats", 5));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const int jobs = resolve_jobs(static_cast<int>(cli.get_int("jobs", 0)));
     const std::string trace_out = cli.get("trace-out");
     const std::string report_json = cli.get("report-json");
 
@@ -106,6 +112,7 @@ int main(int argc, char** argv) {
 
     auto config =
         scenarios::npb_config(topo, prof, threads, cores, setup, repeats, seed);
+    config.jobs = jobs;
     config.perturb = timeline;
     obs::RunRecorder recorder;
     const bool record = !trace_out.empty() || !report_json.empty();

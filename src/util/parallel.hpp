@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace speedbal {
+
+/// Default parallelism for experiment sweeps: the hardware concurrency,
+/// overridable with SPEEDBAL_JOBS (useful under CI/sanitizers). At least 1.
+int default_jobs();
+
+/// Parse a --jobs=N style value: clamps to [1, 256]; 0 means default_jobs().
+int resolve_jobs(int requested);
+
+/// Seed for replica `rep` of a sweep run with base seed `base`. Every
+/// execution path (sequential or parallel, any --jobs) derives replica
+/// seeds through this one function so results are byte-identical across
+/// execution modes.
+inline std::uint64_t replica_seed(std::uint64_t base, int rep) {
+  return base * 1000003ULL + static_cast<std::uint64_t>(rep) * 7919ULL + 1;
+}
+
+/// Bounded thread pool: a fixed set of workers draining a task queue.
+/// Tasks must not throw (wrap and capture; see parallel_for).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals workers: work or stop.
+  std::condition_variable idle_cv_;   ///< Signals wait_idle: drained.
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for every i in [0, n). `jobs <= 1` runs the plain
+/// sequential loop on the calling thread (bit-for-bit today's behavior);
+/// otherwise at most `jobs` pool workers execute iterations concurrently.
+/// Iterations must be independent; any order may be observed. The first
+/// exception thrown by an iteration is rethrown on the calling thread
+/// after all iterations finish.
+void parallel_for(int jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Sweep-replica driver: run body(rep, replica_seed(base_seed, rep)) for
+/// every rep in [0, repeats) under `jobs`-way parallelism. Callers index
+/// output slots by `rep`, so results land in deterministic seed order no
+/// matter which worker ran which replica.
+void parallel_for_seeds(int jobs, int repeats, std::uint64_t base_seed,
+                        const std::function<void(int, std::uint64_t)>& body);
+
+}  // namespace speedbal

@@ -115,5 +115,99 @@ TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
   EXPECT_FALSE(q.run_next());
 }
 
+// --- Handle-reuse and equal-timestamp races ---------------------------------
+// The indexed heap recycles slots, so a stale handle (fired or cancelled)
+// must never reach a newer event that happens to occupy the same slot.
+
+TEST(EventQueue, CancelWithFiredHandleSparesSlotReuser) {
+  EventQueue q;
+  const auto h1 = q.schedule(10, [] {});
+  q.run_next();  // h1 fires; its slot returns to the freelist.
+  bool fired = false;
+  const auto h2 = q.schedule(20, [&] { fired = true; });
+  EXPECT_EQ(h1.slot, h2.slot);  // Slot is recycled...
+  q.cancel(h1);                 // ...but the stale handle must not cancel h2.
+  q.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelWithCancelledHandleSparesSlotReuser) {
+  EventQueue q;
+  const auto h1 = q.schedule(10, [] {});
+  q.cancel(h1);
+  bool fired = false;
+  const auto h2 = q.schedule(10, [&] { fired = true; });
+  EXPECT_EQ(h1.slot, h2.slot);
+  q.cancel(h1);  // Stale: h1's seq no longer matches the slot.
+  q.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, HandlerCancelsEqualTimePeer) {
+  // A fires at t=5 and cancels B, also scheduled at t=5. Insertion order
+  // says A runs first, so B must never fire even though both were due at
+  // the current instant.
+  EventQueue q;
+  std::vector<char> order;
+  EventHandle b;
+  q.schedule(5, [&] {
+    order.push_back('A');
+    q.cancel(b);
+  });
+  b = q.schedule(5, [&] { order.push_back('B'); });
+  q.schedule(5, [&] { order.push_back('C'); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'C'}));
+}
+
+TEST(EventQueue, HandlerReschedulesEqualTimePeer) {
+  // The Simulator's stop-event pattern: a handler cancels a pending event
+  // and reschedules it at the same timestamp. The replacement must run in
+  // its new insertion position (after later-inserted equal-time events).
+  EventQueue q;
+  std::vector<char> order;
+  EventHandle b;
+  q.schedule(5, [&] {
+    order.push_back('A');
+    q.cancel(b);
+    q.schedule(5, [&] { order.push_back('b'); });
+  });
+  b = q.schedule(5, [&] { order.push_back('B'); });
+  q.schedule(5, [&] { order.push_back('C'); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'C', 'b'}));
+}
+
+TEST(EventQueue, HandleFromInsideHandlerStaysValid) {
+  // Cancel an event that was scheduled from inside an equal-time handler
+  // before it gets to run.
+  EventQueue q;
+  bool fired = false;
+  EventHandle inner;
+  q.schedule(5, [&] { inner = q.schedule(5, [&] { fired = true; }); });
+  q.schedule(5, [&] { q.cancel(inner); });
+  q.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, ChurnKeepsStrictFifoWithinTimestamp) {
+  // Heavy slot recycling must not disturb the (time, seq) order: cancel
+  // every other event at a shared timestamp, reschedule replacements, and
+  // verify survivors fire strictly in insertion order.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i)
+    handles.push_back(q.schedule(7, [&order, i] { order.push_back(i); }));
+  for (int i = 0; i < 100; i += 2) q.cancel(handles[static_cast<std::size_t>(i)]);
+  for (int i = 100; i < 150; ++i)
+    q.schedule(7, [&order, i] { order.push_back(i); });
+  q.run_all();
+  std::vector<int> expected;
+  for (int i = 1; i < 100; i += 2) expected.push_back(i);
+  for (int i = 100; i < 150; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
 }  // namespace
 }  // namespace speedbal

@@ -80,6 +80,61 @@ TEST(Metrics, SegmentsAndWindowQueries) {
   EXPECT_EQ(m.exec_in_window(9, 0, usec(300)), 0);
 }
 
+TEST(Metrics, CachedCauseTallyTracksEveryRecord) {
+  // The per-cause totals are a running tally, not a log rescan; they must
+  // stay exact across interleaved causes and agree with the full log.
+  Metrics m(4);
+  const MigrationCause causes[] = {
+      MigrationCause::SpeedBalancer, MigrationCause::LinuxPeriodic,
+      MigrationCause::LinuxNewIdle, MigrationCause::SpeedBalancer,
+      MigrationCause::Hotplug};
+  for (int round = 0; round < 100; ++round)
+    for (const auto c : causes)
+      m.record_migration({usec(round), 1, 0, 1, c});
+  EXPECT_EQ(m.migration_count(), 500);
+  EXPECT_EQ(m.migration_count(MigrationCause::SpeedBalancer), 200);
+  EXPECT_EQ(m.migration_count(MigrationCause::LinuxPeriodic), 100);
+  EXPECT_EQ(m.migration_count(MigrationCause::Hotplug), 100);
+  EXPECT_EQ(m.migration_count(MigrationCause::Dwrr), 0);
+  const auto by_cause = m.migration_counts_by_cause();
+  ASSERT_EQ(by_cause.size(), 4u);
+  std::int64_t sum = 0;
+  for (const auto& [cause, n] : by_cause) sum += n;
+  EXPECT_EQ(sum, m.migration_count());
+}
+
+TEST(Metrics, WindowQueryExactAtSegmentBoundaries) {
+  Metrics m(2);
+  // Three segments of task 1: [0,100), [200,300), [300,400).
+  m.record_segment({1, 0, usec(0), usec(100)});
+  m.record_segment({1, 1, usec(200), usec(100)});
+  m.record_segment({1, 0, usec(300), usec(100)});
+  // Window touching a segment edge exactly includes/excludes it.
+  EXPECT_EQ(m.exec_in_window(1, usec(100), usec(200)), 0);
+  EXPECT_EQ(m.exec_in_window(1, usec(100), usec(201)), usec(1));
+  EXPECT_EQ(m.exec_in_window(1, usec(99), usec(200)), usec(1));
+  // Window inside one segment.
+  EXPECT_EQ(m.exec_in_window(1, usec(220), usec(280)), usec(60));
+  // Window spanning all.
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(400)), usec(300));
+  // Inverted / empty windows.
+  EXPECT_EQ(m.exec_in_window(1, usec(300), usec(300)), 0);
+  EXPECT_EQ(m.exec_in_window(1, usec(400), usec(100)), 0);
+}
+
+TEST(Metrics, OutOfOrderSegmentRecordingStillSums) {
+  // The Simulator emits segments in time order, but external callers may
+  // not; the interval accumulator must re-sort and keep windowed sums
+  // exact.
+  Metrics m(2);
+  m.record_segment({1, 0, usec(200), usec(50)});
+  m.record_segment({1, 1, usec(0), usec(100)});
+  m.record_segment({1, 0, usec(120), usec(30)});
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(300)), usec(180));
+  EXPECT_EQ(m.exec_in_window(1, usec(50), usec(130)), usec(60));
+  EXPECT_EQ(m.exec_in_window(1, usec(130), usec(210)), usec(30));
+}
+
 TEST(Metrics, ResidencyFraction) {
   Metrics m(4);
   m.record_run(1, 0, usec(300));

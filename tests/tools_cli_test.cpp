@@ -370,6 +370,66 @@ TEST(SimrunCli, MissingPerturbJsonFileFails) {
   EXPECT_NE(err.find("timeline"), std::string::npos) << err;
 }
 
+// --- Parallel-execution determinism ------------------------------------------
+// --jobs only changes wall-clock, never results: reports and traces must be
+// byte-identical between sequential and wide execution.
+
+/// Run simrun writing report (and optionally trace) files; returns their
+/// contents via out-params. Fails the test on a non-zero exit.
+void run_for_artifacts(std::vector<std::string> args, std::string* report_text,
+                       std::string* trace_text) {
+  static int counter = 0;
+  const std::string tag = std::to_string(getpid()) + "_" + std::to_string(counter++);
+  const std::string report = testing::TempDir() + "jobs_report_" + tag + ".json";
+  const std::string trace = testing::TempDir() + "jobs_trace_" + tag + ".json";
+  args.push_back("--report-json=" + report);
+  if (trace_text != nullptr) args.push_back("--trace-out=" + trace);
+  ASSERT_EQ(run_simrun(args), 0);
+  std::ifstream rp(report);
+  *report_text = std::string((std::istreambuf_iterator<char>(rp)),
+                             std::istreambuf_iterator<char>());
+  std::remove(report.c_str());
+  if (trace_text != nullptr) {
+    std::ifstream tr(trace);
+    *trace_text = std::string((std::istreambuf_iterator<char>(tr)),
+                              std::istreambuf_iterator<char>());
+    std::remove(trace.c_str());
+  }
+  ASSERT_FALSE(report_text->empty());
+}
+
+TEST(SimrunCli, JobsDoNotChangeBatchReportOrTrace) {
+  for (const char* setup : {"SPEED-YIELD", "LOAD-YIELD"}) {
+    const std::vector<std::string> base = {
+        "--topo=generic4", "--bench=ep.S", "--threads=6",  "--cores=4",
+        "--setup=" + std::string(setup),   "--repeats=6",  "--seed=7"};
+    std::string report1, trace1, report8, trace8;
+    auto args1 = base;
+    args1.push_back("--jobs=1");
+    run_for_artifacts(args1, &report1, &trace1);
+    auto args8 = base;
+    args8.push_back("--jobs=8");
+    run_for_artifacts(args8, &report8, &trace8);
+    EXPECT_EQ(report1, report8) << "report diverged for " << setup;
+    EXPECT_EQ(trace1, trace8) << "trace diverged for " << setup;
+    EXPECT_NE(trace1.find("\"traceEvents\""), std::string::npos);
+  }
+}
+
+TEST(SimrunCli, JobsDoNotChangeServeReport) {
+  const std::vector<std::string> base = {
+      "--serve",         "--topo=generic2", "--workers=2", "--rate=300",
+      "--duration-s=0.4", "--warmup-s=0.05", "--repeats=4", "--seed=11"};
+  std::string report1, report8;
+  auto args1 = base;
+  args1.push_back("--jobs=1");
+  run_for_artifacts(args1, &report1, /*trace_text=*/nullptr);
+  auto args8 = base;
+  args8.push_back("--jobs=8");
+  run_for_artifacts(args8, &report8, /*trace_text=*/nullptr);
+  EXPECT_EQ(report1, report8);
+}
+
 TEST(SimrunCli, RejectsUnknownTopology) {
   EXPECT_EQ(run_simrun({"--topo=vax780", "--setup=PINNED"}), 2);
 }
