@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build + ctest, then a ThreadSanitizer build of the
-# native balancer tests (worker thread + trace recorder) and an
+# Tier-1 gate: configure + build + ctest, a randomized fuzz leg (fresh seed,
+# logged, so failures replay from the log), then a ThreadSanitizer build of
+# the native balancer tests (worker thread + trace recorder) and an
 # AddressSanitizer build of the perturbation + native tests (timeline
-# parsing, fault-injection paths, hotplug drain). Run from anywhere; build
-# trees live under build/, build-tsan/, and build-asan/ at the repo root.
+# parsing, fault-injection paths, hotplug drain); each sanitizer tree also
+# runs one fuzz episode. Run from anywhere; build trees live under build/,
+# build-tsan/, and build-asan/ at the repo root.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,6 +28,13 @@ echo "== bench-smoke: hot-path micro vs committed baseline =="
 "$repo/build/bench/micro_hotpath" --quick \
   --check-against="$repo/bench/baseline_hotpath.json" --check-tolerance=0.5
 
+echo "== fuzz-smoke: randomized property fuzz (30 s wall budget) =="
+# Fresh entropy every run — regressions print the seed and a --replay spec,
+# so any failure here is reproducible from the log alone.
+fuzz_seed=$((RANDOM * 65536 + RANDOM))
+echo "fuzz-smoke seed: $fuzz_seed"
+"$repo/build/src/fuzzsim" --episodes=400 --seed="$fuzz_seed" --max-seconds=30
+
 echo "== tsan: native balancer + serve tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test
@@ -36,10 +45,13 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target simrun util_parallel_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'util_parallel_test'
 "$repo/build-tsan/src/simrun" --setup=SPEED-YIELD --bench=ep.C \
   --threads=8 --cores=4 --repeats=8 --jobs=4 >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs" --target fuzzsim
+"$repo/build-tsan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
 
 echo "== asan: perturbation + native + serve tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSPEEDBAL_SANITIZE=address >/dev/null
-cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test
+cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test fuzzsim
 ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test'
+"$repo/build-asan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
 
 echo "check.sh: all green"

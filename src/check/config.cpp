@@ -1,0 +1,52 @@
+#include "check/config.hpp"
+
+#include <algorithm>
+
+#include "topo/presets.hpp"
+#include "workload/generator.hpp"
+
+namespace speedbal::check {
+
+ExperimentConfig spmd_experiment(const FuzzScenario& sc) {
+  ExperimentConfig cfg;
+  cfg.topo = presets::by_name(sc.topo);
+  BarrierConfig barrier;
+  barrier.policy = sc.barrier;
+  cfg.app = workload::uniform_app(sc.threads, sc.phases, sc.work_per_phase_us,
+                                  barrier);
+  cfg.app.work_jitter = sc.work_jitter;
+  cfg.policy = sc.policy;
+  cfg.cores = sc.cores;
+  cfg.repeats = 1;
+  cfg.jobs = 1;
+  cfg.seed = sc.seed;
+  cfg.time_cap = sec(600);
+  cfg.speed.interval = sc.balance_interval;
+  cfg.speed.threshold = sc.threshold;
+  for (const perturb::PerturbEvent& ev : sc.perturb) cfg.perturb.add(ev);
+  return cfg;
+}
+
+serve::ServeConfig serve_experiment(const FuzzScenario& sc) {
+  serve::ServeConfig cfg;
+  cfg.topo = presets::by_name(sc.topo);
+  cfg.cores = sc.cores;
+  cfg.policy = sc.policy;
+  cfg.serve.workers = sc.workers;
+  cfg.serve.idle = sc.serve_busy_poll ? serve::IdleMode::Yield
+                                      : serve::IdleMode::Sleep;
+  cfg.arrival.kind = sc.arrival;
+  cfg.arrival.rate_rps = serve::rate_for_utilization(
+      cfg.topo, sc.cores, sc.utilization, sc.mean_service_us);
+  cfg.service.kind = sc.service;
+  cfg.service.mean_us = sc.mean_service_us;
+  cfg.duration = sc.duration;
+  cfg.warmup = std::min(msec(100), sc.duration / 4);
+  cfg.seed = sc.seed;
+  cfg.speed.interval = sc.balance_interval;
+  cfg.speed.threshold = sc.threshold;
+  for (const perturb::PerturbEvent& ev : sc.perturb) cfg.perturb.add(ev);
+  return cfg;
+}
+
+}  // namespace speedbal::check

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "check/scenario.hpp"
+#include "core/experiment.hpp"
+#include "serve/scenarios.hpp"
+
+namespace speedbal::check {
+
+/// Lower a fuzz scenario to a runnable single-repeat SPMD experiment
+/// (repeats=1, jobs=1, 600 s sim-time cap). Shared by the episode runner,
+/// the jobs-identity oracle, and the integration property suites, so every
+/// consumer agrees on exactly how a scenario maps to an experiment; callers
+/// adjust repeats/jobs/caps/hooks on the returned config.
+ExperimentConfig spmd_experiment(const FuzzScenario& sc);
+
+/// Lower a serve-mode fuzz scenario to a ServeConfig (arrival rate derived
+/// from the scenario's utilization, warmup = min(100 ms, duration/4)).
+serve::ServeConfig serve_experiment(const FuzzScenario& sc);
+
+}  // namespace speedbal::check

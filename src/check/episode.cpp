@@ -1,0 +1,331 @@
+#include "check/episode.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/config.hpp"
+#include "check/reference_queue.hpp"
+#include "obs/recorder.hpp"
+
+namespace speedbal::check {
+
+namespace {
+
+constexpr SimTime kProbePeriod = msec(5);
+constexpr SimTime kHonestCap = sec(600);
+constexpr SimTime kBrokenCap = sec(30);
+constexpr int kQueueFuzzOps = 400;
+
+/// Everything the hooks collect from inside the run, harvested while the
+/// Simulator is still alive.
+struct Harvest {
+  std::vector<TaskSnapshot> snaps;
+  std::vector<CoreTimes> cores;
+  std::vector<MigrationRecord> migrations;
+  ServeCounters serve;
+  int probes = 0;
+};
+
+bool movable_state(TaskState s) {
+  return s == TaskState::Runnable || s == TaskState::Running;
+}
+
+void snapshot_task(const Simulator& sim, const Task& t,
+                   std::vector<TaskSnapshot>& out) {
+  TaskSnapshot s;
+  s.id = t.id();
+  s.state = to_string(t.state());
+  s.expect_queued = movable_state(t.state());
+  s.core = t.core();
+  s.when = sim.now();
+  int memberships = 0;
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    if (!sim.core(c).queue().contains(t)) continue;
+    ++memberships;
+    if (c == t.core()) s.on_own_queue = true;
+  }
+  s.queue_memberships = memberships;
+  if (t.core() >= 0 && t.core() < sim.num_cores()) {
+    s.allowed_on_core = t.allowed_on(t.core());
+    s.core_online = sim.core_online(t.core());
+  }
+  out.push_back(std::move(s));
+}
+
+void probe_tick(Simulator& sim, Harvest& h, SimTime horizon) {
+  ++h.probes;
+  for (const Task* t : sim.live_tasks()) snapshot_task(sim, *t, h.snaps);
+  if (sim.now() + kProbePeriod <= horizon)
+    sim.schedule_after(kProbePeriod, [&sim, &h, horizon] {
+      probe_tick(sim, h, horizon);
+    });
+}
+
+/// End-of-run harvest: exact accounting, final placement of every task ever
+/// created (Finished tasks must be on no queue), and the migration log.
+void harvest_run_end(Simulator& sim, Harvest& h) {
+  sim.sync_all_accounting();
+  const SimTime elapsed = sim.now();
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    CoreTimes ct;
+    ct.core = c;
+    ct.elapsed = elapsed;
+    ct.busy = sim.core(c).busy_time();
+    SimTime exec = 0;
+    for (TaskId id = 0; id < sim.num_tasks(); ++id)
+      exec += sim.metrics().exec_by_core(id)[static_cast<std::size_t>(c)];
+    ct.exec_sum = exec;
+    h.cores.push_back(ct);
+  }
+  for (TaskId id = 0; id < sim.num_tasks(); ++id)
+    snapshot_task(sim, sim.task(id), h.snaps);
+  h.migrations = sim.metrics().migrations();
+}
+
+Task* first_movable(Simulator& sim) {
+  for (Task* t : sim.live_tasks())
+    if (movable_state(t->state())) return t;
+  return nullptr;
+}
+
+/// Inject the scenario's deliberate defect (see BrokenMode). All stubs act
+/// at 10-11 ms, after launch placement has settled.
+void arm_broken(Simulator& sim, const FuzzScenario& sc, obs::RunRecorder& rec) {
+  switch (sc.broken) {
+    case BrokenMode::None:
+      return;
+    case BrokenMode::LoseTask:
+      // Park a thread and forget it: the barrier never completes, which the
+      // liveness check (run under the reduced broken-mode time cap) reports.
+      sim.schedule_at(msec(10), [&sim] {
+        if (Task* t = first_movable(sim)) sim.park_task(*t);
+      });
+      return;
+    case BrokenMode::CrossNuma:
+      // A SpeedBalancer-attributed pull across a NUMA boundary.
+      sim.schedule_at(msec(10), [&sim, cores = sc.cores] {
+        for (Task* t : sim.live_tasks()) {
+          if (!movable_state(t->state())) continue;
+          for (CoreId c = 0; c < cores; ++c)
+            if (!sim.topo().same_numa(t->core(), c)) {
+              sim.set_affinity(*t, 1ULL << c, /*hard_pin=*/true,
+                               MigrationCause::SpeedBalancer);
+              return;
+            }
+        }
+      });
+      return;
+    case BrokenMode::Cooldown: {
+      // Two pulls of the same thread 1 ms apart: the second shares the first
+      // pull's destination core, far inside the two-interval block.
+      auto victim = std::make_shared<Task*>(nullptr);
+      sim.schedule_at(msec(10), [&sim, victim, cores = sc.cores] {
+        Task* t = first_movable(sim);
+        if (t == nullptr) return;
+        *victim = t;
+        sim.set_affinity(*t, 1ULL << ((t->core() + 1) % cores),
+                         /*hard_pin=*/true, MigrationCause::SpeedBalancer);
+      });
+      sim.schedule_at(msec(11), [&sim, victim, cores = sc.cores] {
+        Task* t = *victim;
+        if (t == nullptr || t->state() == TaskState::Finished) return;
+        sim.set_affinity(*t, 1ULL << ((t->core() + 1) % cores),
+                         /*hard_pin=*/true, MigrationCause::SpeedBalancer);
+      });
+      return;
+    }
+    case BrokenMode::Threshold:
+      // One real migration paired with a forged decision record claiming a
+      // pull from a core at exactly the global speed — above T_s.
+      sim.schedule_at(msec(10), [&sim, &rec, cores = sc.cores] {
+        Task* t = first_movable(sim);
+        if (t == nullptr) return;
+        const CoreId from = t->core();
+        const CoreId to = (from + 1) % cores;
+        if (!sim.set_affinity(*t, 1ULL << to, /*hard_pin=*/true,
+                              MigrationCause::SpeedBalancer))
+          return;
+        obs::DecisionRecord d;
+        d.ts_us = sim.now();
+        d.local = to;
+        d.source = from;
+        d.victim = t->id();
+        d.local_speed = 1.0;
+        d.source_speed = 1.0;
+        d.global = 1.0;
+        d.reason = obs::PullReason::Pulled;
+        rec.decisions().add(d);
+      });
+      return;
+  }
+}
+
+SpeedRuleInputs speed_inputs(const FuzzScenario& sc, const Topology& topo,
+                             const SpeedBalanceParams& params) {
+  SpeedRuleInputs in;
+  in.threshold = params.threshold;
+  in.interval = params.interval;
+  in.post_migration_block = params.post_migration_block;
+  in.shared_cache_block_scale = params.shared_cache_block_scale;
+  in.block_numa = params.block_numa;
+  in.topo = &topo;
+  (void)sc;
+  return in;
+}
+
+std::int64_t count_pulls(const std::vector<MigrationRecord>& migrations) {
+  std::int64_t n = 0;
+  for (const MigrationRecord& m : migrations)
+    if (m.cause == MigrationCause::SpeedBalancer && m.time > 0) ++n;
+  return n;
+}
+
+void run_spmd_episode(const FuzzScenario& sc, EpisodeResult& r) {
+  ExperimentConfig cfg = spmd_experiment(sc);
+  cfg.time_cap = sc.broken == BrokenMode::None ? kHonestCap : kBrokenCap;
+
+  obs::RunRecorder rec;
+  cfg.recorder = &rec;
+  cfg.recorded_repeat = 0;
+
+  Harvest h;
+  cfg.on_run_start = [&](Simulator& sim, SpmdApp&, int) {
+    sim.schedule_after(kProbePeriod, [&sim, &h, cap = cfg.time_cap] {
+      probe_tick(sim, h, cap);
+    });
+    arm_broken(sim, sc, rec);
+  };
+  cfg.on_run_end = [&](Simulator& sim, SpmdApp&, int) {
+    harvest_run_end(sim, h);
+  };
+
+  const ExperimentResult res = run_experiment(cfg);
+  r.completed = res.runs.at(0).completed;
+  r.runtime_s = res.runs.at(0).runtime_s;
+  r.total_migrations = res.runs.at(0).total_migrations;
+  r.speed_pulls = count_pulls(h.migrations);
+  r.probes = h.probes;
+
+  check_time_conservation(h.cores, r.violations);
+  check_task_placement(h.snaps, r.violations);
+  SpeedRuleInputs in = speed_inputs(sc, cfg.topo, cfg.speed);
+  in.migrations = std::move(h.migrations);
+  in.decisions = rec.decisions().snapshot();
+  check_speed_rules(in, r.violations);
+  if (!r.completed)
+    r.violations.push_back(Violation{
+        "liveness", "run did not complete within cap=" +
+                        std::to_string(cfg.time_cap) + "us (threads=" +
+                        std::to_string(sc.threads) + ", phases=" +
+                        std::to_string(sc.phases) + ")"});
+}
+
+void run_serve_episode(const FuzzScenario& sc, EpisodeResult& r) {
+  serve::ServeConfig cfg = serve_experiment(sc);
+
+  obs::RunRecorder rec;
+  cfg.recorder = &rec;
+
+  Harvest h;
+  cfg.on_run_start = [&](Simulator& sim, serve::ServeRuntime&) {
+    sim.schedule_after(kProbePeriod, [&sim, &h, horizon = cfg.duration] {
+      probe_tick(sim, h, horizon);
+    });
+  };
+  cfg.on_run_end = [&](Simulator& sim, serve::ServeRuntime& runtime) {
+    harvest_run_end(sim, h);
+    const serve::ServeStats& st = runtime.stats();
+    h.serve.offered = st.offered;
+    h.serve.admitted = st.admitted;
+    h.serve.dropped = st.dropped;
+    h.serve.completed = st.completed;
+    h.serve.latency_count = st.latency.count();
+    h.serve.queue_wait_count = st.queue_wait.count();
+  };
+
+  const serve::ServeResult res = serve::run_serve(cfg);
+  r.completed = true;
+  r.runtime_s = to_sec(sc.duration);
+  r.total_migrations = res.total_migrations;
+  r.speed_pulls = count_pulls(h.migrations);
+  r.probes = h.probes;
+
+  check_time_conservation(h.cores, r.violations);
+  check_task_placement(h.snaps, r.violations);
+  check_serve_counters(h.serve, r.violations);
+  SpeedRuleInputs in = speed_inputs(sc, cfg.topo, cfg.speed);
+  in.migrations = std::move(h.migrations);
+  in.decisions = rec.decisions().snapshot();
+  check_speed_rules(in, r.violations);
+}
+
+}  // namespace
+
+EpisodeResult run_episode(const FuzzScenario& sc) {
+  sc.validate();
+  EpisodeResult r;
+  // Pure properties first: cheap, and independent of the episode body.
+  r.histogram_samples =
+      fuzz_histogram_merge(sc.seed ^ 0x9e3779b97f4a7c15ULL, r.violations);
+  r.queue_events = fuzz_event_queue(sc.seed, kQueueFuzzOps, r.violations);
+
+  if (sc.mode == Mode::Spmd)
+    run_spmd_episode(sc, r);
+  else
+    run_serve_episode(sc, r);
+  return r;
+}
+
+std::string EpisodeResult::digest() const {
+  std::ostringstream os;
+  char runtime[40];
+  std::snprintf(runtime, sizeof(runtime), "%.17g", runtime_s);
+  os << "completed=" << (completed ? 1 : 0) << " runtime_s=" << runtime
+     << " migrations=" << total_migrations << " pulls=" << speed_pulls
+     << " probes=" << probes << " hist_samples=" << histogram_samples
+     << " queue_events=" << queue_events
+     << " violations=" << violations.size() << "\n";
+  os << format_violations(violations);
+  return os.str();
+}
+
+FuzzScenario broken_scenario(BrokenMode mode) {
+  if (mode == BrokenMode::None)
+    throw std::invalid_argument("broken_scenario: mode must not be none");
+  FuzzScenario sc;
+  sc.seed = 1234;
+  sc.mode = Mode::Spmd;
+  // LOAD keeps the genuine speed balancer out of the episode, so the only
+  // SpeedBalancer-attributed activity is the injected defect.
+  sc.policy = Policy::Load;
+  sc.broken = mode;
+  sc.threads = 6;
+  sc.phases = 2;
+  sc.work_per_phase_us = 30000.0;
+  sc.work_jitter = 0.0;
+  sc.barrier = WaitPolicy::Sleep;
+  if (mode == BrokenMode::CrossNuma) {
+    sc.topo = "barcelona";  // 4-core NUMA nodes; cores 0-5 span two nodes.
+    sc.cores = 6;
+  } else {
+    sc.topo = "generic4";
+    sc.cores = 4;
+  }
+  sc.validate();
+  return sc;
+}
+
+const char* expected_violation(BrokenMode mode) {
+  switch (mode) {
+    case BrokenMode::None: return "";
+    case BrokenMode::CrossNuma: return "numa-block";
+    case BrokenMode::Cooldown: return "cooldown";
+    case BrokenMode::Threshold: return "threshold";
+    case BrokenMode::LoseTask: return "liveness";
+  }
+  return "";
+}
+
+}  // namespace speedbal::check

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace speedbal::check {
+
+/// Outcome of one fuzz episode: the scenario executed end to end with the
+/// mid-run placement probe installed, plus the pure-property fuzzes
+/// (histogram merge, event-queue lockstep) run under the same seed.
+struct EpisodeResult {
+  std::vector<Violation> violations;
+  bool completed = false;
+  double runtime_s = 0.0;            ///< Simulated seconds (SPMD: app elapsed).
+  std::int64_t total_migrations = 0;
+  std::int64_t speed_pulls = 0;      ///< SpeedBalancer-cause moves after t=0.
+  int probes = 0;                    ///< Mid-run placement probes taken.
+  int histogram_samples = 0;
+  int queue_events = 0;              ///< Events fired by the lockstep oracle.
+
+  bool failed() const { return !violations.empty(); }
+
+  /// Deterministic multi-line report: counters then one line per violation.
+  /// Replaying the same scenario on the same build reproduces it
+  /// byte-for-byte (check_shrink_test relies on this).
+  std::string digest() const;
+};
+
+/// Execute one scenario under the full invariant checker.
+EpisodeResult run_episode(const FuzzScenario& sc);
+
+/// The canonical deliberately-broken scenario for a defect mode (shared by
+/// `fuzzsim --broken=` and the harness's own catches-violations tests).
+/// Uses Policy::Load so the genuine speed balancer cannot mask the forged
+/// SpeedBalancer-cause activity. Throws for BrokenMode::None.
+FuzzScenario broken_scenario(BrokenMode mode);
+
+/// The violation class slug `broken_scenario(mode)` is guaranteed to
+/// produce ("numa-block", "cooldown", "threshold", "liveness").
+const char* expected_violation(BrokenMode mode);
+
+}  // namespace speedbal::check

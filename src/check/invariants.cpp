@@ -1,0 +1,224 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace speedbal::check {
+
+namespace {
+
+/// Deterministic double rendering for violation details (%.17g round-trips,
+/// so a replayed episode reproduces the same bytes).
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void add(std::vector<Violation>& out, std::string invariant, std::string detail) {
+  out.push_back(Violation{std::move(invariant), std::move(detail)});
+}
+
+}  // namespace
+
+std::string format_violations(const std::vector<Violation>& vs) {
+  std::ostringstream os;
+  for (const Violation& v : vs) os << v.invariant << ": " << v.detail << "\n";
+  return os.str();
+}
+
+void check_time_conservation(const std::vector<CoreTimes>& cores,
+                             std::vector<Violation>& out) {
+  for (const CoreTimes& c : cores) {
+    if (c.busy < 0 || c.busy > c.elapsed)
+      add(out, "time-conservation",
+          "core " + std::to_string(c.core) + ": busy " +
+              std::to_string(c.busy) + "us outside [0, elapsed=" +
+              std::to_string(c.elapsed) + "us]");
+    if (c.exec_sum != c.busy)
+      add(out, "speed-accounting",
+          "core " + std::to_string(c.core) + ": sum of per-task exec " +
+              std::to_string(c.exec_sum) + "us != core busy time " +
+              std::to_string(c.busy) + "us");
+  }
+}
+
+void check_task_placement(const std::vector<TaskSnapshot>& tasks,
+                          std::vector<Violation>& out) {
+  for (const TaskSnapshot& t : tasks) {
+    const std::string who = "task " + std::to_string(t.id) + " (" + t.state +
+                            ") at t=" + std::to_string(t.when) + "us";
+    if (t.expect_queued) {
+      if (t.queue_memberships != 1 || !t.on_own_queue)
+        add(out, "task-conservation",
+            who + ": on " + std::to_string(t.queue_memberships) +
+                " run queues (own core " + std::to_string(t.core) + ": " +
+                (t.on_own_queue ? "yes" : "no") + "), expected exactly its own");
+      if (!t.allowed_on_core)
+        add(out, "affinity",
+            who + ": placed on core " + std::to_string(t.core) +
+                " outside its affinity mask");
+      if (!t.core_online)
+        add(out, "affinity",
+            who + ": placed on offline core " + std::to_string(t.core));
+    } else if (t.queue_memberships != 0) {
+      add(out, "task-conservation",
+          who + ": on " + std::to_string(t.queue_memberships) +
+              " run queues, expected none");
+    }
+  }
+}
+
+void check_speed_rules(const SpeedRuleInputs& in, std::vector<Violation>& out) {
+  // Pulls = SpeedBalancer-cause migrations after the attach-time placement.
+  std::vector<MigrationRecord> pulls;
+  for (const MigrationRecord& m : in.migrations)
+    if (m.cause == MigrationCause::SpeedBalancer && m.time > 0)
+      pulls.push_back(m);
+
+  // NUMA-domain blocking (Section 5.2): pulls never cross node boundaries.
+  if (in.block_numa && in.topo != nullptr)
+    for (const MigrationRecord& m : pulls)
+      if (!in.topo->same_numa(m.from, m.to))
+        add(out, "numa-block",
+            "pull of task " + std::to_string(m.task) + " at t=" +
+                std::to_string(m.time) + "us crosses NUMA: core " +
+                std::to_string(m.from) + " -> " + std::to_string(m.to));
+
+  // Post-migration cooldown (Section 5.2): both endpoints of a pull sit out
+  // for post_migration_block intervals; the block the later pull must clear
+  // is computed from the later pull's own pair (shared-cache scaling).
+  for (std::size_t i = 0; i < pulls.size(); ++i) {
+    SimTime block =
+        static_cast<SimTime>(in.post_migration_block) * in.interval;
+    if (in.topo != nullptr && in.topo->same_cache(pulls[i].from, pulls[i].to))
+      block = static_cast<SimTime>(static_cast<double>(block) *
+                                   in.shared_cache_block_scale);
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool shares_endpoint =
+          pulls[j].from == pulls[i].from || pulls[j].from == pulls[i].to ||
+          pulls[j].to == pulls[i].from || pulls[j].to == pulls[i].to;
+      if (!shares_endpoint) continue;
+      const SimTime gap = pulls[i].time - pulls[j].time;
+      if (gap < block)
+        add(out, "cooldown",
+            "pulls at t=" + std::to_string(pulls[j].time) + "us (" +
+                std::to_string(pulls[j].from) + "->" +
+                std::to_string(pulls[j].to) + ") and t=" +
+                std::to_string(pulls[i].time) + "us (" +
+                std::to_string(pulls[i].from) + "->" +
+                std::to_string(pulls[i].to) + ") share a core " +
+                std::to_string(gap) + "us apart, block is " +
+                std::to_string(block) + "us");
+    }
+  }
+
+  // Pull threshold T_s (Section 5.1): every logged pull was from a core
+  // measured below T_s * global, into a core measured above the average.
+  std::int64_t pulled_decisions = 0;
+  constexpr double kEps = 1e-9;
+  for (const obs::DecisionRecord& d : in.decisions) {
+    if (d.reason != obs::PullReason::Pulled) continue;
+    ++pulled_decisions;
+    if (d.global <= 0.0) {
+      add(out, "threshold",
+          "pull at t=" + std::to_string(d.ts_us) +
+              "us with non-positive global speed " + fmt(d.global));
+      continue;
+    }
+    if (d.source_speed / d.global >= in.threshold + kEps)
+      add(out, "threshold",
+          "pull at t=" + std::to_string(d.ts_us) + "us from core " +
+              std::to_string(d.source) + ": source speed " +
+              fmt(d.source_speed) + " / global " + fmt(d.global) + " = " +
+              fmt(d.source_speed / d.global) + " >= T_s=" + fmt(in.threshold));
+    if (d.local_speed <= d.global - kEps)
+      add(out, "threshold",
+          "pull at t=" + std::to_string(d.ts_us) + "us into core " +
+              std::to_string(d.local) + ": local speed " + fmt(d.local_speed) +
+              " not above global " + fmt(d.global));
+  }
+
+  // Every pull is logged and every logged pull happened.
+  if (pulled_decisions != static_cast<std::int64_t>(pulls.size()))
+    add(out, "speed-accounting",
+        std::to_string(pulls.size()) +
+            " speed-balancer migrations after t=0 but " +
+            std::to_string(pulled_decisions) + " Pulled decision records");
+}
+
+void check_serve_counters(const ServeCounters& c, std::vector<Violation>& out) {
+  if (c.offered != c.admitted + c.dropped)
+    add(out, "serve-counters",
+        "offered " + std::to_string(c.offered) + " != admitted " +
+            std::to_string(c.admitted) + " + dropped " +
+            std::to_string(c.dropped));
+  if (c.completed > c.admitted)
+    add(out, "serve-counters",
+        "completed " + std::to_string(c.completed) + " > admitted " +
+            std::to_string(c.admitted));
+  if (c.latency_count != c.completed)
+    add(out, "serve-counters",
+        "latency histogram holds " + std::to_string(c.latency_count) +
+            " samples for " + std::to_string(c.completed) + " completions");
+  if (c.queue_wait_count != c.completed)
+    add(out, "serve-counters",
+        "queue-wait histogram holds " + std::to_string(c.queue_wait_count) +
+            " samples for " + std::to_string(c.completed) + " completions");
+}
+
+int fuzz_histogram_merge(std::uint64_t seed, std::vector<Violation>& out) {
+  Rng rng(seed);
+  const int n = static_cast<int>(rng.uniform_int(200, 2000));
+  const int shards = static_cast<int>(rng.uniform_int(2, 8));
+
+  LatencyHistogram whole;
+  std::vector<LatencyHistogram> parts(static_cast<std::size_t>(shards));
+  for (int i = 0; i < n; ++i) {
+    // Mix magnitudes across the log-bucket range: ns to tens of seconds,
+    // plus occasional extremes (0, negative -> clamps, huge values).
+    std::int64_t ns;
+    const double kind = rng.uniform();
+    if (kind < 0.02) ns = 0;
+    else if (kind < 0.04) ns = -static_cast<std::int64_t>(rng.uniform_int(1, 1000));
+    else if (kind < 0.06) ns = static_cast<std::int64_t>(1) << rng.uniform_int(40, 61);
+    else ns = static_cast<std::int64_t>(std::exp(rng.uniform(0.0, 24.0)));
+    whole.record(ns);
+    parts[static_cast<std::size_t>(rng.uniform_int(0, shards - 1))].record(ns);
+  }
+
+  LatencyHistogram merged;
+  for (const LatencyHistogram& p : parts) merged.merge(p);
+
+  if (merged.count() != whole.count())
+    add(out, "histogram-merge",
+        "merged count " + std::to_string(merged.count()) + " != " +
+            std::to_string(whole.count()) + " recorded");
+  if (merged.min() != whole.min() || merged.max() != whole.max())
+    add(out, "histogram-merge",
+        "merged min/max " + std::to_string(merged.min()) + "/" +
+            std::to_string(merged.max()) + " != whole " +
+            std::to_string(whole.min()) + "/" + std::to_string(whole.max()));
+  // Bucket contents must match exactly, which makes every percentile query
+  // identical (percentiles depend only on buckets + count + min + max).
+  for (const double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0})
+    if (merged.percentile(p) != whole.percentile(p))
+      add(out, "histogram-merge",
+          "p" + fmt(p) + ": merged " + fmt(merged.percentile(p)) +
+              " != whole " + fmt(whole.percentile(p)));
+  // The mean's FP sum depends on addition order; require agreement to 1e-9
+  // relative, far tighter than any real drift and far looser than FP noise.
+  const double denom = std::max(1.0, std::abs(whole.mean()));
+  if (std::abs(merged.mean() - whole.mean()) / denom > 1e-9)
+    add(out, "histogram-merge",
+        "merged mean " + fmt(merged.mean()) + " deviates from whole " +
+            fmt(whole.mean()));
+  return n;
+}
+
+}  // namespace speedbal::check

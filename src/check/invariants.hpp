@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/decision_log.hpp"
+#include "sim/metrics.hpp"
+#include "topo/topology.hpp"
+#include "util/time.hpp"
+
+namespace speedbal::check {
+
+/// One invariant failure. `invariant` is the class slug the broken-stub
+/// tests and the minimizer key on ("time-conservation", "task-conservation",
+/// "affinity", "numa-block", "cooldown", "threshold", "speed-accounting",
+/// "histogram-merge", "event-queue", "serve-counters", "liveness");
+/// `detail` is a deterministic human-readable message (fixed-format number
+/// rendering, no pointers or timestamps), so a replayed episode reproduces
+/// the violation byte-for-byte.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Render "slug: detail" lines, one per violation, in order.
+std::string format_violations(const std::vector<Violation>& vs);
+
+// ---------------------------------------------------------------------------
+// Each checker below is a pure function over plain observation structs, so
+// the unit tests can prove every violation class fires by forging data —
+// no broken simulator build required.
+
+/// Per-core time accounting at the end of a run (after sync_all_accounting).
+struct CoreTimes {
+  int core = -1;
+  SimTime elapsed = 0;   ///< Simulation end time.
+  SimTime busy = 0;      ///< CoreState::busy_time().
+  SimTime exec_sum = 0;  ///< Sum of Metrics::exec_by_core(t)[core] over all tasks.
+};
+
+/// Time conservation (the denominator of the paper's speed = t_exec/t_real,
+/// Section 4): a core cannot execute more than elapsed wall time, and the
+/// metrics layer's per-task exec must sum exactly to the core's busy time
+/// (exec + idle = elapsed, with idle = elapsed - busy implied). Emits
+/// "time-conservation" and "speed-accounting".
+void check_time_conservation(const std::vector<CoreTimes>& cores,
+                             std::vector<Violation>& out);
+
+/// Point-in-time snapshot of one task, taken by the mid-run probe or at the
+/// end of the run.
+struct TaskSnapshot {
+  std::int64_t id = -1;
+  std::string state;            ///< to_string(task.state()).
+  bool expect_queued = false;   ///< Runnable/Running (Parked/Sleeping/Finished: false).
+  int core = -1;                ///< Task::core().
+  bool allowed_on_core = false; ///< Affinity mask admits `core`.
+  bool core_online = false;
+  int queue_memberships = 0;    ///< Cores whose CFS queue contains the task.
+  bool on_own_queue = false;    ///< Membership on `core` specifically.
+  SimTime when = 0;             ///< Probe time (for the detail message).
+};
+
+/// No lost or duplicated tasks across migrations, and affinity always
+/// respected: a Runnable/Running task sits on exactly one run queue — its
+/// own core's — and that core is online and inside the task's affinity
+/// mask; a blocked/parked/finished task is on no queue. Emits
+/// "task-conservation" and "affinity".
+void check_task_placement(const std::vector<TaskSnapshot>& tasks,
+                          std::vector<Violation>& out);
+
+/// Inputs for the SPEED-balancer rule checks (paper Section 5).
+struct SpeedRuleInputs {
+  double threshold = 0.9;            ///< T_s.
+  SimTime interval = msec(100);      ///< Balance interval B.
+  int post_migration_block = 2;      ///< Block length in intervals.
+  double shared_cache_block_scale = 1.0;
+  bool block_numa = true;
+  const Topology* topo = nullptr;    ///< For same_numa / same_cache.
+  /// Full migration log (every cause; the checks filter).
+  std::vector<MigrationRecord> migrations;
+  /// Full decision log (the checks filter on PullReason::Pulled).
+  std::vector<obs::DecisionRecord> decisions;
+};
+
+/// Section 5 rules, checked post-hoc against the logs:
+///  - "numa-block": no SpeedBalancer-cause migration after t=0 crosses a
+///    NUMA boundary while block_numa is set (the t=0 round-robin pins are
+///    placement, not pulls, and are exempt).
+///  - "cooldown": consecutive pulls sharing an endpoint core are separated
+///    by at least post_migration_block * interval (scaled by
+///    shared_cache_block_scale when the later pull's pair shares a cache).
+///  - "threshold": every Pulled decision has source_speed/global < T_s and
+///    local_speed > global (the pull precondition), global > 0.
+///  - "speed-accounting": the number of Pulled decisions equals the number
+///    of SpeedBalancer-cause migrations after t=0 (no unlogged pulls, no
+///    phantom decisions).
+void check_speed_rules(const SpeedRuleInputs& in, std::vector<Violation>& out);
+
+/// Request-serving conservation counters (end of run, recorded window).
+struct ServeCounters {
+  std::int64_t offered = 0;
+  std::int64_t admitted = 0;
+  std::int64_t dropped = 0;
+  std::int64_t completed = 0;
+  std::int64_t latency_count = 0;
+  std::int64_t queue_wait_count = 0;
+};
+
+/// offered == admitted + dropped, completed <= admitted, and both latency
+/// histograms hold exactly one sample per completed request. Emits
+/// "serve-counters".
+void check_serve_counters(const ServeCounters& c, std::vector<Violation>& out);
+
+/// Property fuzz of LatencyHistogram::merge: draw a seeded random sample
+/// set, record it whole and as randomly-split shards, merge the shards, and
+/// require identical count / bucket contents / percentiles (and a tightly
+/// bounded mean, which is FP-addition-order sensitive). Emits
+/// "histogram-merge". Returns the number of samples exercised.
+int fuzz_histogram_merge(std::uint64_t seed, std::vector<Violation>& out);
+
+}  // namespace speedbal::check

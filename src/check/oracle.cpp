@@ -1,0 +1,145 @@
+#include "check/oracle.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "check/config.hpp"
+#include "core/scenarios.hpp"
+#include "model/analytic.hpp"
+#include "topo/presets.hpp"
+
+namespace speedbal::check {
+
+namespace {
+
+/// Hexfloat rendering: byte-exact for any double, so two fingerprints match
+/// iff every floating-point result is bit-identical.
+std::string hex(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string fingerprint_spmd(const ExperimentResult& res) {
+  std::ostringstream os;
+  for (const RunResult& r : res.runs) {
+    os << "run completed=" << r.completed << " runtime=" << hex(r.runtime_s)
+       << " migrations=" << r.total_migrations
+       << " policy=" << r.policy_migrations;
+    for (const auto& [cause, n] : r.migrations_by_cause)
+      os << " " << to_string(cause) << "=" << n;
+    os << "\n";
+  }
+  os << "mean=" << hex(res.runtime.mean) << " min=" << hex(res.runtime.min)
+     << " max=" << hex(res.runtime.max) << "\n";
+  return os.str();
+}
+
+std::string fingerprint_serve(const serve::ServeResult& res) {
+  std::ostringstream os;
+  os << "offered=" << res.stats.offered << " admitted=" << res.stats.admitted
+     << " dropped=" << res.stats.dropped
+     << " completed=" << res.stats.completed
+     << " max_depth=" << res.stats.max_queue_depth
+     << " generated=" << res.generated
+     << " goodput=" << hex(res.goodput_rps)
+     << " migrations=" << res.total_migrations;
+  for (const auto& [cause, n] : res.migrations_by_cause)
+    os << " " << to_string(cause) << "=" << n;
+  for (const double p : {50.0, 90.0, 99.0, 99.9})
+    os << " lat_p" << p << "=" << hex(res.stats.latency.percentile(p))
+       << " wait_p" << p << "=" << hex(res.stats.queue_wait.percentile(p));
+  os << " lat_mean=" << hex(res.stats.latency.mean()) << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string check_jobs_identity(const FuzzScenario& sc,
+                                std::vector<Violation>& out) {
+  std::string serial;
+  std::string parallel;
+  if (sc.mode == Mode::Spmd) {
+    ExperimentConfig cfg = spmd_experiment(sc);
+    cfg.repeats = 3;
+    cfg.jobs = 1;
+    serial = fingerprint_spmd(run_experiment(cfg));
+    cfg.jobs = 4;
+    parallel = fingerprint_spmd(run_experiment(cfg));
+  } else {
+    const serve::ServeConfig cfg = serve_experiment(sc);
+    serial = fingerprint_serve(serve::run_serve_repeats(cfg, 3, 1));
+    parallel = fingerprint_serve(serve::run_serve_repeats(cfg, 3, 4));
+  }
+  if (serial != parallel) {
+    // Name the first diverging line, which is the diagnosable unit.
+    std::istringstream a(serial);
+    std::istringstream b(parallel);
+    std::string la;
+    std::string lb;
+    int line = 0;
+    while (std::getline(a, la)) {
+      ++line;
+      if (!std::getline(b, lb)) lb = "<missing>";
+      if (la != lb) break;
+    }
+    out.push_back(Violation{
+        "jobs-identity", "jobs=1 and jobs=4 diverge at line " +
+                             std::to_string(line) + ": \"" + la +
+                             "\" vs \"" + lb + "\""});
+  }
+  return serial;
+}
+
+std::vector<AnalyticPoint> check_analytic_grid(std::vector<Violation>& out) {
+  std::vector<AnalyticPoint> grid;
+  const auto prof = npb::ep('A');
+  for (const auto& [threads, cores] :
+       {std::pair{3, 2}, std::pair{7, 3}, std::pair{9, 4}, std::pair{11, 4}}) {
+    const model::SpmdShape shape{threads, cores};
+    const auto topo = presets::generic(cores);
+    const double serial = scenarios::serial_runtime_s(topo, prof, threads, 3);
+
+    AnalyticPoint pt;
+    pt.threads = threads;
+    pt.cores = cores;
+    pt.predicted_speedup =
+        static_cast<double>(threads) * model::linux_program_speed(shape);
+    const auto pinned = scenarios::run_npb(topo, prof, threads, cores,
+                                           scenarios::Setup::Pinned, 2, 3);
+    pt.pinned_speedup = serial / pinned.mean_runtime();
+    const auto speed = scenarios::run_npb(topo, prof, threads, cores,
+                                          scenarios::Setup::SpeedYield, 2, 3);
+    pt.speed_speedup = serial / speed.mean_runtime();
+    grid.push_back(pt);
+
+    const std::string shape_str =
+        "N=" + std::to_string(threads) + " M=" + std::to_string(cores);
+    const double err = std::abs(pt.pinned_speedup - pt.predicted_speedup) /
+                       pt.predicted_speedup;
+    if (err > kAnalyticTolerance)
+      out.push_back(Violation{
+          "analytic", shape_str + ": PINNED speedup " +
+                          std::to_string(pt.pinned_speedup) + " vs predicted " +
+                          std::to_string(pt.predicted_speedup) +
+                          " (error " + std::to_string(err) + " > " +
+                          std::to_string(kAnalyticTolerance) + ")"});
+    if (pt.speed_speedup <= pt.pinned_speedup * 1.03)
+      out.push_back(Violation{
+          "analytic", shape_str + ": SPEED speedup " +
+                          std::to_string(pt.speed_speedup) +
+                          " does not beat PINNED " +
+                          std::to_string(pt.pinned_speedup) + " by 3%"});
+    if (pt.speed_speedup > cores + 0.1)
+      out.push_back(Violation{
+          "analytic", shape_str + ": SPEED speedup " +
+                          std::to_string(pt.speed_speedup) +
+                          " exceeds machine capacity M=" +
+                          std::to_string(cores)});
+  }
+  return grid;
+}
+
+}  // namespace speedbal::check

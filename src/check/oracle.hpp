@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace speedbal::check {
+
+/// Relative tolerance of the sim-vs-analytic speedup comparison on the
+/// paper's N/M grid (documented in DESIGN.md §11; matches the long-standing
+/// integration-test bound: fork-placement noise and barrier overhead keep
+/// the simulated PINNED speedup within ~12% of N/(T+1)).
+inline constexpr double kAnalyticTolerance = 0.12;
+
+/// Differential oracle: the scenario replayed with --jobs=1 and --jobs=4
+/// must be byte-identical (SPMD: per-run results over 3 repeats; serve:
+/// merged stats, histogram percentiles, and migration totals over 3
+/// replicas). Appends "jobs-identity" violations naming the first
+/// divergence. Returns the serialized jobs=1 fingerprint.
+std::string check_jobs_identity(const FuzzScenario& sc,
+                                std::vector<Violation>& out);
+
+/// One point of the analytic differential grid.
+struct AnalyticPoint {
+  int threads = 0;
+  int cores = 0;
+  double predicted_speedup = 0.0;  ///< N * 1/(T+1), Section 4.
+  double pinned_speedup = 0.0;
+  double speed_speedup = 0.0;
+};
+
+/// Differential oracle against model/analytic on the paper's N/M shapes
+/// ((3,2), (7,3), (9,4), (11,4), ep class A): PINNED speedup within
+/// kAnalyticTolerance of N/(T+1); SPEED strictly better than PINNED and
+/// never above machine capacity M. Appends "analytic" violations; returns
+/// the measured grid.
+std::vector<AnalyticPoint> check_analytic_grid(std::vector<Violation>& out);
+
+}  // namespace speedbal::check

@@ -1,0 +1,295 @@
+#include "check/scenario.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "serve/scenarios.hpp"
+#include "topo/presets.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace speedbal::check {
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::Spmd: return "spmd";
+    case Mode::Serve: return "serve";
+  }
+  return "?";
+}
+
+Mode parse_mode(std::string_view name) {
+  for (Mode m : {Mode::Spmd, Mode::Serve})
+    if (name == to_string(m)) return m;
+  throw std::invalid_argument("unknown mode: " + std::string(name) +
+                              " (available: spmd, serve)");
+}
+
+const char* to_string(BrokenMode b) {
+  switch (b) {
+    case BrokenMode::None: return "none";
+    case BrokenMode::CrossNuma: return "cross-numa";
+    case BrokenMode::Cooldown: return "cooldown";
+    case BrokenMode::Threshold: return "threshold";
+    case BrokenMode::LoseTask: return "lose-task";
+  }
+  return "?";
+}
+
+BrokenMode parse_broken_mode(std::string_view name) {
+  for (BrokenMode b : {BrokenMode::None, BrokenMode::CrossNuma,
+                       BrokenMode::Cooldown, BrokenMode::Threshold,
+                       BrokenMode::LoseTask})
+    if (name == to_string(b)) return b;
+  throw std::invalid_argument(
+      "unknown broken mode: " + std::string(name) +
+      " (available: none, cross-numa, cooldown, threshold, lose-task)");
+}
+
+namespace {
+
+WaitPolicy parse_wait_policy(std::string_view name) {
+  for (WaitPolicy p : {WaitPolicy::Spin, WaitPolicy::Yield, WaitPolicy::Sleep,
+                       WaitPolicy::SleepPoll})
+    if (name == to_string(p)) return p;
+  throw std::invalid_argument("unknown barrier policy: " + std::string(name) +
+                              " (available: spin, yield, sleep, sleep-poll)");
+}
+
+}  // namespace
+
+int FuzzScenario::size() const {
+  int s = cores + static_cast<int>(perturb.size());
+  if (mode == Mode::Spmd) {
+    s += threads + phases;
+    s += static_cast<int>(std::ceil(std::log2(std::max(work_per_phase_us, 2.0))));
+  } else {
+    s += workers;
+    s += static_cast<int>(std::ceil(std::log2(std::max(to_sec(duration) * 1e3, 2.0))));
+  }
+  return s;
+}
+
+std::string FuzzScenario::summary() const {
+  std::ostringstream os;
+  os << to_string(mode) << " " << speedbal::to_string(policy) << " " << topo
+     << " cores=" << cores;
+  if (mode == Mode::Spmd)
+    os << " threads=" << threads << " phases=" << phases
+       << " work=" << work_per_phase_us << "us barrier=" << speedbal::to_string(barrier);
+  else
+    os << " workers=" << workers << " arrival=" << workload::to_string(arrival)
+       << " service=" << workload::to_string(service) << " util=" << utilization;
+  os << " perturb=" << perturb.size() << " seed=" << seed;
+  if (broken != BrokenMode::None) os << " broken=" << to_string(broken);
+  return os.str();
+}
+
+std::string FuzzScenario::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("seed", static_cast<std::int64_t>(seed));
+  w.kv("topo", topo);
+  w.kv("mode", to_string(mode));
+  w.kv("policy", speedbal::to_string(policy));
+  w.kv("cores", cores);
+  w.kv("threads", threads);
+  w.kv("phases", phases);
+  w.kv("work_per_phase_us", work_per_phase_us);
+  w.kv("work_jitter", work_jitter);
+  w.kv("barrier", speedbal::to_string(barrier));
+  w.kv("workers", workers);
+  w.kv("arrival", workload::to_string(arrival));
+  w.kv("service", workload::to_string(service));
+  w.kv("utilization", utilization);
+  w.kv("mean_service_us", mean_service_us);
+  w.kv("duration_us", duration);
+  w.kv("serve_busy_poll", serve_busy_poll);
+  w.kv("balance_interval_us", balance_interval);
+  w.kv("threshold", threshold);
+  w.key("perturb");
+  w.begin_array();
+  for (const auto& ev : perturb) w.value(ev.to_spec());
+  w.end_array();
+  w.kv("broken", to_string(broken));
+  w.end_object();
+  return os.str();
+}
+
+FuzzScenario FuzzScenario::from_json(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  FuzzScenario sc;
+  sc.seed = static_cast<std::uint64_t>(doc.at("seed").as_int());
+  sc.topo = doc.at("topo").as_string();
+  sc.mode = parse_mode(doc.at("mode").as_string());
+  sc.policy = serve::parse_serve_policy(doc.at("policy").as_string());
+  sc.cores = static_cast<int>(doc.at("cores").as_int());
+  sc.threads = static_cast<int>(doc.at("threads").as_int());
+  sc.phases = static_cast<int>(doc.at("phases").as_int());
+  sc.work_per_phase_us = doc.at("work_per_phase_us").as_number();
+  sc.work_jitter = doc.at("work_jitter").as_number();
+  sc.barrier = parse_wait_policy(doc.at("barrier").as_string());
+  sc.workers = static_cast<int>(doc.at("workers").as_int());
+  sc.arrival = workload::parse_arrival_kind(doc.at("arrival").as_string());
+  sc.service = workload::parse_service_kind(doc.at("service").as_string());
+  sc.utilization = doc.at("utilization").as_number();
+  sc.mean_service_us = doc.at("mean_service_us").as_number();
+  sc.duration = doc.at("duration_us").as_int();
+  sc.serve_busy_poll = doc.at("serve_busy_poll").as_bool();
+  sc.balance_interval = doc.at("balance_interval_us").as_int();
+  sc.threshold = doc.at("threshold").as_number();
+  for (std::size_t i = 0; i < doc.at("perturb").size(); ++i)
+    sc.perturb.push_back(
+        perturb::PerturbTimeline::parse_spec(doc.at("perturb")[i].as_string()));
+  sc.broken = parse_broken_mode(doc.at("broken").as_string());
+  sc.validate();
+  return sc;
+}
+
+FuzzScenario FuzzScenario::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(buf.str());
+}
+
+void FuzzScenario::validate() const {
+  const Topology t = presets::by_name(topo);  // Throws on an unknown name.
+  if (cores < 1 || cores > t.num_cores())
+    throw std::invalid_argument("scenario: cores out of range for " + topo);
+  if (mode == Mode::Spmd) {
+    if (threads < 1) throw std::invalid_argument("scenario: threads < 1");
+    if (phases < 1) throw std::invalid_argument("scenario: phases < 1");
+    if (work_per_phase_us <= 0.0)
+      throw std::invalid_argument("scenario: work_per_phase_us <= 0");
+    if (work_jitter < 0.0 || work_jitter >= 1.0)
+      throw std::invalid_argument("scenario: work_jitter out of [0,1)");
+  } else {
+    if (workers < 1) throw std::invalid_argument("scenario: workers < 1");
+    if (utilization <= 0.0)
+      throw std::invalid_argument("scenario: utilization <= 0");
+    if (mean_service_us <= 0.0)
+      throw std::invalid_argument("scenario: mean_service_us <= 0");
+    if (duration < msec(200))
+      throw std::invalid_argument("scenario: duration < 200ms");
+    if (broken != BrokenMode::None)
+      throw std::invalid_argument("scenario: broken stubs are spmd-only");
+  }
+  if (balance_interval <= 0)
+    throw std::invalid_argument("scenario: balance_interval <= 0");
+  if (threshold <= 0.0 || threshold > 1.0)
+    throw std::invalid_argument("scenario: threshold out of (0,1]");
+}
+
+FuzzScenario generate(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzScenario sc;
+  sc.seed = seed;
+
+  // Topology mix: mostly small flat machines (fast episodes), with NUMA and
+  // SMT presets often enough that the domain-blocking invariants get real
+  // multi-node runs.
+  const double topo_draw = rng.uniform();
+  if (topo_draw < 0.70) {
+    sc.topo = "generic" + std::to_string(rng.uniform_int(2, 6));
+  } else if (topo_draw < 0.85) {
+    sc.topo = "barcelona";  // 4 NUMA nodes x 4 cores.
+  } else if (topo_draw < 0.95) {
+    sc.topo = "nehalem";  // 2 nodes, SMT.
+  } else {
+    sc.topo = "tigerton";  // UMA, paired L2 caches.
+  }
+  const Topology topo = presets::by_name(sc.topo);
+  sc.cores = static_cast<int>(
+      rng.uniform_int(2, std::min(6, topo.num_cores())));
+
+  // All five policies; SPEED weighted up since most Section-5 invariants
+  // only bind under it.
+  const double policy_draw = rng.uniform();
+  if (policy_draw < 0.40) sc.policy = Policy::Speed;
+  else if (policy_draw < 0.55) sc.policy = Policy::Load;
+  else if (policy_draw < 0.70) sc.policy = Policy::Pinned;
+  else if (policy_draw < 0.85) sc.policy = Policy::Dwrr;
+  else sc.policy = Policy::Ule;
+
+  sc.mode = rng.chance(0.3) ? Mode::Serve : Mode::Spmd;
+
+  // SPMD shape: up to ~2.5x oversubscription, a few phases, enough work per
+  // phase to span several balance intervals.
+  sc.threads = static_cast<int>(
+      rng.uniform_int(sc.cores, static_cast<std::int64_t>(2.5 * sc.cores)));
+  sc.phases = static_cast<int>(rng.uniform_int(1, 3));
+  sc.work_per_phase_us = rng.uniform(5000.0, 40000.0);
+  sc.work_jitter = rng.chance(0.5) ? 0.0 : rng.uniform(0.0, 0.2);
+  const WaitPolicy barriers[] = {WaitPolicy::Spin, WaitPolicy::Yield,
+                                 WaitPolicy::Sleep, WaitPolicy::SleepPoll};
+  sc.barrier = barriers[rng.uniform_int(0, 3)];
+
+  // Serve shape: all arrival/service kinds, utilization into mild overload.
+  sc.workers = static_cast<int>(rng.uniform_int(sc.cores, 2 * sc.cores));
+  const workload::ArrivalKind arrivals[] = {workload::ArrivalKind::Poisson,
+                                            workload::ArrivalKind::Bursty,
+                                            workload::ArrivalKind::Diurnal};
+  sc.arrival = arrivals[rng.uniform_int(0, 2)];
+  const workload::ServiceKind services[] = {
+      workload::ServiceKind::Fixed, workload::ServiceKind::Exp,
+      workload::ServiceKind::LogNormal, workload::ServiceKind::Pareto};
+  sc.service = services[rng.uniform_int(0, 3)];
+  sc.utilization = rng.uniform(0.4, 1.05);
+  sc.mean_service_us = rng.uniform(1000.0, 8000.0);
+  sc.duration = static_cast<SimTime>(rng.uniform_int(msec(500), msec(1500)));
+  sc.serve_busy_poll = rng.chance(0.5);
+
+  sc.balance_interval = static_cast<SimTime>(rng.uniform_int(msec(20), msec(60)));
+  sc.threshold = rng.uniform(0.80, 0.95);
+
+  // 0-3 perturbations inside the episode's active window. Offline and
+  // hog-start events are paired with their inverse so episodes do not
+  // degenerate into a permanently smaller machine.
+  const SimTime horizon = sc.mode == Mode::Serve ? sc.duration : msec(200);
+  const int n_events = static_cast<int>(rng.uniform_int(0, 3));
+  bool used_offline = false;
+  for (int i = 0; i < n_events; ++i) {
+    const SimTime at = rng.uniform_int(msec(10), std::max(msec(20), horizon));
+    perturb::PerturbEvent ev;
+    ev.at = at;
+    const double kind_draw = rng.uniform();
+    if (kind_draw < 0.4) {
+      ev.kind = perturb::PerturbKind::Dvfs;
+      ev.core = static_cast<int>(rng.uniform_int(0, sc.cores - 1));
+      ev.scale = rng.uniform(0.4, 1.3);
+      sc.perturb.push_back(ev);
+    } else if (kind_draw < 0.6 && !used_offline && sc.cores >= 3) {
+      used_offline = true;  // At most one offline pair per scenario.
+      ev.kind = perturb::PerturbKind::CoreOffline;
+      ev.core = static_cast<int>(rng.uniform_int(1, sc.cores - 1));
+      sc.perturb.push_back(ev);
+      perturb::PerturbEvent back = ev;
+      back.kind = perturb::PerturbKind::CoreOnline;
+      back.at = at + rng.uniform_int(msec(20), msec(100));
+      sc.perturb.push_back(back);
+    } else if (kind_draw < 0.8) {
+      ev.kind = perturb::PerturbKind::HogStart;
+      ev.core = static_cast<int>(rng.uniform_int(0, sc.cores - 1));
+      sc.perturb.push_back(ev);
+      perturb::PerturbEvent stop = ev;
+      stop.kind = perturb::PerturbKind::HogStop;
+      stop.at = at + rng.uniform_int(msec(50), msec(200));
+      sc.perturb.push_back(stop);
+    } else {
+      ev.kind = perturb::PerturbKind::WorkSpike;
+      ev.core = static_cast<int>(rng.uniform_int(0, sc.cores - 1));
+      ev.work_us = rng.uniform(5000.0, 20000.0);
+      sc.perturb.push_back(ev);
+    }
+  }
+
+  sc.validate();
+  return sc;
+}
+
+}  // namespace speedbal::check

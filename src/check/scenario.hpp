@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "app/barrier.hpp"
+#include "core/experiment.hpp"
+#include "perturb/timeline.hpp"
+#include "workload/arrivals.hpp"
+
+namespace speedbal::check {
+
+/// Which stack a fuzz episode exercises: a batch SPMD application (the
+/// paper's Sections 3-6 configurations) or the request-serving runtime.
+enum class Mode { Spmd, Serve };
+
+const char* to_string(Mode m);
+Mode parse_mode(std::string_view name);
+
+/// Deliberate defect injected into an episode so the harness can prove each
+/// invariant class actually fires (and so a failing scenario — including an
+/// artificial one — is replayable and shrinkable from its JSON spec alone).
+/// None is the only mode generate() ever emits; the others exist for the
+/// broken-stub tests and `fuzzsim --broken`.
+enum class BrokenMode {
+  None,       ///< Honest episode.
+  CrossNuma,  ///< A SPEED-cause migration crosses a NUMA boundary.
+  Cooldown,   ///< Two SPEED-cause migrations share a core within the block.
+  Threshold,  ///< A logged pull whose source was not below T_s * global.
+  LoseTask,   ///< A thread is parked and forgotten (lost-task / liveness).
+};
+
+const char* to_string(BrokenMode b);
+BrokenMode parse_broken_mode(std::string_view name);
+
+/// One randomized, fully replayable fuzz scenario: every stochastic choice
+/// the episode makes downstream flows from `seed`, and every structural
+/// choice is a field here, so the JSON round-trip (to_json / from_json) is
+/// the complete replay spec the minimizer shrinks and `fuzzsim --replay`
+/// consumes.
+struct FuzzScenario {
+  std::uint64_t seed = 1;
+  std::string topo = "generic4";  ///< presets::by_name key.
+  Mode mode = Mode::Spmd;
+  Policy policy = Policy::Speed;
+  int cores = 4;  ///< Managed cores (taskset over the first `cores`).
+
+  // SPMD episode shape.
+  int threads = 6;
+  int phases = 2;
+  double work_per_phase_us = 20000.0;
+  double work_jitter = 0.0;
+  WaitPolicy barrier = WaitPolicy::Yield;
+
+  // Serve episode shape.
+  int workers = 6;
+  workload::ArrivalKind arrival = workload::ArrivalKind::Poisson;
+  workload::ServiceKind service = workload::ServiceKind::Exp;
+  double utilization = 0.7;  ///< Offered load / managed-core capacity.
+  double mean_service_us = 3000.0;
+  SimTime duration = sec(1);
+  bool serve_busy_poll = false;  ///< IdleMode::Yield workers.
+
+  // Speed-balancer knobs under test (Section 5 rules the checker asserts).
+  SimTime balance_interval = msec(50);
+  double threshold = 0.9;
+
+  /// Scripted interference applied mid-episode.
+  std::vector<perturb::PerturbEvent> perturb;
+
+  BrokenMode broken = BrokenMode::None;
+
+  /// Shrink-ordering metric: strictly decreases on every accepted shrink
+  /// step (counts tasks, phases, cores, perturbations, and log2 of the work
+  /// and duration magnitudes).
+  int size() const;
+
+  /// One-line human summary ("spmd SPEED generic4 cores=4 threads=6 ...").
+  std::string summary() const;
+
+  /// Canonical JSON spec; from_json(to_json()) reproduces an identical
+  /// scenario (and therefore a byte-identical episode under --replay).
+  std::string to_json() const;
+  static FuzzScenario from_json(std::string_view text);
+  static FuzzScenario load_file(const std::string& path);
+
+  /// Throws std::invalid_argument when fields are out of range (bad topo
+  /// name, cores exceeding the machine, non-positive work...).
+  void validate() const;
+};
+
+/// Draw a scenario from the constrained distributions (topology mix, task
+/// counts up to ~2.5x oversubscription, all five policies, 0-3 perturbation
+/// events, serve workloads across all arrival/service kinds). Deterministic
+/// in `seed`; never emits a broken scenario.
+FuzzScenario generate(std::uint64_t seed);
+
+}  // namespace speedbal::check

@@ -1,0 +1,133 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace speedbal::check {
+
+namespace {
+
+/// First-violation class, or "" when the scenario passes (or cannot run).
+std::string first_slug(const FuzzScenario& sc) {
+  try {
+    const EpisodeResult r = run_episode(sc);
+    return r.violations.empty() ? std::string() : r.violations.front().invariant;
+  } catch (const std::exception&) {
+    // A scenario that throws is not a reproduction of the invariant failure.
+    return std::string();
+  }
+}
+
+/// Structurally smaller variants of `sc`, most aggressive first.
+std::vector<FuzzScenario> candidates(const FuzzScenario& sc) {
+  std::vector<FuzzScenario> out;
+  const auto push = [&](FuzzScenario v) {
+    try {
+      v.validate();
+    } catch (const std::exception&) {
+      return;  // A transformation drove a field out of range; skip it.
+    }
+    if (v.size() < sc.size()) out.push_back(std::move(v));
+  };
+
+  if (sc.mode == Mode::Spmd) {
+    if (sc.threads > 1) {
+      FuzzScenario v = sc;
+      v.threads = std::max(1, sc.threads / 2);
+      push(v);
+    }
+    if (sc.phases > 1) {
+      FuzzScenario v = sc;
+      v.phases = std::max(1, sc.phases / 2);
+      push(v);
+    }
+    if (sc.work_per_phase_us > 4000.0) {
+      FuzzScenario v = sc;
+      v.work_per_phase_us = sc.work_per_phase_us / 2.0;
+      push(v);
+    }
+    if (sc.work_jitter > 0.0) {
+      FuzzScenario v = sc;
+      v.work_jitter = 0.0;
+      push(v);
+    }
+    if (sc.barrier != WaitPolicy::Sleep) {
+      FuzzScenario v = sc;
+      v.barrier = WaitPolicy::Sleep;
+      push(v);
+    }
+  } else {
+    if (sc.workers > 1) {
+      FuzzScenario v = sc;
+      v.workers = std::max(1, sc.workers / 2);
+      push(v);
+    }
+    if (sc.duration > msec(400)) {
+      FuzzScenario v = sc;
+      v.duration = std::max<SimTime>(msec(200), sc.duration / 2);
+      push(v);
+    }
+    if (sc.mean_service_us > 2000.0) {
+      FuzzScenario v = sc;
+      v.mean_service_us = sc.mean_service_us / 2.0;
+      push(v);
+    }
+  }
+
+  // Perturbation timeline: drop halves first, then single events.
+  const std::size_t n = sc.perturb.size();
+  if (n > 1) {
+    FuzzScenario front = sc;
+    front.perturb.assign(sc.perturb.begin(),
+                         sc.perturb.begin() + static_cast<long>(n / 2));
+    push(front);
+    FuzzScenario back = sc;
+    back.perturb.assign(sc.perturb.begin() + static_cast<long>(n / 2),
+                        sc.perturb.end());
+    push(back);
+  }
+  if (n >= 1 && n <= 4)
+    for (std::size_t i = 0; i < n; ++i) {
+      FuzzScenario v = sc;
+      v.perturb.erase(v.perturb.begin() + static_cast<long>(i));
+      push(v);
+    }
+
+  if (sc.cores > 2) {
+    FuzzScenario v = sc;
+    v.cores = std::max(2, sc.cores / 2);
+    push(v);
+  }
+  if (sc.topo != "generic" + std::to_string(sc.cores)) {
+    FuzzScenario v = sc;
+    v.topo = "generic" + std::to_string(sc.cores);
+    push(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult minimize(const FuzzScenario& failing) {
+  ShrinkResult out;
+  out.scenario = failing;
+  ++out.attempts;
+  out.invariant = first_slug(failing);
+  if (out.invariant.empty()) return out;  // Nothing to preserve.
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const FuzzScenario& cand : candidates(out.scenario)) {
+      ++out.attempts;
+      if (first_slug(cand) != out.invariant) continue;
+      out.scenario = cand;
+      ++out.steps;
+      progress = true;
+      break;  // Restart from the new, smaller scenario.
+    }
+  }
+  return out;
+}
+
+}  // namespace speedbal::check

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/episode.hpp"
+#include "check/scenario.hpp"
+
+namespace speedbal::check {
+
+/// Outcome of minimizing a failing scenario.
+struct ShrinkResult {
+  FuzzScenario scenario;   ///< The smallest failing scenario found.
+  std::string invariant;   ///< Violation class preserved through shrinking
+                           ///< (empty when the input did not fail at all).
+  int steps = 0;           ///< Accepted shrink steps.
+  int attempts = 0;        ///< Episodes executed while shrinking.
+};
+
+/// Greedy delta-debugging minimizer: repeatedly propose structurally
+/// smaller variants (halve threads/workers/phases/work/duration, drop
+/// perturbation events, halve the core count, flatten the topology, zero
+/// the jitter, simplify the barrier) and accept a variant iff it still
+/// produces a violation of the same class as the input's first violation
+/// AND FuzzScenario::size() strictly decreases — so termination is
+/// guaranteed and the output replays the original defect. Runs episodes
+/// inline; cost is attempts * one episode.
+ShrinkResult minimize(const FuzzScenario& failing);
+
+}  // namespace speedbal::check

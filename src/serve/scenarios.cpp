@@ -113,12 +113,15 @@ ServeResult run_serve(const ServeConfig& config) {
     pinned->attach(sim);
   }
 
+  if (config.on_run_start) config.on_run_start(sim, runtime);
+
   LoadGenerator gen(sim, runtime, config.arrival, config.service,
                     config.duration, config.warmup, config.seed);
   gen.start();
 
   sim.run_until(config.duration);
   runtime.close();
+  if (config.on_run_end) config.on_run_end(sim, runtime);
 
   ServeResult result;
   result.stats = runtime.stats();

@@ -52,6 +52,15 @@ struct ServeConfig {
   /// When set, the run records into this recorder: latency histograms, drop
   /// and throughput counters, queue-depth trace samples, balancer decisions.
   obs::RunRecorder* recorder = nullptr;
+
+  /// Hooks mirroring ExperimentConfig's: `on_run_start` fires after the
+  /// balancers and worker pool are attached but before the load generator
+  /// starts (install probes via Simulator::schedule_at here); `on_run_end`
+  /// fires after the runtime closes, while the simulation state is still
+  /// alive. Null = unused. Under run_serve_repeats they fire in every
+  /// replica, concurrently when jobs > 1.
+  std::function<void(Simulator&, ServeRuntime&)> on_run_start;
+  std::function<void(Simulator&, ServeRuntime&)> on_run_end;
 };
 
 /// Outcome of a serve run.

@@ -205,13 +205,10 @@ bool Simulator::set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
        t.state_ == TaskState::Parked))
     return true;  // Sleepers on a dead core are redirected at wake/unpark.
   // Current core excluded (or offline): the kernel moves the task
-  // immediately to the least-loaded allowed online core.
-  const CoreId best = least_loaded_online(t.allowed_);
-  if (t.state_ == TaskState::Sleeping || t.state_ == TaskState::Parked) {
-    t.core_ = best;  // Takes effect at wake-up / unpark.
-    return true;
-  }
-  migrate(t, best, cause);
+  // immediately to the least-loaded allowed online core. migrate() handles
+  // sleepers by retargeting them (effective at wake-up) while still logging
+  // the move, so the migration record stream matches the decision log.
+  migrate(t, least_loaded_online(t.allowed_), cause);
   return true;
 }
 
@@ -227,7 +224,11 @@ void Simulator::migrate(Task& t, CoreId to, MigrationCause cause) {
 
   if (t.state_ == TaskState::Sleeping || t.state_ == TaskState::Parked) {
     // Only retarget; the cache cost is charged when it actually runs there.
+    // Still counted and logged: the per-task counter must match the
+    // migration log (WakePlacement is the only recorded-but-uncounted cause).
     t.core_ = to;
+    ++t.migrations_;
+    t.last_migration_ = now();
     metrics_.record_migration({now(), t.id(), from, to, cause});
     return;
   }

@@ -189,6 +189,14 @@ class Simulator {
   std::vector<Task*> live_tasks() const;
   std::vector<Task*> tasks_on(CoreId core) const;
 
+  /// Every task ever created (ids are dense from 0), including Finished
+  /// ones — the audience for whole-run conservation checks, which must sum
+  /// over hogs and spikes that live_tasks() no longer reports.
+  int num_tasks() const { return next_task_id_; }
+  const Task& task(TaskId id) const {
+    return *tasks_.at(static_cast<std::size_t>(id));
+  }
+
   /// True if the balancer may move `t` to `to` (affinity, liveness; note
   /// Linux additionally refuses Running tasks — that is the caller's rule).
   bool can_migrate(const Task& t, CoreId to) const;

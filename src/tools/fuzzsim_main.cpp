@@ -1,0 +1,201 @@
+// Property-based fuzzing & differential-oracle front end:
+//
+//   fuzzsim [--episodes=100] [--seed=1] [--policy=SPEED] [--mode=spmd|serve]
+//           [--jobs-oracle-every=25] [--max-seconds=0] [--minimize]
+//           [--out=FILE] [--verbose]
+//   fuzzsim --replay=FILE [--minimize] [--out=FILE]
+//   fuzzsim --broken=cross-numa|cooldown|threshold|lose-task
+//   fuzzsim --analytic
+//
+// The default loop draws episode e from generate(seed + e), runs it end to
+// end under the invariant checker (time conservation, task conservation,
+// affinity/NUMA blocking, Section 5 pull rules, serve counters, histogram
+// merge, event-queue lockstep), and every --jobs-oracle-every episodes also
+// replays the scenario --jobs=1 vs --jobs=4 demanding byte-identity. On the
+// first failing episode it prints the scenario's JSON replay spec plus the
+// violations, optionally shrinks it (--minimize) and writes the spec to
+// --out, then exits 1.
+//
+// --replay runs exactly one scenario from its JSON spec and prints a
+// deterministic digest (byte-identical across runs of the same build).
+// --broken runs the canonical deliberately-defective scenario for one
+// defect mode and exits 0 iff the harness catches it.
+// --analytic runs the sim-vs-model differential grid from the paper's
+// Section 4 shapes.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/episode.hpp"
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+#include "serve/scenarios.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace speedbal;
+using namespace speedbal::check;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void write_spec(const std::string& path, const FuzzScenario& sc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << sc.to_json() << "\n";
+}
+
+/// Print the failure report (replay spec + violations), shrink if asked,
+/// persist the final spec if --out was given.
+void report_failure(const FuzzScenario& sc, const EpisodeResult& result,
+                    bool minimize_it, const std::string& out_path) {
+  std::cout << "FAIL " << sc.summary() << "\n";
+  std::cout << "replay spec:\n" << sc.to_json() << "\n";
+  std::cout << format_violations(result.violations);
+  FuzzScenario final_spec = sc;
+  if (minimize_it) {
+    const ShrinkResult shrunk = minimize(sc);
+    if (!shrunk.invariant.empty()) {
+      std::cout << "minimized (" << shrunk.steps << " steps, "
+                << shrunk.attempts << " episodes) preserving \""
+                << shrunk.invariant << "\":\n"
+                << shrunk.scenario.to_json() << "\n";
+      final_spec = shrunk.scenario;
+    }
+  }
+  if (!out_path.empty()) {
+    write_spec(out_path, final_spec);
+    std::cout << "spec written to " << out_path << "\n";
+  }
+}
+
+int run_replay(const std::string& path, bool minimize_it,
+               const std::string& out_path) {
+  const FuzzScenario sc = FuzzScenario::load_file(path);
+  const EpisodeResult result = run_episode(sc);
+  std::cout << "scenario " << sc.summary() << "\n";
+  std::cout << result.digest();
+  if (!result.failed()) return 0;
+  report_failure(sc, result, minimize_it, out_path);
+  return 1;
+}
+
+int run_broken(const std::string& name, const std::string& out_path) {
+  const BrokenMode mode = parse_broken_mode(name);
+  const FuzzScenario sc = broken_scenario(mode);
+  if (!out_path.empty()) write_spec(out_path, sc);
+  const EpisodeResult result = run_episode(sc);
+  std::cout << "broken=" << name << " expecting \""
+            << expected_violation(mode) << "\"\n";
+  std::cout << result.digest();
+  for (const Violation& v : result.violations)
+    if (v.invariant == expected_violation(mode)) {
+      std::cout << "caught: " << v.detail << "\n";
+      return 0;
+    }
+  std::cout << "NOT CAUGHT: harness missed the injected defect\n";
+  return 1;
+}
+
+int run_analytic() {
+  std::vector<Violation> violations;
+  const std::vector<AnalyticPoint> grid = check_analytic_grid(violations);
+  std::printf("%4s %4s %12s %12s %12s\n", "N", "M", "predicted", "pinned",
+              "speed");
+  for (const AnalyticPoint& pt : grid)
+    std::printf("%4d %4d %12.4f %12.4f %12.4f\n", pt.threads, pt.cores,
+                pt.predicted_speedup, pt.pinned_speedup, pt.speed_speedup);
+  if (!violations.empty()) {
+    std::cout << format_violations(violations);
+    return 1;
+  }
+  std::cout << "analytic grid within tolerance " << kAnalyticTolerance
+            << "\n";
+  return 0;
+}
+
+int run_fuzz(const Cli& cli) {
+  const int episodes = static_cast<int>(cli.get_int("episodes", 100));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int oracle_every =
+      static_cast<int>(cli.get_int("jobs-oracle-every", 25));
+  const double max_seconds = cli.get_double("max-seconds", 0.0);
+  const bool verbose = cli.get_bool("verbose");
+  const bool minimize_it = cli.get_bool("minimize");
+  const std::string out_path = cli.get("out");
+
+  const auto start = std::chrono::steady_clock::now();
+  int ran = 0;
+  std::int64_t migrations = 0;
+  std::int64_t pulls = 0;
+  int jobs_checks = 0;
+  for (int e = 0; e < episodes; ++e) {
+    if (max_seconds > 0.0 && wall_seconds_since(start) >= max_seconds) {
+      std::cout << "wall budget of " << max_seconds << "s reached after "
+                << ran << " episodes\n";
+      break;
+    }
+    FuzzScenario sc = generate(seed + static_cast<std::uint64_t>(e));
+    if (cli.has("policy"))
+      sc.policy = serve::parse_serve_policy(cli.get("policy"));
+    if (cli.has("mode")) sc.mode = parse_mode(cli.get("mode"));
+    sc.validate();
+
+    EpisodeResult result = run_episode(sc);
+    if (!result.failed() && oracle_every > 0 && e % oracle_every == 0) {
+      check_jobs_identity(sc, result.violations);
+      ++jobs_checks;
+    }
+    ++ran;
+    migrations += result.total_migrations;
+    pulls += result.speed_pulls;
+    if (verbose)
+      std::cout << "episode " << e << " seed=" << (seed + e) << " "
+                << sc.summary() << " migrations=" << result.total_migrations
+                << " pulls=" << result.speed_pulls << "\n";
+    if (result.failed()) {
+      std::cout << "episode " << e << " seed="
+                << (seed + static_cast<std::uint64_t>(e)) << " failed\n";
+      report_failure(sc, result, minimize_it, out_path);
+      return 1;
+    }
+  }
+  std::cout << "OK " << ran << " episodes (seed=" << seed << ", "
+            << jobs_checks << " jobs-identity checks, " << migrations
+            << " migrations, " << pulls << " speed pulls, "
+            << wall_seconds_since(start) << "s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const speedbal::Cli cli(
+        argc, argv,
+        {"episodes", "seed", "policy", "mode", "replay", "minimize", "out",
+         "broken", "jobs-oracle-every", "analytic", "max-seconds", "verbose"});
+    const auto unknown = cli.unknown();
+    if (!unknown.empty())
+      throw std::invalid_argument("unknown flag --" + unknown.front());
+    if (cli.has("replay"))
+      return run_replay(cli.get("replay"), cli.get_bool("minimize"),
+                        cli.get("out"));
+    if (cli.has("broken"))
+      return run_broken(cli.get("broken"), cli.get("out"));
+    if (cli.has("analytic")) return run_analytic();
+    return run_fuzz(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzzsim: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,140 @@
+// Coverage for the failure minimizer and the `fuzzsim --replay` contract:
+// a seeded failing scenario shrinks to a strictly smaller spec that still
+// fails with the same invariant class, and replaying the shrunk spec
+// through the real fuzzsim binary reproduces the violation byte-for-byte.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/episode.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+
+namespace speedbal::check {
+namespace {
+
+#ifndef SPEEDBAL_FUZZSIM_BIN
+#define SPEEDBAL_FUZZSIM_BIN "fuzzsim"
+#endif
+
+/// Run fuzzsim with the given arguments, capturing stdout; returns the exit
+/// status (or -1 on fork failure).
+int run_fuzzsim(std::vector<std::string> args, std::string* out) {
+  const std::string out_path = testing::TempDir() + "fuzzsim_stdout_" +
+                               std::to_string(getpid()) + ".txt";
+  const pid_t child = fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    if (freopen(out_path.c_str(), "w", stdout) == nullptr) _exit(125);
+    std::vector<char*> argv;
+    std::string bin = SPEEDBAL_FUZZSIM_BIN;
+    argv.push_back(bin.data());
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(126);
+  }
+  int status = 0;
+  waitpid(child, &status, 0);
+  if (out != nullptr) {
+    std::ifstream in(out_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    *out = text.str();
+  }
+  std::remove(out_path.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// A failing scenario deliberately inflated beyond the canonical stub, so
+/// the minimizer has real slack to remove.
+FuzzScenario inflated_failing() {
+  FuzzScenario sc = broken_scenario(BrokenMode::Cooldown);
+  sc.threads = 12;
+  sc.phases = 3;
+  sc.work_per_phase_us = 40000.0;
+  sc.work_jitter = 0.1;
+  sc.perturb = perturb::PerturbTimeline::parse_specs(
+                   "at=40ms dvfs core=1 scale=0.7; at=60ms spike core=0 work=5ms")
+                   .events();
+  sc.validate();
+  return sc;
+}
+
+TEST(CheckShrink, MinimizerShrinksWhilePreservingTheViolation) {
+  const FuzzScenario big = inflated_failing();
+  const EpisodeResult before = run_episode(big);
+  ASSERT_TRUE(before.failed()) << "inflated scenario must fail to be shrunk";
+  const std::string slug = before.violations.front().invariant;
+
+  const ShrinkResult shrunk = minimize(big);
+  EXPECT_EQ(shrunk.invariant, slug);
+  EXPECT_GT(shrunk.steps, 0) << "no shrink step accepted";
+  EXPECT_LT(shrunk.scenario.size(), big.size())
+      << "minimized spec is not strictly smaller";
+
+  // The minimized scenario still fails with the same first violation class.
+  const EpisodeResult after = run_episode(shrunk.scenario);
+  ASSERT_TRUE(after.failed());
+  EXPECT_EQ(after.violations.front().invariant, slug)
+      << format_violations(after.violations);
+}
+
+TEST(CheckShrink, MinimizerIsIdentityOnPassingScenarios) {
+  const FuzzScenario ok = generate(1);
+  ASSERT_TRUE(run_episode(ok).violations.empty());
+  const ShrinkResult shrunk = minimize(ok);
+  EXPECT_TRUE(shrunk.invariant.empty());
+  EXPECT_EQ(shrunk.steps, 0);
+  EXPECT_EQ(shrunk.scenario.to_json(), ok.to_json());
+}
+
+TEST(CheckShrink, ReplayOfShrunkSpecIsByteIdentical) {
+  const ShrinkResult shrunk = minimize(inflated_failing());
+  ASSERT_FALSE(shrunk.invariant.empty());
+
+  const std::string spec_path = testing::TempDir() + "fuzzsim_shrunk_" +
+                                std::to_string(getpid()) + ".json";
+  {
+    std::ofstream spec(spec_path);
+    spec << shrunk.scenario.to_json() << "\n";
+  }
+
+  std::string first;
+  std::string second;
+  EXPECT_EQ(run_fuzzsim({"--replay=" + spec_path}, &first), 1);
+  EXPECT_EQ(run_fuzzsim({"--replay=" + spec_path}, &second), 1);
+  std::remove(spec_path.c_str());
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "replay is not deterministic";
+  EXPECT_NE(first.find(shrunk.invariant + ":"), std::string::npos)
+      << "replay output does not name the preserved violation:\n"
+      << first;
+}
+
+TEST(CheckShrink, FuzzsimBrokenModeExitsZeroWhenCaught) {
+  for (const char* mode :
+       {"cross-numa", "cooldown", "threshold", "lose-task"}) {
+    std::string out;
+    EXPECT_EQ(run_fuzzsim({std::string("--broken=") + mode}, &out), 0)
+        << "--broken=" << mode << " output:\n"
+        << out;
+    EXPECT_NE(out.find("caught:"), std::string::npos) << out;
+  }
+}
+
+TEST(CheckShrink, FuzzsimRunsACleanBatch) {
+  std::string out;
+  EXPECT_EQ(run_fuzzsim({"--episodes=10", "--seed=91"}, &out), 0) << out;
+  EXPECT_NE(out.find("OK 10 episodes"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace speedbal::check

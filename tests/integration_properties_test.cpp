@@ -1,17 +1,22 @@
 // Parameterized property suites over the whole stack: conservation laws,
-// the Lemma 1 guarantee, and cross-policy invariants.
+// the Lemma 1 guarantee, and cross-policy invariants. Scenario construction
+// is sourced from the fuzz harness (check::FuzzScenario and the shared
+// scenario->config lowering), so these suites and `fuzzsim` exercise the
+// stack through the same front door.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <tuple>
 
-#include "balance/linux_load.hpp"
 #include "balance/speed.hpp"
-#include "core/scenarios.hpp"
+#include "check/config.hpp"
+#include "check/episode.hpp"
+#include "check/oracle.hpp"
+#include "check/scenario.hpp"
 #include "model/analytic.hpp"
-#include "perturb/sim_driver.hpp"
 #include "serve/scenarios.hpp"
 #include "topo/presets.hpp"
 #include "workload/generator.hpp"
@@ -21,120 +26,161 @@ namespace {
 
 // --- Work conservation across policies --------------------------------------
 
+/// Base scenario for the conservation sweeps: a blocking barrier so waiting
+/// threads accrue no exec — total exec must then equal the assigned work
+/// plus bounded migration warmup.
+check::FuzzScenario conservation_scenario(Policy policy, int cores) {
+  check::FuzzScenario sc;
+  sc.seed = 7;
+  sc.topo = "generic4";
+  sc.policy = policy;
+  sc.cores = cores;
+  sc.threads = 6;
+  sc.phases = 2;
+  sc.work_per_phase_us = 20000.0;
+  sc.work_jitter = 0.0;
+  sc.barrier = WaitPolicy::Sleep;
+  sc.validate();
+  return sc;
+}
+
+/// Run the scenario through the shared lowering and assert every thread
+/// executed its assigned work, within the bounded warmup overhead.
+void expect_work_conserved(const check::FuzzScenario& sc) {
+  ExperimentConfig cfg = check::spmd_experiment(sc);
+  cfg.app.barrier.block_time = 0;
+  const double per_thread_work = cfg.app.work_per_phase_us * cfg.app.phases;
+  bool harvested = false;
+  cfg.on_run_end = [&](Simulator&, SpmdApp& app, int) {
+    harvested = true;
+    for (Task* t : app.threads()) {
+      const double exec_us = static_cast<double>(t->total_exec());
+      EXPECT_GE(exec_us, per_thread_work - 1.0) << t->name();
+      // Warmup overhead is bounded: per migration at most fixed + llc refill.
+      const double max_overhead =
+          (t->migrations() + 4.0) * (5.0 + 4096.0 * 0.5) + 1000.0;
+      EXPECT_LE(exec_us, per_thread_work + max_overhead) << t->name();
+    }
+  };
+  const ExperimentResult res = run_experiment(cfg);
+  ASSERT_TRUE(res.runs.at(0).completed);
+  ASSERT_TRUE(harvested);
+}
+
 class ConservationSweep
-    : public ::testing::TestWithParam<std::tuple<scenarios::Setup, int>> {};
+    : public ::testing::TestWithParam<std::tuple<Policy, int>> {};
 
 TEST_P(ConservationSweep, ExecMatchesAssignedWork) {
-  const auto [setup, cores] = GetParam();
-  const auto topo = presets::generic(4);
-  const auto prof = npb::ep('S');
-  auto cfg = scenarios::npb_config(topo, prof, 6, cores, setup, 1, 7);
-  // Use a blocking barrier so waiting threads accrue no exec: total exec
-  // must then equal the assigned work (plus bounded migration warmup).
-  cfg.app.barrier.policy = WaitPolicy::Sleep;
-  cfg.app.barrier.block_time = 0;
-  cfg.app.work_jitter = 0.0;
-
-  Simulator sim(cfg.topo, cfg.sim, 7);
-  LinuxLoadBalancer lb(cfg.linux_load);
-  if (cfg.policy == Policy::Load || cfg.policy == Policy::Speed ||
-      cfg.policy == Policy::Pinned)
-    lb.attach(sim);
-  SpmdApp app(sim, cfg.app);
-  app.launch(cfg.policy == Policy::Pinned ? SpmdApp::Placement::RoundRobin
-                                          : SpmdApp::Placement::LinuxFork,
-             workload::first_cores(cores));
-  SpeedBalancer sb(cfg.speed, app.threads(), workload::first_cores(cores));
-  if (cfg.policy == Policy::Speed) sb.attach(sim);
-
-  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(600)));
-
-  const double per_thread_work = cfg.app.work_per_phase_us * cfg.app.phases;
-  for (Task* t : app.threads()) {
-    const double exec_us = static_cast<double>(t->total_exec());
-    EXPECT_GE(exec_us, per_thread_work - 1.0);
-    // Warmup overhead is bounded: per migration at most fixed + llc refill.
-    const double max_overhead =
-        (t->migrations() + 4.0) * (5.0 + 4096.0 * 0.5) + 1000.0;
-    EXPECT_LE(exec_us, per_thread_work + max_overhead);
-  }
+  const auto [policy, cores] = GetParam();
+  expect_work_conserved(conservation_scenario(policy, cores));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Policies, ConservationSweep,
-    ::testing::Combine(::testing::Values(scenarios::Setup::Pinned,
-                                         scenarios::Setup::LoadYield,
-                                         scenarios::Setup::SpeedYield),
+    ::testing::Combine(::testing::Values(Policy::Pinned, Policy::Load,
+                                         Policy::Speed),
                        ::testing::Values(2, 3, 4)));
 
 // --- Conservation & safety under perturbations -------------------------------
 
-class PerturbationSweep
-    : public ::testing::TestWithParam<scenarios::Setup> {};
+class PerturbationSweep : public ::testing::TestWithParam<Policy> {};
 
-TEST_P(PerturbationSweep, WorkConservedAndOfflineCoresStayEmpty) {
+TEST_P(PerturbationSweep, WorkConservedAndInvariantsHoldUnderPerturbations) {
   // Under a timeline of hotplug and cpu-hog perturbations (no DVFS: clock
   // changes alter the exec-time cost of fixed work by design), every policy
   // still executes exactly the assigned work (plus bounded migration
-  // warmup), and no task is ever observed enqueued on an offline core.
-  const auto setup = GetParam();
-  const int cores = 3;
-  const auto topo = presets::generic(4);
-  auto cfg = scenarios::npb_config(topo, npb::ep('S'), 6, cores, setup, 1, 7);
-  cfg.app.barrier.policy = WaitPolicy::Sleep;
-  cfg.app.barrier.block_time = 0;
-  cfg.app.work_jitter = 0.0;
-  cfg.app.phases = 4;
-  cfg.app.work_per_phase_us = 100000.0;  // Long enough to span the timeline.
+  // warmup), and the full episode invariant checker — which probes task
+  // placement every 5 ms — sees no violation: in particular no task is ever
+  // observed on an offline core.
+  check::FuzzScenario sc = conservation_scenario(GetParam(), 3);
+  sc.phases = 4;
+  sc.work_per_phase_us = 100000.0;  // Long enough to span the timeline.
+  sc.perturb = perturb::PerturbTimeline::parse_specs(
+                   "at=30ms offline core=1; at=60ms hog-start core=0; "
+                   "at=90ms spike core=2 work=20ms; at=150ms online core=1; "
+                   "at=250ms hog-stop core=0")
+                   .events();
+  sc.validate();
 
-  Simulator sim(cfg.topo, cfg.sim, 7);
-  LinuxLoadBalancer lb(cfg.linux_load);
-  lb.attach(sim);
-  SpmdApp app(sim, cfg.app);
-  app.launch(cfg.policy == Policy::Pinned ? SpmdApp::Placement::RoundRobin
-                                          : SpmdApp::Placement::LinuxFork,
-             workload::first_cores(cores));
-  SpeedBalancer sb(cfg.speed, app.threads(), workload::first_cores(cores));
-  if (cfg.policy == Policy::Speed) sb.attach(sim);
+  const check::EpisodeResult episode = check::run_episode(sc);
+  EXPECT_TRUE(episode.violations.empty())
+      << check::format_violations(episode.violations);
+  EXPECT_TRUE(episode.completed);
 
-  perturb::SimPerturbDriver driver(
-      sim, perturb::PerturbTimeline::parse_specs(
-               "at=30ms offline core=1; at=60ms hog-start core=0; "
-               "at=90ms spike core=2 work=20ms; at=150ms online core=1; "
-               "at=250ms hog-stop core=0"));
-  driver.arm();
-
-  // Safety probe: at no observable instant does an offline core hold tasks.
-  int violations = 0;
-  std::function<void()> probe = [&] {
-    for (CoreId c = 0; c < sim.num_cores(); ++c)
-      if (!sim.core_online(c) && sim.core(c).queue().nr_running() > 0)
-        ++violations;
-    if (!app.finished()) sim.schedule_after(msec(1), probe);
-  };
-  sim.schedule_after(msec(1), probe);
-
-  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(600)));
-  EXPECT_EQ(violations, 0);
-  EXPECT_EQ(driver.applied(), 5);
-  EXPECT_GE(sim.metrics().migration_count(MigrationCause::Hotplug), 0);
-
-  const double per_thread_work = cfg.app.work_per_phase_us * cfg.app.phases;
-  for (Task* t : app.threads()) {
-    const double exec_us = static_cast<double>(t->total_exec());
-    EXPECT_GE(exec_us, per_thread_work - 1.0) << t->name();
-    const double max_overhead =
-        (t->migrations() + 4.0) * (5.0 + 4096.0 * 0.5) + 1000.0;
-    EXPECT_LE(exec_us, per_thread_work + max_overhead) << t->name();
-  }
+  expect_work_conserved(sc);
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, PerturbationSweep,
-                         ::testing::Values(scenarios::Setup::Pinned,
-                                           scenarios::Setup::LoadYield,
-                                           scenarios::Setup::SpeedYield));
+                         ::testing::Values(Policy::Pinned, Policy::Load,
+                                           Policy::Speed));
+
+// --- Generated scenarios through the accounting cross-checks -----------------
+
+TEST(Properties, GeneratedSpmdScenariosKeepPerTaskAccountingExact) {
+  // Scenarios drawn from the fuzz generator (forced onto the SPEED policy so
+  // migrations actually happen), with per-task accounting asserted directly:
+  // each task's migration counter equals its entries in the global log
+  // (excluding wake placements, recorded but not counted), and its per-core
+  // exec vector sums exactly to its total exec.
+  int spmd_seen = 0;
+  for (std::uint64_t seed = 300; spmd_seen < 4; ++seed) {
+    check::FuzzScenario sc = check::generate(seed);
+    if (sc.mode != check::Mode::Spmd) continue;
+    ++spmd_seen;
+    sc.policy = Policy::Speed;
+
+    ExperimentConfig cfg = check::spmd_experiment(sc);
+    bool harvested = false;
+    cfg.on_run_end = [&](Simulator& sim, SpmdApp& app, int) {
+      harvested = true;
+      sim.sync_all_accounting();
+      for (Task* t : app.threads()) {
+        int logged = 0;
+        for (const auto& m : sim.metrics().migrations())
+          if (m.task == t->id() && m.cause != MigrationCause::WakePlacement)
+            ++logged;
+        EXPECT_EQ(logged, t->migrations()) << "seed " << seed << " " << t->name();
+
+        const auto& per_core = sim.metrics().exec_by_core(t->id());
+        const SimTime sum =
+            std::accumulate(per_core.begin(), per_core.end(), SimTime{0});
+        EXPECT_EQ(sum, t->total_exec()) << "seed " << seed << " " << t->name();
+      }
+    };
+    const ExperimentResult res = run_experiment(cfg);
+    ASSERT_TRUE(res.runs.at(0).completed) << "seed " << seed;
+    ASSERT_TRUE(harvested) << "seed " << seed;
+  }
+}
 
 // --- Lemma 1: every thread runs on a fast core -------------------------------
+
+/// Simulator + app + attached speed balancer, kept alive together so tests
+/// can interrogate metrics after the run (shared by the Lemma 1 and
+/// rotation suites).
+struct SpeedRig {
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<SpmdApp> app;
+  std::unique_ptr<SpeedBalancer> sb;
+  bool finished = false;
+};
+
+SpeedRig run_speed_app(int cores, int threads, double work_us,
+                       std::uint64_t seed) {
+  SpeedRig rig;
+  rig.sim = std::make_unique<Simulator>(presets::generic(cores),
+                                        SimParams{}, seed);
+  SpmdAppSpec spec = workload::uniform_app(threads, 1, work_us);
+  rig.app = std::make_unique<SpmdApp>(*rig.sim, spec);
+  rig.app->launch(SpmdApp::Placement::LinuxFork, workload::first_cores(cores));
+  rig.sb = std::make_unique<SpeedBalancer>(SpeedBalanceParams{},
+                                           rig.app->threads(),
+                                           workload::first_cores(cores));
+  rig.sb->attach(*rig.sim);
+  rig.finished = rig.sim->run_while_pending(
+      [&rig] { return rig.app->finished(); }, sec(600));
+  return rig;
+}
 
 class Lemma1Sweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
@@ -147,20 +193,15 @@ TEST_P(Lemma1Sweep, EveryThreadGetsFastCoreTime) {
   const model::SpmdShape shape{threads, cores};
   if (shape.balanced()) GTEST_SKIP() << "balanced shape: nothing to prove";
 
-  const auto topo = presets::generic(cores);
-  Simulator sim(topo, {}, static_cast<std::uint64_t>(threads * 31 + cores));
-  SpmdAppSpec spec = workload::uniform_app(threads, 1, 4e6);  // 4 s, 1 phase.
-  SpmdApp app(sim, spec);
-  app.launch(SpmdApp::Placement::LinuxFork, workload::first_cores(cores));
-  SpeedBalancer sb({}, app.threads(), workload::first_cores(cores));
-  sb.attach(sim);
-  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(600)));
+  const SpeedRig rig = run_speed_app(
+      cores, threads, 4e6, static_cast<std::uint64_t>(threads * 31 + cores));
+  ASSERT_TRUE(rig.finished);
 
   // Program speed = per-thread work / wall time of the last finisher. If
   // any thread had been left at the slow-queue rate for the whole run the
   // program speed would be exactly 1/(T+1); beating it requires the Lemma 1
   // rotation to have given every thread fast-core time.
-  const double wall = to_sec(app.elapsed());
+  const double wall = to_sec(rig.app->elapsed());
   const double slow_rate = 1.0 / (shape.threads_per_fast_core() + 1);
   const double program_speed = 4.0 / wall;
   EXPECT_GT(program_speed, slow_rate * 1.02);
@@ -174,38 +215,19 @@ INSTANTIATE_TEST_SUITE_P(Shapes, Lemma1Sweep,
 
 // --- Analytic model vs simulation -------------------------------------------
 
-class ModelAgreementSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
-
-TEST_P(ModelAgreementSweep, SimulatedSpeedupNearAnalyticPrediction) {
-  // For pure-compute SPMD apps the simulated LOAD-stuck speed matches
-  // 1/(T+1) and SPEED exceeds it, approaching min(M, asymptotic average).
-  const auto [threads, cores] = GetParam();
-  const model::SpmdShape shape{threads, cores};
-  if (shape.balanced()) GTEST_SKIP();
-  const auto topo = presets::generic(cores);
-  // Class A: per-phase work large enough that every sweep shape satisfies
-  // the Lemma 1 profitability condition (T+1)*S > 2*ceil(SQ/FQ)*B.
-  const auto prof = npb::ep('A');
-
-  const double serial = scenarios::serial_runtime_s(topo, prof, threads, 3);
-  const auto pinned =
-      scenarios::run_npb(topo, prof, threads, cores, scenarios::Setup::Pinned, 2, 3);
-  const double su_pinned = serial / pinned.mean_runtime();
-  // Static: threads/(T+1) of the serial rate.
-  const double predicted =
-      static_cast<double>(threads) * model::linux_program_speed(shape);
-  EXPECT_NEAR(su_pinned, predicted, 0.12 * predicted);
-
-  const auto speed =
-      scenarios::run_npb(topo, prof, threads, cores, scenarios::Setup::SpeedYield, 2, 3);
-  const double su_speed = serial / speed.mean_runtime();
-  EXPECT_GT(su_speed, su_pinned * 1.03);
-  EXPECT_LE(su_speed, cores + 0.1);  // Never exceeds machine capacity.
+TEST(Properties, SimulatedSpeedupNearAnalyticPrediction) {
+  // The sim-vs-model differential oracle on the paper's N/M grid: PINNED
+  // speedup within tolerance of N/(T+1) (Section 4), SPEED strictly better
+  // and never above machine capacity M.
+  std::vector<check::Violation> violations;
+  const auto grid = check::check_analytic_grid(violations);
+  EXPECT_EQ(grid.size(), 4u);
+  EXPECT_TRUE(violations.empty()) << check::format_violations(violations);
+  for (const check::AnalyticPoint& pt : grid) {
+    EXPECT_GT(pt.predicted_speedup, 1.0);
+    EXPECT_GT(pt.speed_speedup, pt.pinned_speedup);
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(Shapes, ModelAgreementSweep,
-                         ::testing::Values(std::tuple{3, 2}, std::tuple{7, 3},
-                                           std::tuple{9, 4}, std::tuple{11, 4}));
 
 // --- Rotation observed directly (Section 4 quantities) ----------------------
 
@@ -216,21 +238,17 @@ TEST(Properties, EveryThreadRunsOnAFastQueueUnderSpeed) {
   // (full speed). Under static pinning, the two doubled-up threads never
   // do. "Solo" is approximated per thread as windows where it accrues
   // nearly wall-rate execution.
-  Simulator sim(presets::generic(2), {}, 31);
-  SpmdAppSpec spec = workload::uniform_app(3, 1, 3e6);
-  SpmdApp app(sim, spec);
-  app.launch(SpmdApp::Placement::LinuxFork, workload::first_cores(2));
-  SpeedBalancer sb({}, app.threads(), workload::first_cores(2));
-  sb.attach(sim);
-  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(60)));
+  const SpeedRig rig = run_speed_app(2, 3, 3e6, 31);
+  ASSERT_TRUE(rig.finished);
 
-  const SimTime wall = app.elapsed();
-  for (Task* t : app.threads()) {
+  const SimTime wall = rig.app->elapsed();
+  for (Task* t : rig.app->threads()) {
     // Count 100 ms windows where this thread got > 90% of the window.
     int fast_windows = 0;
     int windows = 0;
     for (SimTime w = 0; w + msec(100) <= wall; w += msec(100)) {
-      const SimTime exec = sim.metrics().exec_in_window(t->id(), w, w + msec(100));
+      const SimTime exec =
+          rig.sim->metrics().exec_in_window(t->id(), w, w + msec(100));
       ++windows;
       if (exec > msec(90)) ++fast_windows;
     }
@@ -241,20 +259,15 @@ TEST(Properties, EveryThreadRunsOnAFastQueueUnderSpeed) {
 TEST(Properties, RotationSpreadsResidencyAcrossCores) {
   // 4 threads on 3 cores, long run: under SPEED no thread is wholly
   // resident on a single core, and every core hosts real work.
-  Simulator sim(presets::generic(3), {}, 37);
-  SpmdAppSpec spec = workload::uniform_app(4, 1, 3e6);
-  SpmdApp app(sim, spec);
-  app.launch(SpmdApp::Placement::LinuxFork, workload::first_cores(3));
-  SpeedBalancer sb({}, app.threads(), workload::first_cores(3));
-  sb.attach(sim);
-  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(60)));
-  for (Task* t : app.threads()) {
+  const SpeedRig rig = run_speed_app(3, 4, 3e6, 37);
+  ASSERT_TRUE(rig.finished);
+  for (Task* t : rig.app->threads()) {
     double max_single = 0.0;
     for (CoreId c = 0; c < 3; ++c) {
       const CoreId cc = c;
-      max_single = std::max(
-          max_single,
-          sim.metrics().residency_fraction(t->id(), [cc](CoreId x) { return x == cc; }));
+      max_single = std::max(max_single,
+                            rig.sim->metrics().residency_fraction(
+                                t->id(), [cc](CoreId x) { return x == cc; }));
     }
     EXPECT_LT(max_single, 0.95) << t->name() << " never rotated";
   }
@@ -294,45 +307,6 @@ TEST(Properties, SpeedMeasureCapturesPriorities) {
   EXPECT_LT(balanced, 0.85 * pinned_like);
 }
 
-// --- Migration accounting -----------------------------------------------------
-
-TEST(Properties, MigrationLogMatchesTaskCounters) {
-  const auto topo = presets::generic(3);
-  Simulator sim(topo, {}, 17);
-  SpmdAppSpec spec = workload::uniform_app(5, 2, 500'000.0);
-  SpmdApp app(sim, spec);
-  app.launch(SpmdApp::Placement::LinuxFork, workload::first_cores(3));
-  SpeedBalancer sb({}, app.threads(), workload::first_cores(3));
-  sb.attach(sim);
-  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(600)));
-
-  // Each task's migration counter equals its entries in the global log,
-  // excluding wake placements (which are recorded but not counted).
-  for (Task* t : app.threads()) {
-    int logged = 0;
-    for (const auto& m : sim.metrics().migrations()) {
-      if (m.task == t->id() && m.cause != MigrationCause::WakePlacement) ++logged;
-    }
-    EXPECT_EQ(logged, t->migrations()) << t->name();
-  }
-}
-
-TEST(Properties, ExecByCoreSumsToTotalExec) {
-  const auto topo = presets::generic(4);
-  Simulator sim(topo, {}, 23);
-  SpmdAppSpec spec = workload::uniform_app(9, 3, 100'000.0);
-  SpmdApp app(sim, spec);
-  app.launch(SpmdApp::Placement::LinuxFork, workload::first_cores(4));
-  SpeedBalancer sb({}, app.threads(), workload::first_cores(4));
-  sb.attach(sim);
-  ASSERT_TRUE(sim.run_while_pending([&] { return app.finished(); }, sec(600)));
-  for (Task* t : app.threads()) {
-    const auto& per_core = sim.metrics().exec_by_core(t->id());
-    const SimTime sum = std::accumulate(per_core.begin(), per_core.end(), SimTime{0});
-    EXPECT_EQ(sum, t->total_exec());
-  }
-}
-
 // --- Serve determinism --------------------------------------------------------
 
 TEST(Properties, ServeRunIsByteIdenticalUnderFixedSeed) {
@@ -340,20 +314,27 @@ TEST(Properties, ServeRunIsByteIdenticalUnderFixedSeed) {
   // demands, balancer jitter) plus a perturbation timeline; all flow through
   // seeded streams, so two identical configs must produce byte-identical
   // observability reports — including every histogram bucket and counter.
-  const auto report = [] {
-    serve::ServeConfig config;
-    config.topo = presets::generic(3);
-    config.cores = 3;
-    config.policy = Policy::Speed;
-    config.serve.workers = 6;
-    config.serve.idle = serve::IdleMode::Yield;
-    config.arrival.kind = workload::ArrivalKind::Bursty;
-    config.arrival.rate_rps = 300.0;
-    config.duration = sec(3);
+  // The config is lowered from a fuzz scenario through the same path
+  // `fuzzsim` uses.
+  check::FuzzScenario sc;
+  sc.seed = 1234;
+  sc.mode = check::Mode::Serve;
+  sc.topo = "generic3";
+  sc.policy = Policy::Speed;
+  sc.cores = 3;
+  sc.workers = 6;
+  sc.serve_busy_poll = true;
+  sc.arrival = workload::ArrivalKind::Bursty;
+  sc.utilization = 0.5;
+  sc.duration = sec(3);
+  sc.perturb = perturb::PerturbTimeline::parse_specs(
+                   "at=200ms dvfs core=0 scale=0.5; at=1500ms dvfs core=0 scale=1.0")
+                   .events();
+  sc.validate();
+
+  const auto report = [&sc] {
+    serve::ServeConfig config = check::serve_experiment(sc);
     config.warmup = msec(300);
-    config.seed = 1234;
-    config.perturb = perturb::PerturbTimeline::parse_specs(
-        "at=200ms dvfs core=0 scale=0.5; at=1500ms dvfs core=0 scale=1.0");
     obs::RunRecorder rec;
     config.recorder = &rec;
     const serve::ServeResult r = serve::run_serve(config);

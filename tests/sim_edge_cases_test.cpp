@@ -167,10 +167,15 @@ TEST(SimEdge, MigrationOfSleepingTaskOnlyRetargets) {
   sim.start_task_on(t, 0, ~0ULL);
   sim.run_until(msec(1));
   sim.sleep_task(t);
+  const SimTime before_exec = t.total_exec();
   sim.migrate(t, 1, MigrationCause::Affinity);
-  EXPECT_EQ(t.state(), TaskState::Sleeping);
+  EXPECT_EQ(t.state(), TaskState::Sleeping);  // No queue manipulation.
   EXPECT_EQ(t.core(), 1);
-  EXPECT_EQ(t.migrations(), 0);  // Deferred: no queue manipulation happened.
+  // Counted and logged (the per-task counter must match the migration log),
+  // but no warmup charged: the cache cost lands when it actually runs there.
+  EXPECT_EQ(t.migrations(), 1);
+  EXPECT_EQ(sim.metrics().migrations().back().cause, MigrationCause::Affinity);
+  EXPECT_EQ(t.total_exec(), before_exec);
   sim.wake_task(t);
   EXPECT_EQ(t.core(), 1);
 }

@@ -209,5 +209,42 @@ TEST(EventQueue, ChurnKeepsStrictFifoWithinTimestamp) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(EventQueue, StaleCancelDuringPopSparesSameTimeChild) {
+  // Regression for the sequence the lockstep fuzz oracle drives hardest:
+  // during a pop, the handler schedules a child at the *current* time —
+  // which recycles the slot of an already-executed event — and then cancels
+  // the executed event through its stale handle. The stale cancel must not
+  // kill the freshly scheduled child occupying the same slot.
+  EventQueue q;
+  std::vector<char> order;
+  const auto first = q.schedule(10, [&] { order.push_back('a'); });
+  q.run_next();  // `first` fires; its slot returns to the freelist.
+  q.schedule(20, [&] {
+    order.push_back('b');
+    const auto child = q.schedule(q.now(), [&] { order.push_back('c'); });
+    EXPECT_EQ(child.slot, first.slot);  // Recycled inside the pop.
+    q.cancel(first);                    // Stale: must be a no-op.
+  });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c'}));
+  EXPECT_EQ(q.now(), 20);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTimeDuringPopRunsAfterPendingPeers) {
+  // A child scheduled at now() from inside run_next must fire after every
+  // event already pending at that timestamp (insertion order), exactly like
+  // a reference std::multimap queue inserting at the upper bound.
+  EventQueue q;
+  std::vector<char> order;
+  q.schedule(5, [&] {
+    order.push_back('A');
+    q.schedule(q.now(), [&] { order.push_back('a'); });
+  });
+  q.schedule(5, [&] { order.push_back('B'); });
+  q.schedule(6, [&] { order.push_back('C'); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'a', 'C'}));
+}
+
 }  // namespace
 }  // namespace speedbal

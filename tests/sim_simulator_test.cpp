@@ -212,6 +212,33 @@ TEST(Simulator, SetAffinityMovesExcludedTask) {
   EXPECT_FALSE(t.allowed_on(0));
 }
 
+TEST(Simulator, SetAffinityOnSleeperLogsTheMigration) {
+  // Regression: the fuzz harness's decision-vs-migration cross-check found
+  // that moving a *sleeping* task via set_affinity retargeted it silently,
+  // so a SPEED pull of an idle serve worker logged a Pulled decision with
+  // no matching migration record. The move must hit the metrics log with
+  // the caller's cause even when it only takes effect at wake-up.
+  Simulator sim(presets::generic(4));
+  Recorder rec;
+  Task& t = sim.create_task({.name = "t", .client = &rec});
+  sim.assign_work(t, 1'000.0);
+  sim.start_task_on(t, 0, ~0ULL);
+  sim.sleep_task(t);
+  ASSERT_EQ(t.state(), TaskState::Sleeping);
+  const auto before = sim.metrics().migrations().size();
+  ASSERT_TRUE(sim.set_affinity(t, 1ULL << 2, /*hard_pin=*/false,
+                               MigrationCause::SpeedBalancer));
+  ASSERT_EQ(sim.metrics().migrations().size(), before + 1);
+  const MigrationRecord& moved = sim.metrics().migrations().back();
+  EXPECT_EQ(moved.task, t.id());
+  EXPECT_EQ(moved.from, 0);
+  EXPECT_EQ(moved.to, 2);
+  EXPECT_EQ(moved.cause, MigrationCause::SpeedBalancer);
+  EXPECT_EQ(t.core(), 2);  // Takes effect at wake-up.
+  sim.wake_task(t);
+  EXPECT_EQ(t.core(), 2);
+}
+
 TEST(Simulator, MigrateRejectsDisallowedDestination) {
   Simulator sim(presets::generic(2));
   Task& t = sim.create_task({.name = "t"});
