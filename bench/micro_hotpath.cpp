@@ -7,6 +7,9 @@
 //      tigerton preset, reporting simulator events/sec and wall-clock.
 //   3. Sweep wall-clock: run_experiment at --jobs=1 vs --jobs=N for the
 //      same config (results are byte-identical; only wall-clock differs).
+//   4. Telemetry overhead: the same serve episode untraced vs recorded at
+//      1/64 span sampling, reporting requests/sec for both plus the
+//      observability layer's self-measured share of the traced wall time.
 //
 //   micro_hotpath [--quick] [--seed=42] [--jobs=N] [--report-json=FILE]
 //                 [--check-against=FILE] [--check-tolerance=0.20]
@@ -30,6 +33,8 @@
 #include "balance/linux_load.hpp"
 #include "balance/speed.hpp"
 #include "bench_util.hpp"
+#include "obs/recorder.hpp"
+#include "serve/scenarios.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -178,6 +183,71 @@ int main(int argc, char** argv) {
                    Table::num(wall_seq / wall_par, 2) + "x"});
     report.emit("experiment sweep wall-clock (8 replicas, identical results)",
                 table);
+  }
+
+  // --- 4. Telemetry overhead: untraced vs traced serve episode -------------
+  {
+    auto make_config = [&](obs::RunRecorder* rec) {
+      serve::ServeConfig config;
+      config.topo = presets::tigerton();
+      config.cores = 8;
+      config.policy = Policy::Speed;
+      config.serve.workers = 16;
+      config.serve.queue_capacity = 64;
+      config.serve.dispatch = serve::DispatchPolicy::RoundRobin;
+      config.serve.idle = serve::IdleMode::Yield;
+      config.serve.span_sampling_log2 = 6;  // 1/64 of requests get spans.
+      config.service.kind = workload::ServiceKind::Exp;
+      config.service.mean_us = 5000.0;
+      config.arrival.kind = workload::ArrivalKind::Poisson;
+      config.arrival.rate_rps =
+          serve::rate_for_utilization(config.topo, config.cores, 0.7,
+                                      config.service.mean_us);
+      config.duration = sec(args.quick ? 4 : 10);
+      config.warmup = config.duration / 5;
+      config.seed = args.seed;
+      config.recorder = rec;
+      return config;
+    };
+    // Same seed + same scenario: the recorded run replays the untraced one
+    // event for event (the recorder consumes no randomness), so the wall
+    // delta is pure observability cost.
+    double bare_rps = 0.0;
+    double traced_rps = 0.0;
+    double self_pct = 0.0;
+    std::int64_t spans = 0;
+    std::int64_t completed = 0;
+    for (int p = 0; p < passes; ++p) {
+      auto t0 = Clock::now();
+      const auto bare = serve::run_serve(make_config(nullptr));
+      const double bare_dt = seconds_since(t0);
+      obs::RunRecorder rec;
+      t0 = Clock::now();
+      const auto traced = serve::run_serve(make_config(&rec));
+      const double traced_dt = seconds_since(t0);
+      if (bare.stats.completed != traced.stats.completed) {
+        std::fprintf(stderr,
+                     "micro_hotpath: traced and untraced serve runs diverged\n");
+        return 1;
+      }
+      completed = bare.stats.completed;
+      const double n = static_cast<double>(completed);
+      if (bare_dt > 0) bare_rps = std::max(bare_rps, n / bare_dt);
+      if (traced_dt > 0 && n / traced_dt > traced_rps) {
+        traced_rps = n / traced_dt;
+        self_pct = rec.overhead().pct_of(traced_dt);
+        spans = static_cast<std::int64_t>(rec.spans().size());
+      }
+    }
+    metrics["serve_untraced_requests_per_sec"] = bare_rps;
+    metrics["serve_traced_1in64_requests_per_sec"] = traced_rps;
+    Table table({"tracing", "requests", "spans", "k req/s", "self-overhead %"});
+    table.add_row({"off", std::to_string(completed), "0",
+                   Table::num(bare_rps / 1e3, 1), "-"});
+    table.add_row({"1/64 sampling", std::to_string(completed),
+                   std::to_string(spans), Table::num(traced_rps / 1e3, 1),
+                   Table::num(self_pct, 2)});
+    report.emit("telemetry overhead (serve episode, identical results)", table);
   }
 
   // --- Metrics mirror + regression gate ------------------------------------

@@ -28,6 +28,26 @@ echo "== bench-smoke: hot-path micro vs committed baseline =="
 "$repo/build/bench/micro_hotpath" --quick \
   --check-against="$repo/bench/baseline_hotpath.json" --check-tolerance=0.5
 
+echo "== obs-smoke: traced serve episode, span conservation, overhead gate =="
+# One serve episode traced at 1/1 and at 1/64 span sampling. servesim exits 3
+# if the observability layer's self-measured cost exceeds 5% of the episode
+# wall time; the fuzz leg runs serve-mode episodes whose span-conservation
+# and sampling-identity oracles verify that every traced request's sojourn
+# partitions exactly and that recording never changes the simulation.
+obs_report="$repo/build/obs_smoke_report.json"
+for sampling in 0 6; do
+  "$repo/build/src/servesim" --topo=generic4 --workers=8 --policy=SPEED \
+    --idle=yield --utilization=0.7 --duration-s=2 --warmup-s=0.2 --seed=42 \
+    --perturb="at=100ms dvfs core=0 scale=0.5" \
+    --span-sampling="$sampling" --max-overhead-pct=5 \
+    --report-json="$obs_report" >/dev/null
+done
+"$repo/build/src/obsquery" --report="$obs_report" >/dev/null
+"$repo/build/src/obsquery" --report="$obs_report" --blame >/dev/null
+"$repo/build/src/obsquery" --report="$obs_report" --slowest=5 >/dev/null
+"$repo/build/src/obsquery" --report="$obs_report" --storms >/dev/null
+"$repo/build/src/fuzzsim" --episodes=25 --mode=serve --seed=606
+
 echo "== fuzz-smoke: randomized property fuzz (30 s wall budget) =="
 # Fresh entropy every run — regressions print the seed and a --replay spec,
 # so any failure here is reproducible from the log alone.

@@ -69,6 +69,12 @@ bool SpeedBalancer::is_blocked(CoreId core) const {
 
 void SpeedBalancer::balancer_wake(CoreId local) {
   balance_once(local);
+  // Drain pending telemetry into the trace once per balance interval —
+  // the pipeline's flush granularity (metered as observability overhead).
+  if (recorder_ != nullptr) {
+    obs::OverheadMeter::Scoped meter(&recorder_->overhead());
+    recorder_->telemetry().flush();
+  }
   // Sleep the balance interval plus a random increase of up to one interval
   // (Section 5.1: distributes migration checks and breaks pull cycles).
   const SimTime jitter =
@@ -138,9 +144,8 @@ std::map<CoreId, double> SpeedBalancer::measure_core_speeds(
   return core_speed;
 }
 
-void SpeedBalancer::record_sample(CoreId local,
-                                  const std::map<CoreId, double>& core_speed,
-                                  double global) {
+std::int64_t SpeedBalancer::record_sample(
+    CoreId local, const std::map<CoreId, double>& core_speed, double global) {
   obs::SpeedSample s;
   s.ts_us = sim_->now();
   s.observer = local;
@@ -153,7 +158,7 @@ void SpeedBalancer::record_sample(CoreId local,
     s.queue_len.push_back(static_cast<int>(sim_->core(c).queue().nr_running()));
     s.below_threshold.push_back(global > 0.0 && sp / global < params_.threshold);
   }
-  recorder_->timeline().add(std::move(s));
+  return recorder_->timeline().add(std::move(s));
 }
 
 void SpeedBalancer::balance_once(CoreId local) {
@@ -182,9 +187,11 @@ void SpeedBalancer::balance_once(CoreId local) {
   last_global_ = global;
 
   const double local_speed = core_speed.at(local);
+  std::int64_t sample_seq = -1;
   const auto log_decision = [&](obs::PullReason reason, CoreId source,
                                 double source_speed, TaskId victim = -1,
-                                bool tie_break = false) {
+                                bool tie_break = false,
+                                double warmup_charged_us = 0.0) {
     if (recorder_ == nullptr) return;
     obs::DecisionRecord rec;
     rec.ts_us = sim_->now();
@@ -196,10 +203,13 @@ void SpeedBalancer::balance_once(CoreId local) {
     rec.source_speed = source_speed;
     rec.global = global;
     rec.reason = reason;
+    rec.sample_seq = sample_seq;
+    rec.warmup_charged_us = warmup_charged_us;
     recorder_->decisions().add(rec);
   };
 
-  if (recorder_ != nullptr) record_sample(local, core_speed, global);
+  if (recorder_ != nullptr)
+    sample_seq = record_sample(local, core_speed, global);
   if (global <= 0.0) return;
 
   // Attempt to balance only when the local core is faster than average.
@@ -278,6 +288,7 @@ void SpeedBalancer::balance_once(CoreId local) {
     return;
   }
 
+  const double warm_before = victim->warmup_remaining();
   if (!sim_->set_affinity(*victim, 1ULL << local, /*hard_pin=*/true,
                           MigrationCause::SpeedBalancer)) {
     // EINVAL: the local core was hotplugged out between the entry check and
@@ -286,11 +297,14 @@ void SpeedBalancer::balance_once(CoreId local) {
                  victim->id());
     return;
   }
+  // Warmup (cache refill) the migration just charged the victim — the
+  // causal cost this decision pays, exported with the decision record.
+  const double warmup_charged = victim->warmup_remaining() - warm_before;
   SB_LOG(Debug) << "speedbalancer: pull task " << victim->id() << " from core "
                 << source << " (s=" << source_speed << ") to core " << local
                 << " (s=" << local_speed << ", global=" << global << ")";
   log_decision(obs::PullReason::Pulled, source, source_speed, victim->id(),
-               /*tie_break=*/co_minimal > 1);
+               /*tie_break=*/co_minimal > 1, warmup_charged);
   last_involved_[local] = sim_->now();
   last_involved_[source] = sim_->now();
 }

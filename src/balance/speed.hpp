@@ -127,9 +127,12 @@ class SpeedBalancer : public Balancer {
   };
 
   void balancer_wake(CoreId local);
-  /// Append the pass's speed/queue observation to the recorder's timeline.
-  void record_sample(CoreId local, const std::map<CoreId, double>& core_speed,
-                     double global);
+  /// Append the pass's speed/queue observation to the recorder's timeline;
+  /// returns the sample's sequence index (the causal link every decision
+  /// this pass logs carries as DecisionRecord::sample_seq).
+  std::int64_t record_sample(CoreId local,
+                             const std::map<CoreId, double>& core_speed,
+                             double global);
   /// Measure all managed thread speeds since the last snapshot for `local`'s
   /// balancer; returns per-core speeds (cores with no managed threads
   /// report full nominal speed: a thread moved there could run unimpeded).

@@ -222,6 +222,23 @@ void run_spmd_episode(const FuzzScenario& sc, EpisodeResult& r) {
                         std::to_string(sc.phases) + ")"});
 }
 
+/// Deterministic digest of a serve run's externally visible results, the
+/// unit of comparison for the sampling-identity oracle (%.17g doubles so
+/// equal results render equal bytes).
+std::string serve_digest(const serve::ServeResult& res) {
+  char goodput[40];
+  std::snprintf(goodput, sizeof(goodput), "%.17g", res.goodput_rps);
+  std::ostringstream os;
+  os << "completed=" << res.stats.completed << " offered=" << res.stats.offered
+     << " admitted=" << res.stats.admitted << " dropped=" << res.stats.dropped
+     << " generated=" << res.generated
+     << " migrations=" << res.total_migrations << " goodput=" << goodput
+     << " lat_count=" << res.stats.latency.count()
+     << " lat_min=" << res.stats.latency.min()
+     << " lat_max=" << res.stats.latency.max();
+  return os.str();
+}
+
 void run_serve_episode(const FuzzScenario& sc, EpisodeResult& r) {
   serve::ServeConfig cfg = serve_experiment(sc);
 
@@ -255,10 +272,18 @@ void run_serve_episode(const FuzzScenario& sc, EpisodeResult& r) {
   check_time_conservation(h.cores, r.violations);
   check_task_placement(h.snaps, r.violations);
   check_serve_counters(h.serve, r.violations);
+  check_span_conservation(rec.spans().snapshot(), r.violations);
   SpeedRuleInputs in = speed_inputs(sc, cfg.topo, cfg.speed);
   in.migrations = std::move(h.migrations);
   in.decisions = rec.decisions().snapshot();
   check_speed_rules(in, r.violations);
+
+  // Observation-identity oracle: replay the identical scenario with no
+  // recorder, probes, or span tracing attached; every result metric must be
+  // byte-identical, proving the observability layer reads but never
+  // perturbs the simulation.
+  const serve::ServeResult bare = serve::run_serve(serve_experiment(sc));
+  check_sampling_identity(serve_digest(res), serve_digest(bare), r.violations);
 }
 
 }  // namespace

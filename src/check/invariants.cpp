@@ -172,6 +172,39 @@ void check_serve_counters(const ServeCounters& c, std::vector<Violation>& out) {
             " samples for " + std::to_string(c.completed) + " completions");
 }
 
+void check_span_conservation(const std::vector<obs::RequestSpan>& spans,
+                             std::vector<Violation>& out) {
+  constexpr double kEps = 1e-6;  // FP slack for the fractional stall only.
+  for (const obs::RequestSpan& s : spans) {
+    const std::string who = "request " + std::to_string(s.id) + " (worker " +
+                            std::to_string(s.worker) + ")";
+    if (s.queue_us() < 0 || s.exec_us < 0 || s.preempt_us() < 0)
+      add(out, "span-conservation",
+          who + ": negative component queue=" + std::to_string(s.queue_us()) +
+              "us exec=" + std::to_string(s.exec_us) + "us preempt=" +
+              std::to_string(s.preempt_us()) + "us");
+    if (s.queue_us() + s.exec_us + s.preempt_us() != s.sojourn_us())
+      add(out, "span-conservation",
+          who + ": components sum to " +
+              std::to_string(s.queue_us() + s.exec_us + s.preempt_us()) +
+              "us != sojourn " + std::to_string(s.sojourn_us()) + "us");
+    if (s.stall_us < -kEps ||
+        s.stall_us > static_cast<double>(s.exec_us) + kEps)
+      add(out, "span-conservation",
+          who + ": stall " + fmt(s.stall_us) + "us outside [0, exec=" +
+              std::to_string(s.exec_us) + "us]");
+  }
+}
+
+void check_sampling_identity(const std::string& with_obs,
+                             const std::string& without_obs,
+                             std::vector<Violation>& out) {
+  if (with_obs != without_obs)
+    add(out, "sampling-identity",
+        "recorded run digest {" + with_obs + "} != unrecorded run digest {" +
+            without_obs + "}");
+}
+
 int fuzz_histogram_merge(std::uint64_t seed, std::vector<Violation>& out) {
   Rng rng(seed);
   const int n = static_cast<int>(rng.uniform_int(200, 2000));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/decision_log.hpp"
+#include "obs/span.hpp"
 #include "sim/metrics.hpp"
 #include "topo/topology.hpp"
 #include "util/time.hpp"
@@ -14,7 +15,8 @@ namespace speedbal::check {
 /// One invariant failure. `invariant` is the class slug the broken-stub
 /// tests and the minimizer key on ("time-conservation", "task-conservation",
 /// "affinity", "numa-block", "cooldown", "threshold", "speed-accounting",
-/// "histogram-merge", "event-queue", "serve-counters", "liveness");
+/// "histogram-merge", "event-queue", "serve-counters", "span-conservation",
+/// "sampling-identity", "liveness");
 /// `detail` is a deterministic human-readable message (fixed-format number
 /// rendering, no pointers or timestamps), so a replayed episode reproduces
 /// the violation byte-for-byte.
@@ -111,6 +113,22 @@ struct ServeCounters {
 /// histograms hold exactly one sample per completed request. Emits
 /// "serve-counters".
 void check_serve_counters(const ServeCounters& c, std::vector<Violation>& out);
+
+/// Every traced request's span must exactly partition its sojourn time:
+/// queue, exec, and preempt components are non-negative and sum to
+/// completion - arrival (exact integer µs), and the warmup stall is within
+/// [0, exec] (small FP epsilon). Emits "span-conservation".
+void check_span_conservation(const std::vector<obs::RequestSpan>& spans,
+                             std::vector<Violation>& out);
+
+/// Observability must never perturb results: `with_obs` and `without_obs`
+/// are result digests of the same scenario run once with a recorder (spans,
+/// telemetry, probes) and once bare; any difference means the observer
+/// leaked into the simulation (consumed randomness, reordered events).
+/// Emits "sampling-identity".
+void check_sampling_identity(const std::string& with_obs,
+                             const std::string& without_obs,
+                             std::vector<Violation>& out);
 
 /// Property fuzz of LatencyHistogram::merge: draw a seeded random sample
 /// set, record it whole and as randomly-split shards, merge the shards, and

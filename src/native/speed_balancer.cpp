@@ -164,6 +164,7 @@ int NativeSpeedBalancer::step() {
   core_speeds_ = core_speed;
   global_speed_ = global;
 
+  std::int64_t sample_seq = -1;
   if (recorder_ != nullptr) {
     obs::SpeedSample sample;
     sample.ts_us = ts_us;
@@ -181,7 +182,7 @@ int NativeSpeedBalancer::step() {
       sample.below_threshold.push_back(global > 0.0 &&
                                        s / global < config_.threshold);
     }
-    recorder_->timeline().add(std::move(sample));
+    sample_seq = recorder_->timeline().add(std::move(sample));
   }
   if (global <= 0.0) return 0;
 
@@ -205,6 +206,7 @@ int NativeSpeedBalancer::step() {
     rec.source_speed = source_speed;
     rec.global = global;
     rec.reason = reason;
+    rec.sample_seq = sample_seq;
     recorder_->decisions().add(rec);
   };
 

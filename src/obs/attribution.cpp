@@ -1,0 +1,94 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace speedbal::obs {
+
+AttributionTable AttributionTable::build(const std::vector<RequestSpan>& spans) {
+  std::map<int, ClassAttribution> by_class;
+  for (const RequestSpan& s : spans) {
+    ClassAttribution& a = by_class[s.cls];
+    a.cls = s.cls;
+    ++a.requests;
+    a.queue_us += s.queue_us();
+    a.exec_us += s.exec_us;
+    a.preempt_us += s.preempt_us();
+    a.stall_us += s.stall_us;
+    a.migrations += s.migrations;
+    a.sojourn_ns.record(s.sojourn_us() * 1000);
+  }
+  AttributionTable out;
+  out.classes.reserve(by_class.size());
+  for (auto& [cls, a] : by_class) {
+    (void)cls;
+    out.classes.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<std::size_t> top_k_slowest(const std::vector<RequestSpan>& spans,
+                                       std::size_t k) {
+  std::vector<std::size_t> idx(spans.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&spans](std::size_t a, std::size_t b) {
+                      const auto sa = spans[a].sojourn_us();
+                      const auto sb = spans[b].sojourn_us();
+                      if (sa != sb) return sa > sb;
+                      return spans[a].id < spans[b].id;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+const char* blame(const RequestSpan& span) {
+  const double queue = static_cast<double>(span.queue_us());
+  const double preempt = static_cast<double>(span.preempt_us());
+  const double stall = span.stall_us;
+  // Stall is a sub-component of exec; charge it separately so a request
+  // whose "execution" was mostly cache refill blames the migration, not
+  // the service demand.
+  const double exec = static_cast<double>(span.exec_us) - stall;
+  const char* who = "exec";
+  double worst = exec;
+  if (queue > worst) {
+    worst = queue;
+    who = "queue";
+  }
+  if (stall > worst) {
+    worst = stall;
+    who = "stall";
+  }
+  if (preempt > worst) {
+    who = "preempt";
+  }
+  return who;
+}
+
+std::vector<StormWindow> detect_migration_storms(std::vector<std::int64_t> ts_us,
+                                                 std::int64_t window_us,
+                                                 std::int64_t threshold) {
+  std::vector<StormWindow> out;
+  if (threshold <= 0 || ts_us.empty()) return out;
+  std::sort(ts_us.begin(), ts_us.end());
+  std::vector<std::size_t> first;  // Index of each storm's first migration.
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < ts_us.size(); ++hi) {
+    while (ts_us[hi] - ts_us[lo] > window_us) ++lo;
+    if (static_cast<std::int64_t>(hi - lo + 1) < threshold) continue;
+    // Coalesce with the previous storm when the windows overlap.
+    if (!out.empty() && ts_us[lo] <= out.back().end_us) {
+      out.back().end_us = ts_us[hi];
+      out.back().migrations = static_cast<std::int64_t>(hi - first.back() + 1);
+    } else {
+      out.push_back({ts_us[lo], ts_us[hi],
+                     static_cast<std::int64_t>(hi - lo + 1)});
+      first.push_back(lo);
+    }
+  }
+  return out;
+}
+
+}  // namespace speedbal::obs

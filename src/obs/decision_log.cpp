@@ -20,6 +20,14 @@ const char* to_string(PullReason r) {
   return "?";
 }
 
+PullReason parse_pull_reason(std::string_view s) {
+  for (int r = 0; r < kNumPullReasons; ++r) {
+    const auto reason = static_cast<PullReason>(r);
+    if (s == to_string(reason)) return reason;
+  }
+  return PullReason::NoCandidate;
+}
+
 void DecisionLog::add(const DecisionRecord& rec) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_[static_cast<std::size_t>(rec.reason)];

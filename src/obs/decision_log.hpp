@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 namespace speedbal::obs {
@@ -26,9 +27,12 @@ enum class PullReason {
   SampleFailed,      ///< Speed measurement failed (procfs read error).
 };
 
-inline constexpr int kNumPullReasons = 12;
+inline constexpr int kNumPullReasons =
+    static_cast<int>(PullReason::SampleFailed) + 1;
 
 const char* to_string(PullReason r);
+/// Inverse of to_string; returns NoCandidate for unrecognized strings.
+PullReason parse_pull_reason(std::string_view s);
 
 /// One decision-log entry. Candidate rejections record the rejected core in
 /// `source`; pass-level outcomes (BelowAverage, NoCandidate, Pulled) record
@@ -46,6 +50,12 @@ struct DecisionRecord {
   double source_speed = 0.0;
   double global = 0.0;
   PullReason reason = PullReason::NoCandidate;
+  /// Causal link to the SpeedTimeline entry this pass acted on (the index
+  /// returned by SpeedTimeline::add); -1 when no sample was recorded.
+  std::int64_t sample_seq = -1;
+  /// Pulled only: warmup cost (µs of slow-speed execution) charged to the
+  /// victim by the migration, for end-to-end blame accounting.
+  double warmup_charged_us = 0.0;
 };
 
 /// Append-only balancer decision log with per-reason counters. Record

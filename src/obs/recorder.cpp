@@ -1,5 +1,6 @@
 #include "obs/recorder.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -57,12 +58,74 @@ std::map<std::string, std::int64_t> RunRecorder::counters() const {
   }
   const std::int64_t dropped = trace_.dropped_spans();
   if (dropped > 0) out["trace.dropped_spans"] = dropped;
+  if (spans_.dropped() > 0) out["spans.dropped"] = spans_.dropped();
+  if (telemetry_.dropped() > 0) out["telemetry.dropped"] = telemetry_.dropped();
   return out;
 }
 
 void RunRecorder::write_chrome_trace(std::ostream& os) const {
+  // Drain pending telemetry into the trace first so migrations recorded
+  // since the last balance pass appear in the export.
+  telemetry_.flush();
   auto events = trace_.snapshot();
   const auto cores = timeline_.cores();
+
+  // Request spans -> per-worker slices plus flow arrows tying each request's
+  // arrival, dispatch, and completion into one chain (flow id = request id).
+  // Derived at export time: the hot path only stores the compact span.
+  const auto spans = spans_.snapshot();
+  constexpr int kDispatchTrack = 999;
+  constexpr int kWorkerTrackBase = 1000;
+  int max_worker = -1;
+  for (const RequestSpan& s : spans) {
+    const int track = kWorkerTrackBase + (s.worker >= 0 ? s.worker : 0);
+    max_worker = std::max(max_worker, s.worker);
+    const std::string name = "req " + std::to_string(s.id);
+    {
+      TraceEvent ev;
+      ev.kind = EventKind::Span;
+      ev.ts_us = s.started_us;
+      ev.dur_us = s.completed_us - s.started_us;
+      ev.track = track;
+      ev.name = name;
+      ev.cat = "request";
+      ev.num_args.emplace_back("class", static_cast<double>(s.cls));
+      ev.num_args.emplace_back("queue_us", static_cast<double>(s.queue_us()));
+      ev.num_args.emplace_back("exec_us", static_cast<double>(s.exec_us));
+      ev.num_args.emplace_back("preempt_us",
+                               static_cast<double>(s.preempt_us()));
+      ev.num_args.emplace_back("stall_us", s.stall_us);
+      ev.num_args.emplace_back("migrations", static_cast<double>(s.migrations));
+      ev.str_args.emplace_back("blame", blame(s));
+      events.push_back(std::move(ev));
+    }
+    {
+      TraceEvent ev;
+      ev.kind = EventKind::Span;
+      ev.ts_us = s.arrival_us;
+      ev.dur_us = s.queue_us();
+      ev.track = kDispatchTrack;
+      ev.name = name;
+      ev.cat = "queue";
+      events.push_back(std::move(ev));
+    }
+    TraceEvent flow;
+    flow.name = name;
+    flow.cat = "request";
+    flow.flow_id = s.id;
+    flow.kind = EventKind::FlowStart;
+    flow.ts_us = s.arrival_us;
+    flow.track = kDispatchTrack;
+    events.push_back(flow);
+    flow.kind = EventKind::FlowStep;
+    flow.ts_us = s.started_us;
+    flow.track = track;
+    events.push_back(flow);
+    flow.kind = EventKind::FlowEnd;
+    flow.ts_us = s.completed_us;
+    flow.track = track;
+    events.push_back(std::move(flow));
+  }
 
   // Speed timeline -> counter tracks. One "global speed" counter, one
   // multi-series "core speed" counter, one "queue length" counter.
@@ -126,6 +189,12 @@ void RunRecorder::write_chrome_trace(std::ostream& os) const {
   std::vector<std::pair<int, std::string>> track_names;
   for (const int c : cores)
     track_names.emplace_back(c, "core " + std::to_string(c));
+  if (!spans.empty()) {
+    track_names.emplace_back(kDispatchTrack, "dispatch");
+    for (int wkr = 0; wkr <= std::max(max_worker, 0); ++wkr)
+      track_names.emplace_back(kWorkerTrackBase + wkr,
+                               "worker " + std::to_string(wkr));
+  }
 
   obs::write_chrome_trace(os, events, process, track_names);
 }
@@ -159,6 +228,80 @@ void RunRecorder::write_report_json(std::ostream& os) const {
     }
     w.end_object();
   }
+
+  // Sampled request spans and the per-class attribution table derived from
+  // them — the report's "why was the tail slow" data.
+  if (const auto spans = spans_.snapshot(); !spans.empty()) {
+    w.key("requests").begin_array();
+    for (const RequestSpan& s : spans) {
+      w.begin_object();
+      w.kv("id", s.id);
+      w.kv("class", s.cls);
+      w.kv("worker", s.worker);
+      w.kv("arrival_us", s.arrival_us);
+      w.kv("started_us", s.started_us);
+      w.kv("completed_us", s.completed_us);
+      w.kv("queue_us", s.queue_us());
+      w.kv("exec_us", s.exec_us);
+      w.kv("preempt_us", s.preempt_us());
+      w.kv("stall_us", s.stall_us);
+      w.kv("sojourn_us", s.sojourn_us());
+      w.kv("migrations", s.migrations);
+      w.kv("blame", blame(s));
+      w.end_object();
+    }
+    w.end_array();
+
+    const AttributionTable table = AttributionTable::build(spans);
+    w.key("attribution").begin_array();
+    for (const ClassAttribution& a : table.classes) {
+      w.begin_object();
+      w.kv("class", a.cls);
+      w.kv("requests", a.requests);
+      w.kv("queue_us", a.queue_us);
+      w.kv("exec_us", a.exec_us);
+      w.kv("preempt_us", a.preempt_us);
+      w.kv("stall_us", a.stall_us);
+      w.kv("migrations", a.migrations);
+      w.kv("sojourn_p50_ns", a.sojourn_ns.percentile(50.0));
+      w.kv("sojourn_p90_ns", a.sojourn_ns.percentile(90.0));
+      w.kv("sojourn_p99_ns", a.sojourn_ns.percentile(99.0));
+      w.kv("sojourn_mean_ns", a.sojourn_ns.mean());
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  // Raw migration telemetry (compact records with resolved cause names),
+  // the input to obsquery's storm detection.
+  if (telemetry_.size() > 0) {
+    const auto recs = telemetry_.snapshot();
+    const auto kinds = telemetry_.kinds();
+    w.key("migrations").begin_array();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      w.begin_object();
+      w.kv("t_us", recs[i].ts_us);
+      w.kv("task", recs[i].task);
+      w.kv("from", recs[i].from);
+      w.kv("to", recs[i].to);
+      w.kv("cause",
+           i < kinds.size() ? telemetry_.kind_name(kinds[i]) : "?");
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  // Telemetry pipeline self-accounting: sizes, drops, flush batches. The
+  // wall-clock overhead meter is deliberately NOT serialized here — the
+  // report must be byte-identical across replays of the same seed, and
+  // wall time is not; the CLIs and bench report overhead instead.
+  w.key("telemetry").begin_object();
+  w.kv("spans", static_cast<std::int64_t>(spans_.size()));
+  w.kv("spans_dropped", spans_.dropped());
+  w.kv("records", static_cast<std::int64_t>(telemetry_.size()));
+  w.kv("records_dropped", telemetry_.dropped());
+  w.kv("flushes", telemetry_.flushes());
+  w.end_object();
 
   const auto stats = timeline_.global_stats();
   w.key("global_speed").begin_object();
@@ -211,7 +354,9 @@ void RunRecorder::write_report_json(std::ostream& os) const {
     if (d.reason == PullReason::Pulled) {
       w.kv("victim", d.victim);
       w.kv("tie_break", d.tie_break);
+      w.kv("warmup_charged_us", d.warmup_charged_us);
     }
+    w.kv("sample_seq", d.sample_seq);
     w.kv("local_speed", d.local_speed);
     w.kv("source_speed", d.source_speed);
     w.kv("global", d.global);

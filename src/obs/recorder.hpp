@@ -7,8 +7,11 @@
 #include <string>
 #include <string_view>
 
+#include "obs/attribution.hpp"
 #include "obs/decision_log.hpp"
+#include "obs/span.hpp"
 #include "obs/speed_timeline.hpp"
+#include "obs/telemetry_buffer.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
 
@@ -32,6 +35,15 @@ class RunRecorder {
   const SpeedTimeline& timeline() const { return timeline_; }
   DecisionLog& decisions() { return decisions_; }
   const DecisionLog& decisions() const { return decisions_; }
+  SpanTable& spans() { return spans_; }
+  const SpanTable& spans() const { return spans_; }
+  /// Compact per-event telemetry (migrations), flushed into the trace in
+  /// batches at balance-interval granularity rather than per event.
+  TelemetryBuffer& telemetry() { return telemetry_; }
+  const TelemetryBuffer& telemetry() const { return telemetry_; }
+  /// Wall time the observability layer itself spent on the hot path.
+  OverheadMeter& overhead() { return overhead_; }
+  const OverheadMeter& overhead() const { return overhead_; }
 
   /// Free-form run metadata rendered into both exports' headers.
   void set_meta(std::string key, std::string value);
@@ -65,6 +77,9 @@ class RunRecorder {
   TraceCollector trace_;
   SpeedTimeline timeline_;
   DecisionLog decisions_;
+  SpanTable spans_;
+  TelemetryBuffer telemetry_{&trace_};
+  OverheadMeter overhead_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::string> meta_;

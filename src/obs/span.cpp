@@ -1,0 +1,34 @@
+#include "obs/span.hpp"
+
+namespace speedbal::obs {
+
+void SpanTable::add(const RequestSpan& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(span);
+}
+
+std::vector<RequestSpan> SpanTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t SpanTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::int64_t SpanTable::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void SpanTable::set_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cap_ = cap;
+}
+
+}  // namespace speedbal::obs

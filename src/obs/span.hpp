@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace speedbal::obs {
+
+/// One completed request's traced life, decomposed so that its sojourn time
+/// partitions exactly into attributed components (all integer microseconds
+/// on the run's timebase):
+///
+///   sojourn = queue + exec + preempt        (exact, by construction)
+///   0 <= stall <= exec                      (stall is the warmup part of exec)
+///
+/// `queue` is dispatch-to-worker wait, `exec` is time the worker actually
+/// executed between picking the request up and completing it, `preempt` is
+/// the remainder — time the worker spent off-CPU (preempted, or descheduled
+/// mid-request) while the request was in service. `stall` is the share of
+/// exec burned refilling caches after migrations (warmup cost), in
+/// fractional microseconds. The producer snapshots the worker task's
+/// accounting at start and completion, when the simulator has flushed it,
+/// so every component is exact — src/check enforces the partition as the
+/// "span-conservation" invariant.
+struct RequestSpan {
+  std::int64_t id = -1;
+  int cls = 0;     ///< Request class (attribution rows group by this).
+  int worker = -1; ///< Worker (shard) index that served the request.
+  std::int64_t arrival_us = 0;
+  std::int64_t started_us = 0;    ///< Left the shard queue.
+  std::int64_t completed_us = 0;
+  std::int64_t exec_us = 0;       ///< Worker execution within [started, completed].
+  double stall_us = 0.0;          ///< Warmup (cache-refill) share of exec.
+  int migrations = 0;             ///< Worker migrations within the span.
+
+  std::int64_t queue_us() const { return started_us - arrival_us; }
+  std::int64_t preempt_us() const { return completed_us - started_us - exec_us; }
+  std::int64_t sojourn_us() const { return completed_us - arrival_us; }
+};
+
+/// Deterministic 1/2^k request sampler. Sampling is a bitmask test on the
+/// request id — it consumes no randomness and reads no mutable state, so a
+/// sampled run and an unsampled run of the same scenario produce
+/// byte-identical simulation results (enforced as the "sampling-identity"
+/// oracle in src/check). log2_period = 0 samples every request; negative
+/// disables sampling entirely.
+class SpanSampler {
+ public:
+  SpanSampler() = default;
+  explicit SpanSampler(int log2_period)
+      : log2_(log2_period),
+        mask_(log2_period >= 0 ? (std::int64_t{1} << log2_period) - 1 : -1) {}
+
+  bool enabled() const { return log2_ >= 0; }
+  int log2_period() const { return log2_; }
+  /// True iff request `id` is traced (always false when disabled).
+  bool sampled(std::int64_t id) const { return log2_ >= 0 && (id & mask_) == 0; }
+
+ private:
+  int log2_ = 0;
+  std::int64_t mask_ = 0;
+};
+
+/// Append-only table of completed request spans, internally synchronized
+/// like every other RunRecorder member. Storage is capped (default 200k
+/// spans, ~14 MB worst case) so span tracing at 1/1 sampling cannot grow a
+/// long run's memory unboundedly; the number dropped is reported.
+class SpanTable {
+ public:
+  void add(const RequestSpan& span);
+
+  std::vector<RequestSpan> snapshot() const;
+  std::size_t size() const;
+  std::int64_t dropped() const;
+  void set_cap(std::size_t cap);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RequestSpan> spans_;
+  std::size_t cap_ = 200000;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace speedbal::obs

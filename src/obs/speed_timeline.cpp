@@ -14,9 +14,10 @@ std::vector<int> SpeedTimeline::cores() const {
   return cores_;
 }
 
-void SpeedTimeline::add(SpeedSample sample) {
+std::int64_t SpeedTimeline::add(SpeedSample sample) {
   std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(std::move(sample));
+  return static_cast<std::int64_t>(samples_.size()) - 1;
 }
 
 std::size_t SpeedTimeline::size() const {

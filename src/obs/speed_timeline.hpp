@@ -34,7 +34,9 @@ class SpeedTimeline {
   void set_cores(std::vector<int> cores);
   std::vector<int> cores() const;
 
-  void add(SpeedSample sample);
+  /// Returns the sample's sequence index (position in snapshot() order),
+  /// which DecisionRecord::sample_seq uses as its causal link.
+  std::int64_t add(SpeedSample sample);
 
   std::size_t size() const;
   std::vector<SpeedSample> snapshot() const;

@@ -1,0 +1,83 @@
+#include "obs/telemetry_buffer.hpp"
+
+namespace speedbal::obs {
+
+void TelemetryBuffer::set_kind_names(std::vector<std::string> names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_names_ = std::move(names);
+}
+
+void TelemetryBuffer::append(const TelemetryRecord& rec, std::uint8_t kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(rec);
+  kinds_.push_back(kind);
+}
+
+void TelemetryBuffer::flush() const {
+  std::vector<TraceEvent> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_ == nullptr || flushed_ >= records_.size()) return;
+    batch.reserve(records_.size() - flushed_);
+    for (std::size_t i = flushed_; i < records_.size(); ++i) {
+      const TelemetryRecord& r = records_[i];
+      TraceEvent ev;
+      ev.kind = EventKind::Instant;
+      ev.ts_us = r.ts_us;
+      ev.track = r.to;
+      ev.name = "migration";
+      ev.cat = "migrate";
+      ev.num_args.emplace_back("task", static_cast<double>(r.task));
+      ev.num_args.emplace_back("from", static_cast<double>(r.from));
+      ev.num_args.emplace_back("to", static_cast<double>(r.to));
+      const std::uint8_t kind = kinds_[i];
+      ev.str_args.emplace_back(
+          "cause", kind < kind_names_.size() ? kind_names_[kind] : "?");
+      batch.push_back(std::move(ev));
+    }
+    flushed_ = records_.size();
+    ++flushes_;
+  }
+  sink_->append_batch(std::move(batch));
+}
+
+std::vector<TelemetryRecord> TelemetryBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<std::uint8_t> TelemetryBuffer::kinds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kinds_;
+}
+
+const char* TelemetryBuffer::kind_name(std::uint8_t kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kind < kind_names_.size() ? kind_names_[kind].c_str() : "?";
+}
+
+std::size_t TelemetryBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::int64_t TelemetryBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::int64_t TelemetryBuffer::flushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushes_;
+}
+
+void TelemetryBuffer::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cap_ = cap;
+}
+
+}  // namespace speedbal::obs

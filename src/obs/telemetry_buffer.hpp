@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace speedbal::obs {
+
+/// One compact telemetry record: a fixed 16-byte POD, so the hot-path cost
+/// of recording an event (a migration, today) is one mutex acquire and one
+/// vector push of trivially-copyable bytes — no string formatting, no
+/// TraceEvent allocation. Each record carries a producer-defined kind code
+/// (the simulator uses MigrationCause indices, stored in a parallel byte
+/// array) resolved to a name only at flush time.
+struct TelemetryRecord {
+  std::int64_t ts_us = 0;
+  std::int32_t task = -1;
+  std::int16_t from = -1;
+  std::int16_t to = -1;
+};
+static_assert(sizeof(TelemetryRecord) <= 16, "keep telemetry records compact");
+
+/// Ring-buffer telemetry collector: producers append compact POD records;
+/// the records are converted into trace instants in batches — at
+/// balance-interval granularity when a balancer drives flush(), and at
+/// export otherwise — replacing the old one-trace-event-per-migration
+/// write. The full record history (capped) is retained for the run report's
+/// "migrations" section, which powers obsquery's storm detection.
+class TelemetryBuffer {
+ public:
+  /// `sink` receives the batched trace instants at flush; null disables
+  /// trace conversion (records are still retained for the report).
+  explicit TelemetryBuffer(TraceCollector* sink = nullptr) : sink_(sink) {}
+
+  /// Names for `TelemetryRecord.kind` codes, used as the "cause" string
+  /// argument of flushed trace instants (set once by the producer).
+  void set_kind_names(std::vector<std::string> names);
+
+  void append(const TelemetryRecord& rec, std::uint8_t kind);
+
+  /// Convert every not-yet-flushed record into trace instants with one sink
+  /// lock (TraceCollector::append_batch). Safe to call concurrently and
+  /// from const exports; idempotent when nothing is pending.
+  void flush() const;
+
+  std::vector<TelemetryRecord> snapshot() const;
+  /// Kind codes parallel to snapshot() (same order, same length).
+  std::vector<std::uint8_t> kinds() const;
+  const char* kind_name(std::uint8_t kind) const;
+
+  std::size_t size() const;
+  std::int64_t dropped() const;
+  std::int64_t flushes() const;
+  void set_capacity(std::size_t cap);
+
+ private:
+  mutable std::mutex mu_;
+  TraceCollector* sink_;
+  std::vector<TelemetryRecord> records_;
+  std::vector<std::uint8_t> kinds_;
+  std::vector<std::string> kind_names_;
+  mutable std::size_t flushed_ = 0;  ///< records_[0..flushed_) already traced.
+  std::size_t cap_ = 1 << 20;
+  std::int64_t dropped_ = 0;
+  mutable std::int64_t flushes_ = 0;
+};
+
+/// Self-overhead meter: accumulates the wall time the observability layer
+/// itself spends on the hot path (span capture, telemetry flushes, result
+/// export), so tracing cost is a first-class reported metric instead of a
+/// silent tax. Atomic adds only; metering a section costs two steady_clock
+/// reads.
+class OverheadMeter {
+ public:
+  void add_ns(std::int64_t ns) {
+    ns_.fetch_add(ns, std::memory_order_relaxed);
+    sections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t total_ns() const { return ns_.load(std::memory_order_relaxed); }
+  std::int64_t sections() const {
+    return sections_.load(std::memory_order_relaxed);
+  }
+  /// Overhead as a percentage of `wall_seconds` of run time.
+  double pct_of(double wall_seconds) const {
+    return wall_seconds > 0.0
+               ? 100.0 * static_cast<double>(total_ns()) / 1e9 / wall_seconds
+               : 0.0;
+  }
+
+  /// RAII section timer; a null meter makes it a no-op.
+  class Scoped {
+   public:
+    explicit Scoped(OverheadMeter* meter)
+        : meter_(meter),
+          t0_(meter ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+    ~Scoped() {
+      if (meter_ == nullptr) return;
+      meter_->add_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0_)
+                         .count());
+    }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+   private:
+    OverheadMeter* meter_;
+    std::chrono::steady_clock::time_point t0_;
+  };
+
+ private:
+  std::atomic<std::int64_t> ns_{0};
+  std::atomic<std::int64_t> sections_{0};
+};
+
+}  // namespace speedbal::obs

@@ -58,6 +58,34 @@ void TraceCollector::span(std::int64_t ts_us, std::int64_t dur_us, int track,
   push(std::move(ev));
 }
 
+void TraceCollector::flow(EventKind kind, std::int64_t ts_us, int track,
+                          std::string name, std::string cat,
+                          std::int64_t flow_id) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.ts_us = ts_us;
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.flow_id = flow_id;
+  push(std::move(ev));
+}
+
+void TraceCollector::append_batch(std::vector<TraceEvent> events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceEvent& ev : events) {
+    if (ev.kind == EventKind::Span) {
+      if (span_count_ >= span_cap_) {
+        ++dropped_spans_;
+        continue;
+      }
+      ++span_count_;
+    }
+    events_.push_back(std::move(ev));
+  }
+}
+
 void TraceCollector::set_span_cap(std::size_t cap) {
   std::lock_guard<std::mutex> lock(mu_);
   span_cap_ = cap;
@@ -86,12 +114,21 @@ void write_event(JsonWriter& w, const TraceEvent& ev) {
     case EventKind::Counter: w.kv("ph", "C"); break;
     case EventKind::Instant: w.kv("ph", "i"); break;
     case EventKind::Span: w.kv("ph", "X"); break;
+    case EventKind::FlowStart: w.kv("ph", "s"); break;
+    case EventKind::FlowStep: w.kv("ph", "t"); break;
+    case EventKind::FlowEnd: w.kv("ph", "f"); break;
   }
   w.kv("name", ev.name);
   if (!ev.cat.empty()) w.kv("cat", ev.cat);
   w.kv("ts", ev.ts_us);
   if (ev.kind == EventKind::Span) w.kv("dur", ev.dur_us);
   if (ev.kind == EventKind::Instant) w.kv("s", "t");  // Thread-scoped tick.
+  if (ev.kind == EventKind::FlowStart || ev.kind == EventKind::FlowStep ||
+      ev.kind == EventKind::FlowEnd) {
+    w.kv("id", ev.flow_id);
+    // Bind the arrow to the enclosing slice rather than the next one.
+    if (ev.kind == EventKind::FlowEnd) w.kv("bp", "e");
+  }
   w.kv("pid", 0);
   // Counters are process-scoped tracks in the Chrome UI; pin them to tid 0.
   w.kv("tid", ev.kind == EventKind::Counter ? 0 : ev.track);

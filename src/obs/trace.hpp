@@ -12,8 +12,10 @@
 namespace speedbal::obs {
 
 /// Event kinds, mapping onto Chrome trace-event phases: Counter -> "C",
-/// Instant -> "i", Span -> "X" (complete event with a duration).
-enum class EventKind { Counter, Instant, Span };
+/// Instant -> "i", Span -> "X" (complete event with a duration), and flow
+/// arrows FlowStart/FlowStep/FlowEnd -> "s"/"t"/"f" (linking one logical
+/// operation — e.g. a request — across tracks; all three share an id).
+enum class EventKind { Counter, Instant, Span, FlowStart, FlowStep, FlowEnd };
 
 /// One recorded trace event. Timestamps are microseconds on the run's
 /// timebase: simulated time for the simulator, wall time since recorder
@@ -22,7 +24,8 @@ enum class EventKind { Counter, Instant, Span };
 struct TraceEvent {
   EventKind kind = EventKind::Instant;
   std::int64_t ts_us = 0;
-  std::int64_t dur_us = 0;  ///< Span only.
+  std::int64_t dur_us = 0;   ///< Span only.
+  std::int64_t flow_id = 0;  ///< Flow events only: the shared "id".
   int track = 0;
   std::string name;
   std::string cat;
@@ -49,6 +52,14 @@ class TraceCollector {
                std::vector<std::pair<std::string, std::string>> str_args = {});
   void span(std::int64_t ts_us, std::int64_t dur_us, int track,
             std::string name, std::string cat);
+  /// Flow arrow step. `kind` must be FlowStart, FlowStep, or FlowEnd;
+  /// events sharing a flow_id render as one arrow chain in the Chrome UI.
+  void flow(EventKind kind, std::int64_t ts_us, int track, std::string name,
+            std::string cat, std::int64_t flow_id);
+
+  /// Append many pre-built events under a single lock (the telemetry
+  /// buffer's batched flush path). Span-capped like individual appends.
+  void append_batch(std::vector<TraceEvent> events);
 
   void set_span_cap(std::size_t cap);
   std::int64_t dropped_spans() const;

@@ -1,5 +1,6 @@
 #include "serve/cli.hpp"
 
+#include <chrono>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -36,6 +37,8 @@ ServeConfig parse_serve_config(const Cli& cli) {
       static_cast<int>(cli.get_int("queue-cap", 64));
   config.serve.dispatch = parse_dispatch_policy(cli.get("dispatch", "jsq"));
   config.serve.idle = parse_idle_mode(cli.get("idle", "sleep"));
+  config.serve.span_sampling_log2 =
+      static_cast<int>(cli.get_int("span-sampling", 0));
 
   config.service.kind = workload::parse_service_kind(cli.get("service", "exp"));
   config.service.mean_us = cli.get_double("service-mean-us", 5000.0);
@@ -82,7 +85,10 @@ int serve_main(const Cli& cli, std::string_view tool) {
   const std::string trace_out = cli.get("trace-out");
   const std::string report_json = cli.get("report-json");
   obs::RunRecorder recorder;
-  const bool record = !trace_out.empty() || !report_json.empty();
+  // The overhead gate needs the recorder active to have anything to meter,
+  // so asking for the gate implies recording even with no output files.
+  const bool record = !trace_out.empty() || !report_json.empty() ||
+                      cli.has("max-overhead-pct");
   if (record) {
     recorder.set_meta("tool", std::string(tool));
     recorder.set_meta("machine", config.topo.name());
@@ -95,6 +101,8 @@ int serve_main(const Cli& cli, std::string_view tool) {
     recorder.set_meta("workers", std::to_string(config.serve.workers));
     recorder.set_meta("cores", std::to_string(config.cores));
     recorder.set_meta("seed", std::to_string(config.seed));
+    recorder.set_meta("span_sampling",
+                      std::to_string(config.serve.span_sampling_log2));
     {
       std::ostringstream rate;
       rate << config.arrival.rate_rps;
@@ -113,7 +121,12 @@ int serve_main(const Cli& cli, std::string_view tool) {
 
   const int repeats = static_cast<int>(cli.get_int("repeats", 1));
   const int jobs = resolve_jobs(static_cast<int>(cli.get_int("jobs", 0)));
+  const auto wall_start = std::chrono::steady_clock::now();
   const ServeResult result = run_serve_repeats(config, repeats, jobs);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   const ServeStats& s = result.stats;
 
   Table table({"metric", "value"});
@@ -150,13 +163,29 @@ int serve_main(const Cli& cli, std::string_view tool) {
                  Table::num(s.queue_wait.percentile(99) / 1e6, 2)});
   table.add_row({"max queue depth", std::to_string(s.max_queue_depth)});
   table.add_row({"migrations", std::to_string(result.total_migrations)});
+  double overhead_pct = 0.0;
+  if (record) {
+    overhead_pct = recorder.overhead().pct_of(wall_s);
+    table.add_row({"sampled spans", std::to_string(recorder.spans().size())});
+    table.add_row({"tracing overhead %", Table::num(overhead_pct, 3)});
+  }
   table.print(std::cout);
 
   bool io_ok = true;
   if (!trace_out.empty()) io_ok &= obs::write_trace_file(recorder, trace_out);
   if (!report_json.empty())
     io_ok &= obs::write_report_file(recorder, report_json);
-  return io_ok ? 0 : 2;
+  if (!io_ok) return 2;
+  // Self-overhead budget gate (check.sh uses this): fail when the
+  // observability layer cost more than the allowed share of wall time.
+  if (record && cli.has("max-overhead-pct") &&
+      overhead_pct > cli.get_double("max-overhead-pct", 100.0)) {
+    std::cerr << "serve: tracing overhead " << overhead_pct
+              << "% exceeds --max-overhead-pct="
+              << cli.get_double("max-overhead-pct", 100.0) << "\n";
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace speedbal::serve

@@ -31,6 +31,11 @@ void LoadGenerator::arrive_at(SimTime t) {
   r.id = next_id_++;
   r.arrival = t;
   r.service_us = service_.sample();
+  // Attribution class, derived from the drawn demand relative to the spec
+  // mean (0 = short, 1 = around the mean, 2 = heavy tail). A pure function
+  // of the sample — consumes no randomness of its own.
+  const double mean = service_.spec().mean_us;
+  r.cls = r.service_us < 0.5 * mean ? 0 : (r.service_us < 2.0 * mean ? 1 : 2);
   r.recorded = t >= warmup_;
   runtime_.inject(r);
 

@@ -12,6 +12,7 @@ namespace speedbal::serve {
 /// even though each request's service demand is modest.
 struct Request {
   std::int64_t id = 0;
+  int cls = 0;             ///< Request class (attribution groups by this).
   SimTime arrival = 0;     ///< Offered to the dispatch layer.
   double service_us = 0;   ///< Nominal-speed work the request costs.
   SimTime started = 0;     ///< Handed to a worker (leaves the shard queue).

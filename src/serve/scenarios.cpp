@@ -132,17 +132,24 @@ ServeResult run_serve(const ServeConfig& config) {
   result.migrations_by_cause = sim.metrics().migration_counts_by_cause();
 
   if (recorder != nullptr) {
-    recorder->add_latency_histogram("request_latency", result.stats.latency);
-    recorder->add_latency_histogram("queue_wait", result.stats.queue_wait);
-    recorder->set_counter("serve.offered", result.stats.offered);
-    recorder->set_counter("serve.admitted", result.stats.admitted);
-    recorder->set_counter("serve.completed", result.stats.completed);
-    recorder->set_counter("serve.dropped", result.stats.dropped);
-    recorder->set_counter("serve.max_queue_depth", result.stats.max_queue_depth);
-    recorder->set_counter("serve.generated", result.generated);
+    if (config.export_result) export_result_to_recorder(result, *recorder);
+    // Needs the live simulation (segments + migration tallies), so it
+    // cannot be hoisted out of the run like the result-level summary.
     export_run_to_recorder(sim.metrics(), *recorder);
   }
   return result;
+}
+
+void export_result_to_recorder(const ServeResult& result,
+                               obs::RunRecorder& rec) {
+  rec.add_latency_histogram("request_latency", result.stats.latency);
+  rec.add_latency_histogram("queue_wait", result.stats.queue_wait);
+  rec.set_counter("serve.offered", result.stats.offered);
+  rec.set_counter("serve.admitted", result.stats.admitted);
+  rec.set_counter("serve.completed", result.stats.completed);
+  rec.set_counter("serve.dropped", result.stats.dropped);
+  rec.set_counter("serve.max_queue_depth", result.stats.max_queue_depth);
+  rec.set_counter("serve.generated", result.generated);
 }
 
 ServeResult run_serve_repeats(const ServeConfig& config, int repeats,
@@ -154,6 +161,10 @@ ServeResult run_serve_repeats(const ServeConfig& config, int repeats,
                        ServeConfig local = config;
                        local.seed = seed;
                        if (rep != 0) local.recorder = nullptr;
+                       // The merged result is exported once below; exporting
+                       // per replica would both waste the serialization and
+                       // record only replica 0's totals.
+                       local.export_result = false;
                        runs[static_cast<std::size_t>(rep)] = run_serve(local);
                      });
   // Merge in replica order: counters sum, histograms merge (no
@@ -177,6 +188,8 @@ ServeResult run_serve_repeats(const ServeConfig& config, int repeats,
       out.migrations_by_cause[cause] += n;
   }
   out.goodput_rps = goodput_sum / static_cast<double>(repeats);
+  if (config.recorder != nullptr && config.export_result)
+    export_result_to_recorder(out, *config.recorder);
   return out;
 }
 

@@ -52,6 +52,12 @@ struct ServeConfig {
   /// When set, the run records into this recorder: latency histograms, drop
   /// and throughput counters, queue-depth trace samples, balancer decisions.
   obs::RunRecorder* recorder = nullptr;
+  /// Export the result-level summary (histograms + serve.* counters) into
+  /// the recorder at the end of run_serve. run_serve_repeats disables this
+  /// for every replica and exports the *merged* result once instead — the
+  /// per-repeat re-serialization otherwise wasted work and recorded only
+  /// replica 0's totals.
+  bool export_result = true;
 
   /// Hooks mirroring ExperimentConfig's: `on_run_start` fires after the
   /// balancers and worker pool are attached but before the load generator
@@ -75,6 +81,11 @@ struct ServeResult {
 /// Run the serving scenario once (serve runs are long and deterministic
 /// under the seed; repeat-averaging is the caller's choice).
 ServeResult run_serve(const ServeConfig& config);
+
+/// Write a serve result's summary (latency histograms and serve.* counters)
+/// into `rec`. run_serve calls this unless config.export_result is false;
+/// run_serve_repeats calls it once with the merged result.
+void export_result_to_recorder(const ServeResult& result, obs::RunRecorder& rec);
 
 /// Run `repeats` independent replicas (salted seeds derived from
 /// config.seed via replica_seed) up to `jobs`-way parallel and merge:

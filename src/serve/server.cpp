@@ -29,7 +29,7 @@ IdleMode parse_idle_mode(std::string_view name) {
 }
 
 ServeRuntime::ServeRuntime(Simulator& sim, ServeParams params)
-    : sim_(sim), params_(params) {
+    : sim_(sim), params_(params), sampler_(params.span_sampling_log2) {
   if (params_.workers < 1)
     throw std::invalid_argument("ServeRuntime: workers must be >= 1");
 }
@@ -116,8 +116,23 @@ void ServeRuntime::start_next(int worker) {
   shard.has_current = true;
   shard.busy = true;
   Task& t = *workers_[static_cast<std::size_t>(worker)];
+  // Span capture: a pure read-side snapshot, taken only for sampled
+  // recorded requests; never consumes randomness or mutates sim state, so
+  // traced and untraced runs are byte-identical. The migration counter is
+  // snapped before wake_task (a wake-placement migration belongs to this
+  // request); the accounting snapshots after assign_work, which flushes a
+  // running worker, so exec/warmup deltas are exact.
+  const bool sampled =
+      recorder_ != nullptr && shard.current.recorded && sampler_.sampled(shard.current.id);
+  shard.cur_sampled = sampled;
+  if (sampled) shard.cur_mig_start = t.migrations();
   sim_.assign_work(t, shard.current.service_us);
   sim_.wake_task(t);  // No-op when the worker is already running.
+  if (sampled) {
+    obs::OverheadMeter::Scoped meter(&recorder_->overhead());
+    shard.cur_exec_start = t.total_exec();
+    shard.cur_warm_start = t.warmup_time();
+  }
 }
 
 void ServeRuntime::finish_current(int worker) {
@@ -128,6 +143,25 @@ void ServeRuntime::finish_current(int worker) {
     ++stats_.completed;
     stats_.latency.record((sim_.now() - r.arrival) * 1000);
     stats_.queue_wait.record((r.started - r.arrival) * 1000);
+  }
+  if (shard.cur_sampled) {
+    // on_work_complete runs after the simulator flushed the worker's
+    // accounting (core_stop flushes before the callback), so the deltas
+    // below partition the sojourn exactly — the span-conservation invariant.
+    obs::OverheadMeter::Scoped meter(&recorder_->overhead());
+    const Task& t = *workers_[static_cast<std::size_t>(worker)];
+    obs::RequestSpan s;
+    s.id = r.id;
+    s.cls = r.cls;
+    s.worker = worker;
+    s.arrival_us = r.arrival;
+    s.started_us = r.started;
+    s.completed_us = sim_.now();
+    s.exec_us = t.total_exec() - shard.cur_exec_start;
+    s.stall_us = t.warmup_time() - shard.cur_warm_start;
+    s.migrations = t.migrations() - shard.cur_mig_start;
+    recorder_->spans().add(s);
+    shard.cur_sampled = false;
   }
   shard.has_current = false;
 }

@@ -50,6 +50,11 @@ struct ServeParams {
   /// Per-worker memory behaviour (see TaskSpec); requests inherit it.
   double mem_footprint_kb = 0.0;
   double mem_intensity = 0.0;
+  /// Request-span sampling period as log2: sample every 2^k-th request id
+  /// (0 = every request, 6 = 1/64, negative disables span tracing). Only
+  /// effective with a recorder attached. Sampling is a deterministic id
+  /// test, so it never perturbs simulation results.
+  int span_sampling_log2 = 0;
 };
 
 /// Tail-latency accounting for one serve run. Counters cover requests that
@@ -122,6 +127,13 @@ class ServeRuntime : public TaskClient {
     bool has_current = false;  ///< `current` holds a real request.
     Request current;
     double queued_demand_us = 0.0;  ///< Sum of waiting requests' service.
+    // Span capture state for `current` (valid when cur_sampled). Snapshots
+    // of the worker task's accounting taken when the request entered
+    // service, so completion-time deltas attribute exactly.
+    bool cur_sampled = false;
+    SimTime cur_exec_start = 0;
+    double cur_warm_start = 0.0;
+    int cur_mig_start = 0;
   };
 
   ShardLoad load_of(const Shard& s) const;
@@ -131,6 +143,7 @@ class ServeRuntime : public TaskClient {
 
   Simulator& sim_;
   ServeParams params_;
+  obs::SpanSampler sampler_;
   std::vector<Task*> workers_;
   std::vector<Shard> shards_;
   std::uint64_t rr_cursor_ = 0;

@@ -21,6 +21,14 @@ const char* to_string(MigrationCause cause) {
   return "?";
 }
 
+MigrationCause parse_migration_cause(std::string_view s) {
+  for (std::size_t i = 0; i < kNumMigrationCauses; ++i) {
+    const auto cause = static_cast<MigrationCause>(i);
+    if (s == to_string(cause)) return cause;
+  }
+  return MigrationCause::Affinity;
+}
+
 void Metrics::record_run(TaskId task, CoreId core, SimTime dur) {
   const auto t = static_cast<std::size_t>(task);
   if (t >= exec_.size()) exec_.resize(t + 1);
@@ -33,13 +41,23 @@ void Metrics::record_migration(const MigrationRecord& rec) {
   migrations_.push_back(rec);
   ++cause_counts_[static_cast<std::size_t>(rec.cause)];
   if (recorder_ != nullptr) {
-    recorder_->trace().instant(
-        rec.time, rec.to, "migration", "migrate",
-        {{"task", static_cast<double>(rec.task)},
-         {"from", static_cast<double>(rec.from)},
-         {"to", static_cast<double>(rec.to)}},
-        {{"cause", to_string(rec.cause)}});
+    // Compact POD append; converted to trace instants in batches when the
+    // telemetry buffer flushes (balance-interval granularity), replacing
+    // the old per-migration trace write (mutex + string formatting each).
+    recorder_->telemetry().append(
+        {rec.time, rec.task, static_cast<std::int16_t>(rec.from),
+         static_cast<std::int16_t>(rec.to)},
+        static_cast<std::uint8_t>(rec.cause));
   }
+}
+
+void Metrics::set_recorder(obs::RunRecorder* rec) {
+  recorder_ = rec;
+  if (rec == nullptr) return;
+  std::vector<std::string> names(kNumMigrationCauses);
+  for (std::size_t i = 0; i < kNumMigrationCauses; ++i)
+    names[i] = to_string(static_cast<MigrationCause>(i));
+  rec->telemetry().set_kind_names(std::move(names));
 }
 
 void Metrics::record_segment(const RunSegment& seg) {

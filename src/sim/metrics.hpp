@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/recorder.hpp"
@@ -34,6 +35,8 @@ inline constexpr std::size_t kNumMigrationCauses =
     static_cast<std::size_t>(MigrationCause::Hotplug) + 1;
 
 const char* to_string(MigrationCause cause);
+/// Inverse of to_string; returns Affinity for unrecognized strings.
+MigrationCause parse_migration_cause(std::string_view s);
 
 /// One recorded migration event.
 struct MigrationRecord {
@@ -72,10 +75,12 @@ class Metrics {
   void record_run(TaskId task, CoreId core, SimTime dur);
   void record_migration(const MigrationRecord& rec);
 
-  /// Attach an observability recorder: every subsequent migration also
-  /// becomes an instant trace event. Null (the default) disables tracing at
-  /// the cost of one pointer test per migration.
-  void set_recorder(obs::RunRecorder* rec) { recorder_ = rec; }
+  /// Attach an observability recorder: every subsequent migration is also
+  /// appended to the recorder's telemetry buffer as a compact record (traced
+  /// in batches at flush). Registers the MigrationCause names as the
+  /// buffer's kind table. Null (the default) disables telemetry at the cost
+  /// of one pointer test per migration.
+  void set_recorder(obs::RunRecorder* rec);
   obs::RunRecorder* recorder() const { return recorder_; }
 
   /// Record run segments with timestamps (`record_run` is called with the

@@ -416,6 +416,9 @@ void Simulator::flush_accounting(CoreId c) {
     const double burn = std::min(t->warmup_remaining_, done);
     t->warmup_remaining_ -= burn;
     done -= burn;
+    // Wall time the burn cost at this core's current speed (guarded: a
+    // zero-speed core makes no progress, so no time is attributable).
+    if (burn > 0.0) t->warmup_time_ += burn / cs.current_speed_;
   }
   if (t->wait_mode_ == WaitMode::None)
     t->remaining_work_ = std::max(0.0, t->remaining_work_ - done);

@@ -95,6 +95,10 @@ class Task {
   /// Pending cache-refill overhead from the last migration, in microseconds
   /// at nominal speed; consumed before real work makes progress.
   double warmup_remaining() const { return warmup_remaining_; }
+  /// Cumulative wall time (fractional µs) spent burning warmup — the
+  /// migration stall cost actually paid so far, used by request-span
+  /// attribution to separate cache-refill time from real execution.
+  double warmup_time() const { return warmup_time_; }
 
   SimTime total_exec() const { return total_exec_; }
   /// Accumulated time spent Sleeping (closed intervals only; an in-progress
@@ -126,6 +130,7 @@ class Task {
 
   double remaining_work_ = 0.0;
   double warmup_remaining_ = 0.0;
+  double warmup_time_ = 0.0;
 
   SimTime total_exec_ = 0;
   SimTime total_sleep_ = 0;

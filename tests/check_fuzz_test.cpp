@@ -322,6 +322,61 @@ TEST(CheckInvariants, HistogramMergeFuzzIsClean) {
   }
 }
 
+obs::RequestSpan good_span() {
+  obs::RequestSpan s;
+  s.id = 42;
+  s.worker = 1;
+  s.arrival_us = 100;
+  s.started_us = 250;
+  s.completed_us = 1000;
+  s.exec_us = 500;  // queue 150 + exec 500 + preempt 250 = sojourn 900.
+  s.stall_us = 40.0;
+  return s;
+}
+
+TEST(CheckInvariants, SpanConservationPassesOnExactPartition) {
+  std::vector<Violation> out;
+  check_span_conservation({good_span()}, out);
+  EXPECT_TRUE(out.empty()) << format_violations(out);
+}
+
+TEST(CheckInvariants, SpanConservationFiresOnNegativeComponent) {
+  std::vector<Violation> out;
+  obs::RequestSpan s = good_span();
+  s.started_us = 50;  // Started before arrival: negative queue time.
+  check_span_conservation({s}, out);
+  EXPECT_TRUE(has(out, "span-conservation")) << format_violations(out);
+
+  out.clear();
+  s = good_span();
+  s.exec_us = 900;  // More exec than service interval: negative preempt.
+  check_span_conservation({s}, out);
+  EXPECT_TRUE(has(out, "span-conservation")) << format_violations(out);
+}
+
+TEST(CheckInvariants, SpanConservationFiresOnStallOutsideExec) {
+  std::vector<Violation> out;
+  obs::RequestSpan s = good_span();
+  s.stall_us = 500.5;  // Warmup cannot exceed execution time.
+  check_span_conservation({s}, out);
+  EXPECT_TRUE(has(out, "span-conservation")) << format_violations(out);
+
+  out.clear();
+  s.stall_us = -1.0;
+  check_span_conservation({s}, out);
+  EXPECT_TRUE(has(out, "span-conservation")) << format_violations(out);
+}
+
+TEST(CheckInvariants, SamplingIdentityComparesDigestsByteForByte) {
+  std::vector<Violation> out;
+  check_sampling_identity("completed=5 offered=6", "completed=5 offered=6",
+                          out);
+  EXPECT_TRUE(out.empty()) << format_violations(out);
+  check_sampling_identity("completed=5 offered=6", "completed=4 offered=6",
+                          out);
+  EXPECT_TRUE(has(out, "sampling-identity")) << format_violations(out);
+}
+
 TEST(CheckInvariants, EventQueueLockstepIsClean) {
   for (std::uint64_t seed : {11ULL, 22ULL, 33ULL, 44ULL, 55ULL}) {
     std::vector<Violation> out;

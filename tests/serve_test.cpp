@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/scenarios.hpp"
 #include "serve/server.hpp"
@@ -184,6 +187,103 @@ TEST(ServeRun, SpeedMigratesBusyPollWorkersOffThrottledCores) {
   EXPECT_EQ(r.stats.dropped, 0);
   // Goodput tracks the offered rate (420 req/s) through the throttle.
   EXPECT_GT(r.goodput_rps, 0.9 * config.arrival.rate_rps);
+}
+
+// --- Request spans -----------------------------------------------------------
+
+/// The SpeedMigratesBusyPollWorkers scenario with tracing on: migrations and
+/// DVFS give the spans non-trivial preempt/stall components.
+ServeConfig traced_config(int span_sampling_log2, obs::RunRecorder* rec) {
+  ServeConfig config = base_config(presets::generic(4), 4);
+  config.policy = Policy::Speed;
+  config.serve.workers = 8;
+  config.serve.idle = IdleMode::Yield;
+  config.serve.span_sampling_log2 = span_sampling_log2;
+  config.arrival.rate_rps = 0.7 * 3.0 * 1e6 / 5000.0;
+  config.duration = sec(3);
+  config.perturb = perturb::PerturbTimeline::parse_specs(
+      "at=100ms dvfs core=0 scale=0.5; at=100ms dvfs core=1 scale=0.5");
+  config.recorder = rec;
+  return config;
+}
+
+TEST(ServeSpans, EverySpanPartitionsItsSojournExactly) {
+  obs::RunRecorder rec;
+  const ServeResult r = run_serve(traced_config(0, &rec));
+  const auto spans = rec.spans().snapshot();
+
+  ASSERT_GT(r.stats.completed, 0);
+  // 1/1 sampling: one span per measured completion, none dropped.
+  EXPECT_EQ(static_cast<std::int64_t>(spans.size()), r.stats.completed);
+  EXPECT_EQ(rec.spans().dropped(), 0);
+
+  for (const auto& s : spans) {
+    EXPECT_LE(s.arrival_us, s.started_us) << "request " << s.id;
+    EXPECT_LE(s.started_us, s.completed_us) << "request " << s.id;
+    EXPECT_GE(s.exec_us, 0) << "request " << s.id;
+    EXPECT_GE(s.preempt_us(), 0) << "request " << s.id;
+    EXPECT_EQ(s.queue_us() + s.exec_us + s.preempt_us(), s.sojourn_us())
+        << "request " << s.id;
+    EXPECT_GE(s.stall_us, 0.0) << "request " << s.id;
+    EXPECT_LE(s.stall_us, static_cast<double>(s.exec_us) + 1e-6)
+        << "request " << s.id;
+    EXPECT_GE(s.worker, 0) << "request " << s.id;
+  }
+}
+
+TEST(ServeSpans, SamplingSelectsIdSubsetWithIdenticalMeasurements) {
+  obs::RunRecorder full_rec;
+  const ServeResult full = run_serve(traced_config(0, &full_rec));
+  obs::RunRecorder sampled_rec;
+  const ServeResult sampled = run_serve(traced_config(6, &sampled_rec));
+
+  // Sampling is observation only: the simulation is unchanged.
+  EXPECT_EQ(full.stats.completed, sampled.stats.completed);
+  EXPECT_EQ(full.stats.offered, sampled.stats.offered);
+  EXPECT_EQ(full.total_migrations, sampled.total_migrations);
+  EXPECT_DOUBLE_EQ(full.goodput_rps, sampled.goodput_rps);
+
+  const auto all = full_rec.spans().snapshot();
+  const auto subset = sampled_rec.spans().snapshot();
+  ASSERT_GT(subset.size(), 0u);
+  EXPECT_LT(subset.size(), all.size());
+
+  std::map<std::int64_t, obs::RequestSpan> by_id;
+  for (const auto& s : all) by_id[s.id] = s;
+  for (const auto& s : subset) {
+    EXPECT_EQ(s.id & 63, 0) << "request " << s.id << " should not be sampled";
+    const auto it = by_id.find(s.id);
+    ASSERT_NE(it, by_id.end()) << "request " << s.id;
+    EXPECT_EQ(s.worker, it->second.worker) << "request " << s.id;
+    EXPECT_EQ(s.arrival_us, it->second.arrival_us) << "request " << s.id;
+    EXPECT_EQ(s.started_us, it->second.started_us) << "request " << s.id;
+    EXPECT_EQ(s.completed_us, it->second.completed_us) << "request " << s.id;
+    EXPECT_EQ(s.exec_us, it->second.exec_us) << "request " << s.id;
+    EXPECT_DOUBLE_EQ(s.stall_us, it->second.stall_us) << "request " << s.id;
+    EXPECT_EQ(s.migrations, it->second.migrations) << "request " << s.id;
+  }
+}
+
+TEST(ServeSpans, RecorderPresenceDoesNotChangeTheRun) {
+  obs::RunRecorder rec;
+  const ServeResult traced = run_serve(traced_config(0, &rec));
+  const ServeResult bare = run_serve(traced_config(0, nullptr));
+  EXPECT_EQ(traced.stats.completed, bare.stats.completed);
+  EXPECT_EQ(traced.stats.offered, bare.stats.offered);
+  EXPECT_EQ(traced.stats.dropped, bare.stats.dropped);
+  EXPECT_EQ(traced.generated, bare.generated);
+  EXPECT_EQ(traced.total_migrations, bare.total_migrations);
+  EXPECT_DOUBLE_EQ(traced.goodput_rps, bare.goodput_rps);
+  EXPECT_EQ(traced.stats.latency.count(), bare.stats.latency.count());
+  EXPECT_EQ(traced.stats.latency.min(), bare.stats.latency.min());
+  EXPECT_EQ(traced.stats.latency.max(), bare.stats.latency.max());
+}
+
+TEST(ServeSpans, NegativeSamplingDisablesSpanCapture) {
+  obs::RunRecorder rec;
+  const ServeResult r = run_serve(traced_config(-1, &rec));
+  EXPECT_GT(r.stats.completed, 0);
+  EXPECT_EQ(rec.spans().size(), 0u);
 }
 
 TEST(ServeRun, CapacityAndRateHelpers) {

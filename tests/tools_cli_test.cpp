@@ -430,6 +430,98 @@ TEST(SimrunCli, JobsDoNotChangeServeReport) {
   EXPECT_EQ(report1, report8);
 }
 
+// --- obsquery ----------------------------------------------------------------
+
+#ifndef OBSQUERY_BIN
+#define OBSQUERY_BIN "obsquery"
+#endif
+
+/// Run obsquery with stdout captured; returns exit status.
+int run_obsquery(std::vector<std::string> args, std::string* stdout_out) {
+  const std::string out_path = testing::TempDir() + "obsquery_stdout_" +
+                               std::to_string(getpid()) + ".txt";
+  const pid_t child = fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    if (freopen(out_path.c_str(), "w", stdout) == nullptr) _exit(125);
+    std::vector<char*> argv;
+    std::string bin = OBSQUERY_BIN;
+    argv.push_back(bin.data());
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(126);
+  }
+  int status = 0;
+  waitpid(child, &status, 0);
+  std::ifstream is(out_path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *stdout_out = ss.str();
+  std::remove(out_path.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ObsqueryCli, UsageErrorWithoutReport) {
+  std::string out;
+  EXPECT_EQ(run_obsquery({}, &out), 1);
+}
+
+TEST(ObsqueryCli, MissingReportFileFails) {
+  std::string out;
+  EXPECT_EQ(run_obsquery({"--report=/nonexistent-dir/report.json"}, &out), 1);
+}
+
+TEST(ObsqueryCli, AnswersQueriesOverATracedServeReport) {
+  // One traced serve episode at 1/1 sampling feeds every obsquery view.
+  const std::string report = testing::TempDir() + "obsquery_report_" +
+                             std::to_string(getpid()) + ".json";
+  std::string out;
+  ASSERT_EQ(run_servesim({"--topo=generic4", "--workers=8", "--policy=SPEED",
+                          "--idle=yield", "--utilization=0.7",
+                          "--duration-s=0.5",
+                          "--warmup-s=0.1", "--span-sampling=0", "--seed=3",
+                          "--perturb=at=50ms dvfs core=0 scale=0.5",
+                          "--report-json=" + report},
+                         &out),
+            0);
+
+  EXPECT_EQ(run_obsquery({"--report=" + report}, &out), 0);
+  EXPECT_NE(out.find("per-class attribution"), std::string::npos) << out;
+  EXPECT_NE(out.find("slowest requests"), std::string::npos) << out;
+
+  EXPECT_EQ(run_obsquery({"--report=" + report, "--slowest=3"}, &out), 0);
+  EXPECT_NE(out.find("sojourn_ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("blame"), std::string::npos) << out;
+
+  EXPECT_EQ(run_obsquery({"--report=" + report, "--blame"}, &out), 0);
+  EXPECT_NE(out.find("queue %"), std::string::npos) << out;
+  EXPECT_NE(out.find("p99_ms"), std::string::npos) << out;
+
+  EXPECT_EQ(run_obsquery({"--report=" + report, "--storms"}, &out), 0);
+  EXPECT_NE(out.find("storm window"), std::string::npos) << out;
+
+  EXPECT_EQ(run_obsquery({"--report=" + report, "--pulls"}, &out), 0);
+  EXPECT_NE(out.find("sample_seq indexes speed_timeline"), std::string::npos)
+      << out;
+
+  std::remove(report.c_str());
+}
+
+TEST(ServesimCli, OverheadGatePassesWithGenerousBudget) {
+  // --max-overhead-pct=100 can only fail if the meter exceeds the episode
+  // wall time; this exercises the gate plumbing, not the budget.
+  std::string out;
+  EXPECT_EQ(run_servesim({"--topo=generic2", "--workers=2", "--rate=200",
+                          "--duration-s=0.3", "--warmup-s=0.05",
+                          "--policy=SPEED", "--span-sampling=6",
+                          "--max-overhead-pct=100"},
+                         &out),
+            0);
+  EXPECT_NE(out.find("tracing overhead %"), std::string::npos) << out;
+  EXPECT_NE(out.find("sampled spans"), std::string::npos) << out;
+}
+
 TEST(SimrunCli, RejectsUnknownTopology) {
   EXPECT_EQ(run_simrun({"--topo=vax780", "--setup=PINNED"}), 2);
 }

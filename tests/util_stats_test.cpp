@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace speedbal {
@@ -202,6 +203,85 @@ TEST(LatencyHistogram, HugeValuesDoNotOverflow) {
   h.record(big + (std::int64_t{1} << 40));
   EXPECT_EQ(h.count(), 2);
   EXPECT_GE(h.percentile(100.0), static_cast<double>(big));
+}
+
+TEST(LatencyHistogram, ValuesBeyondTopBucketClampButKeepExactExtremes) {
+  // Values past the last log bucket (~2^62 ns, a century) land in the top
+  // bucket, but min/max are tracked exactly and bound every percentile.
+  LatencyHistogram h;
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max();
+  h.record(huge);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), static_cast<double>(huge));
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), static_cast<double>(huge));
+
+  h.record(1);
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), 1.0) << "at p" << p;
+    EXPECT_LE(h.percentile(p), static_cast<double>(huge)) << "at p" << p;
+  }
+}
+
+TEST(LatencyHistogram, PercentileArgumentOutsideRangeClamps) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.percentile(-10.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), h.percentile(100.0));
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityInBothDirections) {
+  LatencyHistogram full;
+  for (int i = 0; i < 50; ++i) full.record(1000 + i * 37);
+
+  // Merging an empty histogram must not disturb min/max/percentiles (an
+  // empty histogram reports min() == 0, which must not leak into the
+  // target's tracked minimum).
+  LatencyHistogram a = full;
+  a.merge(LatencyHistogram{});
+  EXPECT_EQ(a.count(), full.count());
+  EXPECT_EQ(a.min(), full.min());
+  EXPECT_EQ(a.max(), full.max());
+  for (double p : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(a.percentile(p), full.percentile(p));
+
+  // Merging into an empty histogram adopts the source exactly.
+  LatencyHistogram b;
+  b.merge(full);
+  EXPECT_EQ(b.count(), full.count());
+  EXPECT_EQ(b.min(), full.min());
+  EXPECT_EQ(b.max(), full.max());
+  EXPECT_DOUBLE_EQ(b.mean(), full.mean());
+  for (double p : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(b.percentile(p), full.percentile(p));
+
+  // Two empties merged stay empty.
+  LatencyHistogram c;
+  c.merge(LatencyHistogram{});
+  EXPECT_EQ(c.count(), 0);
+  EXPECT_EQ(c.percentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeOfSingleSampleShardsMatchesSequential) {
+  // Degenerate sharding: one histogram per sample (every shard exercises
+  // the count_ == 0 initialization path on the merge target).
+  LatencyHistogram merged;
+  LatencyHistogram whole;
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t v = (std::int64_t{1} << (i % 40)) + i;
+    whole.record(v);
+    LatencyHistogram shard;
+    shard.record(v);
+    merged.merge(shard);
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(merged.percentile(p), whole.percentile(p));
 }
 
 TEST(ImprovementPct, RuntimeSemantics) {
