@@ -1,0 +1,215 @@
+// Cluster-scale tail latency under two-tier balancing: a frontend dispatches
+// an open-loop Poisson stream over >= 16 simulated nodes (each running its
+// own per-node balancer), and the global rebalancer migrates whole worker
+// pools between machines when the fractional load imbalance crosses its
+// threshold. Two questions, two tables:
+//
+//  1. Dispatch x per-node policy: with every node mid-run throttled the same
+//     way (cores 0-2 drop to half speed), which layer saves the tail? The
+//     paper's per-node story survives the cluster: SPEED beats LOAD under
+//     every dispatch, and load-aware dispatch (least-loaded, jsq(2)) cannot
+//     substitute for speed-aware placement inside the node.
+//
+//  2. Global rebalancer A/B: one node throttled hard (all cores to 0.25x)
+//     under load-oblivious round-robin dispatch — the cell where only the
+//     rebalancer can help. With rebalancing on, its pool migrates off the
+//     slow machine and p99 recovers; with rebalancing off, the slow node's
+//     queue dominates the tail for the rest of the run.
+//
+// Full mode sizes each episode past 1M generated requests on 16 nodes.
+//
+//   cluster_tail_latency [--quick] [--seed=42] [--report-json=FILE]
+//                        [--nodes=16] [--cores=4] [--repeats=3] [--jobs=N]
+//
+// Each cell pools --repeats salted replicas (histograms merged exactly);
+// --jobs runs replicas in parallel without changing any number printed.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using namespace speedbal;
+
+/// DVFS step on cores [0, throttled) of one machine at `at`.
+perturb::PerturbTimeline dvfs_timeline(SimTime at, int throttled,
+                                       double scale) {
+  perturb::PerturbTimeline tl;
+  for (int c = 0; c < throttled; ++c) {
+    perturb::PerturbEvent ev;
+    ev.at = at;
+    ev.kind = perturb::PerturbKind::Dvfs;
+    ev.core = c;
+    ev.scale = scale;
+    tl.add(ev);
+  }
+  return tl;
+}
+
+cluster::ClusterConfig base_config(int nodes, int cores, SimTime duration,
+                                   double rate_rps, std::uint64_t seed) {
+  cluster::ClusterConfig config;
+  config.nodes = nodes;
+  config.pools_per_node = 1;
+  config.topo = presets::generic(cores);
+  config.cores = cores;
+  config.serve.workers = 2 * cores;
+  config.serve.queue_capacity = 64;
+  // Inside a pool the dispatch question is settled at the cluster layer;
+  // round-robin keeps the pool's shards symmetric.
+  config.serve.dispatch = serve::DispatchPolicy::RoundRobin;
+  config.serve.idle = serve::IdleMode::Yield;
+  config.service.kind = workload::ServiceKind::Exp;
+  config.service.mean_us = 5000.0;
+  config.arrival.kind = workload::ArrivalKind::Poisson;
+  config.arrival.rate_rps = rate_rps;
+  config.duration = duration;
+  config.warmup = duration / 10;
+  config.seed = seed;
+  return config;
+}
+
+struct CellRow {
+  cluster::ClusterResult result;
+  double rate_rps = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace speedbal;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", args.quick ? 4 : 16));
+  const int cores = static_cast<int>(cli.get_int("cores", 4));
+  const int repeats = args.quick ? 1 : args.repeats;
+
+  const Topology topo = presets::generic(cores);
+  // Sweep table: cores 0-2 of every node drop to half speed mid-run, so the
+  // offered load targets the post-throttle cluster capacity.
+  const double post_dvfs_capacity = serve::capacity(topo, cores) - 3 * 0.5;
+  const double mean_us = 5000.0;
+  const double util = 0.8;
+  const double rate_rps =
+      util * post_dvfs_capacity * 1e6 / mean_us * static_cast<double>(nodes);
+  // Full mode: size the episode past 1M generated requests.
+  const double target_requests = args.quick ? 2.0e4 : 1.05e6;
+  const SimTime duration = static_cast<SimTime>(
+      cli.get_double("duration-s", std::ceil(target_requests / rate_rps)) *
+      kSec);
+
+  bench::print_paper_note(
+      "the cluster-scale extension of Figs. 5-6 (two-tier balancing)",
+      "speed-aware per-node placement keeps p99 below LOAD's under every "
+      "dispatch policy, and the imbalance-gated global rebalancer recovers "
+      "the tail after a single-node slowdown that dispatch alone cannot "
+      "route around");
+
+  bench::BenchReport report("cluster_tail_latency", args);
+  std::map<std::string, double> metrics;
+
+  {
+    std::vector<std::string> cols = {"dispatch", "policy", "generated"};
+    for (const auto& c : bench::kLatencyCols) cols.push_back(c);
+    cols.push_back("drop %");
+    cols.push_back("goodput req/s");
+    cols.push_back("migrations");
+    Table table(cols);
+
+    const std::vector<cluster::ClusterDispatch> dispatches = {
+        cluster::ClusterDispatch::RoundRobin,
+        cluster::ClusterDispatch::LeastLoaded, cluster::ClusterDispatch::JsqD};
+    for (const cluster::ClusterDispatch dispatch : dispatches) {
+      for (const Policy policy :
+           {Policy::Speed, Policy::Load, Policy::Pinned}) {
+        cluster::ClusterConfig config =
+            base_config(nodes, cores, duration, rate_rps, args.seed);
+        config.policy = policy;
+        config.dispatch = dispatch;
+        // The rebalancer is table 2's subject; here it is held off so pool
+        // migrations cannot mask the per-node balancer under test. Every
+        // node throttles identically, so there is no cross-node imbalance
+        // for it to fix anyway — only stochastic load noise.
+        config.rebalance.enabled = false;
+        const perturb::PerturbTimeline tl =
+            dvfs_timeline(duration / 10, 3, 0.5);
+        for (int n = 0; n < nodes; ++n) config.node_perturb[n] = tl;
+
+        const cluster::ClusterResult res =
+            cluster::run_cluster_repeats(config, repeats, args.jobs);
+        const cluster::ClusterStats& s = res.stats;
+        std::vector<std::string> row = {
+            std::string(cluster::to_string(dispatch)),
+            std::string(to_string(policy)),
+            std::to_string(res.generated)};
+        for (auto& c : bench::latency_cells(s.latency))
+          row.push_back(std::move(c));
+        row.push_back(Table::num(100.0 * s.drop_rate(), 2));
+        row.push_back(Table::num(res.goodput_rps, 1));
+        row.push_back(std::to_string(res.pool_migrations));
+        table.add_row(row);
+        if (dispatch == cluster::ClusterDispatch::JsqD &&
+            policy == Policy::Speed)
+          metrics["jsq_speed_goodput_rps"] = res.goodput_rps;
+      }
+    }
+    report.emit("tail latency: dispatch x per-node policy (uniform DVFS)",
+                table);
+  }
+
+  {
+    std::vector<std::string> cols = {"rebalance", "generated"};
+    for (const auto& c : bench::kLatencyCols) cols.push_back(c);
+    cols.push_back("drop %");
+    cols.push_back("goodput req/s");
+    cols.push_back("migrations");
+    cols.push_back("peak imbalance");
+    Table table(cols);
+
+    double p99_on = 0.0;
+    double p99_off = 0.0;
+    double goodput_on = 0.0;
+    for (const bool rebalance : {true, false}) {
+      cluster::ClusterConfig config =
+          base_config(nodes, cores, duration, rate_rps, args.seed);
+      config.policy = Policy::Speed;
+      // Load-oblivious dispatch: jsq(2) already routes around a slow node,
+      // which would mask the rebalancer; round-robin keeps sending it an
+      // equal share, so only a pool migration can save the tail.
+      config.dispatch = cluster::ClusterDispatch::RoundRobin;
+      config.rebalance.enabled = rebalance;
+      config.rebalance.epoch = msec(100);
+      // One machine throttles hard a fifth of the way in: all its cores to
+      // 0.25x, a 4x local slowdown the frontend cannot see.
+      config.node_perturb[0] = dvfs_timeline(duration / 5, cores, 0.25);
+
+      const cluster::ClusterResult res =
+          cluster::run_cluster_repeats(config, repeats, args.jobs);
+      const cluster::ClusterStats& s = res.stats;
+      std::vector<std::string> row = {rebalance ? "on" : "off",
+                                      std::to_string(res.generated)};
+      for (auto& c : bench::latency_cells(s.latency))
+        row.push_back(std::move(c));
+      row.push_back(Table::num(100.0 * s.drop_rate(), 2));
+      row.push_back(Table::num(res.goodput_rps, 1));
+      row.push_back(std::to_string(res.pool_migrations));
+      row.push_back(Table::num(res.peak_imbalance, 2));
+      table.add_row(row);
+      (rebalance ? p99_on : p99_off) = s.latency.percentile(99.0) / 1e6;
+      if (rebalance) goodput_on = res.goodput_rps;
+    }
+    report.emit(
+        "global rebalancer A/B (round-robin dispatch, node 0 DVFS 0.25x)",
+        table);
+    // Higher is better: how much p99 the rebalancer claws back.
+    if (p99_on > 0.0) metrics["rebalance_p99_recovery"] = p99_off / p99_on;
+    metrics["rebalance_on_goodput_rps"] = goodput_on;
+  }
+
+  report.set_metrics(std::move(metrics));
+  return 0;
+}

@@ -19,6 +19,23 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 echo "== smoke: serve tail-latency bench =="
 "$repo/build/bench/serve_tail_latency" --quick
 
+echo "== smoke: cluster tail-latency bench =="
+"$repo/build/bench/cluster_tail_latency" --quick
+
+echo "== cluster-smoke: multi-node episode, rebalance log query =="
+# A 4-node episode with one machine throttled mid-run; the global rebalancer
+# must migrate at least one pool, and obsquery must answer "why did pool X
+# move" from the episode's rebalance log. Cluster-mode fuzz episodes run the
+# cluster-wide request-conservation invariant plus the jobs-identity oracle.
+cluster_report="$repo/build/cluster_smoke_report.json"
+"$repo/build/src/clustersim" --nodes=4 --dispatch=rr --policy=SPEED \
+  --duration-s=3 --warmup-s=0.3 --seed=42 --rebalance-epoch-ms=100 \
+  --perturb="at=500ms dvfs core=0 scale=0.25; at=500ms dvfs core=1 scale=0.25; at=500ms dvfs core=2 scale=0.25; at=500ms dvfs core=3 scale=0.25" \
+  --perturb-node=0 --report-json="$cluster_report" >/dev/null
+"$repo/build/src/obsquery" --report="$cluster_report" --rebalances >/dev/null
+"$repo/build/src/obsquery" --report="$cluster_report" --rebalances --pool=0 >/dev/null
+"$repo/build/src/fuzzsim" --episodes=25 --mode=cluster --seed=707
+
 echo "== bench-smoke: hot-path micro vs committed baseline =="
 # Tolerance 0.5 (not the bench's default 0.2): shared CI hosts show up to
 # ~40% run-to-run noise, while the regressions this gate exists to catch —
@@ -35,11 +52,15 @@ echo "== obs-smoke: traced serve episode, span conservation, overhead gate =="
 # and sampling-identity oracles verify that every traced request's sojourn
 # partitions exactly and that recording never changes the simulation.
 obs_report="$repo/build/obs_smoke_report.json"
-for sampling in 0 6; do
+# Budgets per sampling mode: 5% at the production 1/64 rate; 15% at
+# exhaustive 1/1 tracing, whose constant absolute cost became a larger
+# share of the episode once the hot path sped up (see DESIGN.md §7).
+for leg in "0 15" "6 5"; do
+  set -- $leg
   "$repo/build/src/servesim" --topo=generic4 --workers=8 --policy=SPEED \
     --idle=yield --utilization=0.7 --duration-s=2 --warmup-s=0.2 --seed=42 \
     --perturb="at=100ms dvfs core=0 scale=0.5" \
-    --span-sampling="$sampling" --max-overhead-pct=5 \
+    --span-sampling="$1" --max-overhead-pct="$2" \
     --report-json="$obs_report" >/dev/null
 done
 "$repo/build/src/obsquery" --report="$obs_report" >/dev/null
@@ -55,10 +76,10 @@ fuzz_seed=$((RANDOM * 65536 + RANDOM))
 echo "fuzz-smoke seed: $fuzz_seed"
 "$repo/build/src/fuzzsim" --episodes=400 --seed="$fuzz_seed" --max-seconds=30
 
-echo "== tsan: native balancer + serve tests =="
+echo "== tsan: native balancer + serve + cluster tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test
-ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test'
+cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test cluster_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test|cluster_test'
 
 echo "== tsan: parallel sweep (--jobs=4) under ThreadSanitizer =="
 cmake --build "$repo/build-tsan" -j "$jobs" --target simrun util_parallel_test
@@ -68,10 +89,11 @@ ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'util_parallel_test'
 cmake --build "$repo/build-tsan" -j "$jobs" --target fuzzsim
 "$repo/build-tsan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
 
-echo "== asan: perturbation + native + serve tests =="
+echo "== asan: perturbation + native + serve + cluster tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSPEEDBAL_SANITIZE=address >/dev/null
-cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test fuzzsim
-ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test'
+cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test cluster_test fuzzsim
+ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test|cluster_test'
 "$repo/build-asan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
+"$repo/build-asan/src/fuzzsim" --episodes=3 --mode=cluster --seed="$fuzz_seed" >/dev/null
 
 echo "check.sh: all green"

@@ -49,4 +49,39 @@ serve::ServeConfig serve_experiment(const FuzzScenario& sc) {
   return cfg;
 }
 
+cluster::ClusterConfig cluster_experiment(const FuzzScenario& sc) {
+  cluster::ClusterConfig cfg;
+  cfg.nodes = sc.nodes;
+  cfg.pools_per_node = 1;
+  cfg.topo = presets::by_name(sc.topo);
+  cfg.cores = sc.cores;
+  cfg.policy = sc.policy;
+  cfg.serve.workers = sc.workers;
+  cfg.serve.idle = sc.serve_busy_poll ? serve::IdleMode::Yield
+                                      : serve::IdleMode::Sleep;
+  cfg.dispatch = sc.cluster_dispatch;
+  cfg.jsq_d = sc.jsq_d;
+  cfg.hop = static_cast<SimTime>(sc.hop_us);
+  cfg.arrival.kind = sc.arrival;
+  cfg.arrival.rate_rps =
+      static_cast<double>(sc.nodes) *
+      serve::rate_for_utilization(cfg.topo, sc.cores, sc.utilization,
+                                  sc.mean_service_us);
+  cfg.service.kind = sc.service;
+  cfg.service.mean_us = sc.mean_service_us;
+  cfg.duration = sc.duration;
+  cfg.warmup = std::min(msec(100), sc.duration / 4);
+  cfg.seed = sc.seed;
+  cfg.speed.interval = sc.balance_interval;
+  cfg.speed.threshold = sc.threshold;
+  cfg.rebalance.enabled = sc.cluster_rebalance;
+  cfg.rebalance.epoch = msec(50);
+  if (!sc.perturb.empty()) {
+    perturb::PerturbTimeline timeline;
+    for (const perturb::PerturbEvent& ev : sc.perturb) timeline.add(ev);
+    cfg.node_perturb[sc.perturb_node] = std::move(timeline);
+  }
+  return cfg;
+}
+
 }  // namespace speedbal::check

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "check/scenario.hpp"
+#include "cluster/cluster.hpp"
 #include "core/experiment.hpp"
 #include "serve/scenarios.hpp"
 
@@ -16,5 +17,12 @@ ExperimentConfig spmd_experiment(const FuzzScenario& sc);
 /// Lower a serve-mode fuzz scenario to a ServeConfig (arrival rate derived
 /// from the scenario's utilization, warmup = min(100 ms, duration/4)).
 serve::ServeConfig serve_experiment(const FuzzScenario& sc);
+
+/// Lower a cluster-mode fuzz scenario to a ClusterConfig: the serve shape
+/// replicated over `sc.nodes` nodes (one pool each), cluster-wide arrival
+/// rate scaled by the node count, the perturb timeline applied to
+/// `sc.perturb_node` only, and a short rebalance epoch (50 ms) so episodes
+/// of a few hundred milliseconds still exercise migration.
+cluster::ClusterConfig cluster_experiment(const FuzzScenario& sc);
 
 }  // namespace speedbal::check

@@ -286,6 +286,59 @@ void run_serve_episode(const FuzzScenario& sc, EpisodeResult& r) {
   check_sampling_identity(serve_digest(res), serve_digest(bare), r.violations);
 }
 
+/// Deterministic digest of a cluster run's externally visible results (the
+/// comparison unit for the cluster observation-identity oracle).
+std::string cluster_digest(const cluster::ClusterResult& res) {
+  char goodput[40];
+  std::snprintf(goodput, sizeof(goodput), "%.17g", res.goodput_rps);
+  char imbalance[40];
+  std::snprintf(imbalance, sizeof(imbalance), "%.17g", res.peak_imbalance);
+  std::ostringstream os;
+  os << "completed=" << res.stats.completed << " offered=" << res.stats.offered
+     << " admitted=" << res.stats.admitted << " dropped=" << res.stats.dropped
+     << " generated=" << res.generated
+     << " migrations=" << res.pool_migrations << " goodput=" << goodput
+     << " peak_imbalance=" << imbalance
+     << " in_transit=" << res.stats.in_transit_end
+     << " in_flight=" << res.stats.in_flight_end
+     << " lat_count=" << res.stats.latency.count()
+     << " lat_min=" << res.stats.latency.min()
+     << " lat_max=" << res.stats.latency.max();
+  for (const std::int64_t n : res.completed_by_node) os << " " << n;
+  return os.str();
+}
+
+void run_cluster_episode(const FuzzScenario& sc, EpisodeResult& r) {
+  cluster::ClusterConfig cfg = cluster_experiment(sc);
+  obs::RunRecorder rec;
+  cfg.recorder = &rec;
+  const cluster::ClusterResult res = cluster::run_cluster(cfg);
+  r.completed = true;
+  r.runtime_s = to_sec(sc.duration);
+  r.total_migrations = res.pool_migrations;
+
+  ClusterCounters c;
+  c.offered = res.stats.offered;
+  c.admitted = res.stats.admitted;
+  c.dropped = res.stats.dropped;
+  c.completed = res.stats.completed;
+  c.total_generated = res.stats.total_generated;
+  c.total_completed = res.stats.total_completed;
+  c.total_dropped = res.stats.total_dropped;
+  c.in_transit_end = res.stats.in_transit_end;
+  c.in_flight_end = res.stats.in_flight_end;
+  c.latency_count = res.stats.latency.count();
+  c.queue_wait_count = res.stats.queue_wait.count();
+  check_cluster_conservation(c, r.violations);
+
+  // Observation-identity oracle, cluster scope: the recorder (rebalance
+  // log, node-tagged run segments) must read the run without perturbing it.
+  const cluster::ClusterResult bare =
+      cluster::run_cluster(cluster_experiment(sc));
+  check_sampling_identity(cluster_digest(res), cluster_digest(bare),
+                          r.violations);
+}
+
 }  // namespace
 
 EpisodeResult run_episode(const FuzzScenario& sc) {
@@ -296,10 +349,11 @@ EpisodeResult run_episode(const FuzzScenario& sc) {
       fuzz_histogram_merge(sc.seed ^ 0x9e3779b97f4a7c15ULL, r.violations);
   r.queue_events = fuzz_event_queue(sc.seed, kQueueFuzzOps, r.violations);
 
-  if (sc.mode == Mode::Spmd)
-    run_spmd_episode(sc, r);
-  else
-    run_serve_episode(sc, r);
+  switch (sc.mode) {
+    case Mode::Spmd: run_spmd_episode(sc, r); break;
+    case Mode::Serve: run_serve_episode(sc, r); break;
+    case Mode::Cluster: run_cluster_episode(sc, r); break;
+  }
   return r;
 }
 

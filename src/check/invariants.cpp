@@ -172,6 +172,39 @@ void check_serve_counters(const ServeCounters& c, std::vector<Violation>& out) {
             " samples for " + std::to_string(c.completed) + " completions");
 }
 
+void check_cluster_conservation(const ClusterCounters& c,
+                                std::vector<Violation>& out) {
+  const std::int64_t accounted =
+      c.total_completed + c.total_dropped + c.in_transit_end + c.in_flight_end;
+  if (c.total_generated != accounted)
+    add(out, "cluster-conservation",
+        "generated " + std::to_string(c.total_generated) + " != completed " +
+            std::to_string(c.total_completed) + " + dropped " +
+            std::to_string(c.total_dropped) + " + in-transit " +
+            std::to_string(c.in_transit_end) + " + in-flight " +
+            std::to_string(c.in_flight_end));
+  const std::int64_t undelivered = c.offered - c.admitted - c.dropped;
+  if (undelivered < 0 || undelivered > c.in_transit_end)
+    add(out, "cluster-conservation",
+        "offered " + std::to_string(c.offered) + " - admitted " +
+            std::to_string(c.admitted) + " - dropped " +
+            std::to_string(c.dropped) + " = " + std::to_string(undelivered) +
+            " outside [0, in-transit " + std::to_string(c.in_transit_end) +
+            "]");
+  if (c.completed > c.admitted)
+    add(out, "cluster-conservation",
+        "completed " + std::to_string(c.completed) + " > admitted " +
+            std::to_string(c.admitted));
+  if (c.latency_count != c.completed)
+    add(out, "cluster-conservation",
+        "latency histogram holds " + std::to_string(c.latency_count) +
+            " samples for " + std::to_string(c.completed) + " completions");
+  if (c.queue_wait_count != c.completed)
+    add(out, "cluster-conservation",
+        "queue-wait histogram holds " + std::to_string(c.queue_wait_count) +
+            " samples for " + std::to_string(c.completed) + " completions");
+}
+
 void check_span_conservation(const std::vector<obs::RequestSpan>& spans,
                              std::vector<Violation>& out) {
   constexpr double kEps = 1e-6;  // FP slack for the fractional stall only.

@@ -15,8 +15,9 @@ namespace speedbal::check {
 /// One invariant failure. `invariant` is the class slug the broken-stub
 /// tests and the minimizer key on ("time-conservation", "task-conservation",
 /// "affinity", "numa-block", "cooldown", "threshold", "speed-accounting",
-/// "histogram-merge", "event-queue", "serve-counters", "span-conservation",
-/// "sampling-identity", "liveness");
+/// "histogram-merge", "event-queue", "serve-counters",
+/// "cluster-conservation", "span-conservation", "sampling-identity",
+/// "liveness");
 /// `detail` is a deterministic human-readable message (fixed-format number
 /// rendering, no pointers or timestamps), so a replayed episode reproduces
 /// the violation byte-for-byte.
@@ -113,6 +114,34 @@ struct ServeCounters {
 /// histograms hold exactly one sample per completed request. Emits
 /// "serve-counters".
 void check_serve_counters(const ServeCounters& c, std::vector<Violation>& out);
+
+/// Cluster-wide request accounting at the end of a run. The `total_*` set
+/// counts every request including warmup; the recorded set mirrors
+/// ServeCounters at cluster scope.
+struct ClusterCounters {
+  std::int64_t offered = 0;
+  std::int64_t admitted = 0;
+  std::int64_t dropped = 0;
+  std::int64_t completed = 0;
+  std::int64_t total_generated = 0;
+  std::int64_t total_completed = 0;
+  std::int64_t total_dropped = 0;
+  std::int64_t in_transit_end = 0;
+  std::int64_t in_flight_end = 0;
+  std::int64_t latency_count = 0;
+  std::int64_t queue_wait_count = 0;
+};
+
+/// Cluster request conservation: every generated request is completed,
+/// dropped, in the network, or on a node at the end — across all nodes and
+/// across pool migrations (a drained request must not vanish or double).
+/// Exactly: total_generated == total_completed + total_dropped +
+/// in_transit_end + in_flight_end; recorded counters satisfy
+/// 0 <= offered - admitted - dropped <= in_transit_end, completed <=
+/// admitted, and one histogram sample per recorded completion. Emits
+/// "cluster-conservation".
+void check_cluster_conservation(const ClusterCounters& c,
+                                std::vector<Violation>& out);
 
 /// Every traced request's span must exactly partition its sojourn time:
 /// queue, exec, and preempt components are non-negative and sum to

@@ -55,6 +55,23 @@ std::string fingerprint_serve(const serve::ServeResult& res) {
   return os.str();
 }
 
+std::string fingerprint_cluster(const cluster::ClusterResult& res) {
+  std::ostringstream os;
+  os << "offered=" << res.stats.offered << " admitted=" << res.stats.admitted
+     << " dropped=" << res.stats.dropped
+     << " completed=" << res.stats.completed << " generated=" << res.generated
+     << " goodput=" << hex(res.goodput_rps)
+     << " pool_migrations=" << res.pool_migrations
+     << " peak_imbalance=" << hex(res.peak_imbalance)
+     << " in_transit=" << res.stats.in_transit_end
+     << " in_flight=" << res.stats.in_flight_end;
+  for (const double p : {50.0, 99.0, 99.9})
+    os << " lat_p" << p << "=" << hex(res.stats.latency.percentile(p));
+  for (const std::int64_t n : res.completed_by_node) os << " " << n;
+  os << "\n";
+  return os.str();
+}
+
 }  // namespace
 
 std::string check_jobs_identity(const FuzzScenario& sc,
@@ -68,6 +85,10 @@ std::string check_jobs_identity(const FuzzScenario& sc,
     serial = fingerprint_spmd(run_experiment(cfg));
     cfg.jobs = 4;
     parallel = fingerprint_spmd(run_experiment(cfg));
+  } else if (sc.mode == Mode::Cluster) {
+    const cluster::ClusterConfig cfg = cluster_experiment(sc);
+    serial = fingerprint_cluster(cluster::run_cluster_repeats(cfg, 3, 1));
+    parallel = fingerprint_cluster(cluster::run_cluster_repeats(cfg, 3, 4));
   } else {
     const serve::ServeConfig cfg = serve_experiment(sc);
     serial = fingerprint_serve(serve::run_serve_repeats(cfg, 3, 1));

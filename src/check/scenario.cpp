@@ -16,15 +16,16 @@ const char* to_string(Mode m) {
   switch (m) {
     case Mode::Spmd: return "spmd";
     case Mode::Serve: return "serve";
+    case Mode::Cluster: return "cluster";
   }
   return "?";
 }
 
 Mode parse_mode(std::string_view name) {
-  for (Mode m : {Mode::Spmd, Mode::Serve})
+  for (Mode m : {Mode::Spmd, Mode::Serve, Mode::Cluster})
     if (name == to_string(m)) return m;
   throw std::invalid_argument("unknown mode: " + std::string(name) +
-                              " (available: spmd, serve)");
+                              " (available: spmd, serve, cluster)");
 }
 
 const char* to_string(BrokenMode b) {
@@ -68,6 +69,7 @@ int FuzzScenario::size() const {
   } else {
     s += workers;
     s += static_cast<int>(std::ceil(std::log2(std::max(to_sec(duration) * 1e3, 2.0))));
+    if (mode == Mode::Cluster) s += nodes;
   }
   return s;
 }
@@ -82,6 +84,10 @@ std::string FuzzScenario::summary() const {
   else
     os << " workers=" << workers << " arrival=" << workload::to_string(arrival)
        << " service=" << workload::to_string(service) << " util=" << utilization;
+  if (mode == Mode::Cluster)
+    os << " nodes=" << nodes
+       << " dispatch=" << cluster::to_string(cluster_dispatch)
+       << " rebalance=" << (cluster_rebalance ? 1 : 0);
   os << " perturb=" << perturb.size() << " seed=" << seed;
   if (broken != BrokenMode::None) os << " broken=" << to_string(broken);
   return os.str();
@@ -108,6 +114,12 @@ std::string FuzzScenario::to_json() const {
   w.kv("mean_service_us", mean_service_us);
   w.kv("duration_us", duration);
   w.kv("serve_busy_poll", serve_busy_poll);
+  w.kv("nodes", nodes);
+  w.kv("cluster_dispatch", cluster::to_string(cluster_dispatch));
+  w.kv("jsq_d", jsq_d);
+  w.kv("hop_us", hop_us);
+  w.kv("cluster_rebalance", cluster_rebalance);
+  w.kv("perturb_node", perturb_node);
   w.kv("balance_interval_us", balance_interval);
   w.kv("threshold", threshold);
   w.key("perturb");
@@ -139,6 +151,18 @@ FuzzScenario FuzzScenario::from_json(std::string_view text) {
   sc.mean_service_us = doc.at("mean_service_us").as_number();
   sc.duration = doc.at("duration_us").as_int();
   sc.serve_busy_poll = doc.at("serve_busy_poll").as_bool();
+  // Cluster fields are optional so pre-cluster replay specs keep loading.
+  if (const JsonValue* v = doc.find("nodes"))
+    sc.nodes = static_cast<int>(v->as_int());
+  if (const JsonValue* v = doc.find("cluster_dispatch"))
+    sc.cluster_dispatch = cluster::parse_cluster_dispatch(v->as_string());
+  if (const JsonValue* v = doc.find("jsq_d"))
+    sc.jsq_d = static_cast<int>(v->as_int());
+  if (const JsonValue* v = doc.find("hop_us")) sc.hop_us = v->as_number();
+  if (const JsonValue* v = doc.find("cluster_rebalance"))
+    sc.cluster_rebalance = v->as_bool();
+  if (const JsonValue* v = doc.find("perturb_node"))
+    sc.perturb_node = static_cast<int>(v->as_int());
   sc.balance_interval = doc.at("balance_interval_us").as_int();
   sc.threshold = doc.at("threshold").as_number();
   for (std::size_t i = 0; i < doc.at("perturb").size(); ++i)
@@ -178,6 +202,14 @@ void FuzzScenario::validate() const {
       throw std::invalid_argument("scenario: duration < 200ms");
     if (broken != BrokenMode::None)
       throw std::invalid_argument("scenario: broken stubs are spmd-only");
+  }
+  if (mode == Mode::Cluster) {
+    if (nodes < 2 || nodes > 64)
+      throw std::invalid_argument("scenario: nodes out of [2,64]");
+    if (jsq_d < 1) throw std::invalid_argument("scenario: jsq_d < 1");
+    if (hop_us < 0.0) throw std::invalid_argument("scenario: hop_us < 0");
+    if (perturb_node < 0 || perturb_node >= nodes)
+      throw std::invalid_argument("scenario: perturb_node out of range");
   }
   if (balance_interval <= 0)
     throw std::invalid_argument("scenario: balance_interval <= 0");
@@ -287,6 +319,23 @@ FuzzScenario generate(std::uint64_t seed) {
       sc.perturb.push_back(ev);
     }
   }
+
+  // Cluster shape, drawn after everything else so the earlier fields of a
+  // given seed are identical across modes (a cluster episode is the serve
+  // shape replicated over a few nodes). The mode upgrade comes last for the
+  // same reason.
+  sc.nodes = static_cast<int>(rng.uniform_int(2, 5));
+  const cluster::ClusterDispatch dispatches[] = {
+      cluster::ClusterDispatch::RoundRobin,
+      cluster::ClusterDispatch::LeastLoaded, cluster::ClusterDispatch::JsqD};
+  sc.cluster_dispatch = dispatches[rng.uniform_int(0, 2)];
+  // Deliberately past the pool count sometimes: JSQ(d) with d > pools must
+  // degrade to full JSQ, and the fuzz should exercise that path.
+  sc.jsq_d = static_cast<int>(rng.uniform_int(1, 8));
+  sc.hop_us = rng.uniform(0.0, 500.0);
+  sc.cluster_rebalance = !rng.chance(0.25);
+  sc.perturb_node = static_cast<int>(rng.uniform_int(0, sc.nodes - 1));
+  if (rng.chance(0.2)) sc.mode = Mode::Cluster;
 
   sc.validate();
   return sc;

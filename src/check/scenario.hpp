@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "app/barrier.hpp"
+#include "cluster/policy.hpp"
 #include "core/experiment.hpp"
 #include "perturb/timeline.hpp"
 #include "workload/arrivals.hpp"
@@ -13,8 +14,9 @@
 namespace speedbal::check {
 
 /// Which stack a fuzz episode exercises: a batch SPMD application (the
-/// paper's Sections 3-6 configurations) or the request-serving runtime.
-enum class Mode { Spmd, Serve };
+/// paper's Sections 3-6 configurations), the single-machine request-serving
+/// runtime, or the multi-node cluster simulation on top of it.
+enum class Mode { Spmd, Serve, Cluster };
 
 const char* to_string(Mode m);
 Mode parse_mode(std::string_view name);
@@ -62,6 +64,15 @@ struct FuzzScenario {
   double mean_service_us = 3000.0;
   SimTime duration = sec(1);
   bool serve_busy_poll = false;  ///< IdleMode::Yield workers.
+
+  // Cluster episode shape (reuses the serve fields per node: `workers` is
+  // workers per pool, `utilization` is cluster-wide offered load).
+  int nodes = 3;
+  cluster::ClusterDispatch cluster_dispatch = cluster::ClusterDispatch::JsqD;
+  int jsq_d = 2;
+  double hop_us = 200.0;
+  bool cluster_rebalance = true;
+  int perturb_node = 0;  ///< Node the perturb timeline applies to.
 
   // Speed-balancer knobs under test (Section 5 rules the checker asserts).
   SimTime balance_interval = msec(50);

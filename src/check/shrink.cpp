@@ -72,6 +72,12 @@ std::vector<FuzzScenario> candidates(const FuzzScenario& sc) {
       v.mean_service_us = sc.mean_service_us / 2.0;
       push(v);
     }
+    if (sc.mode == Mode::Cluster && sc.nodes > 2) {
+      FuzzScenario v = sc;
+      v.nodes = std::max(2, sc.nodes / 2);
+      v.perturb_node = std::min(v.perturb_node, v.nodes - 1);
+      push(v);
+    }
   }
 
   // Perturbation timeline: drop halves first, then single events.

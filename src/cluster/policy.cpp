@@ -1,0 +1,74 @@
+#include "cluster/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace speedbal::cluster {
+
+const char* to_string(ClusterDispatch d) {
+  switch (d) {
+    case ClusterDispatch::RoundRobin: return "rr";
+    case ClusterDispatch::LeastLoaded: return "least-loaded";
+    case ClusterDispatch::JsqD: return "jsq";
+  }
+  return "?";
+}
+
+ClusterDispatch parse_cluster_dispatch(std::string_view name) {
+  if (name == "rr") return ClusterDispatch::RoundRobin;
+  if (name == "least-loaded") return ClusterDispatch::LeastLoaded;
+  if (name == "jsq") return ClusterDispatch::JsqD;
+  throw std::invalid_argument("unknown cluster dispatch: " + std::string(name) +
+                              " (available: rr, least-loaded, jsq)");
+}
+
+std::vector<std::string> cluster_dispatch_names() {
+  return {"rr", "least-loaded", "jsq"};
+}
+
+int pick_pool(ClusterDispatch d, int jsq_d, std::span<const PoolLoad> pools,
+              std::uint64_t& rr_cursor, Rng& rng) {
+  if (pools.empty()) throw std::invalid_argument("pick_pool: no pools");
+  const int n = static_cast<int>(pools.size());
+  switch (d) {
+    case ClusterDispatch::RoundRobin:
+      return static_cast<int>(rr_cursor++ % static_cast<std::uint64_t>(n));
+    case ClusterDispatch::LeastLoaded: {
+      int best = 0;
+      for (int p = 1; p < n; ++p)
+        if (pools[static_cast<std::size_t>(p)].assigned <
+            pools[static_cast<std::size_t>(best)].assigned)
+          best = p;
+      return best;
+    }
+    case ClusterDispatch::JsqD: {
+      // Sample d distinct pools (partial Fisher-Yates over pool ids), then
+      // take the least loaded of the sample, ties to the lowest id. The
+      // draw count depends only on (d, n), never on loads, so the sampling
+      // stream stays aligned across policy-equivalent runs.
+      const int k = std::clamp(jsq_d, 1, n);
+      static thread_local std::vector<int> ids;
+      ids.resize(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+      int best = -1;
+      for (int i = 0; i < k; ++i) {
+        const auto j = static_cast<int>(
+            rng.uniform_int(i, n - 1));
+        std::swap(ids[static_cast<std::size_t>(i)],
+                  ids[static_cast<std::size_t>(j)]);
+        const int cand = ids[static_cast<std::size_t>(i)];
+        if (best < 0 ||
+            pools[static_cast<std::size_t>(cand)].assigned <
+                pools[static_cast<std::size_t>(best)].assigned ||
+            (pools[static_cast<std::size_t>(cand)].assigned ==
+                 pools[static_cast<std::size_t>(best)].assigned &&
+             cand < best))
+          best = cand;
+      }
+      return best;
+    }
+  }
+  throw std::logic_error("pick_pool: bad dispatch");
+}
+
+}  // namespace speedbal::cluster

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace speedbal::cluster {
+
+/// Cluster-level dispatch: which worker *pool* (not node — pools migrate
+/// between nodes, and routing follows the pool) receives the next request.
+enum class ClusterDispatch {
+  RoundRobin,   ///< Cycle over pools in id order.
+  LeastLoaded,  ///< Pool with the fewest assigned-but-unfinished requests.
+  JsqD,         ///< JSQ(d): sample d pools, take the least loaded of those
+                ///< (d = 2 is power-of-two-choices).
+};
+
+const char* to_string(ClusterDispatch d);
+/// Parse "rr" / "least-loaded" / "jsq" (JSQ(d) spelled "jsq"; d is a
+/// separate knob); throws std::invalid_argument otherwise.
+ClusterDispatch parse_cluster_dispatch(std::string_view name);
+std::vector<std::string> cluster_dispatch_names();
+
+/// Per-pool load as the frontend sees it: requests dispatched to the pool
+/// (including those still in the network hop) and not yet completed or
+/// dropped. A pool mid-migration is still routable — its queue drains to
+/// the new incarnation — so there is no liveness bit here.
+struct PoolLoad {
+  std::int64_t assigned = 0;
+};
+
+/// Pure pool choice: no side effects beyond the round-robin cursor and the
+/// JSQ(d) sampling draws from `rng`. Ties break to the lowest pool id so
+/// runs are deterministic. `jsq_d` is clamped to the pool count — JSQ(d)
+/// with d past the live pool count degrades to full JSQ, it never faults.
+int pick_pool(ClusterDispatch d, int jsq_d, std::span<const PoolLoad> pools,
+              std::uint64_t& rr_cursor, Rng& rng);
+
+}  // namespace speedbal::cluster

@@ -1,0 +1,58 @@
+#include "obs/rebalance_log.hpp"
+
+namespace speedbal::obs {
+
+const char* to_string(RebalanceOutcome o) {
+  switch (o) {
+    case RebalanceOutcome::Migrated: return "migrated";
+    case RebalanceOutcome::BelowThreshold: return "below-threshold";
+    case RebalanceOutcome::Cooldown: return "cooldown";
+    case RebalanceOutcome::NoCandidate: return "no-candidate";
+  }
+  return "?";
+}
+
+RebalanceOutcome parse_rebalance_outcome(std::string_view s) {
+  for (int i = 0; i < kNumRebalanceOutcomes; ++i) {
+    const auto o = static_cast<RebalanceOutcome>(i);
+    if (s == to_string(o)) return o;
+  }
+  return RebalanceOutcome::NoCandidate;
+}
+
+void RebalanceLog::add(const RebalanceRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[static_cast<int>(rec.outcome)];
+  if (records_.size() >= record_cap_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(rec);
+}
+
+std::vector<RebalanceRecord> RebalanceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t RebalanceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::int64_t RebalanceLog::count(RebalanceOutcome o) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(o)];
+}
+
+std::int64_t RebalanceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void RebalanceLog::set_record_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_cap_ = cap;
+}
+
+}  // namespace speedbal::obs

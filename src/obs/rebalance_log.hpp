@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace speedbal::obs {
+
+/// Outcome of one global-rebalancer epoch: why a pool did — or did not —
+/// move between nodes. The cluster analogue of PullReason: every epoch
+/// leaves a record, so `obsquery` can answer "why did pool X move" (or "why
+/// did nothing move while node 3 was melting").
+enum class RebalanceOutcome {
+  Migrated = 0,    ///< A pool was migrated from the hottest to the coldest node.
+  BelowThreshold,  ///< Fractional load imbalance under the configured threshold.
+  Cooldown,        ///< Inside the post-migration cooldown window.
+  NoCandidate,     ///< Imbalance past threshold but no movable pool
+                   ///< (e.g. the hot node's only pool is already draining).
+};
+
+inline constexpr int kNumRebalanceOutcomes =
+    static_cast<int>(RebalanceOutcome::NoCandidate) + 1;
+
+const char* to_string(RebalanceOutcome o);
+/// Inverse of to_string; returns NoCandidate for unrecognized strings.
+RebalanceOutcome parse_rebalance_outcome(std::string_view s);
+
+/// One rebalance-epoch record. `imbalance` is the fractional load imbalance
+/// the epoch observed (max per-capacity node load / mean − 1, the HemoCell
+/// metric); Migrated records also carry the moved pool and the endpoint
+/// nodes with their per-capacity loads at decision time.
+struct RebalanceRecord {
+  std::int64_t ts_us = 0;
+  std::int64_t epoch = 0;
+  double imbalance = 0.0;
+  double threshold = 0.0;
+  RebalanceOutcome outcome = RebalanceOutcome::BelowThreshold;
+  int pool = -1;
+  int from_node = -1;
+  int to_node = -1;
+  double from_load = 0.0;
+  double to_load = 0.0;
+  /// Requests drained from the pool's queues and re-dispatched with the
+  /// migration (Migrated only).
+  std::int64_t drained = 0;
+};
+
+/// Append-only, capped epoch log — one record per rebalance epoch, so its
+/// growth is bounded by run length / epoch period, not by traffic.
+class RebalanceLog {
+ public:
+  void add(const RebalanceRecord& rec);
+
+  std::vector<RebalanceRecord> snapshot() const;
+  std::size_t size() const;
+  std::int64_t count(RebalanceOutcome o) const;
+  std::int64_t dropped() const;
+  void set_record_cap(std::size_t cap);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RebalanceRecord> records_;
+  std::int64_t counts_[kNumRebalanceOutcomes] = {};
+  std::size_t record_cap_ = 100000;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace speedbal::obs

@@ -60,6 +60,8 @@ std::map<std::string, std::int64_t> RunRecorder::counters() const {
   if (dropped > 0) out["trace.dropped_spans"] = dropped;
   if (spans_.dropped() > 0) out["spans.dropped"] = spans_.dropped();
   if (telemetry_.dropped() > 0) out["telemetry.dropped"] = telemetry_.dropped();
+  if (run_segments_.dropped() > 0)
+    out["run_segments.dropped"] = run_segments_.dropped();
   return out;
 }
 
@@ -69,6 +71,22 @@ void RunRecorder::write_chrome_trace(std::ostream& os) const {
   telemetry_.flush();
   auto events = trace_.snapshot();
   const auto cores = timeline_.cores();
+
+  // Run segments -> "run" spans on the executing core's track (node-scoped
+  // tracks for cluster runs, so per-node activity stays one row per core).
+  // Derived here, not on the hot path: the table holds compact PODs.
+  for (const auto& seg : run_segments_.snapshot()) {
+    TraceEvent ev;
+    ev.kind = EventKind::Span;
+    ev.ts_us = seg.start_us;
+    ev.dur_us = seg.dur_us;
+    ev.track = seg.node < 0 ? seg.core
+                            : kNodeTrackBase + seg.node * kNodeTrackStride +
+                                  seg.core;
+    ev.name = "task " + std::to_string(seg.task);
+    ev.cat = "run";
+    events.push_back(std::move(ev));
+  }
 
   // Request spans -> per-worker slices plus flow arrows tying each request's
   // arrival, dispatch, and completion into one chain (flow id = request id).
@@ -164,6 +182,26 @@ void RunRecorder::write_chrome_trace(std::ostream& os) const {
     }
   }
 
+  // Rebalance epochs -> instants on the cluster track (migrations carry the
+  // endpoints; every epoch carries the imbalance the decision saw).
+  for (const auto& r : rebalances_.snapshot()) {
+    TraceEvent ev;
+    ev.kind = EventKind::Instant;
+    ev.ts_us = r.ts_us;
+    ev.track = kClusterTrack;
+    ev.name = to_string(r.outcome);
+    ev.cat = "rebalance";
+    ev.num_args.emplace_back("imbalance", r.imbalance);
+    ev.num_args.emplace_back("threshold", r.threshold);
+    if (r.outcome == RebalanceOutcome::Migrated) {
+      ev.num_args.emplace_back("pool", static_cast<double>(r.pool));
+      ev.num_args.emplace_back("from_node", static_cast<double>(r.from_node));
+      ev.num_args.emplace_back("to_node", static_cast<double>(r.to_node));
+      ev.num_args.emplace_back("drained", static_cast<double>(r.drained));
+    }
+    events.push_back(std::move(ev));
+  }
+
   // Performed pulls -> instant events on the destination core's track.
   for (const auto& d : decisions_.snapshot()) {
     if (d.reason != PullReason::Pulled) continue;
@@ -189,6 +227,25 @@ void RunRecorder::write_chrome_trace(std::ostream& os) const {
   std::vector<std::pair<int, std::string>> track_names;
   for (const int c : cores)
     track_names.emplace_back(c, "core " + std::to_string(c));
+  {
+    // Label every (node, core) track that run segments actually used.
+    std::vector<int> node_tracks;
+    for (const auto& seg : run_segments_.snapshot())
+      if (seg.node >= 0)
+        node_tracks.push_back(kNodeTrackBase + seg.node * kNodeTrackStride +
+                              seg.core);
+    std::sort(node_tracks.begin(), node_tracks.end());
+    node_tracks.erase(std::unique(node_tracks.begin(), node_tracks.end()),
+                      node_tracks.end());
+    for (const int t : node_tracks) {
+      const int node = (t - kNodeTrackBase) / kNodeTrackStride;
+      const int core = (t - kNodeTrackBase) % kNodeTrackStride;
+      track_names.emplace_back(t, "node " + std::to_string(node) + " core " +
+                                      std::to_string(core));
+    }
+    if (rebalances_.size() > 0)
+      track_names.emplace_back(kClusterTrack, "cluster rebalancer");
+  }
   if (!spans.empty()) {
     track_names.emplace_back(kDispatchTrack, "dispatch");
     for (int wkr = 0; wkr <= std::max(max_worker, 0); ++wkr)
@@ -291,6 +348,30 @@ void RunRecorder::write_report_json(std::ostream& os) const {
     w.end_array();
   }
 
+  // Global rebalancer epoch log — the cluster-level analogue of
+  // "decisions" below, one record per epoch with the imbalance it saw.
+  if (rebalances_.size() > 0) {
+    w.key("rebalances").begin_array();
+    for (const auto& r : rebalances_.snapshot()) {
+      w.begin_object();
+      w.kv("t_us", r.ts_us);
+      w.kv("epoch", r.epoch);
+      w.kv("outcome", to_string(r.outcome));
+      w.kv("imbalance", r.imbalance);
+      w.kv("threshold", r.threshold);
+      if (r.outcome == RebalanceOutcome::Migrated) {
+        w.kv("pool", r.pool);
+        w.kv("from_node", r.from_node);
+        w.kv("to_node", r.to_node);
+        w.kv("from_load", r.from_load);
+        w.kv("to_load", r.to_load);
+        w.kv("drained", r.drained);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
+
   // Telemetry pipeline self-accounting: sizes, drops, flush batches. The
   // wall-clock overhead meter is deliberately NOT serialized here — the
   // report must be byte-identical across replays of the same seed, and
@@ -301,6 +382,8 @@ void RunRecorder::write_report_json(std::ostream& os) const {
   w.kv("records", static_cast<std::int64_t>(telemetry_.size()));
   w.kv("records_dropped", telemetry_.dropped());
   w.kv("flushes", telemetry_.flushes());
+  w.kv("run_segments", static_cast<std::int64_t>(run_segments_.size()));
+  w.kv("run_segments_dropped", run_segments_.dropped());
   w.end_object();
 
   const auto stats = timeline_.global_stats();

@@ -9,6 +9,8 @@
 
 #include "obs/attribution.hpp"
 #include "obs/decision_log.hpp"
+#include "obs/rebalance_log.hpp"
+#include "obs/segment_table.hpp"
 #include "obs/span.hpp"
 #include "obs/speed_timeline.hpp"
 #include "obs/telemetry_buffer.hpp"
@@ -16,6 +18,15 @@
 #include "util/stats.hpp"
 
 namespace speedbal::obs {
+
+/// Chrome-trace track layout for cluster runs: node n's core c renders as
+/// track kNodeTrackBase + n * kNodeTrackStride + c, one labelled row per
+/// (node, core); the rebalancer's own instants live on kClusterTrack. Kept
+/// well above the single-machine layout (cores on their own ids, dispatch
+/// 999, workers 1000+).
+inline constexpr int kNodeTrackBase = 100000;
+inline constexpr int kNodeTrackStride = 128;
+inline constexpr int kClusterTrack = 99999;
 
 /// The observability facade for one recorded run, shared by the simulator
 /// and the native balancer: a trace event buffer, the per-interval speed
@@ -41,6 +52,13 @@ class RunRecorder {
   /// batches at balance-interval granularity rather than per event.
   TelemetryBuffer& telemetry() { return telemetry_; }
   const TelemetryBuffer& telemetry() const { return telemetry_; }
+  /// Per-task run segments, bulk-copied at export time; "run" trace spans
+  /// are derived from them lazily when the Chrome trace is written.
+  RunSegmentTable& run_segments() { return run_segments_; }
+  const RunSegmentTable& run_segments() const { return run_segments_; }
+  /// Global (cluster-level) rebalancer epoch log; empty for one-node runs.
+  RebalanceLog& rebalances() { return rebalances_; }
+  const RebalanceLog& rebalances() const { return rebalances_; }
   /// Wall time the observability layer itself spent on the hot path.
   OverheadMeter& overhead() { return overhead_; }
   const OverheadMeter& overhead() const { return overhead_; }
@@ -79,6 +97,8 @@ class RunRecorder {
   DecisionLog decisions_;
   SpanTable spans_;
   TelemetryBuffer telemetry_{&trace_};
+  RunSegmentTable run_segments_;
+  RebalanceLog rebalances_;
   OverheadMeter overhead_;
 
   mutable std::mutex mu_;

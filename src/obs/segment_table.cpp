@@ -1,0 +1,40 @@
+#include "obs/segment_table.hpp"
+
+namespace speedbal::obs {
+
+void RunSegmentTable::add_batch(std::vector<Segment> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (segments_.empty() && batch.size() <= cap_) {
+    segments_ = std::move(batch);
+    return;
+  }
+  for (Segment& s : batch) {
+    if (segments_.size() >= cap_) {
+      ++dropped_;
+      continue;
+    }
+    segments_.push_back(s);
+  }
+}
+
+void RunSegmentTable::set_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cap_ = cap;
+}
+
+std::int64_t RunSegmentTable::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t RunSegmentTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+std::vector<RunSegmentTable::Segment> RunSegmentTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_;
+}
+
+}  // namespace speedbal::obs

@@ -1,0 +1,52 @@
+#include "serve/policy_stack.hpp"
+
+namespace speedbal::serve {
+
+void PolicyStack::attach_kernel(Simulator& sim) {
+  switch (params_.policy) {
+    case Policy::Dwrr:
+      dwrr_ = std::make_unique<DwrrBalancer>(params_.dwrr);
+      dwrr_->attach(sim);
+      break;
+    case Policy::Ule:
+      ule_ = std::make_unique<UleBalancer>(params_.ule);
+      ule_->attach(sim);
+      break;
+    case Policy::None:
+      break;
+    default:
+      linux_lb_ = std::make_unique<LinuxLoadBalancer>(params_.linux_load);
+      linux_lb_->attach(sim);
+      break;
+  }
+}
+
+void PolicyStack::attach_user(Simulator& sim, std::vector<Task*> workers,
+                              std::vector<CoreId> cores,
+                              obs::RunRecorder* rec) {
+  cores_ = std::move(cores);
+  pin_cursor_ = workers.size();
+  if (params_.policy == Policy::Speed) {
+    speed_ = std::make_unique<SpeedBalancer>(params_.speed, std::move(workers),
+                                             cores_);
+    speed_->attach(sim);
+    if (rec != nullptr) speed_->set_recorder(rec);
+  } else if (params_.policy == Policy::Pinned) {
+    pinned_ = std::make_unique<PinnedBalancer>(std::move(workers), cores_);
+    pinned_->attach(sim);
+  }
+}
+
+void PolicyStack::manage(Simulator& sim, std::span<Task* const> workers) {
+  for (Task* t : workers) {
+    if (speed_ != nullptr) {
+      speed_->add_managed(*t);
+    } else if (pinned_ != nullptr) {
+      const CoreId target = cores_[pin_cursor_++ % cores_.size()];
+      sim.set_affinity(*t, 1ULL << target, /*hard_pin=*/true,
+                       MigrationCause::Affinity);
+    }
+  }
+}
+
+}  // namespace speedbal::serve

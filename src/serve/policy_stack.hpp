@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "balance/dwrr.hpp"
+#include "balance/linux_load.hpp"
+#include "balance/pinned.hpp"
+#include "balance/speed.hpp"
+#include "balance/ule.hpp"
+#include "core/experiment.hpp"
+#include "obs/recorder.hpp"
+#include "serve/server.hpp"
+
+namespace speedbal::serve {
+
+/// Parameters of one machine's balancer stack — the per-node slice of
+/// ServeConfig, split out so the cluster layer can instantiate the same
+/// stack on every node simulator.
+struct PolicyStackParams {
+  Policy policy = Policy::Speed;
+  SpeedBalanceParams speed;
+  LinuxLoadParams linux_load;
+  DwrrParams dwrr;
+  UleParams ule;
+};
+
+/// The balancer attachment pattern of run_serve, owned as an object so it
+/// can exist once per node in a cluster: a kernel-level policy (Linux load
+/// balancer for SPEED/LOAD/PINNED, DWRR/ULE replacing it, NONE bare) plus
+/// an optional user-level balancer over the worker pool. Pools opened after
+/// attach (migrated-in) register through manage(), which mirrors what the
+/// real tool does when new PIDs appear in /proc (paper footnote 6).
+class PolicyStack {
+ public:
+  explicit PolicyStack(PolicyStackParams params) : params_(std::move(params)) {}
+
+  /// PINNED launches its workers round-robin-placed; everything else lets
+  /// fork placement decide (the balancer under test then moves them).
+  bool round_robin_launch() const { return params_.policy == Policy::Pinned; }
+
+  /// Attach the kernel-level policy. Call once, before any pool opens.
+  void attach_kernel(Simulator& sim);
+
+  /// Attach the user-level policy over the initial worker set. Call once,
+  /// after the first pool opened.
+  void attach_user(Simulator& sim, std::vector<Task*> workers,
+                   std::vector<CoreId> cores, obs::RunRecorder* rec);
+
+  /// Register workers created after attach_user (a pool migrating in):
+  /// SPEED hard-pins each to the currently least-loaded managed core,
+  /// PINNED continues its round-robin pinning, the rest leave placement to
+  /// the kernel-level policy.
+  void manage(Simulator& sim, std::span<Task* const> workers);
+
+  SpeedBalancer* speed() { return speed_.get(); }
+
+ private:
+  PolicyStackParams params_;
+  std::vector<CoreId> cores_;
+  std::size_t pin_cursor_ = 0;
+  std::unique_ptr<LinuxLoadBalancer> linux_lb_;
+  std::unique_ptr<DwrrBalancer> dwrr_;
+  std::unique_ptr<UleBalancer> ule_;
+  std::unique_ptr<SpeedBalancer> speed_;
+  std::unique_ptr<PinnedBalancer> pinned_;
+};
+
+}  // namespace speedbal::serve

@@ -5,8 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
-#include "balance/pinned.hpp"
 #include "perturb/sim_driver.hpp"
+#include "serve/policy_stack.hpp"
 #include "util/parallel.hpp"
 #include "workload/generator.hpp"
 
@@ -72,46 +72,20 @@ ServeResult run_serve(const ServeConfig& config) {
     perturber->arm();
   }
 
-  // Kernel-level policy, exactly as in the batch experiments: SPEED/PINNED
-  // run on top of the Linux balancer, DWRR/ULE replace it.
-  std::unique_ptr<LinuxLoadBalancer> linux_lb;
-  std::unique_ptr<DwrrBalancer> dwrr;
-  std::unique_ptr<UleBalancer> ule;
-  switch (config.policy) {
-    case Policy::Dwrr:
-      dwrr = std::make_unique<DwrrBalancer>(config.dwrr);
-      dwrr->attach(sim);
-      break;
-    case Policy::Ule:
-      ule = std::make_unique<UleBalancer>(config.ule);
-      ule->attach(sim);
-      break;
-    case Policy::None:
-      break;
-    default:
-      linux_lb = std::make_unique<LinuxLoadBalancer>(config.linux_load);
-      linux_lb->attach(sim);
-      break;
-  }
+  // The per-machine balancer stack, exactly as in the batch experiments:
+  // SPEED/PINNED run on top of the Linux balancer, DWRR/ULE replace it.
+  PolicyStack stack({config.policy, config.speed, config.linux_load,
+                     config.dwrr, config.ule});
+  stack.attach_kernel(sim);
 
   ServeParams serve_params = config.serve;
   serve_params.warmup = config.warmup;
   ServeRuntime runtime(sim, serve_params);
   runtime.set_recorder(recorder);
-  runtime.open(cores, /*round_robin=*/config.policy == Policy::Pinned);
+  runtime.open(cores, stack.round_robin_launch());
 
   // User-level policy over the worker pool.
-  std::unique_ptr<SpeedBalancer> speed;
-  std::unique_ptr<PinnedBalancer> pinned;
-  if (config.policy == Policy::Speed) {
-    speed = std::make_unique<SpeedBalancer>(config.speed, runtime.workers(),
-                                            cores);
-    speed->attach(sim);
-    if (recorder != nullptr) speed->set_recorder(recorder);
-  } else if (config.policy == Policy::Pinned) {
-    pinned = std::make_unique<PinnedBalancer>(runtime.workers(), cores);
-    pinned->attach(sim);
-  }
+  stack.attach_user(sim, runtime.workers(), cores, recorder);
 
   if (config.on_run_start) config.on_run_start(sim, runtime);
 

@@ -75,6 +75,7 @@ ShardLoad ServeRuntime::load_of(const Shard& s) const {
 
 bool ServeRuntime::inject(Request r) {
   if (workers_.empty()) throw std::logic_error("ServeRuntime: not open");
+  if (retired_) throw std::logic_error("ServeRuntime: inject on retired pool");
   if (r.recorded) ++stats_.offered;
 
   std::vector<ShardLoad> loads;
@@ -137,7 +138,7 @@ void ServeRuntime::start_next(int worker) {
 
 void ServeRuntime::finish_current(int worker) {
   Shard& shard = shards_[static_cast<std::size_t>(worker)];
-  const Request& r = shard.current;
+  const Request r = shard.current;  // Copy: the completion hook may inject.
   --in_flight_;
   if (r.recorded) {
     ++stats_.completed;
@@ -164,6 +165,7 @@ void ServeRuntime::finish_current(int worker) {
     shard.cur_sampled = false;
   }
   shard.has_current = false;
+  if (on_complete_) on_complete_(r);
 }
 
 void ServeRuntime::on_work_complete(Simulator& sim, Task& task) {
@@ -188,6 +190,28 @@ void ServeRuntime::on_work_complete(Simulator& sim, Task& task) {
 }
 
 void ServeRuntime::close() { open_ = false; }
+
+std::vector<Request> ServeRuntime::drain_queued() {
+  std::vector<Request> out;
+  for (Shard& shard : shards_) {
+    for (const Request& r : shard.queue) {
+      out.push_back(r);
+      --in_flight_;
+    }
+    shard.queue.clear();
+    shard.queued_demand_us = 0.0;
+  }
+  return out;
+}
+
+void ServeRuntime::retire() {
+  if (retired_) return;
+  if (in_flight_ != 0)
+    throw std::logic_error("ServeRuntime::retire with work in flight");
+  retired_ = true;
+  close();
+  for (Task* t : workers_) sim_.finish_task(*t);
+}
 
 int ServeRuntime::queued(int worker) const {
   return static_cast<int>(shards_.at(static_cast<std::size_t>(worker)).queue.size());

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -107,6 +108,32 @@ class ServeRuntime : public TaskClient {
   /// Stop recorder sampling (the run is over; workers may still drain).
   void close();
 
+  // --- Pool-migration hooks (cluster layer) -------------------------------
+  //
+  // A cluster migrates a whole pool by draining its waiting requests (they
+  // re-dispatch at the destination), letting in-service requests finish on
+  // the source, and retiring the source workers once the pool is empty.
+
+  /// Observer invoked for *every* finished request, recorded or not, after
+  /// stats are updated. The cluster layer uses it for its own conservation
+  /// accounting and drain tracking; single-machine runs leave it unset.
+  void set_completion_hook(std::function<void(const Request&)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  /// Remove and return every *waiting* request (in-service requests are
+  /// untouched), shard 0..n in FIFO order — deterministic. In-flight
+  /// accounting is reduced accordingly; the caller owns re-dispatching them.
+  std::vector<Request> drain_queued();
+
+  /// Finish all worker tasks. Only legal once the pool holds no work
+  /// (in_flight() == 0, typically after drain_queued plus waiting out the
+  /// in-service tail); must not be called from inside this pool's own
+  /// completion path — defer via Simulator::schedule_at. Idempotent.
+  void retire();
+  bool retired() const { return retired_; }
+
+  Simulator& simulator() { return sim_; }
   const std::vector<Task*>& workers() const { return workers_; }
   const ServeStats& stats() const { return stats_; }
   ServeStats& stats() { return stats_; }
@@ -148,9 +175,11 @@ class ServeRuntime : public TaskClient {
   std::vector<Shard> shards_;
   std::uint64_t rr_cursor_ = 0;
   bool open_ = true;
+  bool retired_ = false;
   ServeStats stats_;
   std::int64_t in_flight_ = 0;
   obs::RunRecorder* recorder_ = nullptr;
+  std::function<void(const Request&)> on_complete_;
 };
 
 }  // namespace speedbal::serve

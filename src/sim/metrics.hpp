@@ -145,9 +145,12 @@ class Metrics {
   obs::RunRecorder* recorder_ = nullptr;
 };
 
-/// Flush a finished run's metrics into the recorder: per-segment span
-/// events (one track per core, capped by the collector's span cap) and
-/// "migrations.<cause>" aggregate counters.
-void export_run_to_recorder(const Metrics& metrics, obs::RunRecorder& rec);
+/// Flush a finished run's metrics into the recorder: one bulk append of
+/// compact run-segment records (the trace writer derives "run" spans from
+/// them lazily) and "migrations.<cause>" aggregate counters. `node` tags the
+/// segments with a cluster node id (-1 = single-machine run); node-tagged
+/// segments render on per-node Chrome-trace tracks.
+void export_run_to_recorder(const Metrics& metrics, obs::RunRecorder& rec,
+                            int node = -1);
 
 }  // namespace speedbal

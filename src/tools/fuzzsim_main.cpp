@@ -1,6 +1,7 @@
 // Property-based fuzzing & differential-oracle front end:
 //
-//   fuzzsim [--episodes=100] [--seed=1] [--policy=SPEED] [--mode=spmd|serve]
+//   fuzzsim [--episodes=100] [--seed=1] [--policy=SPEED]
+//           [--mode=spmd|serve|cluster]
 //           [--jobs-oracle-every=25] [--max-seconds=0] [--minimize]
 //           [--out=FILE] [--verbose]
 //   fuzzsim --replay=FILE [--minimize] [--out=FILE]

@@ -8,6 +8,9 @@
 //            [--storm-window-ms=100] [--storm-threshold=8]
 //   obsquery --report=FILE --pulls         pulled decisions with their causal
 //                                          speed-sample link and warmup cost
+//   obsquery --report=FILE --rebalances    cluster rebalancer epoch log;
+//            [--pool=N]                    --pool narrows to one pool's moves
+//                                          ("why did pool N migrate?")
 //
 // Everything is computed from the report file alone — the tool never touches
 // the simulator, so it can answer "why was p99 slow?" long after the run.
@@ -142,6 +145,44 @@ void print_pulls(const JsonValue& root) {
   if (pulls > 0) t.print(std::cout);
 }
 
+int print_rebalances(const JsonValue& root, const Cli& cli) {
+  const JsonValue* rebalances = root.find("rebalances");
+  if (rebalances == nullptr) {
+    std::cout << "no rebalances section (not a clustersim report, or the "
+                 "rebalancer never ran)\n";
+    return 0;
+  }
+  const bool filter_pool = cli.has("pool");
+  const std::int64_t want = cli.get_int("pool", -1);
+  std::int64_t epochs = 0;
+  std::int64_t migrated = 0;
+  Table t({"t_ms", "epoch", "outcome", "imbalance", "threshold", "pool",
+           "from", "to", "drained"});
+  for (const JsonValue& r : rebalances->items()) {
+    ++epochs;
+    const std::string outcome = r.at("outcome").as_string();
+    const JsonValue* pool = r.find("pool");
+    if (outcome == "migrated") ++migrated;
+    // With --pool: show that pool's migrations, plus every non-migration
+    // epoch (the below-threshold / cooldown context explains the gaps).
+    if (filter_pool && pool != nullptr && pool->as_int() != want) continue;
+    t.add_row({ms(static_cast<double>(r.at("t_us").as_int())),
+               std::to_string(r.at("epoch").as_int()), outcome,
+               Table::num(r.at("imbalance").as_number(), 3),
+               Table::num(r.at("threshold").as_number(), 3),
+               pool != nullptr ? std::to_string(pool->as_int()) : "-",
+               pool != nullptr ? std::to_string(r.at("from_node").as_int())
+                               : "-",
+               pool != nullptr ? std::to_string(r.at("to_node").as_int())
+                               : "-",
+               pool != nullptr ? std::to_string(r.at("drained").as_int())
+                               : "-"});
+  }
+  std::cout << epochs << " epoch(s), " << migrated << " migration(s)\n";
+  t.print(std::cout);
+  return 0;
+}
+
 void print_summary(const JsonValue& root,
                    const std::vector<obs::RequestSpan>& spans) {
   Table t({"field", "value"});
@@ -166,7 +207,8 @@ int run(const Cli& cli) {
   const std::string path = cli.get("report");
   if (path.empty()) {
     std::cerr << "usage: obsquery --report=FILE "
-                 "[--slowest=K | --blame | --storms | --pulls]\n";
+                 "[--slowest=K | --blame | --storms | --pulls | "
+                 "--rebalances [--pool=N]]\n";
     return 1;
   }
   std::ifstream in(path);
@@ -197,6 +239,7 @@ int run(const Cli& cli) {
     print_pulls(root);
     return 0;
   }
+  if (cli.has("rebalances")) return print_rebalances(root, cli);
   print_summary(root, spans);
   return 0;
 }
