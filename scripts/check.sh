@@ -36,6 +36,16 @@ cluster_report="$repo/build/cluster_smoke_report.json"
 "$repo/build/src/obsquery" --report="$cluster_report" --rebalances --pool=0 >/dev/null
 "$repo/build/src/fuzzsim" --episodes=25 --mode=cluster --seed=707
 
+echo "== hetero-smoke: big.LITTLE partition bench, SHARE fuzz, analytic grid =="
+# The quick big.LITTLE sweep (SHARE vs the count/queue-length baselines),
+# 25 fuzz episodes forced onto asymmetric machines under the SHARE policy
+# (share-conservation invariant checked every epoch), and the sim-vs-model
+# hetero differential grid (SHARE within tolerance of the analytic optimum,
+# count source paying the analytic penalty).
+"$repo/build/bench/hetero_partition" --quick
+"$repo/build/src/fuzzsim" --hetero --episodes=25 --seed=808
+"$repo/build/src/fuzzsim" --hetero-grid
+
 echo "== bench-smoke: hot-path micro vs committed baseline =="
 # Tolerance 0.5 (not the bench's default 0.2): shared CI hosts show up to
 # ~40% run-to-run noise, while the regressions this gate exists to catch —
@@ -76,10 +86,10 @@ fuzz_seed=$((RANDOM * 65536 + RANDOM))
 echo "fuzz-smoke seed: $fuzz_seed"
 "$repo/build/src/fuzzsim" --episodes=400 --seed="$fuzz_seed" --max-seconds=30
 
-echo "== tsan: native balancer + serve + cluster tests =="
+echo "== tsan: native balancer + serve + cluster + hetero tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test cluster_test
-ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test|cluster_test'
+cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test cluster_test hetero_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test|cluster_test|hetero_test'
 
 echo "== tsan: parallel sweep (--jobs=4) under ThreadSanitizer =="
 cmake --build "$repo/build-tsan" -j "$jobs" --target simrun util_parallel_test
@@ -89,11 +99,12 @@ ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'util_parallel_test'
 cmake --build "$repo/build-tsan" -j "$jobs" --target fuzzsim
 "$repo/build-tsan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
 
-echo "== asan: perturbation + native + serve + cluster tests =="
+echo "== asan: perturbation + native + serve + cluster + hetero tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSPEEDBAL_SANITIZE=address >/dev/null
-cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test cluster_test fuzzsim
-ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test|cluster_test'
+cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test cluster_test hetero_test fuzzsim
+ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test|cluster_test|hetero_test'
 "$repo/build-asan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
 "$repo/build-asan/src/fuzzsim" --episodes=3 --mode=cluster --seed="$fuzz_seed" >/dev/null
+"$repo/build-asan/src/fuzzsim" --hetero --episodes=3 --seed="$fuzz_seed" >/dev/null
 
 echo "check.sh: all green"

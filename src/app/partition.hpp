@@ -1,0 +1,23 @@
+#pragma once
+
+namespace speedbal {
+
+/// Fractional work-partitioning hook for SPMD phases: when attached to an
+/// SpmdAppSpec, each thread's per-phase work becomes
+/// `thread_share(i, n) * n * work_per_phase_us` instead of the uniform (or
+/// thread_skew-shaped) split — total phase work is unchanged, only its
+/// distribution moves. Implementations (hetero::ShareBalancer) repartition
+/// between barriers from measured per-core speed; the SPMD app re-queries at
+/// every release, so a share change takes effect on the next phase.
+class PhasePartitioner {
+ public:
+  virtual ~PhasePartitioner() = default;
+
+  /// Fraction of one phase's total work assigned to thread `thread_index`
+  /// of `nthreads`. Implementations must return shares that sum to 1 over
+  /// all threads and are safe to call before any measurement exists
+  /// (uniform 1/n bootstrap).
+  virtual double thread_share(int thread_index, int nthreads) = 0;
+};
+
+}  // namespace speedbal

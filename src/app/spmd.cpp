@@ -45,7 +45,10 @@ void SpmdApp::launch(Placement placement, std::span<const CoreId> cores) {
 
 double SpmdApp::phase_work(int thread_index) {
   double w = spec_.work_per_phase_us;
-  if (spec_.thread_skew != 0.0 && spec_.nthreads > 1) {
+  if (spec_.partitioner != nullptr) {
+    w = spec_.partitioner->thread_share(thread_index, spec_.nthreads) *
+        spec_.nthreads * spec_.work_per_phase_us;
+  } else if (spec_.thread_skew != 0.0 && spec_.nthreads > 1) {
     const double pos =
         static_cast<double>(thread_index) / (spec_.nthreads - 1) - 0.5;
     w *= 1.0 + spec_.thread_skew * pos;

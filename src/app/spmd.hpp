@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "app/barrier.hpp"
+#include "app/partition.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -28,6 +29,14 @@ struct SpmdAppSpec {
   /// plus speed balancing absorbs such imbalance automatically.
   double thread_skew = 0.0;
   BarrierConfig barrier;
+  /// Optional fractional work-partitioning hook (the SHARE policy family):
+  /// when set, thread i's base work for a phase is
+  /// thread_share(i, n) * n * work_per_phase_us — total phase work is the
+  /// same as the uniform split, but its distribution follows the
+  /// partitioner; thread_skew is superseded, work_jitter still applies.
+  /// Queried at every barrier release, so repartitions take effect on the
+  /// next phase. Not owned; must outlive the app.
+  PhasePartitioner* partitioner = nullptr;
   double mem_footprint_kb = 0.0;
   double mem_intensity = 0.0;
   double mem_bw_demand = 0.0;

@@ -7,6 +7,23 @@
 
 namespace speedbal::check {
 
+namespace {
+
+/// The SHARE knobs bind in every mode (the policy field decides whether a
+/// ShareBalancer is actually built); the epoch reuses the speed balancer's
+/// interval so a shrink step that shortens one shortens both.
+hetero::ShareParams share_params(const FuzzScenario& sc) {
+  hetero::ShareParams p;
+  p.source = sc.share_count ? hetero::ShareParams::Source::Count
+                            : hetero::ShareParams::Source::Speed;
+  p.interval = sc.balance_interval;
+  p.min_share = sc.min_share;
+  p.hysteresis = sc.share_hysteresis;
+  return p;
+}
+
+}  // namespace
+
 ExperimentConfig spmd_experiment(const FuzzScenario& sc) {
   ExperimentConfig cfg;
   cfg.topo = presets::by_name(sc.topo);
@@ -23,6 +40,7 @@ ExperimentConfig spmd_experiment(const FuzzScenario& sc) {
   cfg.time_cap = sec(600);
   cfg.speed.interval = sc.balance_interval;
   cfg.speed.threshold = sc.threshold;
+  cfg.share = share_params(sc);
   for (const perturb::PerturbEvent& ev : sc.perturb) cfg.perturb.add(ev);
   return cfg;
 }
@@ -45,6 +63,12 @@ serve::ServeConfig serve_experiment(const FuzzScenario& sc) {
   cfg.seed = sc.seed;
   cfg.speed.interval = sc.balance_interval;
   cfg.speed.threshold = sc.threshold;
+  cfg.share = share_params(sc);
+  // SHARE only reaches the request stream through dispatch weights, so a
+  // SHARE serve episode exercises the weighted dispatcher (the SERVE-SHARE
+  // default); other policies keep the generated default.
+  if (sc.policy == Policy::Share)
+    cfg.serve.dispatch = serve::DispatchPolicy::Weighted;
   for (const perturb::PerturbEvent& ev : sc.perturb) cfg.perturb.add(ev);
   return cfg;
 }
@@ -74,6 +98,7 @@ cluster::ClusterConfig cluster_experiment(const FuzzScenario& sc) {
   cfg.seed = sc.seed;
   cfg.speed.interval = sc.balance_interval;
   cfg.speed.threshold = sc.threshold;
+  cfg.share = share_params(sc);
   cfg.rebalance.enabled = sc.cluster_rebalance;
   cfg.rebalance.epoch = msec(50);
   if (!sc.perturb.empty()) {

@@ -214,6 +214,10 @@ void run_spmd_episode(const FuzzScenario& sc, EpisodeResult& r) {
   in.migrations = std::move(h.migrations);
   in.decisions = rec.decisions().snapshot();
   check_speed_rules(in, r.violations);
+  if (sc.policy == Policy::Share)
+    check_share_conservation(
+        ShareRuleInputs{sc.cores, cfg.share.min_share, rec.shares().snapshot()},
+        r.violations);
   if (!r.completed)
     r.violations.push_back(Violation{
         "liveness", "run did not complete within cap=" +
@@ -277,6 +281,10 @@ void run_serve_episode(const FuzzScenario& sc, EpisodeResult& r) {
   in.migrations = std::move(h.migrations);
   in.decisions = rec.decisions().snapshot();
   check_speed_rules(in, r.violations);
+  if (sc.policy == Policy::Share)
+    check_share_conservation(
+        ShareRuleInputs{sc.cores, cfg.share.min_share, rec.shares().snapshot()},
+        r.violations);
 
   // Observation-identity oracle: replay the identical scenario with no
   // recorder, probes, or span tracing attached; every result metric must be
@@ -330,6 +338,12 @@ void run_cluster_episode(const FuzzScenario& sc, EpisodeResult& r) {
   c.latency_count = res.stats.latency.count();
   c.queue_wait_count = res.stats.queue_wait.count();
   check_cluster_conservation(c, r.violations);
+  // Every node's ShareBalancer logs into the shared recorder; each epoch
+  // record is a complete per-node partition and is checked independently.
+  if (sc.policy == Policy::Share)
+    check_share_conservation(
+        ShareRuleInputs{sc.cores, cfg.share.min_share, rec.shares().snapshot()},
+        r.violations);
 
   // Observation-identity oracle, cluster scope: the recorder (rebalance
   // log, node-tagged run segments) must read the run without perturbing it.

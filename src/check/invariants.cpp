@@ -205,6 +205,45 @@ void check_cluster_conservation(const ClusterCounters& c,
             " samples for " + std::to_string(c.completed) + " completions");
 }
 
+void check_share_conservation(const ShareRuleInputs& in,
+                              std::vector<Violation>& out) {
+  // FP slack: the target computation renormalizes an O(cores)-term sum, so
+  // 1e-9 is far above accumulated rounding and far below any real leak.
+  constexpr double kEps = 1e-9;
+  for (const obs::ShareRecord& r : in.records) {
+    const std::string who = "epoch " + std::to_string(r.epoch) + " (" +
+                            to_string(r.outcome) + ") at t=" +
+                            std::to_string(r.ts_us) + "us";
+    if (static_cast<int>(r.shares.size()) != in.cores) {
+      add(out, "share-conservation",
+          who + ": " + std::to_string(r.shares.size()) +
+              " shares for " + std::to_string(in.cores) + " managed cores");
+      continue;
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < r.shares.size(); ++c) {
+      const double s = r.shares[c];
+      sum += s;
+      if (!(s > 0.0) || s > 1.0 + kEps)
+        add(out, "share-conservation",
+            who + ": core " + std::to_string(c) + " share " + fmt(s) +
+                " outside (0, 1]");
+      if (s < in.min_share - kEps)
+        add(out, "share-conservation",
+            who + ": core " + std::to_string(c) + " share " + fmt(s) +
+                " below floor min_share=" + fmt(in.min_share));
+    }
+    if (std::abs(sum - 1.0) > kEps)
+      add(out, "share-conservation",
+          who + ": shares sum to " + fmt(sum) + " != 1 (work not conserved)");
+    for (std::size_t c = 0; c < r.speeds.size(); ++c)
+      if (!(r.speeds[c] > 0.0) || !std::isfinite(r.speeds[c]))
+        add(out, "share-conservation",
+            who + ": core " + std::to_string(c) + " smoothed speed " +
+                fmt(r.speeds[c]) + " not positive and finite");
+  }
+}
+
 void check_span_conservation(const std::vector<obs::RequestSpan>& spans,
                              std::vector<Violation>& out) {
   constexpr double kEps = 1e-6;  // FP slack for the fractional stall only.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/decision_log.hpp"
+#include "obs/share_log.hpp"
 #include "obs/span.hpp"
 #include "sim/metrics.hpp"
 #include "topo/topology.hpp"
@@ -17,7 +18,7 @@ namespace speedbal::check {
 /// "affinity", "numa-block", "cooldown", "threshold", "speed-accounting",
 /// "histogram-merge", "event-queue", "serve-counters",
 /// "cluster-conservation", "span-conservation", "sampling-identity",
-/// "liveness");
+/// "share-conservation", "liveness");
 /// `detail` is a deterministic human-readable message (fixed-format number
 /// rendering, no pointers or timestamps), so a replayed episode reproduces
 /// the violation byte-for-byte.
@@ -142,6 +143,25 @@ struct ClusterCounters {
 /// "cluster-conservation".
 void check_cluster_conservation(const ClusterCounters& c,
                                 std::vector<Violation>& out);
+
+/// Inputs for the SHARE work-partition conservation check.
+struct ShareRuleInputs {
+  int cores = 0;            ///< Managed cores (= length of every shares vector).
+  double min_share = 0.02;  ///< ShareParams::min_share in force.
+  /// Full epoch log from the run's ShareBalancer(s). Under a cluster run
+  /// each node's balancer logs its own epochs; every record is checked
+  /// independently against the same shape.
+  std::vector<obs::ShareRecord> records;
+};
+
+/// Work-share conservation, checked against every repartition epoch the run
+/// logged: a record's shares vector spans exactly the managed cores, each
+/// share lies in (0, 1], respects the min-share floor, and the partition
+/// sums to 1 (work is moved, never created or destroyed); the smoothed
+/// speeds the decision saw are positive and finite. Emits
+/// "share-conservation".
+void check_share_conservation(const ShareRuleInputs& in,
+                              std::vector<Violation>& out);
 
 /// Every traced request's span must exactly partition its sojourn time:
 /// queue, exec, and preempt components are non-negative and sum to

@@ -9,6 +9,7 @@
 #include "core/scenarios.hpp"
 #include "model/analytic.hpp"
 #include "topo/presets.hpp"
+#include "workload/generator.hpp"
 
 namespace speedbal::check {
 
@@ -112,6 +113,85 @@ std::string check_jobs_identity(const FuzzScenario& sc,
                              "\" vs \"" + lb + "\""});
   }
   return serial;
+}
+
+std::vector<HeteroPoint> check_hetero_grid(std::vector<Violation>& out) {
+  constexpr int kPhases = 6;
+  constexpr double kWorkUs = 20000.0;
+  std::vector<HeteroPoint> grid;
+  for (const char* name : {"biglittle2+2x2", "biglittle4+4x3", "ladder6"}) {
+    const Topology topo = presets::by_name(name);
+    const int cores = topo.num_cores();
+
+    model::HeteroShape shape;
+    for (CoreId c = 0; c < cores; ++c)
+      shape.speeds.push_back(topo.core(c).clock_scale);
+    const double total_work = cores * kWorkUs;
+    const double opt_us = model::optimal_makespan(shape, total_work);
+    const double count_us = model::count_balanced_makespan(shape, total_work);
+
+    ExperimentConfig cfg;
+    cfg.topo = topo;
+    cfg.app = workload::uniform_app(cores, kPhases, kWorkUs, BarrierConfig{});
+    cfg.policy = Policy::Share;
+    cfg.cores = cores;
+    cfg.repeats = 1;
+    cfg.jobs = 1;
+    cfg.seed = 7;
+    cfg.time_cap = sec(600);
+    // Oracle conditions: fast clean epochs so the partition locks onto the
+    // analytic optimum right after the bootstrap phase. Alpha 0.5 still
+    // seeds the EWMA exactly from the first measurement but damps the one
+    // partially-idle window an epoch can straddle at a phase boundary.
+    cfg.share.interval = msec(5);
+    cfg.share.ewma_alpha = 0.5;
+    cfg.share.measurement_noise = 0.0;
+    cfg.share.hysteresis = 0.0;
+    cfg.share.min_share = 0.01;
+
+    HeteroPoint pt;
+    pt.topo = name;
+    pt.cores = cores;
+    pt.penalty = model::count_penalty(shape);
+    // The launch-time partition is the uniform bootstrap, so the first
+    // phase runs count-balanced; each later phase starts from a converged
+    // speed-proportional partition.
+    pt.predicted_share_s = (count_us + (kPhases - 1) * opt_us) / 1e6;
+    pt.predicted_count_s = kPhases * count_us / 1e6;
+    pt.share_s = run_experiment(cfg).runs.at(0).runtime_s;
+    cfg.share.source = hetero::ShareParams::Source::Count;
+    pt.count_s = run_experiment(cfg).runs.at(0).runtime_s;
+    grid.push_back(pt);
+
+    const auto relerr = [](double measured, double predicted) {
+      return std::abs(measured - predicted) / predicted;
+    };
+    if (relerr(pt.share_s, pt.predicted_share_s) > kAnalyticTolerance)
+      out.push_back(Violation{
+          "hetero-analytic",
+          std::string(name) + ": SHARE runtime " + std::to_string(pt.share_s) +
+              "s vs predicted " + std::to_string(pt.predicted_share_s) +
+              "s (error " +
+              std::to_string(relerr(pt.share_s, pt.predicted_share_s)) +
+              " > " + std::to_string(kAnalyticTolerance) + ")"});
+    if (relerr(pt.count_s, pt.predicted_count_s) > kAnalyticTolerance)
+      out.push_back(Violation{
+          "hetero-analytic",
+          std::string(name) + ": count-source runtime " +
+              std::to_string(pt.count_s) + "s vs predicted " +
+              std::to_string(pt.predicted_count_s) + "s (error " +
+              std::to_string(relerr(pt.count_s, pt.predicted_count_s)) +
+              " > " + std::to_string(kAnalyticTolerance) + ")"});
+    const double predicted_ratio = pt.predicted_count_s / pt.predicted_share_s;
+    const double measured_ratio = pt.count_s / pt.share_s;
+    if (measured_ratio < 1.0 + 0.8 * (predicted_ratio - 1.0))
+      out.push_back(Violation{
+          "hetero-analytic",
+          std::string(name) + ": count/SHARE ratio " +
+              std::to_string(measured_ratio) + " realizes less than 80% of " +
+              "the predicted gap " + std::to_string(predicted_ratio)});
+  }
+  return grid;
 }
 
 std::vector<AnalyticPoint> check_analytic_grid(std::vector<Violation>& out) {

@@ -38,4 +38,27 @@ struct AnalyticPoint {
 /// the measured grid.
 std::vector<AnalyticPoint> check_analytic_grid(std::vector<Violation>& out);
 
+/// One point of the heterogeneous differential grid: an asymmetric machine
+/// running one thread per core, where the partition — not placement — is
+/// the whole story.
+struct HeteroPoint {
+  std::string topo;          ///< Preset name (big.LITTLE or clock ladder).
+  int cores = 0;
+  double penalty = 0.0;      ///< Analytic count_penalty: sum(s)/(M*min(s)).
+  double predicted_share_s = 0.0;  ///< Bootstrap phase + optimal phases.
+  double predicted_count_s = 0.0;  ///< All phases count-balanced.
+  double share_s = 0.0;      ///< Measured SHARE (speed source) runtime.
+  double count_s = 0.0;      ///< Measured count-source baseline runtime.
+};
+
+/// Differential oracle against the heterogeneous analytic model on
+/// asymmetric machines (big.LITTLE at ratios 2 and 3, a clock ladder): with
+/// one pinned thread per core, SHARE's runtime must land within
+/// kAnalyticTolerance of the model (one count-balanced bootstrap phase,
+/// then phases at optimal_makespan), the count-source baseline within
+/// kAnalyticTolerance of all-phases count_balanced_makespan, and the
+/// measured count/SHARE ratio must realize at least 80% of the predicted
+/// gap. Appends "hetero-analytic" violations; returns the measured grid.
+std::vector<HeteroPoint> check_hetero_grid(std::vector<Violation>& out);
+
 }  // namespace speedbal::check

@@ -1,6 +1,7 @@
 #include "check/scenario.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -88,6 +89,8 @@ std::string FuzzScenario::summary() const {
     os << " nodes=" << nodes
        << " dispatch=" << cluster::to_string(cluster_dispatch)
        << " rebalance=" << (cluster_rebalance ? 1 : 0);
+  if (policy == Policy::Share)
+    os << " share_count=" << (share_count ? 1 : 0) << " floor=" << min_share;
   os << " perturb=" << perturb.size() << " seed=" << seed;
   if (broken != BrokenMode::None) os << " broken=" << to_string(broken);
   return os.str();
@@ -122,6 +125,9 @@ std::string FuzzScenario::to_json() const {
   w.kv("perturb_node", perturb_node);
   w.kv("balance_interval_us", balance_interval);
   w.kv("threshold", threshold);
+  w.kv("share_count", share_count);
+  w.kv("min_share", min_share);
+  w.kv("share_hysteresis", share_hysteresis);
   w.key("perturb");
   w.begin_array();
   for (const auto& ev : perturb) w.value(ev.to_spec());
@@ -165,6 +171,13 @@ FuzzScenario FuzzScenario::from_json(std::string_view text) {
     sc.perturb_node = static_cast<int>(v->as_int());
   sc.balance_interval = doc.at("balance_interval_us").as_int();
   sc.threshold = doc.at("threshold").as_number();
+  // SHARE fields are optional so pre-hetero replay specs keep loading.
+  if (const JsonValue* v = doc.find("share_count"))
+    sc.share_count = v->as_bool();
+  if (const JsonValue* v = doc.find("min_share"))
+    sc.min_share = v->as_number();
+  if (const JsonValue* v = doc.find("share_hysteresis"))
+    sc.share_hysteresis = v->as_number();
   for (std::size_t i = 0; i < doc.at("perturb").size(); ++i)
     sc.perturb.push_back(
         perturb::PerturbTimeline::parse_spec(doc.at("perturb")[i].as_string()));
@@ -215,6 +228,12 @@ void FuzzScenario::validate() const {
     throw std::invalid_argument("scenario: balance_interval <= 0");
   if (threshold <= 0.0 || threshold > 1.0)
     throw std::invalid_argument("scenario: threshold out of (0,1]");
+  if (min_share < 0.0 || min_share > 0.2)
+    throw std::invalid_argument("scenario: min_share out of [0,0.2]");
+  if (min_share * static_cast<double>(cores) >= 1.0)
+    throw std::invalid_argument("scenario: min_share * cores >= 1");
+  if (share_hysteresis < 0.0 || share_hysteresis >= 1.0)
+    throw std::invalid_argument("scenario: share_hysteresis out of [0,1)");
 }
 
 FuzzScenario generate(std::uint64_t seed) {
@@ -336,6 +355,43 @@ FuzzScenario generate(std::uint64_t seed) {
   sc.cluster_rebalance = !rng.chance(0.25);
   sc.perturb_node = static_cast<int>(rng.uniform_int(0, sc.nodes - 1));
   if (rng.chance(0.2)) sc.mode = Mode::Cluster;
+
+  // Heterogeneity, drawn after everything else (like the cluster shape) so
+  // pre-hetero seeds keep generating byte-identical scenarios. A hetero
+  // upgrade swaps in an asymmetric-clock machine — big.LITTLE or a
+  // frequency ladder — often runs the SHARE partitioning policy on it, and
+  // sometimes throttles a core with a linear DVFS ramp mid-episode.
+  if (rng.chance(0.30)) {
+    if (rng.chance(0.5)) {
+      const int big = static_cast<int>(rng.uniform_int(1, 3));
+      const int little = static_cast<int>(rng.uniform_int(1, 3));
+      const double ratios[] = {1.5, 2.0, 3.0, 4.0};
+      char name[40];
+      std::snprintf(name, sizeof name, "biglittle%d+%dx%g", big, little,
+                    ratios[rng.uniform_int(0, 3)]);
+      sc.topo = name;
+    } else {
+      sc.topo = "ladder" + std::to_string(rng.uniform_int(3, 8));
+    }
+    const Topology ht = presets::by_name(sc.topo);
+    sc.cores = static_cast<int>(rng.uniform_int(2, ht.num_cores()));
+    if (rng.chance(0.5)) {
+      sc.policy = Policy::Share;
+      sc.share_count = rng.chance(0.25);
+      sc.min_share = rng.uniform(0.01, std::min(0.2, 0.8 / sc.cores));
+      sc.share_hysteresis = rng.uniform(0.0, 0.05);
+    }
+    if (rng.chance(0.5)) {
+      perturb::PerturbEvent ramp;
+      ramp.kind = perturb::PerturbKind::DvfsRamp;
+      ramp.at = rng.uniform_int(msec(10), std::max(msec(20), horizon));
+      ramp.core = static_cast<int>(rng.uniform_int(0, sc.cores - 1));
+      ramp.scale = rng.uniform(0.3, 1.2);
+      ramp.ramp_over = rng.uniform_int(msec(10), msec(100));
+      ramp.ramp_steps = static_cast<int>(rng.uniform_int(2, 16));
+      sc.perturb.push_back(ramp);
+    }
+  }
 
   sc.validate();
   return sc;

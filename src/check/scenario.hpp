@@ -78,6 +78,13 @@ struct FuzzScenario {
   SimTime balance_interval = msec(50);
   double threshold = 0.9;
 
+  // SHARE (speed-weighted work partitioning) knobs; only bind under
+  // Policy::Share. Defaults match pre-hetero replay specs, whose JSON omits
+  // these fields entirely.
+  bool share_count = false;        ///< Uniform-share (count) baseline source.
+  double min_share = 0.02;         ///< Per-core share floor.
+  double share_hysteresis = 0.02;  ///< Min max-delta to adopt a repartition.
+
   /// Scripted interference applied mid-episode.
   std::vector<perturb::PerturbEvent> perturb;
 
@@ -102,10 +109,11 @@ struct FuzzScenario {
   void validate() const;
 };
 
-/// Draw a scenario from the constrained distributions (topology mix, task
-/// counts up to ~2.5x oversubscription, all five policies, 0-3 perturbation
-/// events, serve workloads across all arrival/service kinds). Deterministic
-/// in `seed`; never emits a broken scenario.
+/// Draw a scenario from the constrained distributions (topology mix —
+/// including heterogeneous big.LITTLE and frequency-ladder machines — task
+/// counts up to ~2.5x oversubscription, all six policies, 0-3 perturbation
+/// events plus DVFS ramps, serve workloads across all arrival/service
+/// kinds). Deterministic in `seed`; never emits a broken scenario.
 FuzzScenario generate(std::uint64_t seed);
 
 }  // namespace speedbal::check

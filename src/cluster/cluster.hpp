@@ -78,6 +78,7 @@ struct ClusterConfig {
   LinuxLoadParams linux_load;
   DwrrParams dwrr;
   UleParams ule;
+  hetero::ShareParams share;
   SimParams sim;
   RebalanceParams rebalance;
 

@@ -18,6 +18,7 @@ const char* to_string(Policy p) {
     case Policy::Dwrr: return "DWRR";
     case Policy::Ule: return "ULE";
     case Policy::None: return "NONE";
+    case Policy::Share: return "SHARE";
   }
   return "?";
 }
@@ -102,10 +103,22 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
       break;
   }
 
-  SpmdApp app(sim, config.app);
-  const auto placement = config.policy == Policy::Pinned
-                             ? SpmdApp::Placement::RoundRobin
-                             : SpmdApp::Placement::LinuxFork;
+  // SHARE partitions work instead of moving threads: the balancer must
+  // exist before the app (launch-time phase_work queries it), and the hook
+  // goes on a per-run copy of the spec — config.app is shared across
+  // concurrent replicas.
+  SpmdAppSpec app_spec = config.app;
+  std::unique_ptr<hetero::ShareBalancer> share;
+  if (config.policy == Policy::Share) {
+    share = std::make_unique<hetero::ShareBalancer>(
+        config.share, std::vector<CoreId>(cores.begin(), cores.end()));
+    app_spec.partitioner = share.get();
+  }
+  SpmdApp app(sim, app_spec);
+  const auto placement =
+      config.policy == Policy::Pinned || config.policy == Policy::Share
+          ? SpmdApp::Placement::RoundRobin
+          : SpmdApp::Placement::LinuxFork;
   app.launch(placement, cores);
   if (make) make->launch(cores);
 
@@ -119,6 +132,10 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   } else if (config.policy == Policy::Pinned) {
     pinned = std::make_unique<PinnedBalancer>(app.threads(), cores);
     pinned->attach(sim);
+  } else if (config.policy == Policy::Share) {
+    share->set_managed(app.threads());
+    if (recorder != nullptr) share->set_recorder(recorder);
+    share->attach(sim);
   }
 
   if (config.on_run_start) config.on_run_start(sim, app, rep);

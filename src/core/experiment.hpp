@@ -13,6 +13,7 @@
 #include "balance/linux_load.hpp"
 #include "balance/speed.hpp"
 #include "balance/ule.hpp"
+#include "hetero/share.hpp"
 #include "obs/recorder.hpp"
 #include "perturb/timeline.hpp"
 #include "topo/topology.hpp"
@@ -30,6 +31,8 @@ enum class Policy {
   Dwrr,    ///< DWRR kernel replacing the Linux balancer.
   Ule,     ///< FreeBSD ULE push balancer replacing the Linux balancer.
   None,    ///< No balancing at all (fork placement only); for experiments.
+  Share,   ///< Speed-weighted work partitioning: threads stay pinned, the
+           ///< per-phase work shares follow measured core speed (hetero).
 };
 
 const char* to_string(Policy p);
@@ -57,6 +60,7 @@ struct ExperimentConfig {
   LinuxLoadParams linux_load;
   DwrrParams dwrr;
   UleParams ule;
+  hetero::ShareParams share;
   SimParams sim;
 
   /// Optional competitors sharing the machine.

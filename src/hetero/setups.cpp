@@ -1,0 +1,105 @@
+#include "hetero/setups.hpp"
+
+#include <cstdio>
+
+#include "topo/presets.hpp"
+
+namespace speedbal::hetero {
+
+const char* to_string(HeteroPolicy p) {
+  switch (p) {
+    case HeteroPolicy::Share: return "SHARE";
+    case HeteroPolicy::ShareCount: return "SHARE-COUNT";
+    case HeteroPolicy::Speed: return "SPEED";
+    case HeteroPolicy::Load: return "LOAD";
+    case HeteroPolicy::Pinned: return "PINNED";
+  }
+  return "?";
+}
+
+std::string clock_ladder(const Topology& t) {
+  const auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return std::string(buf);
+  };
+  std::string out;
+  int run = 0;
+  double scale = 0.0;
+  const auto flush = [&] {
+    if (run == 0) return;
+    if (!out.empty()) out += "+";
+    if (run > 1) out += std::to_string(run) + "x";
+    out += fmt(scale);
+  };
+  for (const CoreInfo& c : t.cores()) {
+    if (run > 0 && c.clock_scale == scale) {
+      ++run;
+      continue;
+    }
+    flush();
+    run = 1;
+    scale = c.clock_scale;
+  }
+  flush();
+  return out;
+}
+
+const std::vector<HeteroSetup>& hetero_setups() {
+  static const std::vector<HeteroSetup> setups = [] {
+    // One setup per policy on the canonical 4 big + 4 LITTLE machine at
+    // clock ratio 3 (count-balancing penalty (r+1)/2 = 2.0x there), plus a
+    // SHARE run on the 8-step frequency ladder.
+    struct Entry {
+      const char* name;
+      const char* topo;
+      HeteroPolicy policy;
+    };
+    const Entry entries[] = {
+        {"HETERO-SHARE", "biglittle4+4x3", HeteroPolicy::Share},
+        {"HETERO-SHARE-COUNT", "biglittle4+4x3", HeteroPolicy::ShareCount},
+        {"HETERO-SPEED", "biglittle4+4x3", HeteroPolicy::Speed},
+        {"HETERO-LOAD", "biglittle4+4x3", HeteroPolicy::Load},
+        {"HETERO-PINNED", "biglittle4+4x3", HeteroPolicy::Pinned},
+        {"HETERO-LADDER-SHARE", "ladder8", HeteroPolicy::Share},
+    };
+    std::vector<HeteroSetup> out;
+    for (const Entry& e : entries) {
+      HeteroSetup s;
+      s.name = e.name;
+      s.topo = e.topo;
+      s.policy = e.policy;
+      const Topology t = presets::by_name(e.topo);
+      s.description = std::string(to_string(e.policy)) + " on " + e.topo +
+                      ": " + std::to_string(t.num_cores()) +
+                      " cores, clocks " + clock_ladder(t);
+      out.push_back(std::move(s));
+    }
+    return out;
+  }();
+  return setups;
+}
+
+const HeteroSetup* find_hetero_setup(std::string_view name) {
+  for (const HeteroSetup& s : hetero_setups())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::vector<perturb::PerturbEvent> thermal_ramp_profile(
+    int core, SimTime onset, double throttled_scale, SimTime ramp,
+    SimTime hold, double nominal_scale) {
+  perturb::PerturbEvent down;
+  down.at = onset;
+  down.kind = perturb::PerturbKind::DvfsRamp;
+  down.core = core;
+  down.scale = throttled_scale;
+  down.ramp_over = ramp;
+
+  perturb::PerturbEvent up = down;
+  up.at = onset + ramp + hold;
+  up.scale = nominal_scale;
+  return {down, up};
+}
+
+}  // namespace speedbal::hetero

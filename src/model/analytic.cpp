@@ -52,4 +52,39 @@ double phase_makespan_lower_bound(const SpmdShape& shape, double s) {
   return s * static_cast<double>(shape.threads) / shape.cores;
 }
 
+namespace {
+void validate(const HeteroShape& shape) {
+  if (shape.speeds.empty())
+    throw std::invalid_argument("HeteroShape requires >= 1 core");
+  for (const double s : shape.speeds)
+    if (s <= 0.0)
+      throw std::invalid_argument("HeteroShape speeds must be > 0");
+}
+}  // namespace
+
+std::vector<double> optimal_shares(const HeteroShape& shape) {
+  validate(shape);
+  const double total = shape.total_speed();
+  std::vector<double> shares;
+  shares.reserve(shape.speeds.size());
+  for (const double s : shape.speeds) shares.push_back(s / total);
+  return shares;
+}
+
+double optimal_makespan(const HeteroShape& shape, double work) {
+  validate(shape);
+  return work / shape.total_speed();
+}
+
+double count_balanced_makespan(const HeteroShape& shape, double work) {
+  validate(shape);
+  return work / static_cast<double>(shape.cores()) / shape.min_speed();
+}
+
+double count_penalty(const HeteroShape& shape) {
+  validate(shape);
+  return shape.total_speed() /
+         (static_cast<double>(shape.cores()) * shape.min_speed());
+}
+
 }  // namespace speedbal::model

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "util/time.hpp"
 
 namespace speedbal::model {
@@ -48,5 +50,45 @@ double ideal_improvement(const SpmdShape& shape);
 /// Upper bound on the makespan of one phase: work S per thread, perfectly
 /// rotated over M cores cannot beat N*S/M.
 double phase_makespan_lower_bound(const SpmdShape& shape, double s);
+
+/// The heterogeneous extension (Sections 1/4/7 of the paper argue speed
+/// balancing is strongest on asymmetric machines): M cores with relative
+/// speeds s_i > 0 executing one barrier phase of total work W (one work
+/// unit takes 1/s_i seconds on core i, each core runs one partition).
+struct HeteroShape {
+  std::vector<double> speeds;  ///< Per-core relative speed (clock scale).
+
+  int cores() const { return static_cast<int>(speeds.size()); }
+  double total_speed() const {
+    double s = 0.0;
+    for (const double v : speeds) s += v;
+    return s;
+  }
+  double min_speed() const {
+    double m = speeds.empty() ? 0.0 : speeds[0];
+    for (const double v : speeds) m = v < m ? v : m;
+    return m;
+  }
+};
+
+/// Speed-proportional work shares w_i = s_i / sum(s): the unique partition
+/// that makes every core finish the phase simultaneously. Shares sum to 1.
+std::vector<double> optimal_shares(const HeteroShape& shape);
+
+/// Makespan of one phase of total work W under the optimal (speed-
+/// proportional) partition: W / sum(s_i) — every core finishes together.
+double optimal_makespan(const HeteroShape& shape, double work);
+
+/// Makespan under uniform (count-balanced) shares w_i = 1/M: the phase ends
+/// when the slowest core finishes its equal slice, (W/M) / min(s_i). This is
+/// what queue-length balancing converges to on an asymmetric machine — equal
+/// queues, maximally wrong partition.
+double count_balanced_makespan(const HeteroShape& shape, double work);
+
+/// The paper's "load balancing is maximally wrong here" ratio:
+/// count_balanced / optimal = sum(s_i) / (M * min(s_i)). 1.0 when the
+/// machine is homogeneous; grows linearly with the big/LITTLE speed ratio
+/// (4 big + 4 little at ratio r: (4r+4)/(8*1) = (r+1)/2).
+double count_penalty(const HeteroShape& shape);
 
 }  // namespace speedbal::model

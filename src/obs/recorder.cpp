@@ -202,6 +202,23 @@ void RunRecorder::write_chrome_trace(std::ostream& os) const {
     events.push_back(std::move(ev));
   }
 
+  // Share-repartition epochs -> instants on core 0's track (the partition
+  // is a whole-machine decision; the shares travel as numeric args).
+  for (const auto& r : shares_.snapshot()) {
+    TraceEvent ev;
+    ev.kind = EventKind::Instant;
+    ev.ts_us = r.ts_us;
+    ev.track = 0;
+    ev.name = std::string("share:") + to_string(r.outcome);
+    ev.cat = "share";
+    ev.num_args.emplace_back("max_delta", r.max_delta);
+    ev.num_args.emplace_back("floor_clamped",
+                             static_cast<double>(r.floor_clamped));
+    for (std::size_t i = 0; i < r.shares.size(); ++i)
+      ev.num_args.emplace_back("w" + std::to_string(i), r.shares[i]);
+    events.push_back(std::move(ev));
+  }
+
   // Performed pulls -> instant events on the destination core's track.
   for (const auto& d : decisions_.snapshot()) {
     if (d.reason != PullReason::Pulled) continue;
@@ -367,6 +384,30 @@ void RunRecorder::write_report_json(std::ostream& os) const {
         w.kv("to_load", r.to_load);
         w.kv("drained", r.drained);
       }
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  // ShareBalancer repartition epoch log — one record per epoch with the
+  // partition and the EWMA speeds the decision saw. Absent unless SHARE
+  // ran, so pre-SHARE reports stay byte-identical.
+  if (shares_.size() > 0) {
+    w.key("shares").begin_array();
+    for (const auto& r : shares_.snapshot()) {
+      w.begin_object();
+      w.kv("t_us", r.ts_us);
+      w.kv("epoch", r.epoch);
+      w.kv("outcome", to_string(r.outcome));
+      w.kv("max_delta", r.max_delta);
+      w.kv("hysteresis", r.hysteresis);
+      w.kv("floor_clamped", r.floor_clamped);
+      w.key("shares").begin_array();
+      for (const double s : r.shares) w.value(s);
+      w.end_array();
+      w.key("speeds").begin_array();
+      for (const double s : r.speeds) w.value(s);
+      w.end_array();
       w.end_object();
     }
     w.end_array();

@@ -11,6 +11,7 @@
 #include "obs/decision_log.hpp"
 #include "obs/rebalance_log.hpp"
 #include "obs/segment_table.hpp"
+#include "obs/share_log.hpp"
 #include "obs/span.hpp"
 #include "obs/speed_timeline.hpp"
 #include "obs/telemetry_buffer.hpp"
@@ -59,6 +60,9 @@ class RunRecorder {
   /// Global (cluster-level) rebalancer epoch log; empty for one-node runs.
   RebalanceLog& rebalances() { return rebalances_; }
   const RebalanceLog& rebalances() const { return rebalances_; }
+  /// ShareBalancer repartition epoch log; empty unless SHARE ran.
+  ShareLog& shares() { return shares_; }
+  const ShareLog& shares() const { return shares_; }
   /// Wall time the observability layer itself spent on the hot path.
   OverheadMeter& overhead() { return overhead_; }
   const OverheadMeter& overhead() const { return overhead_; }
@@ -99,6 +103,7 @@ class RunRecorder {
   TelemetryBuffer telemetry_{&trace_};
   RunSegmentTable run_segments_;
   RebalanceLog rebalances_;
+  ShareLog shares_;
   OverheadMeter overhead_;
 
   mutable std::mutex mu_;

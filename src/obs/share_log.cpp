@@ -1,0 +1,57 @@
+#include "obs/share_log.hpp"
+
+namespace speedbal::obs {
+
+const char* to_string(ShareOutcome o) {
+  switch (o) {
+    case ShareOutcome::Bootstrap: return "bootstrap";
+    case ShareOutcome::Repartitioned: return "repartitioned";
+    case ShareOutcome::BelowHysteresis: return "below-hysteresis";
+  }
+  return "?";
+}
+
+ShareOutcome parse_share_outcome(std::string_view s) {
+  for (int i = 0; i < kNumShareOutcomes; ++i) {
+    const auto o = static_cast<ShareOutcome>(i);
+    if (s == to_string(o)) return o;
+  }
+  return ShareOutcome::BelowHysteresis;
+}
+
+void ShareLog::add(const ShareRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[static_cast<int>(rec.outcome)];
+  if (records_.size() >= record_cap_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(rec);
+}
+
+std::vector<ShareRecord> ShareLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t ShareLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::int64_t ShareLog::count(ShareOutcome o) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(o)];
+}
+
+std::int64_t ShareLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void ShareLog::set_record_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_cap_ = cap;
+}
+
+}  // namespace speedbal::obs

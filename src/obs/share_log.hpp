@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace speedbal::obs {
+
+/// Outcome of one ShareBalancer repartition epoch: why the work shares did
+/// — or did not — change. The partitioning analogue of PullReason /
+/// RebalanceOutcome: every epoch leaves a record, so `obsquery --shares`
+/// can answer "why did core 3's share shrink" (or "why did the partition
+/// sit still while the little cores were throttled").
+enum class ShareOutcome {
+  Bootstrap = 0,    ///< First measurement; initial shares established.
+  Repartitioned,    ///< Shares moved to the new speed-proportional target.
+  BelowHysteresis,  ///< Target within the hysteresis band; shares kept.
+};
+
+inline constexpr int kNumShareOutcomes =
+    static_cast<int>(ShareOutcome::BelowHysteresis) + 1;
+
+const char* to_string(ShareOutcome o);
+/// Inverse of to_string; returns BelowHysteresis for unrecognized strings.
+ShareOutcome parse_share_outcome(std::string_view s);
+
+/// One repartition-epoch record. `shares` is the post-decision partition
+/// (sums to 1); `speeds` the EWMA-smoothed per-core speeds the decision saw;
+/// `max_delta` the largest per-core share change the target demanded;
+/// `floor_clamped` how many cores the min-share floor held up.
+struct ShareRecord {
+  std::int64_t ts_us = 0;
+  std::int64_t epoch = 0;
+  ShareOutcome outcome = ShareOutcome::BelowHysteresis;
+  double max_delta = 0.0;
+  double hysteresis = 0.0;
+  int floor_clamped = 0;
+  std::vector<double> shares;
+  std::vector<double> speeds;
+};
+
+/// Append-only, capped epoch log — one record per repartition epoch, so its
+/// growth is bounded by run length / balance interval, not by traffic.
+class ShareLog {
+ public:
+  void add(const ShareRecord& rec);
+
+  std::vector<ShareRecord> snapshot() const;
+  std::size_t size() const;
+  std::int64_t count(ShareOutcome o) const;
+  std::int64_t dropped() const;
+  void set_record_cap(std::size_t cap);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ShareRecord> records_;
+  std::int64_t counts_[kNumShareOutcomes] = {};
+  std::size_t record_cap_ = 100000;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace speedbal::obs

@@ -33,6 +33,30 @@ bool SimPerturbDriver::apply_one(const PerturbEvent& ev) {
       if (!core_valid) return false;
       sim_.set_clock_scale(ev.core, ev.scale);
       return true;
+    case PerturbKind::DvfsRamp: {
+      if (!core_valid) return false;
+      const double from = sim_.topo().core(ev.core).clock_scale;
+      if (ev.ramp_over <= 0) {  // Degenerate ramp = step.
+        sim_.set_clock_scale(ev.core, ev.scale);
+        return true;
+      }
+      // Linear interpolation in ramp_steps discrete sets, the last landing
+      // exactly on the target so ramps compose with later steps/ramps.
+      const SimTime start = sim_.now();
+      for (int k = 1; k <= ev.ramp_steps; ++k) {
+        const double frac =
+            static_cast<double>(k) / static_cast<double>(ev.ramp_steps);
+        const double scale = from + (ev.scale - from) * frac;
+        const SimTime when =
+            start + static_cast<SimTime>(
+                        static_cast<double>(ev.ramp_over) * frac);
+        const int core = ev.core;
+        sim_.schedule_at(when, [this, core, scale] {
+          if (core < sim_.num_cores()) sim_.set_clock_scale(core, scale);
+        });
+      }
+      return true;
+    }
     case PerturbKind::CoreOffline:
       if (!core_valid || sim_.num_online_cores() <= 1 ||
           !sim_.core_online(ev.core))

@@ -21,6 +21,7 @@ const char* to_string(PerturbKind k) {
     case PerturbKind::WorkSpike: return "spike";
     case PerturbKind::FailAffinity: return "fail-affinity";
     case PerturbKind::FailProcfs: return "fail-procfs";
+    case PerturbKind::DvfsRamp: return "dvfs-ramp";
   }
   return "?";
 }
@@ -88,6 +89,10 @@ std::string PerturbEvent::to_spec() const {
     case PerturbKind::Dvfs:
       os << " scale=" << scale;
       break;
+    case PerturbKind::DvfsRamp:
+      os << " scale=" << scale << " over=" << ramp_over
+         << "us steps=" << ramp_steps;
+      break;
     case PerturbKind::WorkSpike:
       os << " work=" << static_cast<std::int64_t>(work_us) << "us";
       break;
@@ -136,6 +141,13 @@ PerturbEvent PerturbTimeline::parse_spec(std::string_view spec) {
       ev.scale = parse_number(value, "scale");
       if (ev.scale <= 0.0)
         throw std::invalid_argument("perturb scale must be > 0, got '" +
+                                    value + "'");
+    } else if (key == "over") {
+      ev.ramp_over = parse_time(value, "over");
+    } else if (key == "steps") {
+      ev.ramp_steps = static_cast<int>(parse_number(value, "steps"));
+      if (ev.ramp_steps < 1)
+        throw std::invalid_argument("perturb steps must be >= 1, got '" +
                                     value + "'");
     } else if (key == "work") {
       ev.work_us = static_cast<double>(parse_time(value, "work"));
@@ -204,6 +216,27 @@ PerturbTimeline PerturbTimeline::parse_json(std::string_view text) {
       ev.scale = v->as_number();
       if (ev.scale <= 0.0)
         throw std::invalid_argument("perturb JSON: scale must be > 0");
+    }
+    int over_keys = 0;
+    if (const JsonValue* v = e.find("over_us")) {
+      ev.ramp_over = v->as_int();
+      ++over_keys;
+    }
+    if (const JsonValue* v = e.find("over_ms")) {
+      ev.ramp_over = static_cast<SimTime>(v->as_number() * kMsec);
+      ++over_keys;
+    }
+    if (const JsonValue* v = e.find("over_s")) {
+      ev.ramp_over = static_cast<SimTime>(v->as_number() * kSec);
+      ++over_keys;
+    }
+    if (over_keys > 1)
+      throw std::invalid_argument(
+          "perturb JSON: at most one of over_us/over_ms/over_s");
+    if (const JsonValue* v = e.find("steps")) {
+      ev.ramp_steps = static_cast<int>(v->as_int());
+      if (ev.ramp_steps < 1)
+        throw std::invalid_argument("perturb JSON: steps must be >= 1");
     }
     if (const JsonValue* v = e.find("work_us")) ev.work_us = v->as_number();
     if (const JsonValue* v = e.find("count"))

@@ -23,17 +23,21 @@ enum class PerturbKind {
   WorkSpike,     ///< A one-shot task with `work_us` of work appears.
   FailAffinity,  ///< Native shim: fail the next N sched_setaffinity calls.
   FailProcfs,    ///< Native shim: fail the next N procfs stat reads.
+  DvfsRamp,      ///< Linear clock ramp to `scale` over `ramp_over`
+                 ///< (thermal throttling / frequency-ladder curves).
 };
 
-inline constexpr int kNumPerturbKinds = 8;
+inline constexpr int kNumPerturbKinds = 9;
 
 const char* to_string(PerturbKind k);
 
 /// One scheduled perturbation. Which fields matter depends on `kind`:
-/// `core` targets Dvfs / CoreOffline / CoreOnline / HogStart (-1 = let fork
-/// placement choose); `scale` is the Dvfs clock multiplier; `work_us` the
-/// WorkSpike extra work per thread; `count` / `err` the number of injected
-/// failures and the errno they simulate (FailAffinity / FailProcfs).
+/// `core` targets Dvfs / DvfsRamp / CoreOffline / CoreOnline / HogStart
+/// (-1 = let fork placement choose); `scale` is the Dvfs / DvfsRamp target
+/// clock multiplier; `ramp_over` / `ramp_steps` the DvfsRamp duration and
+/// number of discrete interpolation steps; `work_us` the WorkSpike extra
+/// work per thread; `count` / `err` the number of injected failures and the
+/// errno they simulate (FailAffinity / FailProcfs).
 struct PerturbEvent {
   SimTime at = 0;
   PerturbKind kind = PerturbKind::Dvfs;
@@ -42,6 +46,8 @@ struct PerturbEvent {
   double work_us = 0.0;
   int count = 1;
   int err = 4;  // EINTR.
+  SimTime ramp_over = 0;
+  int ramp_steps = 10;
 
   /// Canonical compact-spec rendering ("at=2s dvfs core=3 scale=0.6");
   /// re-parses to an identical event (used by the determinism tests).
@@ -62,11 +68,12 @@ class PerturbTimeline {
   std::size_t size() const { return events_.size(); }
 
   /// Parse one compact CLI spec: whitespace-separated tokens, one bare kind
-  /// word (dvfs, offline, online, hog-start, hog-stop, spike,
+  /// word (dvfs, dvfs-ramp, offline, online, hog-start, hog-stop, spike,
   /// fail-affinity, fail-procfs) plus key=value fields (at=TIME, core=N,
-  /// scale=X, work=TIME, count=N, err=N). TIME accepts us/ms/s suffixes
-  /// ("250ms", "2s", bare = microseconds). Throws std::invalid_argument
-  /// with a message naming the offending token on malformed input.
+  /// scale=X, over=TIME, steps=N, work=TIME, count=N, err=N). TIME accepts
+  /// us/ms/s suffixes ("250ms", "2s", bare = microseconds). Throws
+  /// std::invalid_argument with a message naming the offending token on
+  /// malformed input.
   static PerturbEvent parse_spec(std::string_view spec);
 
   /// Parse a semicolon-separated list of compact specs

@@ -35,7 +35,10 @@ ServeConfig parse_serve_config(const Cli& cli) {
   config.serve.workers = workers > 0 ? workers : 2 * k;
   config.serve.queue_capacity =
       static_cast<int>(cli.get_int("queue-cap", 64));
-  config.serve.dispatch = parse_dispatch_policy(cli.get("dispatch", "jsq"));
+  // SHARE is only visible to the dispatcher through its weights, so it
+  // defaults to weighted dispatch; --dispatch still overrides.
+  config.serve.dispatch = parse_dispatch_policy(cli.get(
+      "dispatch", config.policy == Policy::Share ? "weighted" : "jsq"));
   config.serve.idle = parse_idle_mode(cli.get("idle", "sleep"));
   config.serve.span_sampling_log2 =
       static_cast<int>(cli.get_int("span-sampling", 0));

@@ -9,18 +9,19 @@ const char* to_string(DispatchPolicy p) {
     case DispatchPolicy::RoundRobin: return "rr";
     case DispatchPolicy::LeastLoaded: return "least-loaded";
     case DispatchPolicy::JoinShortestQueue: return "jsq";
+    case DispatchPolicy::Weighted: return "weighted";
   }
   return "?";
 }
 
 std::vector<std::string> dispatch_policy_names() {
-  return {"rr", "least-loaded", "jsq"};
+  return {"rr", "least-loaded", "jsq", "weighted"};
 }
 
 DispatchPolicy parse_dispatch_policy(std::string_view name) {
   for (DispatchPolicy p :
        {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
-        DispatchPolicy::JoinShortestQueue})
+        DispatchPolicy::JoinShortestQueue, DispatchPolicy::Weighted})
     if (name == to_string(p)) return p;
   std::string available;
   for (const auto& n : dispatch_policy_names()) {
@@ -36,6 +37,7 @@ int pick_shard(DispatchPolicy policy, std::span<const ShardLoad> shards,
   if (shards.empty()) throw std::invalid_argument("pick_shard: no shards");
   switch (policy) {
     case DispatchPolicy::RoundRobin:
+    case DispatchPolicy::Weighted:  // Weightless fallback; see pick_weighted.
       return static_cast<int>(rr_cursor++ % shards.size());
     case DispatchPolicy::LeastLoaded: {
       int best = 0;
@@ -57,6 +59,22 @@ int pick_shard(DispatchPolicy policy, std::span<const ShardLoad> shards,
     }
   }
   return 0;
+}
+
+int pick_weighted(std::span<const double> weights, std::vector<double>& credit,
+                  std::uint64_t& rr_cursor) {
+  if (weights.empty()) throw std::invalid_argument("pick_weighted: no weights");
+  if (credit.size() != weights.size()) credit.assign(weights.size(), 0.0);
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  if (total <= 0.0) return static_cast<int>(rr_cursor++ % weights.size());
+  int best = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    credit[i] += weights[i] > 0.0 ? weights[i] : 0.0;
+    if (credit[i] > credit[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+  }
+  credit[static_cast<std::size_t>(best)] -= total;
+  return best;
 }
 
 }  // namespace speedbal::serve

@@ -11,16 +11,20 @@ namespace speedbal::serve {
 /// How the dispatch layer assigns an admitted request to a worker shard.
 /// Round-robin is oblivious; least-loaded compares pending service demand
 /// (what a backlog-aware proxy estimates); join-shortest-queue compares
-/// request counts (the classic JSQ policy from the queueing literature).
+/// request counts (the classic JSQ policy from the queueing literature);
+/// weighted is smooth weighted round-robin over externally supplied
+/// weights (the SHARE policy feeds it per-worker capacity shares; without
+/// weights it degrades to plain round-robin).
 enum class DispatchPolicy {
   RoundRobin,
   LeastLoaded,
   JoinShortestQueue,
+  Weighted,
 };
 
 const char* to_string(DispatchPolicy p);
-/// Parse "rr" / "least-loaded" / "jsq"; throws std::invalid_argument naming
-/// the valid values otherwise.
+/// Parse "rr" / "least-loaded" / "jsq" / "weighted"; throws
+/// std::invalid_argument naming the valid values otherwise.
 DispatchPolicy parse_dispatch_policy(std::string_view name);
 std::vector<std::string> dispatch_policy_names();
 
@@ -32,9 +36,22 @@ struct ShardLoad {
 };
 
 /// Choose the shard for the next request. `rr_cursor` is the round-robin
-/// position, advanced only by RoundRobin. Ties break to the lowest index so
-/// dispatch is deterministic.
+/// position, advanced by RoundRobin (and by Weighted, which has no weights
+/// here and degrades to round-robin — ServeRuntime routes Weighted through
+/// pick_weighted instead). Ties break to the lowest index so dispatch is
+/// deterministic.
 int pick_shard(DispatchPolicy policy, std::span<const ShardLoad> shards,
                std::uint64_t& rr_cursor);
+
+/// Smooth weighted round-robin (the nginx algorithm): each pick adds every
+/// shard's weight to its running credit, takes the highest-credit shard
+/// (lowest index on ties), and debits it by the total weight. Produces the
+/// evenly interleaved sequence a-b-a-c-a-b for weights 3/2/1 rather than
+/// a-a-a-b-b-c, is deterministic, and needs no RNG. `credit` is the
+/// persistent per-shard state; it is resized (and zeroed) to match
+/// `weights` on size change. A non-positive total weight degrades to plain
+/// round-robin. Throws std::invalid_argument on empty `weights`.
+int pick_weighted(std::span<const double> weights, std::vector<double>& credit,
+                  std::uint64_t& rr_cursor);
 
 }  // namespace speedbal::serve

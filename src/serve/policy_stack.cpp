@@ -34,6 +34,11 @@ void PolicyStack::attach_user(Simulator& sim, std::vector<Task*> workers,
   } else if (params_.policy == Policy::Pinned) {
     pinned_ = std::make_unique<PinnedBalancer>(std::move(workers), cores_);
     pinned_->attach(sim);
+  } else if (params_.policy == Policy::Share) {
+    share_ = std::make_unique<hetero::ShareBalancer>(params_.share, cores_);
+    share_->set_managed(std::move(workers));
+    if (rec != nullptr) share_->set_recorder(rec);
+    share_->attach(sim);
   }
 }
 
@@ -41,7 +46,7 @@ void PolicyStack::manage(Simulator& sim, std::span<Task* const> workers) {
   for (Task* t : workers) {
     if (speed_ != nullptr) {
       speed_->add_managed(*t);
-    } else if (pinned_ != nullptr) {
+    } else if (pinned_ != nullptr || share_ != nullptr) {
       const CoreId target = cores_[pin_cursor_++ % cores_.size()];
       sim.set_affinity(*t, 1ULL << target, /*hard_pin=*/true,
                        MigrationCause::Affinity);

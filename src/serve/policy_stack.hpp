@@ -10,6 +10,7 @@
 #include "balance/speed.hpp"
 #include "balance/ule.hpp"
 #include "core/experiment.hpp"
+#include "hetero/share.hpp"
 #include "obs/recorder.hpp"
 #include "serve/server.hpp"
 
@@ -24,6 +25,7 @@ struct PolicyStackParams {
   LinuxLoadParams linux_load;
   DwrrParams dwrr;
   UleParams ule;
+  hetero::ShareParams share;
 };
 
 /// The balancer attachment pattern of run_serve, owned as an object so it
@@ -36,9 +38,12 @@ class PolicyStack {
  public:
   explicit PolicyStack(PolicyStackParams params) : params_(std::move(params)) {}
 
-  /// PINNED launches its workers round-robin-placed; everything else lets
+  /// PINNED and SHARE launch their workers round-robin-placed (SHARE never
+  /// migrates — work follows the weights instead); everything else lets
   /// fork placement decide (the balancer under test then moves them).
-  bool round_robin_launch() const { return params_.policy == Policy::Pinned; }
+  bool round_robin_launch() const {
+    return params_.policy == Policy::Pinned || params_.policy == Policy::Share;
+  }
 
   /// Attach the kernel-level policy. Call once, before any pool opens.
   void attach_kernel(Simulator& sim);
@@ -55,6 +60,9 @@ class PolicyStack {
   void manage(Simulator& sim, std::span<Task* const> workers);
 
   SpeedBalancer* speed() { return speed_.get(); }
+  /// Non-null only under Policy::Share: the serving runtime reads its
+  /// epoch-adopted per-core shares (via set_sink) to weight dispatch.
+  hetero::ShareBalancer* share() { return share_.get(); }
 
  private:
   PolicyStackParams params_;
@@ -65,6 +73,7 @@ class PolicyStack {
   std::unique_ptr<UleBalancer> ule_;
   std::unique_ptr<SpeedBalancer> speed_;
   std::unique_ptr<PinnedBalancer> pinned_;
+  std::unique_ptr<hetero::ShareBalancer> share_;
 };
 
 }  // namespace speedbal::serve

@@ -31,18 +31,18 @@ double rate_for_utilization(const Topology& topo, int cores,
 std::vector<std::string> serve_setup_names() {
   std::vector<std::string> out;
   for (Policy p : {Policy::Speed, Policy::Load, Policy::Pinned, Policy::Dwrr,
-                   Policy::Ule, Policy::None})
+                   Policy::Ule, Policy::None, Policy::Share})
     out.push_back(std::string("SERVE-") + to_string(p));
   return out;
 }
 
 Policy parse_serve_policy(std::string_view name) {
   for (Policy p : {Policy::Speed, Policy::Load, Policy::Pinned, Policy::Dwrr,
-                   Policy::Ule, Policy::None})
+                   Policy::Ule, Policy::None, Policy::Share})
     if (name == to_string(p)) return p;
   std::string available;
   for (Policy p : {Policy::Speed, Policy::Load, Policy::Pinned, Policy::Dwrr,
-                   Policy::Ule, Policy::None}) {
+                   Policy::Ule, Policy::None, Policy::Share}) {
     if (!available.empty()) available += ", ";
     available += to_string(p);
   }
@@ -73,9 +73,9 @@ ServeResult run_serve(const ServeConfig& config) {
   }
 
   // The per-machine balancer stack, exactly as in the batch experiments:
-  // SPEED/PINNED run on top of the Linux balancer, DWRR/ULE replace it.
+  // SPEED/PINNED/SHARE run on top of the Linux balancer, DWRR/ULE replace it.
   PolicyStack stack({config.policy, config.speed, config.linux_load,
-                     config.dwrr, config.ule});
+                     config.dwrr, config.ule, config.share});
   stack.attach_kernel(sim);
 
   ServeParams serve_params = config.serve;
@@ -86,6 +86,26 @@ ServeResult run_serve(const ServeConfig& config) {
 
   // User-level policy over the worker pool.
   stack.attach_user(sim, runtime.workers(), cores, recorder);
+
+  // SHARE moves *work*, not workers: every adopted repartition re-weights
+  // the dispatcher so each core's request stream tracks its measured
+  // capacity share. A core's share splits evenly over the workers
+  // round-robin-pinned to it. Effective when serve.dispatch == weighted
+  // (the SERVE-SHARE default); other dispatchers ignore the weights.
+  if (stack.share() != nullptr) {
+    const int nw = serve_params.workers;
+    const int nc = static_cast<int>(cores.size());
+    stack.share()->set_sink([&runtime, nw, nc](const std::vector<double>& shares) {
+      std::vector<double> weights(static_cast<std::size_t>(nw), 0.0);
+      for (int w = 0; w < nw; ++w) {
+        const int ci = w % nc;
+        const int on_core = nw / nc + (ci < nw % nc ? 1 : 0);
+        weights[static_cast<std::size_t>(w)] =
+            shares[static_cast<std::size_t>(ci)] / on_core;
+      }
+      runtime.set_shard_weights(weights);
+    });
+  }
 
   if (config.on_run_start) config.on_run_start(sim, runtime);
 

@@ -44,6 +44,7 @@ struct ServeConfig {
   LinuxLoadParams linux_load;
   DwrrParams dwrr;
   UleParams ule;
+  hetero::ShareParams share;
   SimParams sim;
 
   /// Scripted interference applied mid-serving (DVFS, hotplug, hogs).
@@ -109,7 +110,8 @@ double rate_for_utilization(const Topology& topo, int cores,
 std::vector<std::string> serve_setup_names();
 
 /// Parse a serve policy name ("SPEED", "LOAD", "PINNED", "DWRR", "ULE",
-/// "NONE"); throws std::invalid_argument naming the valid values otherwise.
+/// "NONE", "SHARE"); throws std::invalid_argument naming the valid values
+/// otherwise.
 Policy parse_serve_policy(std::string_view name);
 
 }  // namespace speedbal::serve

@@ -64,6 +64,13 @@ void ServeRuntime::open(std::span<const CoreId> cores, bool round_robin) {
     sim_.schedule_after(params_.sample_interval, [this] { sample(); });
 }
 
+void ServeRuntime::set_shard_weights(const std::vector<double>& weights) {
+  if (static_cast<int>(weights.size()) != params_.workers)
+    throw std::invalid_argument(
+        "ServeRuntime::set_shard_weights: size must equal workers");
+  shard_weights_ = weights;
+}
+
 ShardLoad ServeRuntime::load_of(const Shard& s) const {
   ShardLoad l;
   l.queued = static_cast<int>(s.queue.size());
@@ -78,10 +85,15 @@ bool ServeRuntime::inject(Request r) {
   if (retired_) throw std::logic_error("ServeRuntime: inject on retired pool");
   if (r.recorded) ++stats_.offered;
 
-  std::vector<ShardLoad> loads;
-  loads.reserve(shards_.size());
-  for (const Shard& s : shards_) loads.push_back(load_of(s));
-  const int w = pick_shard(params_.dispatch, loads, rr_cursor_);
+  int w;
+  if (params_.dispatch == DispatchPolicy::Weighted && !shard_weights_.empty()) {
+    w = pick_weighted(shard_weights_, wrr_credit_, rr_cursor_);
+  } else {
+    std::vector<ShardLoad> loads;
+    loads.reserve(shards_.size());
+    for (const Shard& s : shards_) loads.push_back(load_of(s));
+    w = pick_shard(params_.dispatch, loads, rr_cursor_);
+  }
   Shard& shard = shards_[static_cast<std::size_t>(w)];
 
   if (params_.queue_capacity > 0 &&

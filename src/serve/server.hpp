@@ -105,6 +105,14 @@ class ServeRuntime : public TaskClient {
   /// Dispatch one request at sim.now(). Returns false iff dropped.
   bool inject(Request r);
 
+  /// Per-worker weights for DispatchPolicy::Weighted (smooth weighted
+  /// round-robin); the SHARE balancer pushes its per-core capacity shares
+  /// here on every adopted repartition. Size must match workers(). The WRR
+  /// credit state is preserved across weight updates of the same size, so a
+  /// repartition re-aims the stream without a dispatch burst. Ignored under
+  /// the other dispatch policies.
+  void set_shard_weights(const std::vector<double>& weights);
+
   /// Stop recorder sampling (the run is over; workers may still drain).
   void close();
 
@@ -174,6 +182,8 @@ class ServeRuntime : public TaskClient {
   std::vector<Task*> workers_;
   std::vector<Shard> shards_;
   std::uint64_t rr_cursor_ = 0;
+  std::vector<double> shard_weights_;  ///< Empty until set_shard_weights.
+  std::vector<double> wrr_credit_;     ///< Smooth-WRR running credit.
   bool open_ = true;
   bool retired_ = false;
   ServeStats stats_;

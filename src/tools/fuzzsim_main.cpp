@@ -1,12 +1,13 @@
 // Property-based fuzzing & differential-oracle front end:
 //
 //   fuzzsim [--episodes=100] [--seed=1] [--policy=SPEED]
-//           [--mode=spmd|serve|cluster]
+//           [--mode=spmd|serve|cluster] [--hetero]
 //           [--jobs-oracle-every=25] [--max-seconds=0] [--minimize]
 //           [--out=FILE] [--verbose]
 //   fuzzsim --replay=FILE [--minimize] [--out=FILE]
 //   fuzzsim --broken=cross-numa|cooldown|threshold|lose-task
 //   fuzzsim --analytic
+//   fuzzsim --hetero-grid
 //
 // The default loop draws episode e from generate(seed + e), runs it end to
 // end under the invariant checker (time conservation, task conservation,
@@ -23,7 +24,14 @@
 // defect mode and exits 0 iff the harness catches it.
 // --analytic runs the sim-vs-model differential grid from the paper's
 // Section 4 shapes.
+// --hetero forces every episode onto an asymmetric machine (big.LITTLE /
+// clock-ladder presets, SHARE policy unless --policy overrides) — the CI
+// leg that soaks the work-partitioning path.
+// --hetero-grid runs the sim-vs-model differential grid on asymmetric
+// machines (SHARE vs the analytic optimum, count-source vs the analytic
+// count-balancing penalty).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -35,6 +43,7 @@
 #include "check/oracle.hpp"
 #include "check/shrink.hpp"
 #include "serve/scenarios.hpp"
+#include "topo/presets.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -106,6 +115,23 @@ int run_broken(const std::string& name, const std::string& out_path) {
   return 1;
 }
 
+int run_hetero_grid() {
+  std::vector<Violation> violations;
+  const std::vector<HeteroPoint> grid = check_hetero_grid(violations);
+  std::printf("%-16s %5s %8s %12s %12s %12s %12s\n", "topo", "cores",
+              "penalty", "pred-share", "share", "pred-count", "count");
+  for (const HeteroPoint& pt : grid)
+    std::printf("%-16s %5d %8.3f %12.4f %12.4f %12.4f %12.4f\n",
+                pt.topo.c_str(), pt.cores, pt.penalty, pt.predicted_share_s,
+                pt.share_s, pt.predicted_count_s, pt.count_s);
+  if (!violations.empty()) {
+    std::cout << format_violations(violations);
+    return 1;
+  }
+  std::cout << "hetero grid within tolerance " << kAnalyticTolerance << "\n";
+  return 0;
+}
+
 int run_analytic() {
   std::vector<Violation> violations;
   const std::vector<AnalyticPoint> grid = check_analytic_grid(violations);
@@ -146,6 +172,16 @@ int run_fuzz(const Cli& cli) {
       break;
     }
     FuzzScenario sc = generate(seed + static_cast<std::uint64_t>(e));
+    if (cli.get_bool("hetero")) {
+      // Force an asymmetric machine (cycling the preset families) and the
+      // SHARE policy, keeping every other generated dimension — this is the
+      // CI soak of the work-partitioning path, not a new distribution.
+      static const char* kHeteroTopos[] = {"biglittle2+2x3", "biglittle4+4x2",
+                                           "ladder6"};
+      sc.topo = kHeteroTopos[e % 3];
+      sc.cores = std::min(sc.cores, presets::by_name(sc.topo).num_cores());
+      sc.policy = Policy::Share;
+    }
     if (cli.has("policy"))
       sc.policy = serve::parse_serve_policy(cli.get("policy"));
     if (cli.has("mode")) sc.mode = parse_mode(cli.get("mode"));
@@ -184,7 +220,8 @@ int main(int argc, char** argv) {
     const speedbal::Cli cli(
         argc, argv,
         {"episodes", "seed", "policy", "mode", "replay", "minimize", "out",
-         "broken", "jobs-oracle-every", "analytic", "max-seconds", "verbose"});
+         "broken", "jobs-oracle-every", "analytic", "hetero", "hetero-grid",
+         "max-seconds", "verbose"});
     const auto unknown = cli.unknown();
     if (!unknown.empty())
       throw std::invalid_argument("unknown flag --" + unknown.front());
@@ -194,6 +231,7 @@ int main(int argc, char** argv) {
     if (cli.has("broken"))
       return run_broken(cli.get("broken"), cli.get("out"));
     if (cli.has("analytic")) return run_analytic();
+    if (cli.has("hetero-grid")) return run_hetero_grid();
     return run_fuzz(cli);
   } catch (const std::exception& e) {
     std::cerr << "fuzzsim: " << e.what() << "\n";

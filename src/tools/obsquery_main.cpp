@@ -11,6 +11,8 @@
 //   obsquery --report=FILE --rebalances    cluster rebalancer epoch log;
 //            [--pool=N]                    --pool narrows to one pool's moves
 //                                          ("why did pool N migrate?")
+//   obsquery --report=FILE --shares        SHARE repartition epoch log
+//                                          ("why did core N's share shrink?")
 //
 // Everything is computed from the report file alone — the tool never touches
 // the simulator, so it can answer "why was p99 slow?" long after the run.
@@ -183,6 +185,35 @@ int print_rebalances(const JsonValue& root, const Cli& cli) {
   return 0;
 }
 
+int print_shares(const JsonValue& root) {
+  const JsonValue* shares = root.find("shares");
+  if (shares == nullptr) {
+    std::cout << "no shares section (SHARE policy did not run, or nothing "
+                 "was recorded)\n";
+    return 0;
+  }
+  std::int64_t epochs = 0;
+  std::int64_t repartitions = 0;
+  Table t({"t_ms", "epoch", "outcome", "max_delta", "floor", "shares"});
+  for (const JsonValue& r : shares->items()) {
+    ++epochs;
+    const std::string outcome = r.at("outcome").as_string();
+    if (outcome == "repartitioned") ++repartitions;
+    std::string w;
+    for (const JsonValue& s : r.at("shares").items()) {
+      if (!w.empty()) w += "/";
+      w += Table::num(s.as_number(), 3);
+    }
+    t.add_row({ms(static_cast<double>(r.at("t_us").as_int())),
+               std::to_string(r.at("epoch").as_int()), outcome,
+               Table::num(r.at("max_delta").as_number(), 4),
+               std::to_string(r.at("floor_clamped").as_int()), w});
+  }
+  std::cout << epochs << " epoch(s), " << repartitions << " repartition(s)\n";
+  t.print(std::cout);
+  return 0;
+}
+
 void print_summary(const JsonValue& root,
                    const std::vector<obs::RequestSpan>& spans) {
   Table t({"field", "value"});
@@ -208,7 +239,7 @@ int run(const Cli& cli) {
   if (path.empty()) {
     std::cerr << "usage: obsquery --report=FILE "
                  "[--slowest=K | --blame | --storms | --pulls | "
-                 "--rebalances [--pool=N]]\n";
+                 "--rebalances [--pool=N] | --shares]\n";
     return 1;
   }
   std::ifstream in(path);
@@ -240,6 +271,7 @@ int run(const Cli& cli) {
     return 0;
   }
   if (cli.has("rebalances")) return print_rebalances(root, cli);
+  if (cli.has("shares")) return print_shares(root);
   print_summary(root, spans);
   return 0;
 }

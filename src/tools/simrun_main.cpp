@@ -33,6 +33,7 @@
 #include <string>
 
 #include "core/scenarios.hpp"
+#include "hetero/setups.hpp"
 #include "obs/recorder.hpp"
 #include "perturb/timeline.hpp"
 #include "serve/cli.hpp"
@@ -76,6 +77,10 @@ int main(int argc, char** argv) {
     if (cli.has("list-setups")) {
       for (const auto s : kAllSetups) std::cout << to_string(s) << "\n";
       for (const auto& s : serve::serve_setup_names()) std::cout << s << "\n";
+      // The asymmetric-machine presets carry their topology in the setup,
+      // so each line says what machine it builds.
+      for (const auto& s : hetero::hetero_setups())
+        std::cout << s.name << "\t" << s.description << "\n";
       return 0;
     }
     if (cli.has("log-level")) {
@@ -88,11 +93,38 @@ int main(int argc, char** argv) {
     }
     if (cli.has("serve") || cli.get("setup").rfind("SERVE-", 0) == 0)
       return serve::serve_main(cli, "simrun");
-    const auto topo = presets::by_name(cli.get("topo", "tigerton"));
+    // A HETERO-* setup bundles the asymmetric machine with the policy; the
+    // preset's topology wins over --topo, and one thread per core is the
+    // default shape (the partition, not placement, is under test).
+    const hetero::HeteroSetup* hs = hetero::find_hetero_setup(cli.get("setup"));
+    const auto topo = presets::by_name(
+        hs != nullptr ? hs->topo : cli.get("topo", "tigerton"));
     const auto prof = npb::by_name(cli.get("bench", "ep.C"));
-    const int threads = static_cast<int>(cli.get_int("threads", 16));
+    const int threads = static_cast<int>(
+        cli.get_int("threads", hs != nullptr ? topo.num_cores() : 16));
     const int cores = static_cast<int>(cli.get_int("cores", topo.num_cores()));
-    const auto setup = parse_setup(cli.get("setup", "SPEED-YIELD"));
+    auto setup = scenarios::Setup::SpeedYield;
+    if (hs == nullptr) {
+      setup = parse_setup(cli.get("setup", "SPEED-YIELD"));
+    } else {
+      switch (hs->policy) {
+        case hetero::HeteroPolicy::Speed:
+          setup = scenarios::Setup::SpeedYield;
+          break;
+        case hetero::HeteroPolicy::Load:
+          setup = scenarios::Setup::LoadYield;
+          break;
+        // SHARE rides on the pinned scenario shape: round-robin pins with
+        // the partitioner layered on by the Policy::Share override below.
+        case hetero::HeteroPolicy::Share:
+        case hetero::HeteroPolicy::ShareCount:
+        case hetero::HeteroPolicy::Pinned:
+          setup = scenarios::Setup::Pinned;
+          break;
+      }
+    }
+    const std::string setup_name =
+        hs != nullptr ? hs->name : std::string(to_string(setup));
     const int repeats = static_cast<int>(cli.get_int("repeats", 5));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     const int jobs = resolve_jobs(static_cast<int>(cli.get_int("jobs", 0)));
@@ -112,6 +144,13 @@ int main(int argc, char** argv) {
 
     auto config =
         scenarios::npb_config(topo, prof, threads, cores, setup, repeats, seed);
+    if (hs != nullptr && (hs->policy == hetero::HeteroPolicy::Share ||
+                          hs->policy == hetero::HeteroPolicy::ShareCount)) {
+      config.policy = Policy::Share;
+      config.share.source = hs->policy == hetero::HeteroPolicy::Share
+                                ? hetero::ShareParams::Source::Speed
+                                : hetero::ShareParams::Source::Count;
+    }
     config.jobs = jobs;
     config.perturb = timeline;
     obs::RunRecorder recorder;
@@ -120,7 +159,7 @@ int main(int argc, char** argv) {
       recorder.set_meta("tool", "simrun");
       recorder.set_meta("machine", topo.name());
       recorder.set_meta("benchmark", prof.full_name());
-      recorder.set_meta("setup", to_string(setup));
+      recorder.set_meta("setup", setup_name);
       recorder.set_meta("threads", std::to_string(threads));
       recorder.set_meta("cores", std::to_string(cores));
       recorder.set_meta("seed", std::to_string(seed));
@@ -141,7 +180,7 @@ int main(int argc, char** argv) {
     table.add_row({"benchmark", prof.full_name()});
     table.add_row({"threads", std::to_string(threads)});
     table.add_row({"cores", std::to_string(cores)});
-    table.add_row({"setup", to_string(setup)});
+    table.add_row({"setup", setup_name});
     table.add_row({"runs", std::to_string(result.runs.size())});
     table.add_row({"mean runtime (s)", Table::num(result.mean_runtime(), 3)});
     table.add_row({"best/worst (s)", Table::num(result.best_runtime(), 3) +

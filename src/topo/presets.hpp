@@ -31,8 +31,20 @@ Topology dual_socket(int cores_per_socket);
 /// the first `fast_cores` run at `fast_scale` (> 1.0), the rest at 1.0.
 Topology asymmetric(int cores, int fast_cores, double fast_scale);
 
-/// Look up a preset by name ("tigerton", "barcelona", "nehalem", or
-/// "generic<N>" e.g. "generic8"); throws std::invalid_argument if unknown.
+/// big.LITTLE machine: `big` performance cores at clock scale `big_scale`
+/// followed by `little` efficiency cores at 1.0, one socket, shared cache.
+/// Named "biglittle<big>+<little>x<big_scale>" (e.g. "biglittle4+4x3"), so
+/// the speed ratio is recoverable from the name alone.
+Topology big_little(int big, int little, double big_scale);
+
+/// Per-core frequency ladder: `cores` cores whose clock scales descend
+/// linearly from 1.0 (core 0) to 0.25 (last core) — the maximally
+/// heterogeneous shape for partitioning stress tests. Named "ladder<N>".
+Topology ladder(int cores);
+
+/// Look up a preset by name ("tigerton", "barcelona", "nehalem",
+/// "generic<N>", "biglittle<B>+<L>x<R>", or "ladder<N>"); throws
+/// std::invalid_argument if unknown.
 Topology by_name(std::string_view name);
 
 }  // namespace presets

@@ -42,6 +42,7 @@ TEST(PerturbTimeline, SpecRoundTripsThroughToSpec) {
       "at=4s spike core=2 work=250ms",
       "at=5s fail-affinity count=3 err=22",
       "at=6s fail-procfs count=2 err=4",
+      "at=7s dvfs-ramp core=2 scale=0.7 over=50ms steps=4",
   };
   for (const char* spec : specs) {
     const auto ev = PerturbTimeline::parse_spec(spec);
@@ -53,7 +54,35 @@ TEST(PerturbTimeline, SpecRoundTripsThroughToSpec) {
     EXPECT_DOUBLE_EQ(again.work_us, ev.work_us) << spec;
     EXPECT_EQ(again.count, ev.count) << spec;
     EXPECT_EQ(again.err, ev.err) << spec;
+    EXPECT_EQ(again.ramp_over, ev.ramp_over) << spec;
+    EXPECT_EQ(again.ramp_steps, ev.ramp_steps) << spec;
   }
+}
+
+TEST(PerturbTimeline, ParsesDvfsRampSpecAndJson) {
+  const auto ev = PerturbTimeline::parse_spec(
+      "at=2s dvfs-ramp core=3 scale=0.6 over=50ms steps=4");
+  EXPECT_EQ(ev.kind, PerturbKind::DvfsRamp);
+  EXPECT_EQ(ev.core, 3);
+  EXPECT_DOUBLE_EQ(ev.scale, 0.6);
+  EXPECT_EQ(ev.ramp_over, msec(50));
+  EXPECT_EQ(ev.ramp_steps, 4);
+  EXPECT_THROW(
+      PerturbTimeline::parse_spec("at=2s dvfs-ramp core=3 scale=0.6 steps=0"),
+      std::invalid_argument);
+
+  const auto tl = PerturbTimeline::parse_json(R"({"events": [
+    {"at_s": 2, "kind": "dvfs-ramp", "core": 3, "scale": 0.6,
+     "over_ms": 50, "steps": 4}
+  ]})");
+  ASSERT_EQ(tl.size(), 1u);
+  EXPECT_EQ(tl.events()[0].ramp_over, msec(50));
+  EXPECT_EQ(tl.events()[0].ramp_steps, 4);
+  // At most one of over_us / over_ms / over_s.
+  EXPECT_THROW(PerturbTimeline::parse_json(
+                   R"({"events": [{"at_s": 1, "kind": "dvfs-ramp",
+                       "over_us": 5, "over_ms": 5}]})"),
+               std::invalid_argument);
 }
 
 TEST(PerturbTimeline, ParseSpecsSplitsOnSemicolonsAndSorts) {
@@ -232,6 +261,38 @@ TEST(SimPerturbDriver, AppliesDvfsAtScheduledTime) {
   EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 0.5);
   EXPECT_EQ(driver.applied(), 1);
   EXPECT_EQ(driver.skipped(), 0);
+}
+
+TEST(SimPerturbDriver, DvfsRampInterpolatesLinearlyAndLandsOnTarget) {
+  Simulator sim(presets::generic(2));
+  Spinner cl;
+  spinners(sim, cl, 1, 0);
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs(
+               "at=10ms dvfs-ramp core=0 scale=0.6 over=40ms steps=4"));
+  driver.arm();
+  // Steps land at 20/30/40/50ms: 0.9, 0.8, 0.7, then exactly 0.6.
+  sim.run_until(msec(15));
+  EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 1.0);
+  sim.run_until(msec(25));
+  EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 0.9);
+  sim.run_until(msec(45));
+  EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 0.7);
+  sim.run_until(msec(55));
+  EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 0.6);
+  EXPECT_EQ(driver.applied(), 1);
+}
+
+TEST(SimPerturbDriver, ZeroLengthRampDegeneratesToStep) {
+  Simulator sim(presets::generic(2));
+  Spinner cl;
+  spinners(sim, cl, 1, 0);
+  SimPerturbDriver driver(
+      sim, PerturbTimeline::parse_specs("at=10ms dvfs-ramp core=0 scale=0.5"));
+  driver.arm();
+  sim.run_until(msec(15));
+  EXPECT_DOUBLE_EQ(sim.topo().core(0).clock_scale, 0.5);
+  EXPECT_EQ(driver.applied(), 1);
 }
 
 TEST(SimPerturbDriver, OfflineDrainsAndOnlineRestores) {
