@@ -10,6 +10,12 @@
 //   4. Telemetry overhead: the same serve episode untraced vs recorded at
 //      1/64 span sampling, reporting requests/sec for both plus the
 //      observability layer's self-measured share of the traced wall time.
+//   5. Accounting churn: record_run/record_segment staging into the
+//      arena-backed interval tables, with periodic windowed queries forcing
+//      the exact-at-query drain (the SoA/batched-metrics hot path).
+//   6. Far-future churn: schedule/cancel far-future events (perturb
+//      timelines, diurnal arrivals) against a live near-time stream — the
+//      timing-wheel tier's O(1) insert path versus heap sift traffic.
 //
 //   micro_hotpath [--quick] [--seed=42] [--jobs=N] [--report-json=FILE]
 //                 [--check-against=FILE] [--check-tolerance=0.20]
@@ -248,6 +254,64 @@ int main(int argc, char** argv) {
                    std::to_string(spans), Table::num(traced_rps / 1e3, 1),
                    Table::num(self_pct, 2)});
     report.emit("telemetry overhead (serve episode, identical results)", table);
+  }
+
+  // --- 5. Accounting churn: staged metrics + arena intervals ---------------
+  {
+    const std::uint64_t n = iters;
+    const double rps = best_events_per_sec(passes, [&] {
+      Metrics m(8);
+      std::uint64_t x = 999;
+      SimTime t = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const TaskId task = static_cast<TaskId>(x % 64);
+        const CoreId core = static_cast<CoreId>((x >> 8) % 8);
+        m.record_segment({task, core, t, 10});
+        m.record_run(task, core, 10);
+        t += 10;
+        // A balancer-style exact query every few thousand records drains
+        // whatever is staged — the cadence sync_accounting imposes.
+        if ((i & 0xFFF) == 0) (void)m.exec_in_window(task, 0, t);
+      }
+      return 2 * n;  // Two records staged per iteration.
+    });
+    metrics["accounting_churn_records_per_sec"] = rps;
+    Table table({"pattern", "M records/s", "ns/record"});
+    table.add_row({"segment+run staging, 64 tasks x 8 cores",
+                   Table::num(rps / 1e6, 2), Table::num(1e9 / rps, 1)});
+    report.emit("accounting churn (staged metrics, arena intervals)", table);
+  }
+
+  // --- 6. Far-future churn: timing-wheel tier ------------------------------
+  {
+    const std::uint64_t far_iters = iters / 2;
+    const double eps = best_events_per_sec(passes, [&] {
+      EventQueue q;
+      std::uint64_t fired = 0;
+      std::uint64_t* fp = &fired;
+      std::uint64_t x = 777;
+      for (std::uint64_t i = 0; i < far_iters; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        // Far-future: past the wheel's near horizon, frequently past one
+        // ring revolution (overflow list + re-bucketing).
+        const SimTime far =
+            q.now() + 70'000 + static_cast<SimTime>((x >> 16) % 2'000'000);
+        const auto h = q.schedule(far, [fp] { ++*fp; });
+        if ((x & 7) == 0) q.cancel(h);  // Lazy cancel-in-wheel.
+        // A near event keeps the clock marching so buckets promote.
+        q.schedule(q.now() + 1 + static_cast<SimTime>(x % 64),
+                   [fp] { ++*fp; });
+        q.run_next();
+      }
+      q.run_all();
+      return fired;
+    });
+    metrics["far_future_churn_events_per_sec"] = eps;
+    Table table({"pattern", "M events/s", "ns/event"});
+    table.add_row({"far-future schedule + 1/8 cancel + drain",
+                   Table::num(eps / 1e6, 2), Table::num(1e9 / eps, 1)});
+    report.emit("far-future churn (timing-wheel tier)", table);
   }
 
   // --- Metrics mirror + regression gate ------------------------------------

@@ -29,10 +29,11 @@ BENCHMARK(BM_EventQueueScheduleRun);
 
 void BM_CfsEnqueueDequeue(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  TaskStore store;
   std::vector<std::unique_ptr<Task>> tasks;
   for (std::size_t i = 0; i < n; ++i)
     tasks.push_back(std::make_unique<Task>(static_cast<TaskId>(i),
-                                           TaskSpec{.name = "t"}));
+                                           TaskSpec{.name = "t"}, store));
   CfsQueue q;
   for (auto _ : state) {
     for (auto& t : tasks) q.enqueue(*t, false);

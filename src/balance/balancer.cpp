@@ -5,14 +5,20 @@ namespace speedbal::balance_detail {
 std::vector<Task*> kernel_movable(const Simulator& sim, CoreId source,
                                   CoreId dest) {
   std::vector<Task*> out;
-  if (!sim.core_online(dest)) return out;  // Never pull into a dead core.
-  for (Task* t : sim.tasks_on(source)) {
-    if (t->state() == TaskState::Running) continue;
-    if (t->hard_pinned()) continue;
-    if (!t->allowed_on(dest)) continue;
-    out.push_back(t);
-  }
+  kernel_movable(sim, source, dest, out);
   return out;
+}
+
+void kernel_movable(const Simulator& sim, CoreId source, CoreId dest,
+                    std::vector<Task*>& out) {
+  out.clear();
+  if (!sim.core_online(dest)) return;  // Never pull into a dead core.
+  sim.for_each_task_on(source, [&](Task* t) {
+    if (t->state() == TaskState::Running) return;
+    if (t->hard_pinned()) return;
+    if (!t->allowed_on(dest)) return;
+    out.push_back(t);
+  });
 }
 
 bool cache_hot(const Simulator& sim, const Task& t, SimTime hot_time) {

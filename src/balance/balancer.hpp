@@ -28,6 +28,12 @@ namespace balance_detail {
 std::vector<Task*> kernel_movable(const Simulator& sim, CoreId source,
                                   CoreId dest);
 
+/// Allocation-free variant filling a caller-owned reuse buffer; `out` is
+/// cleared first. Balancer tick loops call this once per core pair, so the
+/// fresh-vector form above costs an allocation per probe.
+void kernel_movable(const Simulator& sim, CoreId source, CoreId dest,
+                    std::vector<Task*>& out);
+
 /// Whether the task is "cache hot" per the Linux heuristic: it executed on
 /// its core within `hot_time` (default ~5ms in the paper's kernel).
 bool cache_hot(const Simulator& sim, const Task& t, SimTime hot_time);

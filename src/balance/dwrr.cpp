@@ -33,37 +33,41 @@ void DwrrBalancer::tick() {
 }
 
 void DwrrBalancer::expire_over_budget() {
-  for (Task* t : sim_->live_tasks()) {
-    if (t->hard_pinned()) continue;
+  sim_->for_each_live_task([&](Task* t) {
+    if (t->hard_pinned()) return;
     auto& ts = tasks_[t->id()];
     if (t->state() == TaskState::Sleeping || t->state() == TaskState::Finished)
-      continue;
+      return;
     // A task woken while we considered it expired stays expired until its
     // CPU's round advances (re-park it).
     if (ts.expired && t->state() != TaskState::Parked) {
       sim_->park_task(*t);
-      continue;
+      return;
     }
-    if (ts.expired) continue;
+    if (ts.expired) return;
     if (t->total_exec() - ts.round_start_exec >= params_.round_slice) {
       ts.expired = true;
       if (t->state() == TaskState::Runnable || t->state() == TaskState::Running)
         sim_->park_task(*t);
     }
-  }
+  });
 }
 
 bool DwrrBalancer::core_has_active(CoreId c) const {
-  for (const Task* t : sim_->tasks_on(c))
-    if (!t->hard_pinned()) return true;
-  return false;
+  bool active = false;
+  sim_->for_each_task_on(c, [&](const Task* t) {
+    if (!t->hard_pinned()) active = true;
+  });
+  return active;
 }
 
 bool DwrrBalancer::core_has_parked(CoreId c) const {
-  for (const Task* t : sim_->live_tasks())
+  bool parked = false;
+  sim_->for_each_live_task([&](const Task* t) {
     if (t->state() == TaskState::Parked && t->core() == c && !t->hard_pinned())
-      return true;
-  return false;
+      parked = true;
+  });
+  return parked;
 }
 
 bool DwrrBalancer::try_steal(CoreId c) {
@@ -80,12 +84,12 @@ bool DwrrBalancer::try_steal(CoreId c) {
   for (CoreId src = 0; src < sim_->num_cores(); ++src) {
     if (src == c) continue;
     if (!fully_idle && round_.at(src) > round_.at(c)) continue;
-    for (Task* t : sim_->tasks_on(src)) {
-      if (t->hard_pinned() || !t->allowed_on(c)) continue;
+    const std::size_t load = sim_->core(src).queue().nr_running();
+    sim_->for_each_task_on(src, [&](Task* t) {
+      if (t->hard_pinned() || !t->allowed_on(c)) return;
       const auto it = tasks_.find(t->id());
-      if (it != tasks_.end() && it->second.expired) continue;
+      if (it != tasks_.end() && it->second.expired) return;
       const bool running = t->state() == TaskState::Running;
-      const std::size_t load = sim_->core(src).queue().nr_running();
       const bool better =
           best == nullptr || (best_running && !running) ||
           (best_running == running && load > best_load);
@@ -95,7 +99,7 @@ bool DwrrBalancer::try_steal(CoreId c) {
         best_load = load;
         best_src = src;
       }
-    }
+    });
   }
   if (best == nullptr) return false;
   if (fully_idle) round_[c] = std::max(round_[c], round_.at(best_src));
@@ -109,12 +113,9 @@ int DwrrBalancer::min_active_round() const {
     // Only CPUs that still hold work for their round constrain the others.
     bool has_work = core_has_active(c);
     if (!has_work) {
-      for (const Task* t : sim_->live_tasks()) {
-        if (t->state() == TaskState::Parked && t->core() == c) {
-          has_work = true;
-          break;
-        }
-      }
+      sim_->for_each_live_task([&](const Task* t) {
+        if (t->state() == TaskState::Parked && t->core() == c) has_work = true;
+      });
     }
     if (has_work) min_round = std::min(min_round, round_.at(c));
   }
@@ -129,14 +130,14 @@ void DwrrBalancer::advance_round(CoreId c) {
     return;
   ++round_[c];
   // Expired tasks parked on this CPU re-enter the (new) round.
-  for (Task* t : sim_->live_tasks()) {
-    if (t->core() != c) continue;
+  sim_->for_each_live_task([&](Task* t) {
+    if (t->core() != c) return;
     auto it = tasks_.find(t->id());
-    if (it == tasks_.end() || !it->second.expired) continue;
+    if (it == tasks_.end() || !it->second.expired) return;
     it->second.expired = false;
     it->second.round_start_exec = t->total_exec();
     if (t->state() == TaskState::Parked) sim_->unpark_task(*t);
-  }
+  });
 }
 
 }  // namespace speedbal

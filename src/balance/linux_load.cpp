@@ -140,7 +140,8 @@ bool LinuxLoadBalancer::balance_domain(CoreId core, const Domain& dom) {
 
 bool LinuxLoadBalancer::try_pull(CoreId dest, CoreId source, bool allow_hot) {
   if (source == dest) return false;
-  auto candidates = balance_detail::kernel_movable(*sim_, source, dest);
+  auto& candidates = scratch_;
+  balance_detail::kernel_movable(*sim_, source, dest, candidates);
   if (candidates.empty()) return false;
   // Prefer the most cache-cold task (longest since it last ran).
   std::sort(candidates.begin(), candidates.end(), [](const Task* a, const Task* b) {
@@ -174,7 +175,8 @@ void LinuxLoadBalancer::newidle_balance(CoreId core) {
       }
     }
     if (source < 0) continue;
-    auto candidates = balance_detail::kernel_movable(*sim_, source, core);
+    auto& candidates = scratch_;
+    balance_detail::kernel_movable(*sim_, source, core, candidates);
     for (Task* t : candidates) {
       if (balance_detail::cache_hot(*sim_, *t, params_.cache_hot_time)) continue;
       sim_->migrate(*t, core, MigrationCause::LinuxNewIdle);

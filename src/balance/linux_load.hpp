@@ -67,6 +67,7 @@ class LinuxLoadBalancer : public Balancer {
   // Indexed [core][domain chain position].
   std::vector<std::vector<DomainState>> state_;
   std::vector<int> failures_;  // nr_balance_failed per core.
+  std::vector<Task*> scratch_;  // Reuse buffer for movable-task scans.
 };
 
 }  // namespace speedbal

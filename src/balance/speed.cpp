@@ -17,6 +17,11 @@ void SpeedBalancer::attach(Simulator& sim) {
   sim_ = &sim;
   rng_ = sim.rng().fork();
 
+  const auto n = static_cast<std::size_t>(sim.num_cores());
+  snapshots_.assign(n, {});
+  snapshot_time_.assign(n, SimTime{0});
+  last_involved_.assign(n, kNever);
+
   std::uint64_t mask = 0;
   for (CoreId c : cores_) mask |= 1ULL << c;
 
@@ -62,9 +67,10 @@ void SpeedBalancer::add_managed(Task& t) {
 }
 
 bool SpeedBalancer::is_blocked(CoreId core) const {
-  const auto it = last_involved_.find(core);
-  return it != last_involved_.end() &&
-         sim_->now() - it->second < params_.post_migration_block * params_.interval;
+  const auto i = static_cast<std::size_t>(core);
+  return i < last_involved_.size() && last_involved_[i] != kNever &&
+         sim_->now() - last_involved_[i] <
+             params_.post_migration_block * params_.interval;
 }
 
 void SpeedBalancer::balancer_wake(CoreId local) {
@@ -82,32 +88,41 @@ void SpeedBalancer::balancer_wake(CoreId local) {
   sim_->schedule_after(params_.interval + jitter, [this, local] { balancer_wake(local); });
 }
 
-std::map<CoreId, double> SpeedBalancer::measure_core_speeds(
-    CoreId local, std::map<TaskId, double>& thread_speed) {
+int SpeedBalancer::measure_core_speeds(CoreId local) {
   sim_->sync_all_accounting();
-  auto& snaps = snapshots_[local];
-  const SimTime since = snapshot_time_[local];
+  auto& snaps = snapshots_[static_cast<std::size_t>(local)];
+  if (snaps.size() < static_cast<std::size_t>(sim_->num_tasks()))
+    snaps.resize(static_cast<std::size_t>(sim_->num_tasks()));
+  const SimTime since = snapshot_time_[static_cast<std::size_t>(local)];
   const SimTime elapsed = std::max<SimTime>(sim_->now() - since, 1);
 
+  const auto n = static_cast<std::size_t>(sim_->num_cores());
+  core_speed_.assign(n, 0.0);
+  core_present_.assign(n, 0);
+  speed_sum_.assign(n, 0.0);
+  speed_cnt_.assign(n, 0);
+
   // Occupancy of each core by managed threads (for the SMT adaptation).
-  std::map<CoreId, int> managed_on;
-  if (params_.smt_aware)
+  if (params_.smt_aware) {
+    managed_on_.assign(n, 0);
     for (const Task* t : managed_)
-      if (t->state() != TaskState::Finished) ++managed_on[t->core()];
+      if (t->state() != TaskState::Finished && t->core() >= 0)
+        ++managed_on_[static_cast<std::size_t>(t->core())];
+  }
 
   // speed_i = t_exec / t_real over the elapsed balance interval (demand
   // time instead of real time when demand_scaled; see SpeedBalanceParams).
-  std::map<CoreId, std::vector<double>> per_core;
   for (Task* t : managed_) {
     if (t->state() == TaskState::Finished) continue;
+    auto& snap = snaps[static_cast<std::size_t>(t->id())];
     const SimTime exec = t->total_exec();
-    const SimTime delta = exec - snaps[t->id()].exec;
-    snaps[t->id()].exec = exec;
+    const SimTime delta = exec - snap.exec;
+    snap.exec = exec;
     SimTime denom = elapsed;
     if (params_.demand_scaled) {
       const SimTime slept = sim_->total_sleep(*t);
-      const SimTime sleep_delta = slept - snaps[t->id()].sleep;
-      snaps[t->id()].sleep = slept;
+      const SimTime sleep_delta = slept - snap.sleep;
+      snap.sleep = slept;
       denom = std::max<SimTime>(elapsed - sleep_delta, 0);
       // Mostly-asleep threads carry no speed signal this interval.
       if (denom < elapsed / 20) continue;
@@ -118,42 +133,45 @@ std::map<CoreId, double> SpeedBalancer::measure_core_speeds(
       // A hardware context whose sibling is also busy delivers less real
       // progress than its CPU-time share suggests (Section 6, Nehalem).
       const CoreId sib = sim_->topo().core(t->core()).smt_sibling;
-      if (sib >= 0 && managed_on.count(sib) > 0) s *= params_.smt_discount;
+      if (sib >= 0 && managed_on_[static_cast<std::size_t>(sib)] > 0)
+        s *= params_.smt_discount;
     }
     if (params_.measurement_noise > 0.0)
       s = std::max(0.0, s * (1.0 + rng_.normal(0.0, params_.measurement_noise)));
-    thread_speed[t->id()] = s;
-    per_core[t->core()].push_back(s);
-  }
-  snapshot_time_[local] = sim_->now();
-
-  std::map<CoreId, double> core_speed;
-  for (CoreId c : cores_) {
-    if (!sim_->core_online(c)) continue;  // Hotplugged out of the pool.
-    const auto it = per_core.find(c);
-    if (it == per_core.end() || it->second.empty()) {
-      // No managed threads: a thread migrated here could run at the core's
-      // full speed, so an empty core is maximally attractive.
-      core_speed[c] = params_.scale_by_clock ? sim_->topo().core(c).clock_scale : 1.0;
-    } else {
-      double sum = 0.0;
-      for (double s : it->second) sum += s;
-      core_speed[c] = sum / static_cast<double>(it->second.size());
+    if (t->core() >= 0) {
+      speed_sum_[static_cast<std::size_t>(t->core())] += s;
+      ++speed_cnt_[static_cast<std::size_t>(t->core())];
     }
   }
-  return core_speed;
+  snapshot_time_[static_cast<std::size_t>(local)] = sim_->now();
+
+  int measured = 0;
+  for (CoreId c : cores_) {
+    if (!sim_->core_online(c)) continue;  // Hotplugged out of the pool.
+    const auto i = static_cast<std::size_t>(c);
+    if (speed_cnt_[i] == 0) {
+      // No managed threads: a thread migrated here could run at the core's
+      // full speed, so an empty core is maximally attractive.
+      core_speed_[i] =
+          params_.scale_by_clock ? sim_->topo().core(c).clock_scale : 1.0;
+    } else {
+      core_speed_[i] = speed_sum_[i] / static_cast<double>(speed_cnt_[i]);
+    }
+    core_present_[i] = 1;
+    ++measured;
+  }
+  return measured;
 }
 
-std::int64_t SpeedBalancer::record_sample(
-    CoreId local, const std::map<CoreId, double>& core_speed, double global) {
+std::int64_t SpeedBalancer::record_sample(CoreId local, double global) {
   obs::SpeedSample s;
   s.ts_us = sim_->now();
   s.observer = local;
   s.global = global;
   s.core_speed.reserve(cores_.size());
   for (const CoreId c : cores_) {
-    const auto it = core_speed.find(c);
-    const double sp = it != core_speed.end() ? it->second : 0.0;
+    const auto i = static_cast<std::size_t>(c);
+    const double sp = core_present_[i] != 0 ? core_speed_[i] : 0.0;
     s.core_speed.push_back(sp);
     s.queue_len.push_back(static_cast<int>(sim_->core(c).queue().nr_running()));
     s.below_threshold.push_back(global > 0.0 && sp / global < params_.threshold);
@@ -174,19 +192,16 @@ void SpeedBalancer::balance_once(CoreId local) {
     }
     return;
   }
-  std::map<TaskId, double> thread_speed;
-  const auto core_speed = measure_core_speeds(local, thread_speed);
-  if (core_speed.empty()) return;
+  const int measured = measure_core_speeds(local);
+  if (measured == 0) return;
 
   double global = 0.0;
-  for (const auto& [c, s] : core_speed) {
-    (void)c;
-    global += s;
-  }
-  global /= static_cast<double>(core_speed.size());
+  for (std::size_t i = 0; i < core_present_.size(); ++i)
+    if (core_present_[i] != 0) global += core_speed_[i];
+  global /= static_cast<double>(measured);
   last_global_ = global;
 
-  const double local_speed = core_speed.at(local);
+  const double local_speed = core_speed_[static_cast<std::size_t>(local)];
   std::int64_t sample_seq = -1;
   const auto log_decision = [&](obs::PullReason reason, CoreId source,
                                 double source_speed, TaskId victim = -1,
@@ -208,8 +223,7 @@ void SpeedBalancer::balance_once(CoreId local) {
     recorder_->decisions().add(rec);
   };
 
-  if (recorder_ != nullptr)
-    sample_seq = record_sample(local, core_speed, global);
+  if (recorder_ != nullptr) sample_seq = record_sample(local, global);
   if (global <= 0.0) return;
 
   // Attempt to balance only when the local core is faster than average.
@@ -228,8 +242,8 @@ void SpeedBalancer::balance_once(CoreId local) {
       block = static_cast<SimTime>(static_cast<double>(block) *
                                    params_.shared_cache_block_scale);
     const auto involved_within = [&](CoreId core) {
-      const auto it = last_involved_.find(core);
-      return it != last_involved_.end() && sim_->now() - it->second < block;
+      const SimTime at = last_involved_[static_cast<std::size_t>(core)];
+      return at != kNever && sim_->now() - at < block;
     };
     return involved_within(local) || involved_within(c);
   };
@@ -239,7 +253,9 @@ void SpeedBalancer::balance_once(CoreId local) {
   // crossing a blocked domain boundary.
   CoreId source = -1;
   double source_speed = std::numeric_limits<double>::max();
-  for (const auto& [c, s] : core_speed) {
+  for (CoreId c = 0; c < sim_->num_cores(); ++c) {
+    if (core_present_[static_cast<std::size_t>(c)] == 0) continue;
+    const double s = core_speed_[static_cast<std::size_t>(c)];
     if (c == local) continue;
     if (s / global >= params_.threshold) {
       log_decision(obs::PullReason::AboveThreshold, c, s);
@@ -305,8 +321,8 @@ void SpeedBalancer::balance_once(CoreId local) {
                 << " (s=" << local_speed << ", global=" << global << ")";
   log_decision(obs::PullReason::Pulled, source, source_speed, victim->id(),
                /*tie_break=*/co_minimal > 1, warmup_charged);
-  last_involved_[local] = sim_->now();
-  last_involved_[source] = sim_->now();
+  last_involved_[static_cast<std::size_t>(local)] = sim_->now();
+  last_involved_[static_cast<std::size_t>(source)] = sim_->now();
 }
 
 }  // namespace speedbal

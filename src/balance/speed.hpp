@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "balance/balancer.hpp"
@@ -130,14 +129,12 @@ class SpeedBalancer : public Balancer {
   /// Append the pass's speed/queue observation to the recorder's timeline;
   /// returns the sample's sequence index (the causal link every decision
   /// this pass logs carries as DecisionRecord::sample_seq).
-  std::int64_t record_sample(CoreId local,
-                             const std::map<CoreId, double>& core_speed,
-                             double global);
+  std::int64_t record_sample(CoreId local, double global);
   /// Measure all managed thread speeds since the last snapshot for `local`'s
-  /// balancer; returns per-core speeds (cores with no managed threads
+  /// balancer into core_speed_/core_present_ (cores with no managed threads
   /// report full nominal speed: a thread moved there could run unimpeded).
-  std::map<CoreId, double> measure_core_speeds(CoreId local,
-                                               std::map<TaskId, double>& thread_speed);
+  /// Returns the number of cores measured.
+  int measure_core_speeds(CoreId local);
 
   SpeedBalanceParams params_;
   std::vector<Task*> managed_;
@@ -145,11 +142,20 @@ class SpeedBalancer : public Balancer {
   Simulator* sim_ = nullptr;
   Rng rng_{0};
 
-  // Per-balancer measurement snapshots: snapshots_[local][task] = exec.
-  std::map<CoreId, std::map<TaskId, TaskSnap>> snapshots_;
-  std::map<CoreId, SimTime> snapshot_time_;
-  // Shared (intra-process) record of each core's last migration involvement.
-  std::map<CoreId, SimTime> last_involved_;
+  // Per-balancer measurement snapshots indexed [local][task id]; grown
+  // lazily as tasks appear. Dense vectors: one balance pass touches every
+  // managed thread, so map lookups per thread were pure overhead.
+  std::vector<std::vector<TaskSnap>> snapshots_;
+  std::vector<SimTime> snapshot_time_;
+  // Shared (intra-process) record of each core's last migration involvement
+  // (kNever = never involved), indexed by CoreId.
+  std::vector<SimTime> last_involved_;
+  // Per-pass measurement buffers indexed by CoreId, reused across passes.
+  std::vector<double> core_speed_;
+  std::vector<std::uint8_t> core_present_;
+  std::vector<double> speed_sum_;
+  std::vector<int> speed_cnt_;
+  std::vector<int> managed_on_;  // SMT occupancy scratch.
   double last_global_ = 0.0;
   obs::RunRecorder* recorder_ = nullptr;
 };

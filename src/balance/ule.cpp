@@ -37,7 +37,8 @@ void UleBalancer::push_once() {
   if (busiest < 0 || lightest < 0 || busiest == lightest) return;
   if (max_load < min_load + static_cast<std::size_t>(params_.steal_thresh)) return;
 
-  for (Task* t : balance_detail::kernel_movable(*sim_, busiest, lightest)) {
+  balance_detail::kernel_movable(*sim_, busiest, lightest, scratch_);
+  for (Task* t : scratch_) {
     sim_->migrate(*t, lightest, MigrationCause::Ule);
     return;
   }

@@ -37,6 +37,7 @@ class UleBalancer : public Balancer {
 
   UleParams params_;
   Simulator* sim_ = nullptr;
+  std::vector<Task*> scratch_;  // Reuse buffer for movable-task scans.
 };
 
 }  // namespace speedbal

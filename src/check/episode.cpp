@@ -56,7 +56,8 @@ void snapshot_task(const Simulator& sim, const Task& t,
 
 void probe_tick(Simulator& sim, Harvest& h, SimTime horizon) {
   ++h.probes;
-  for (const Task* t : sim.live_tasks()) snapshot_task(sim, *t, h.snaps);
+  sim.for_each_live_task(
+      [&](const Task* t) { snapshot_task(sim, *t, h.snaps); });
   if (sim.now() + kProbePeriod <= horizon)
     sim.schedule_after(kProbePeriod, [&sim, &h, horizon] {
       probe_tick(sim, h, horizon);

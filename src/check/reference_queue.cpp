@@ -87,6 +87,14 @@ int fuzz_event_queue(std::uint64_t seed, int ops,
   SimTime now = 0;
 
   const auto pop_both = [&]() -> bool {
+    if (ctl.real.size() != ctl.ref.size()) {
+      violations.push_back(Violation{
+          "event-queue",
+          "size disagrees after " + std::to_string(fired) + " pops: heap " +
+              std::to_string(ctl.real.size()) + ", reference " +
+              std::to_string(ctl.ref.size())});
+      return false;
+    }
     if (ctl.real.empty() != ctl.ref.empty()) {
       violations.push_back(Violation{
           "event-queue",
@@ -121,19 +129,48 @@ int fuzz_event_queue(std::uint64_t seed, int ops,
     return true;
   };
 
+  // Absolute times of recent far-future schedules, reused to land a second
+  // event (via the near-insert heap path once time has advanced) on the
+  // exact timestamp of an event sitting in the wheel: promotion must
+  // preserve the (time, seq) order across the two tiers.
+  std::vector<SimTime> far_times;
+
   for (int i = 0; i < ops; ++i) {
     const double op = rng.uniform();
-    if (op < 0.50) {
+    if (op < 0.42) {
       // Schedule at now + dt; small dt range forces heavy same-time ties.
       FirePlan plan;
       if (rng.chance(0.30)) {
         plan.spawn_child = true;
-        plan.child_dt = rng.chance(0.5) ? 0 : rng.uniform_int(0, 20);
+        // Mostly immediate children; occasionally a far-future child, which
+        // lands in the wheel from inside a pop.
+        plan.child_dt = rng.chance(0.5)   ? 0
+                        : rng.chance(0.1) ? rng.uniform_int(70'000, 400'000)
+                                          : rng.uniform_int(0, 20);
       }
       if (ctl.next_id > 0 && rng.chance(0.25))
         plan.cancel_id = static_cast<int>(rng.uniform_int(0, ctl.next_id - 1));
       ctl.new_event(now + rng.uniform_int(0, 25), plan);
-    } else if (op < 0.70) {
+    } else if (op < 0.52) {
+      // Far-future schedule: beyond the wheel's near horizon (~65ms), often
+      // beyond one ring revolution (~1s), exercising the overflow list and
+      // its re-bucketing at revolution boundaries.
+      FirePlan plan;
+      if (ctl.next_id > 0 && rng.chance(0.25))
+        plan.cancel_id = static_cast<int>(rng.uniform_int(0, ctl.next_id - 1));
+      const SimTime t = now + rng.uniform_int(70'000, 2'500'000);
+      far_times.push_back(t);
+      ctl.new_event(t, plan);
+    } else if (op < 0.56) {
+      // Re-hit a previously used far timestamp exactly: by now the earlier
+      // event may still be in the wheel while this one routes to the heap
+      // (or both share a bucket) — the equal-time promotion race.
+      if (far_times.empty()) continue;
+      const SimTime t = far_times[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(far_times.size()) - 1))];
+      if (t < now) continue;
+      ctl.new_event(t, FirePlan{});
+    } else if (op < 0.72) {
       // Cancel a random id: pending, fired, or already cancelled.
       if (ctl.next_id == 0) continue;
       const int id = static_cast<int>(rng.uniform_int(0, ctl.next_id - 1));

@@ -89,7 +89,8 @@ bool ServeRuntime::inject(Request r) {
   if (params_.dispatch == DispatchPolicy::Weighted && !shard_weights_.empty()) {
     w = pick_weighted(shard_weights_, wrr_credit_, rr_cursor_);
   } else {
-    std::vector<ShardLoad> loads;
+    auto& loads = load_scratch_;
+    loads.clear();
     loads.reserve(shards_.size());
     for (const Shard& s : shards_) loads.push_back(load_of(s));
     w = pick_shard(params_.dispatch, loads, rr_cursor_);

@@ -184,6 +184,7 @@ class ServeRuntime : public TaskClient {
   std::uint64_t rr_cursor_ = 0;
   std::vector<double> shard_weights_;  ///< Empty until set_shard_weights.
   std::vector<double> wrr_credit_;     ///< Smooth-WRR running credit.
+  std::vector<ShardLoad> load_scratch_;  ///< Reused per inject (hot path).
   bool open_ = true;
   bool retired_ = false;
   ServeStats stats_;

@@ -6,50 +6,70 @@
 
 namespace speedbal {
 
+bool CfsQueue::before(const Task* a, const Task* b) {
+  if (a->vruntime() != b->vruntime()) return a->vruntime() < b->vruntime();
+  return a->id() < b->id();
+}
+
+void CfsQueue::insert_sorted(Task* t) {
+  const auto pos = std::upper_bound(order_.begin(), order_.end(), t, before);
+  order_.insert(pos, t);
+}
+
+std::size_t CfsQueue::index_of(const Task& t) const {
+  // Keys are unique (id tiebreak), so an equal-range search would land on
+  // the element directly — but the vruntime may have been modified by the
+  // caller between insert and lookup (charge), so scan by identity.
+  const auto it = std::find(order_.begin(), order_.end(), &t);
+  return static_cast<std::size_t>(it - order_.begin());
+}
+
 void CfsQueue::enqueue(Task& t, bool sleeper_bonus) {
   assert(!contains(t));
   // Convert the task's queue-relative vruntime to this queue's clock. A
   // woken sleeper receives the CFS wakeup credit: it is placed half a
   // latency period before min_vruntime so it runs promptly (it was blocked,
   // not hoarding CPU) without being able to starve the queue.
-  t.vruntime_ = sleeper_bonus ? min_vruntime_ - params_.sched_latency / 2
-                              : t.vruntime_ + min_vruntime_;
-  order_.insert(&t);
+  t.vruntime_ref() = sleeper_bonus ? min_vruntime_ - params_.sched_latency / 2
+                              : t.vruntime_ref() + min_vruntime_;
+  insert_sorted(&t);
   load_ += t.spec().weight;
   update_min_vruntime();
 }
 
 void CfsQueue::dequeue(Task& t) {
-  const auto it = order_.find(&t);
-  assert(it != order_.end());
-  order_.erase(it);
+  const std::size_t i = index_of(t);
+  assert(i < order_.size());
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
   load_ -= t.spec().weight;
   if (order_.empty()) load_ = 0.0;
   // Store vruntime relative to this queue so the next queue can rebase it.
-  t.vruntime_ -= min_vruntime_;
+  t.vruntime_ref() -= min_vruntime_;
   update_min_vruntime();
 }
 
 Task* CfsQueue::pick_next() const {
-  return order_.empty() ? nullptr : *order_.begin();
+  return order_.empty() ? nullptr : order_.front();
 }
 
 void CfsQueue::requeue_behind(Task& t) {
-  const auto it = order_.find(&t);
-  assert(it != order_.end());
-  order_.erase(it);
-  const SimTime rightmost = order_.empty() ? min_vruntime_ : (*order_.rbegin())->vruntime_;
-  t.vruntime_ = std::max(t.vruntime_, rightmost + 1);
-  order_.insert(&t);
+  const std::size_t i = index_of(t);
+  assert(i < order_.size());
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+  const SimTime rightmost = order_.empty() ? min_vruntime_ : order_.back()->vruntime_ref();
+  t.vruntime_ref() = std::max(t.vruntime_ref(), rightmost + 1);
+  order_.push_back(&t);  // max vruntime + unique id: always the new rightmost
 }
 
 void CfsQueue::charge(Task& t, SimTime dur) {
-  const bool queued = contains(t);
-  if (queued) order_.erase(&t);
+  const std::size_t i = index_of(t);
+  const bool queued = i < order_.size();
+  if (queued)
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
   const double w = std::max(t.spec().weight, 1e-9);
-  t.vruntime_ += static_cast<SimTime>(std::llround(static_cast<double>(dur) / w));
+  t.vruntime_ref() += static_cast<SimTime>(std::llround(static_cast<double>(dur) / w));
   if (queued) {
-    order_.insert(&t);
+    insert_sorted(&t);
     update_min_vruntime();
   }
 }
@@ -61,7 +81,7 @@ SimTime CfsQueue::timeslice() const {
 }
 
 bool CfsQueue::should_preempt(const Task& woken, const Task& running) const {
-  return woken.vruntime_ + params_.wakeup_granularity < running.vruntime_;
+  return woken.vruntime() + params_.wakeup_granularity < running.vruntime();
 }
 
 bool CfsQueue::has_non_waiting() const {
@@ -70,19 +90,13 @@ bool CfsQueue::has_non_waiting() const {
   });
 }
 
-std::vector<Task*> CfsQueue::tasks() const {
-  return {order_.begin(), order_.end()};
-}
-
 bool CfsQueue::contains(const Task& t) const {
-  // std::set::find uses the comparator; identity check needed because two
-  // tasks can have equal keys only if they are the same task (id tiebreak).
-  return order_.find(const_cast<Task*>(&t)) != order_.end();
+  return index_of(t) < order_.size();
 }
 
 void CfsQueue::update_min_vruntime() {
   if (order_.empty()) return;  // Keep the clock; new arrivals rebase onto it.
-  min_vruntime_ = std::max(min_vruntime_, (*order_.begin())->vruntime_);
+  min_vruntime_ = std::max(min_vruntime_, order_.front()->vruntime_ref());
 }
 
 }  // namespace speedbal

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstddef>
-#include <set>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -30,6 +29,12 @@ struct CfsParams {
 /// (minimum vruntime) task runs next. Task vruntimes are stored relative to
 /// the queue's min_vruntime while enqueued so migrations between queues do
 /// not import another core's virtual clock.
+///
+/// Storage is a flat vector kept sorted ascending by (vruntime, id) — the
+/// same total order the old rb-tree gave, without per-node allocation or
+/// pointer chasing. Queues hold a handful of tasks (tens at worst under
+/// oversubscription), where a binary search plus memmove beats tree
+/// rebalancing on every enqueue/charge.
 class CfsQueue {
  public:
   explicit CfsQueue(CfsParams params = {}) : params_(params) {}
@@ -70,22 +75,36 @@ class CfsQueue {
   bool has_non_waiting() const;
 
   /// Snapshot of enqueued tasks in vruntime order (for balancer scans).
-  std::vector<Task*> tasks() const;
+  /// Allocates; hot callers should use the out-buffer or visitor forms.
+  std::vector<Task*> tasks() const { return order_; }
+
+  /// Allocation-free snapshot into a caller-owned reuse buffer.
+  void tasks(std::vector<Task*>& out) const {
+    out.assign(order_.begin(), order_.end());
+  }
+
+  /// Visit enqueued tasks in vruntime order without copying. The callback
+  /// must not mutate the queue.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (Task* t : order_) fn(t);
+  }
 
   bool contains(const Task& t) const;
 
  private:
-  struct ByVruntime {
-    bool operator()(const Task* a, const Task* b) const {
-      if (a->vruntime() != b->vruntime()) return a->vruntime() < b->vruntime();
-      return a->id() < b->id();
-    }
-  };
+  static bool before(const Task* a, const Task* b);
+
+  /// Binary-search insert preserving (vruntime, id) order.
+  void insert_sorted(Task* t);
+  /// Index of `t` in order_, or order_.size() when absent (linear scan —
+  /// queues are small and the scan is over a dense pointer array).
+  std::size_t index_of(const Task& t) const;
 
   void update_min_vruntime();
 
   CfsParams params_;
-  std::set<Task*, ByVruntime> order_;
+  std::vector<Task*> order_;  ///< sorted ascending by (vruntime, id)
   double load_ = 0.0;
   SimTime min_vruntime_ = 0;
 };

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sim/cfs_queue.hpp"
 #include "sim/event_queue.hpp"
@@ -9,48 +11,83 @@
 
 namespace speedbal {
 
+/// Struct-of-arrays backing store for the per-core dispatch state touched on
+/// every event, indexed by CoreId. The Simulator owns one store for all its
+/// cores; scans like "who is running everywhere" or "which cores are online"
+/// walk one dense array each instead of striding across CoreState objects.
+class CoreStore {
+ public:
+  void init(std::size_t n) {
+    running.assign(n, nullptr);
+    run_start.assign(n, SimTime{0});
+    slice_end.assign(n, SimTime{0});
+    current_speed.assign(n, 1.0);
+    stop_event.assign(n, EventHandle{});
+    busy_time.assign(n, SimTime{0});
+    idle_since.assign(n, SimTime{0});
+    online.assign(n, std::uint8_t{1});
+    in_dispatch.assign(n, std::uint8_t{0});
+  }
+
+  std::vector<Task*> running;
+  std::vector<SimTime> run_start;   ///< When the current dispatch began.
+  std::vector<SimTime> slice_end;   ///< When the current timeslice expires.
+  std::vector<double> current_speed;
+  std::vector<EventHandle> stop_event;  ///< Pending CoreStop per core.
+  std::vector<SimTime> busy_time;
+  std::vector<SimTime> idle_since;
+  std::vector<std::uint8_t> online;
+  /// Dispatch re-entrancy latch (idle hooks may call back into dispatch).
+  std::vector<std::uint8_t> in_dispatch;
+};
+
 /// Per-core scheduler state: the CFS run queue plus the dispatch bookkeeping
 /// the Simulator needs (who is running, since when, at what effective speed,
-/// and the stop event that will end the current dispatch).
+/// and the stop event that will end the current dispatch). The hot fields
+/// live in the Simulator's CoreStore; accessors read through to it.
 class CoreState {
  public:
-  CoreState(CoreId id, CfsParams params) : id_(id), queue_(params) {}
+  CoreState(CoreId id, CfsParams params, CoreStore& store)
+      : id_(id), queue_(params), store_(&store) {}
 
   CoreId id() const { return id_; }
   CfsQueue& queue() { return queue_; }
   const CfsQueue& queue() const { return queue_; }
 
-  Task* running() const { return running_; }
-  bool idle() const { return running_ == nullptr && queue_.empty(); }
+  Task* running() const { return store_->running[cid()]; }
+  bool idle() const { return running() == nullptr && queue_.empty(); }
 
   /// Hotplug state: offline cores execute nothing and reject placements
   /// (Simulator::set_core_online drains them). Mirrors Linux cpu_online_mask.
-  bool online() const { return online_; }
+  bool online() const { return store_->online[cid()] != 0; }
 
   /// Effective execution speed of the running task (clock scale x memory
   /// effects); meaningless when nothing is running.
-  double current_speed() const { return current_speed_; }
+  double current_speed() const { return store_->current_speed[cid()]; }
 
   /// Cumulative time this core spent executing any task.
-  SimTime busy_time() const { return busy_time_; }
+  SimTime busy_time() const { return store_->busy_time[cid()]; }
   /// Simulation time at which the core last became idle (kNever if busy).
-  SimTime idle_since() const { return idle_since_; }
+  SimTime idle_since() const { return store_->idle_since[cid()]; }
 
  private:
   friend class Simulator;
 
+  std::size_t cid() const { return static_cast<std::size_t>(id_); }
+
+  Task*& running_ref() { return store_->running[cid()]; }
+  SimTime& run_start_ref() { return store_->run_start[cid()]; }
+  SimTime& slice_end_ref() { return store_->slice_end[cid()]; }
+  double& current_speed_ref() { return store_->current_speed[cid()]; }
+  EventHandle& stop_event_ref() { return store_->stop_event[cid()]; }
+  SimTime& busy_time_ref() { return store_->busy_time[cid()]; }
+  SimTime& idle_since_ref() { return store_->idle_since[cid()]; }
+  std::uint8_t& online_ref() { return store_->online[cid()]; }
+  std::uint8_t& in_dispatch_ref() { return store_->in_dispatch[cid()]; }
+
   CoreId id_;
   CfsQueue queue_;
-
-  Task* running_ = nullptr;
-  SimTime run_start_ = 0;        ///< When the current dispatch began.
-  SimTime slice_end_ = 0;        ///< When the current timeslice expires.
-  double current_speed_ = 1.0;
-  EventHandle stop_event_;       ///< Pending CoreStop for this dispatch.
-
-  SimTime busy_time_ = 0;
-  SimTime idle_since_ = 0;
-  bool online_ = true;
+  CoreStore* store_;
 };
 
 }  // namespace speedbal

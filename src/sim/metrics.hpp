@@ -11,6 +11,7 @@
 #include "obs/recorder.hpp"
 #include "sim/task.hpp"
 #include "topo/topology.hpp"
+#include "util/arena.hpp"
 #include "util/time.hpp"
 
 namespace speedbal {
@@ -59,11 +60,15 @@ struct RunSegment {
 /// migration log, and completion times. Collected unconditionally (cheap);
 /// the property tests and figure harnesses read it back.
 ///
-/// All per-task state is held in dense vectors indexed by TaskId (the
-/// Simulator hands out ids sequentially from 0), and migration totals per
-/// cause are maintained as a running array — so the per-dispatch accounting
-/// hot path is a couple of indexed adds, and report generation never
-/// rescans the migration or segment logs.
+/// Recording is *staged*: the per-event hot path appends one compact POD to
+/// a flat pending buffer (a single store into a linear array — no per-task
+/// indexing, no allocator), and the dense tables (per-task-per-core exec,
+/// interval accumulators, the segment log) are built in batches — when the
+/// buffer fills, or on demand the moment any query method runs. Queries
+/// therefore always see exact values; only the *location* of the work moved
+/// out of the event loop. Interval lists live in a bump arena so their
+/// growth never hits the global allocator; reset() recycles the arena slabs
+/// for the next run.
 class Metrics {
  public:
   explicit Metrics(int num_cores)
@@ -72,7 +77,29 @@ class Metrics {
     cause_counts_.fill(0);
   }
 
-  void record_run(TaskId task, CoreId core, SimTime dur);
+  /// One contiguous execution stretch: stages both the exec-table add and
+  /// the segment/interval append in a single record. This is the
+  /// Simulator's per-dispatch call (previously record_run + record_segment).
+  void record_exec(TaskId task, CoreId core, SimTime start, SimTime dur) {
+    stage(task, core, start, dur, kExec | kSegment);
+  }
+
+  /// Exec-table-only accounting (no segment); kept for callers that account
+  /// execution without timestamps.
+  void record_run(TaskId task, CoreId core, SimTime dur) {
+    stage(task, core, 0, dur, kExec);
+  }
+
+  /// Record run segments with timestamps, without exec-table accounting
+  /// (`record_exec` does both). Segment capture costs memory proportional
+  /// to context switches; it is always on — runs are short-lived objects.
+  /// Segments of one task are expected in non-decreasing start order (they
+  /// cannot overlap); out-of-order recording is tolerated but pays a sorted
+  /// insert at drain time.
+  void record_segment(const RunSegment& seg) {
+    stage(seg.task, seg.core, seg.start, seg.dur, kSegment);
+  }
+
   void record_migration(const MigrationRecord& rec);
 
   /// Attach an observability recorder: every subsequent migration is also
@@ -83,14 +110,10 @@ class Metrics {
   void set_recorder(obs::RunRecorder* rec);
   obs::RunRecorder* recorder() const { return recorder_; }
 
-  /// Record run segments with timestamps (`record_run` is called with the
-  /// segment end = start + dur by the Simulator). Segment capture costs
-  /// memory proportional to context switches; it is always on — runs are
-  /// short-lived objects. Segments of one task are expected in
-  /// non-decreasing start order (they cannot overlap); out-of-order
-  /// recording is tolerated but pays a sorted insert.
-  void record_segment(const RunSegment& seg);
-  const std::vector<RunSegment>& segments() const { return segments_; }
+  const std::vector<RunSegment>& segments() const {
+    drain();
+    return segments_;
+  }
 
   /// Execution time of `task` within the window [from, to) (clipped).
   /// O(log segments-of-task) via the per-task interval accumulator.
@@ -118,6 +141,15 @@ class Metrics {
   /// Built from the running tally — does not rescan the migration log.
   std::map<MigrationCause, std::int64_t> migration_counts_by_cause() const;
 
+  /// Clear all recorded state for reuse by another run. Retains the outer
+  /// table capacities and the interval arena's slabs, so a reused Metrics
+  /// reaches its high-water memory once and then records allocation-free.
+  void reset();
+
+  /// Records staged but not yet drained into the dense tables (test hook;
+  /// any query method drains implicitly).
+  std::size_t staged() const { return pending_.size(); }
+
   int num_cores() const { return num_cores_; }
 
  private:
@@ -130,15 +162,52 @@ class Metrics {
     SimTime end() const { return start + dur; }
   };
 
+  /// Staged accounting record (24 bytes). `kind` says which tables the
+  /// record feeds when drained.
+  struct Pending {
+    SimTime start;
+    SimTime dur;
+    TaskId task;
+    std::int16_t core;
+    std::uint8_t kind;
+  };
+  static constexpr std::uint8_t kExec = 1;     ///< per-task-per-core table
+  static constexpr std::uint8_t kSegment = 2;  ///< segment log + intervals
+
+  /// Drain the pending buffer when it reaches this many records, bounding
+  /// staged memory; queries drain whatever is staged regardless.
+  static constexpr std::size_t kDrainBatch = 8192;
+
+  void stage(TaskId task, CoreId core, SimTime start, SimTime dur,
+             std::uint8_t kind) {
+    pending_.push_back({start, dur, task, static_cast<std::int16_t>(core), kind});
+    if (pending_.size() >= kDrainBatch) drain();
+  }
+
+  /// Apply every staged record, in recording order, to the dense tables.
+  /// Const because queries trigger it: the tables are caches of the staged
+  /// stream, so building them does not change observable state.
+  void drain() const;
+  void drain_segment(TaskId task, CoreId core, SimTime start,
+                     SimTime dur) const;
+
   int num_cores_;
+  mutable std::vector<Pending> pending_;
   /// Per-task per-core execution, indexed [task][core]; rows are allocated
   /// on a task's first run.
-  std::vector<std::vector<SimTime>> exec_;
-  /// Per-task interval accumulator, indexed [task]; sorted by start.
-  std::vector<std::vector<Interval>> intervals_;
+  mutable std::vector<std::vector<SimTime>> exec_;
+  /// Per-task interval accumulator, indexed [task]; sorted by start, with
+  /// exactly-adjacent same-core runs merged (exec_in_window is unaffected:
+  /// contiguous intervals sum identically merged or split). Backed by the
+  /// arena below.
+  mutable std::vector<ArenaVector<Interval>> intervals_;
+  mutable Arena arena_;
+  mutable std::vector<RunSegment> segments_;
+  /// Core of the last interval per task, for the adjacent-merge check
+  /// (intervals themselves don't store the core).
+  mutable std::vector<std::int16_t> last_core_;
   std::vector<MigrationRecord> migrations_;
   std::array<std::int64_t, kNumMigrationCauses> cause_counts_;
-  std::vector<RunSegment> segments_;
   /// Correctly-sized all-zero row returned for tasks that never ran, so
   /// callers may always index [core].
   std::vector<SimTime> empty_;

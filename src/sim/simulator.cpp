@@ -20,9 +20,10 @@ Simulator::Simulator(const Topology& topo, SimParams params, std::uint64_t seed)
       rng_(seed) {
   if (topo_.num_cores() > 64)
     throw std::invalid_argument("Simulator supports at most 64 cores");
+  core_store_.init(static_cast<std::size_t>(topo_.num_cores()));
+  cores_.reserve(static_cast<std::size_t>(topo_.num_cores()));
   for (CoreId c = 0; c < topo_.num_cores(); ++c)
-    cores_.push_back(std::make_unique<CoreState>(c, params_.cfs));
-  in_dispatch_.assign(static_cast<std::size_t>(topo_.num_cores()), false);
+    cores_.emplace_back(c, params_.cfs, core_store_);
   node_demand_.assign(static_cast<std::size_t>(topo_.num_numa_nodes()), 0.0);
   load_snapshot_.assign(static_cast<std::size_t>(topo_.num_cores()), 0);
 }
@@ -30,9 +31,9 @@ Simulator::Simulator(const Topology& topo, SimParams params, std::uint64_t seed)
 // --- Task lifecycle ---------------------------------------------------------
 
 Task& Simulator::create_task(TaskSpec spec) {
-  tasks_.push_back(std::make_unique<Task>(next_task_id_++, std::move(spec)));
-  tasks_.back()->sleep_since_ = now();  // Born sleeping.
-  return *tasks_.back();
+  tasks_.emplace_back(next_task_id_++, std::move(spec), task_store_);
+  tasks_.back().sleep_since_ = now();  // Born sleeping.
+  return tasks_.back();
 }
 
 void Simulator::start_task(Task& t, std::uint64_t allowed_mask) {
@@ -57,51 +58,51 @@ void Simulator::start_task_on(Task& t, CoreId core, std::uint64_t allowed_mask) 
 void Simulator::assign_work(Task& t, double work_us) {
   if (!(work_us > 0.0))
     throw std::invalid_argument("assign_work: work must be positive");
-  t.remaining_work_ += work_us;
-  t.wait_mode_ = WaitMode::None;
-  if (t.state_ == TaskState::Running) {
-    flush_accounting(t.core_);
-    reschedule_stop(t.core_);
+  t.remaining_work_ref() += work_us;
+  t.wait_mode_ref() = WaitMode::None;
+  if (t.state_ref() == TaskState::Running) {
+    flush_accounting(t.core_ref());
+    reschedule_stop(t.core_ref());
   }
 }
 
 void Simulator::set_wait_mode(Task& t, WaitMode mode) {
-  if (t.state_ == TaskState::Finished)
+  if (t.state_ref() == TaskState::Finished)
     throw std::logic_error("set_wait_mode on finished task");
-  t.wait_mode_ = mode;
-  if (mode != WaitMode::None) t.remaining_work_ = 0.0;
-  if (t.state_ == TaskState::Running) {
-    flush_accounting(t.core_);
-    reschedule_stop(t.core_);
+  t.wait_mode_ref() = mode;
+  if (mode != WaitMode::None) t.remaining_work_ref() = 0.0;
+  if (t.state_ref() == TaskState::Running) {
+    flush_accounting(t.core_ref());
+    reschedule_stop(t.core_ref());
   }
 }
 
 void Simulator::sleep_task(Task& t) {
   ++t.wake_seq_;
-  switch (t.state_) {
+  switch (t.state_ref()) {
     case TaskState::Sleeping:
       return;
     case TaskState::Parked:
-      t.state_ = TaskState::Sleeping;
-      t.wait_mode_ = WaitMode::None;
+      t.state_ref() = TaskState::Sleeping;
+      t.wait_mode_ref() = WaitMode::None;
       t.sleep_since_ = now();
       return;
     case TaskState::Finished:
       throw std::logic_error("sleep_task on finished task");
     case TaskState::Running: {
-      const CoreId c = t.core_;
+      const CoreId c = t.core_ref();
       halt_running(c);
       core(c).queue().dequeue(t);
-      t.state_ = TaskState::Sleeping;
-      t.wait_mode_ = WaitMode::None;
+      t.state_ref() = TaskState::Sleeping;
+      t.wait_mode_ref() = WaitMode::None;
       t.sleep_since_ = now();
       dispatch(c);
       return;
     }
     case TaskState::Runnable:
-      core(t.core_).queue().dequeue(t);
-      t.state_ = TaskState::Sleeping;
-      t.wait_mode_ = WaitMode::None;
+      core(t.core_ref()).queue().dequeue(t);
+      t.state_ref() = TaskState::Sleeping;
+      t.wait_mode_ref() = WaitMode::None;
       t.sleep_since_ = now();
       return;
   }
@@ -112,19 +113,19 @@ void Simulator::sleep_task_for(Task& t, SimTime dur) {
   const std::uint64_t seq = t.wake_seq_;
   Task* tp = &t;
   schedule_after(std::max<SimTime>(dur, 1), [this, tp, seq] {
-    if (tp->state_ == TaskState::Sleeping && tp->wake_seq_ == seq) wake_task(*tp);
+    if (tp->state_ref() == TaskState::Sleeping && tp->wake_seq_ == seq) wake_task(*tp);
   });
 }
 
 void Simulator::wake_task(Task& t) {
-  if (t.state_ != TaskState::Sleeping) return;  // Benign lost race.
+  if (t.state_ref() != TaskState::Sleeping) return;  // Benign lost race.
   ++t.wake_seq_;
   if ((t.allowed_ & online_mask()) == 0)
     t.allowed_ = online_mask();  // select_fallback_rq: every allowed core offline.
-  const CoreId prev = t.core_;
+  const CoreId prev = t.core_ref();
   const CoreId c = select_core_wake(t);
   if (c != prev && prev >= 0) {
-    t.warmup_remaining_ += memory_.migration_cost_us(t, prev, c);
+    t.warmup_remaining_ref() += memory_.migration_cost_us(t, prev, c);
     metrics_.record_migration({now(), t.id(), prev, c, MigrationCause::WakePlacement});
   }
   enqueue_on(t, c, /*sleeper_bonus=*/true);
@@ -132,58 +133,58 @@ void Simulator::wake_task(Task& t) {
 
 void Simulator::finish_task(Task& t) {
   ++t.wake_seq_;
-  switch (t.state_) {
+  switch (t.state_ref()) {
     case TaskState::Finished:
       return;
     case TaskState::Running: {
-      const CoreId c = t.core_;
+      const CoreId c = t.core_ref();
       halt_running(c);
       core(c).queue().dequeue(t);
-      t.state_ = TaskState::Finished;
+      t.state_ref() = TaskState::Finished;
       dispatch(c);
       return;
     }
     case TaskState::Runnable:
-      core(t.core_).queue().dequeue(t);
-      t.state_ = TaskState::Finished;
+      core(t.core_ref()).queue().dequeue(t);
+      t.state_ref() = TaskState::Finished;
       return;
     case TaskState::Sleeping:
     case TaskState::Parked:
-      t.state_ = TaskState::Finished;
+      t.state_ref() = TaskState::Finished;
       return;
   }
 }
 
 void Simulator::park_task(Task& t) {
-  switch (t.state_) {
+  switch (t.state_ref()) {
     case TaskState::Parked:
       return;
     case TaskState::Sleeping:
     case TaskState::Finished:
       throw std::logic_error("park_task on blocked/finished task");
     case TaskState::Running: {
-      const CoreId c = t.core_;
+      const CoreId c = t.core_ref();
       halt_running(c);
       core(c).queue().dequeue(t);
-      t.state_ = TaskState::Parked;
+      t.state_ref() = TaskState::Parked;
       dispatch(c);
       return;
     }
     case TaskState::Runnable:
-      core(t.core_).queue().dequeue(t);
-      t.state_ = TaskState::Parked;
+      core(t.core_ref()).queue().dequeue(t);
+      t.state_ref() = TaskState::Parked;
       return;
   }
 }
 
 void Simulator::unpark_task(Task& t) {
-  if (t.state_ != TaskState::Parked) return;
-  CoreId c = t.core_;
+  if (t.state_ref() != TaskState::Parked) return;
+  CoreId c = t.core_ref();
   if (!core(c).online()) {
     // The core went away while the task sat on an expired/parked list.
     if ((t.allowed_ & online_mask()) == 0) t.allowed_ = online_mask();
     c = least_loaded_online(t.allowed_);
-    metrics_.record_migration({now(), t.id(), t.core_, c, MigrationCause::Hotplug});
+    metrics_.record_migration({now(), t.id(), t.core_ref(), c, MigrationCause::Hotplug});
   }
   enqueue_on(t, c, /*sleeper_bonus=*/false);
 }
@@ -199,10 +200,10 @@ bool Simulator::set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
   if ((mask & online_mask()) == 0) return false;
   t.allowed_ = mask;
   if (hard_pin) t.hard_pinned_ = true;
-  if (t.state_ == TaskState::Finished) return true;
-  if (t.allowed_on(t.core_) &&
-      (core(t.core_).online() || t.state_ == TaskState::Sleeping ||
-       t.state_ == TaskState::Parked))
+  if (t.state_ref() == TaskState::Finished) return true;
+  if (t.allowed_on(t.core_ref()) &&
+      (core(t.core_ref()).online() || t.state_ref() == TaskState::Sleeping ||
+       t.state_ref() == TaskState::Parked))
     return true;  // Sleepers on a dead core are redirected at wake/unpark.
   // Current core excluded (or offline): the kernel moves the task
   // immediately to the least-loaded allowed online core. migrate() handles
@@ -213,40 +214,40 @@ bool Simulator::set_affinity(Task& t, std::uint64_t mask, bool hard_pin,
 }
 
 void Simulator::migrate(Task& t, CoreId to, MigrationCause cause) {
-  if (t.state_ == TaskState::Finished)
+  if (t.state_ref() == TaskState::Finished)
     throw std::logic_error("migrate on finished task");
   if (!t.allowed_on(to))
     throw std::invalid_argument("migrate: destination outside affinity");
   if (!core(to).online())
     throw std::invalid_argument("migrate: destination core offline");
-  const CoreId from = t.core_;
+  const CoreId from = t.core_ref();
   if (to == from) return;
 
-  if (t.state_ == TaskState::Sleeping || t.state_ == TaskState::Parked) {
+  if (t.state_ref() == TaskState::Sleeping || t.state_ref() == TaskState::Parked) {
     // Only retarget; the cache cost is charged when it actually runs there.
     // Still counted and logged: the per-task counter must match the
     // migration log (WakePlacement is the only recorded-but-uncounted cause).
-    t.core_ = to;
+    t.core_ref() = to;
     ++t.migrations_;
     t.last_migration_ = now();
     metrics_.record_migration({now(), t.id(), from, to, cause});
     return;
   }
 
-  const bool was_running = t.state_ == TaskState::Running;
+  const bool was_running = t.state_ref() == TaskState::Running;
   if (was_running) halt_running(from);
   core(from).queue().dequeue(t);
 
-  t.warmup_remaining_ += memory_.migration_cost_us(t, from, to);
+  t.warmup_remaining_ref() += memory_.migration_cost_us(t, from, to);
   ++t.migrations_;
   t.last_migration_ = now();
   metrics_.record_migration({now(), t.id(), from, to, cause});
 
-  t.core_ = to;
-  t.state_ = TaskState::Runnable;
+  t.core_ref() = to;
+  t.state_ref() = TaskState::Runnable;
   core(to).queue().enqueue(t, /*sleeper_bonus=*/false);
 
-  if (core(to).running_ == nullptr) dispatch(to);
+  if (core(to).running_ref() == nullptr) dispatch(to);
   if (was_running) dispatch(from);
 }
 
@@ -257,37 +258,36 @@ void Simulator::set_clock_scale(CoreId c, double scale) {
   // Clock scale enters the speed model for this core only; SMT contention
   // and memory effects are unchanged, so only this core needs a refresh.
   auto& cs = core(c);
-  if (cs.running_ == nullptr) return;
-  const double ns = compute_speed(*cs.running_, c);
-  if (std::abs(ns - cs.current_speed_) < 1e-12) return;
+  if (cs.running_ref() == nullptr) return;
+  const double ns = compute_speed(*cs.running_ref(), c);
+  if (std::abs(ns - cs.current_speed_ref()) < 1e-12) return;
   flush_accounting(c);  // Charge the elapsed part at the old speed.
-  cs.current_speed_ = ns;
+  cs.current_speed_ref() = ns;
   reschedule_stop(c);
 }
 
 void Simulator::set_core_online(CoreId c, bool online) {
   auto& cs = core(c);
-  if (cs.online_ == online) return;
+  if (cs.online_ref() == online) return;
   if (online) {
-    cs.online_ = true;
-    cs.idle_since_ = now();
+    cs.online_ref() = true;
+    cs.idle_since_ref() = now();
     return;
   }
   if (num_online_cores() <= 1)
     throw std::invalid_argument("set_core_online: cannot offline the last core");
-  cs.online_ = false;
+  cs.online_ref() = false;
   // Drain: stop the running task (it rejoins the queue) and push everything
   // to online cores. Like the kernel's CPU-down path, a task whose mask
   // holds no online core gets the mask broken open (select_fallback_rq).
   halt_running(c);
   while (true) {
-    const auto queued = cs.queue().tasks();
-    if (queued.empty()) break;
-    Task* t = queued.front();
+    Task* t = cs.queue().pick_next();
+    if (t == nullptr) break;
     if ((t->allowed_ & online_mask()) == 0) t->allowed_ = online_mask();
     migrate(*t, least_loaded_online(t->allowed_), MigrationCause::Hotplug);
   }
-  cs.idle_since_ = now();
+  cs.idle_since_ref() = now();
 }
 
 std::uint64_t Simulator::online_mask() const {
@@ -331,13 +331,22 @@ void Simulator::sync_all_accounting() {
 
 std::vector<Task*> Simulator::live_tasks() const {
   std::vector<Task*> out;
-  for (const auto& t : tasks_)
-    if (t->state() != TaskState::Finished) out.push_back(t.get());
+  live_tasks(out);
   return out;
 }
 
 std::vector<Task*> Simulator::tasks_on(CoreId c) const {
   return core(c).queue().tasks();
+}
+
+void Simulator::live_tasks(std::vector<Task*>& out) const {
+  out.clear();
+  for (const Task& t : tasks_)
+    if (t.state() != TaskState::Finished) out.push_back(const_cast<Task*>(&t));
+}
+
+void Simulator::tasks_on(CoreId c, std::vector<Task*>& out) const {
+  core(c).queue().tasks(out);
 }
 
 bool Simulator::can_migrate(const Task& t, CoreId to) const {
@@ -351,9 +360,9 @@ void Simulator::dispatch(CoreId c) {
   auto& cs = core(c);
   // An offline core executes nothing — in particular its idle hook must not
   // fire, or new-idle balancing would pull work into a dead core.
-  if (!cs.online_) return;
-  if (cs.running_ != nullptr || in_dispatch_[static_cast<std::size_t>(c)]) return;
-  in_dispatch_[static_cast<std::size_t>(c)] = true;
+  if (!cs.online_ref()) return;
+  if (cs.running_ref() != nullptr || cs.in_dispatch_ref()) return;
+  cs.in_dispatch_ref() = 1;
   Task* pick = cs.queue().pick_next();
   if (pick == nullptr) {
     // New-idle balancing: give the attached balancer a chance to pull work
@@ -364,33 +373,33 @@ void Simulator::dispatch(CoreId c) {
   if (pick != nullptr) {
     start_running(c, *pick);
   } else {
-    cs.idle_since_ = now();
+    cs.idle_since_ref() = now();
   }
-  in_dispatch_[static_cast<std::size_t>(c)] = false;
+  cs.in_dispatch_ref() = 0;
 }
 
 void Simulator::start_running(CoreId c, Task& t) {
   auto& cs = core(c);
-  assert(cs.running_ == nullptr);
+  assert(cs.running_ref() == nullptr);
   // A task can legitimately arrive here with zero work: migrating a running
   // task flushes its accounting first, and the flush may consume the last
   // of its work. reschedule_stop() then fires core_stop immediately, which
   // runs the normal completion path.
-  cs.running_ = &t;
-  t.state_ = TaskState::Running;
+  cs.running_ref() = &t;
+  t.state_ref() = TaskState::Running;
   // First touch: the memory home is fixed only once the task has actually
   // executed for a while (see SimParams::first_touch_exec), i.e. after any
   // initial balancer pinning. Updating only at dispatch keeps the
   // node-demand accounting consistent within each dispatch.
-  if (t.home_numa_ < 0 && t.total_exec_ >= params_.first_touch_exec)
+  if (t.home_numa_ < 0 && t.total_exec_ref() >= params_.first_touch_exec)
     t.home_numa_ = topo_.core(c).numa_node;
-  cs.run_start_ = now();
-  cs.idle_since_ = kNever;
+  cs.run_start_ref() = now();
+  cs.idle_since_ref() = kNever;
   add_running_demand(t, +1);
-  cs.current_speed_ = compute_speed(t, c);
+  cs.current_speed_ref() = compute_speed(t, c);
 
   SimTime slice;
-  if (t.wait_mode_ == WaitMode::Yield) {
+  if (t.wait_mode_ref() == WaitMode::Yield) {
     // A polling waiter burns only a sched_yield round trip when it shares
     // the core with real work; when every runnable task here is waiting we
     // coarsen the slice (occupancy is equivalent, events are fewer).
@@ -399,60 +408,58 @@ void Simulator::start_running(CoreId c, Task& t) {
   } else {
     slice = cs.queue().timeslice();
   }
-  cs.slice_end_ = now() + slice;
-  cs.stop_event_ = {};
+  cs.slice_end_ref() = now() + slice;
+  cs.stop_event_ref() = {};
   reschedule_stop(c);
   refresh_speeds(t);
 }
 
 void Simulator::flush_accounting(CoreId c) {
   auto& cs = core(c);
-  Task* t = cs.running_;
+  Task* t = cs.running_ref();
   if (t == nullptr) return;
-  const SimTime dur = now() - cs.run_start_;
+  const SimTime dur = now() - cs.run_start_ref();
   if (dur <= 0) return;
-  double done = static_cast<double>(dur) * cs.current_speed_;
-  if (t->warmup_remaining_ > 0.0) {
-    const double burn = std::min(t->warmup_remaining_, done);
-    t->warmup_remaining_ -= burn;
+  double done = static_cast<double>(dur) * cs.current_speed_ref();
+  if (t->warmup_remaining_ref() > 0.0) {
+    const double burn = std::min(t->warmup_remaining_ref(), done);
+    t->warmup_remaining_ref() -= burn;
     done -= burn;
     // Wall time the burn cost at this core's current speed (guarded: a
     // zero-speed core makes no progress, so no time is attributable).
-    if (burn > 0.0) t->warmup_time_ += burn / cs.current_speed_;
+    if (burn > 0.0) t->warmup_time_ref() += burn / cs.current_speed_ref();
   }
-  if (t->wait_mode_ == WaitMode::None)
-    t->remaining_work_ = std::max(0.0, t->remaining_work_ - done);
-  t->total_exec_ += dur;
-  t->last_ran_ = now();
-  cs.busy_time_ += dur;
+  if (t->wait_mode_ref() == WaitMode::None)
+    t->remaining_work_ref() = std::max(0.0, t->remaining_work_ref() - done);
+  t->total_exec_ref() += dur;
+  t->last_ran_ref() = now();
+  cs.busy_time_ref() += dur;
   cs.queue().charge(*t, dur);
-  metrics_.record_run(t->id(), c, dur);
-  metrics_.record_segment({t->id(), c, now() - dur, dur});
-  cs.run_start_ = now();
+  metrics_.record_exec(t->id(), c, now() - dur, dur);
+  cs.run_start_ref() = now();
 }
 
 void Simulator::halt_running(CoreId c) {
   auto& cs = core(c);
-  Task* t = cs.running_;
+  Task* t = cs.running_ref();
   if (t == nullptr) return;
   flush_accounting(c);
-  events_.cancel(cs.stop_event_);
-  cs.stop_event_ = {};
-  cs.running_ = nullptr;
-  t->state_ = TaskState::Runnable;
+  events_.cancel(cs.stop_event_ref());
+  cs.stop_event_ref() = {};
+  cs.running_ref() = nullptr;
+  t->state_ref() = TaskState::Runnable;
   add_running_demand(*t, -1);
   refresh_speeds(*t);
 }
 
 void Simulator::reschedule_stop(CoreId c) {
   auto& cs = core(c);
-  Task* t = cs.running_;
+  Task* t = cs.running_ref();
   assert(t != nullptr);
-  events_.cancel(cs.stop_event_);
-  SimTime stop = cs.slice_end_;
-  if (t->wait_mode_ == WaitMode::None) {
-    const double work_left = t->warmup_remaining_ + t->remaining_work_;
-    const double speed = std::max(cs.current_speed_, 1e-12);
+  SimTime stop = cs.slice_end_ref();
+  if (t->wait_mode_ref() == WaitMode::None) {
+    const double work_left = t->warmup_remaining_ref() + t->remaining_work_ref();
+    const double speed = std::max(cs.current_speed_ref(), 1e-12);
     // Zero work completes right away (see start_running); otherwise at
     // least 1 us so progress-free loops are impossible.
     const SimTime dur =
@@ -462,34 +469,39 @@ void Simulator::reschedule_stop(CoreId c) {
     stop = std::min(stop, now() + dur);
   }
   stop = std::max(stop, now());
-  cs.stop_event_ = events_.schedule(stop, [this, c] { core_stop(c); });
+  // The stop callable is identical for every reschedule of a core, so a
+  // live handle is retimed in place (same slot, same callable, fresh seq —
+  // semantics identical to cancel + schedule, minus the slot churn).
+  EventHandle moved = events_.reschedule(cs.stop_event_ref(), stop);
+  if (!moved.valid()) moved = events_.schedule(stop, [this, c] { core_stop(c); });
+  cs.stop_event_ref() = moved;
 }
 
 void Simulator::core_stop(CoreId c) {
   auto& cs = core(c);
-  Task* t = cs.running_;
+  Task* t = cs.running_ref();
   assert(t != nullptr);
-  cs.stop_event_ = {};
+  cs.stop_event_ref() = {};
   flush_accounting(c);
-  cs.running_ = nullptr;
-  t->state_ = TaskState::Runnable;
+  cs.running_ref() = nullptr;
+  t->state_ref() = TaskState::Runnable;
   add_running_demand(*t, -1);
   refresh_speeds(*t);
 
-  if (t->wait_mode_ == WaitMode::None && t->remaining_work_ <= kWorkEps &&
-      t->warmup_remaining_ <= kWorkEps) {
-    t->remaining_work_ = 0.0;
-    t->warmup_remaining_ = 0.0;
+  if (t->wait_mode_ref() == WaitMode::None && t->remaining_work_ref() <= kWorkEps &&
+      t->warmup_remaining_ref() <= kWorkEps) {
+    t->remaining_work_ref() = 0.0;
+    t->warmup_remaining_ref() = 0.0;
     if (t->spec().client != nullptr) {
       t->spec().client->on_work_complete(*this, *t);
-      if (t->state_ == TaskState::Runnable && t->wait_mode_ == WaitMode::None &&
-          t->remaining_work_ <= kWorkEps)
+      if (t->state_ref() == TaskState::Runnable && t->wait_mode_ref() == WaitMode::None &&
+          t->remaining_work_ref() <= kWorkEps)
         throw std::logic_error("TaskClient for '" + t->name() +
                                "' left the task runnable with no work");
     } else {
       finish_task(*t);
     }
-  } else if (t->state_ == TaskState::Runnable && t->wait_mode_ == WaitMode::Yield) {
+  } else if (t->state_ref() == TaskState::Runnable && t->wait_mode_ref() == WaitMode::Yield) {
     cs.queue().requeue_behind(*t);
   }
   dispatch(c);
@@ -524,13 +536,13 @@ void Simulator::refresh_speeds(const Task& changed) {
   const CoreId sib = topo_.core(changed.core()).smt_sibling;
   for (CoreId c = 0; c < num_cores(); ++c) {
     auto& cs = core(c);
-    Task* rt = cs.running_;
+    Task* rt = cs.running_ref();
     if (rt == nullptr) continue;
     if (!bw && c != sib) continue;  // Only the SMT sibling is affected.
     const double ns = compute_speed(*rt, c);
-    if (std::abs(ns - cs.current_speed_) < 1e-12) continue;
+    if (std::abs(ns - cs.current_speed_ref()) < 1e-12) continue;
     flush_accounting(c);  // Charge the elapsed part at the old speed.
-    cs.current_speed_ = ns;
+    cs.current_speed_ref() = ns;
     reschedule_stop(c);
   }
 }
@@ -539,17 +551,17 @@ void Simulator::refresh_speeds(const Task& changed) {
 
 void Simulator::enqueue_on(Task& t, CoreId c, bool sleeper_bonus) {
   auto& cs = core(c);
-  assert(cs.online_);  // Every placement path filters offline cores.
+  assert(cs.online_ref());  // Every placement path filters offline cores.
   if (t.sleep_since_ != kNever) {  // Close the sleep interval (wake/start).
     t.total_sleep_ += now() - t.sleep_since_;
     t.sleep_since_ = kNever;
   }
-  t.core_ = c;
-  t.state_ = TaskState::Runnable;
+  t.core_ref() = c;
+  t.state_ref() = TaskState::Runnable;
   cs.queue().enqueue(t, sleeper_bonus);
-  if (cs.running_ == nullptr) {
+  if (cs.running_ref() == nullptr) {
     dispatch(c);
-  } else if (sleeper_bonus && cs.queue().should_preempt(t, *cs.running_)) {
+  } else if (sleeper_bonus && cs.queue().should_preempt(t, *cs.running_ref())) {
     halt_running(c);
     dispatch(c);
   }
@@ -585,7 +597,7 @@ CoreId Simulator::select_core_fork(const Task& t) {
 }
 
 CoreId Simulator::select_core_wake(const Task& t) {
-  const CoreId prev = t.core_;
+  const CoreId prev = t.core();
   if (prev >= 0 && t.allowed_on(prev) && core(prev).online() &&
       core(prev).idle())
     return prev;

@@ -168,9 +168,9 @@ class Simulator {
 
   // --- Queries & hooks for balancers ---------------------------------------
 
-  CoreState& core(CoreId id) { return *cores_.at(static_cast<std::size_t>(id)); }
+  CoreState& core(CoreId id) { return cores_.at(static_cast<std::size_t>(id)); }
   const CoreState& core(CoreId id) const {
-    return *cores_.at(static_cast<std::size_t>(id));
+    return cores_.at(static_cast<std::size_t>(id));
   }
 
   /// Flush the partial execution of the running task on `core` so that task
@@ -186,15 +186,35 @@ class Simulator {
   }
 
   /// All live (non-finished) tasks, and those queued on a given core.
+  /// These forms allocate a fresh vector per call; hot callers (balancer
+  /// scans, invariant probes) should use the out-buffer or visitor
+  /// variants below.
   std::vector<Task*> live_tasks() const;
   std::vector<Task*> tasks_on(CoreId core) const;
+
+  /// Allocation-free snapshots into caller-owned reuse buffers.
+  void live_tasks(std::vector<Task*>& out) const;
+  void tasks_on(CoreId core, std::vector<Task*>& out) const;
+
+  /// Visit every live (non-finished) task without materializing a list.
+  template <typename Fn>
+  void for_each_live_task(Fn&& fn) const {
+    for (const Task& t : tasks_)
+      if (t.state() != TaskState::Finished) fn(const_cast<Task*>(&t));
+  }
+
+  /// Visit the tasks queued on `core` in vruntime order.
+  template <typename Fn>
+  void for_each_task_on(CoreId core, Fn&& fn) const {
+    this->core(core).queue().for_each(fn);
+  }
 
   /// Every task ever created (ids are dense from 0), including Finished
   /// ones — the audience for whole-run conservation checks, which must sum
   /// over hogs and spikes that live_tasks() no longer reports.
   int num_tasks() const { return next_task_id_; }
   const Task& task(TaskId id) const {
-    return *tasks_.at(static_cast<std::size_t>(id));
+    return tasks_.at(static_cast<std::size_t>(id));
   }
 
   /// True if the balancer may move `t` to `to` (affinity, liveness; note
@@ -237,9 +257,15 @@ class Simulator {
   Metrics metrics_;
   Rng rng_;
 
-  std::deque<std::unique_ptr<Task>> tasks_;
-  std::vector<std::unique_ptr<CoreState>> cores_;
-  std::vector<bool> in_dispatch_;
+  // Struct-of-arrays stores for hot task/core state. Declared before the
+  // object containers whose elements point into them.
+  TaskStore task_store_;
+  CoreStore core_store_;
+
+  /// Tasks by value; a deque keeps addresses stable as tasks are appended
+  /// (Task& handles live for the simulation's lifetime).
+  std::deque<Task> tasks_;
+  std::vector<CoreState> cores_;
 
   std::vector<double> node_demand_;
   double system_demand_ = 0.0;

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace speedbal {
+
+/// Bump allocator over chunked slabs. Frees nothing until reset(); reset()
+/// retains the slabs, so a long-lived consumer (Metrics across runs) reaches
+/// a high-water mark and then allocates from recycled memory only. Built for
+/// the per-task growth lists the simulator appends to on every event —
+/// interval accumulators, staged accounting — whose previous home in
+/// std::vector hit the global allocator once per geometric growth step per
+/// task per run.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocate `bytes` with `align` (a power of two <= alignof(max_align_t)).
+  /// Requests larger than the slab size get a dedicated slab.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    offset_ = (offset_ + align - 1) & ~(align - 1);
+    if (active_ >= slabs_.size() || offset_ + bytes > slabs_[active_].size) {
+      if (!next_slab(bytes)) return new_slab(bytes);
+    }
+    void* p = slabs_[active_].mem.get() + offset_;
+    offset_ += bytes;
+    total_allocated_ += bytes;
+    return p;
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind to empty, retaining every slab for reuse. Pointers previously
+  /// handed out are invalidated (the owner must drop them first).
+  void reset() {
+    active_ = 0;
+    offset_ = 0;
+    total_allocated_ = 0;
+  }
+
+  /// Slabs currently owned (monotonic until destruction; a reused arena
+  /// stops growing once the high-water mark is reached).
+  std::size_t slab_count() const { return slabs_.size(); }
+  /// Bytes handed out since construction or the last reset().
+  std::size_t bytes_allocated() const { return total_allocated_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<unsigned char[]> mem;
+    std::size_t size = 0;
+  };
+
+  /// Advance to the next retained slab if it can hold `bytes`.
+  bool next_slab(std::size_t bytes) {
+    const std::size_t next = active_ < slabs_.size() ? active_ + 1 : active_;
+    if (next >= slabs_.size() || bytes > slabs_[next].size) return false;
+    active_ = next;
+    offset_ = 0;
+    return true;
+  }
+
+  void* new_slab(std::size_t bytes) {
+    const std::size_t size = bytes > slab_bytes_ ? bytes : slab_bytes_;
+    Slab s;
+    s.mem = std::make_unique<unsigned char[]>(size);
+    s.size = size;
+    // Oversized slabs are inserted *before* the active slab so the bump
+    // pointer keeps filling the regular slab it was on.
+    if (size > slab_bytes_ && active_ < slabs_.size()) {
+      slabs_.insert(slabs_.begin() + static_cast<std::ptrdiff_t>(active_),
+                    std::move(s));
+      total_allocated_ += bytes;
+      return slabs_[active_++].mem.get();
+    }
+    slabs_.push_back(std::move(s));
+    active_ = slabs_.size() - 1;
+    offset_ = bytes;
+    total_allocated_ += bytes;
+    return slabs_[active_].mem.get();
+  }
+
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t slab_bytes_;
+  std::size_t total_allocated_ = 0;
+};
+
+/// Minimal growable array of trivially-copyable elements whose storage lives
+/// in an Arena. Growth allocates a fresh arena block and memcpys (the old
+/// block is abandoned to the arena — bounded waste, zero free cost), so
+/// appends never touch the global allocator. The owner passes the arena to
+/// every mutating call; clear() drops the elements but keeps the block.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  ArenaVector() = default;
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(Arena& arena, const T& v) {
+    if (size_ == cap_) grow(arena, size_ + 1);
+    data_[size_++] = v;
+  }
+
+  /// Insert before `pos`, shifting the tail right (sorted-insert support).
+  void insert(Arena& arena, std::size_t pos, const T& v) {
+    if (size_ == cap_) grow(arena, size_ + 1);
+    std::memmove(data_ + pos + 1, data_ + pos, (size_ - pos) * sizeof(T));
+    data_[pos] = v;
+    ++size_;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  void grow(Arena& arena, std::size_t need) {
+    std::size_t cap = cap_ == 0 ? 8 : cap_ * 2;
+    if (cap < need) cap = need;
+    T* fresh = arena.allocate_array<T>(cap);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    cap_ = static_cast<std::uint32_t>(cap);
+  }
+
+  T* data_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = 0;
+};
+
+}  // namespace speedbal

@@ -7,12 +7,17 @@
 namespace speedbal {
 namespace {
 
+TaskStore& shared_store() {
+  static TaskStore store;
+  return store;
+}
+
 Task make_task(double footprint_kb, double intensity, int id = 0) {
   TaskSpec spec;
   spec.name = "t";
   spec.mem_footprint_kb = footprint_kb;
   spec.mem_intensity = intensity;
-  return Task(id, spec);
+  return Task(id, spec, shared_store());
 }
 
 TEST(MemoryModel, NoCostForSameCoreOrFirstPlacement) {

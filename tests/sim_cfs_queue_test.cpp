@@ -8,11 +8,21 @@
 namespace speedbal {
 namespace {
 
+TaskStore& shared_store() {
+  static TaskStore store;
+  return store;
+}
+
 std::unique_ptr<Task> make_task(TaskId id, double weight = 1.0) {
   TaskSpec spec;
   spec.name = "t" + std::to_string(id);
   spec.weight = weight;
-  return std::make_unique<Task>(id, spec);
+  auto t = std::make_unique<Task>(id, spec, shared_store());
+  // Tests reuse small ids; scrub the store slot so state does not leak
+  // from one test case into the next.
+  shared_store().vruntime[static_cast<std::size_t>(id)] = 0;
+  shared_store().wait_mode[static_cast<std::size_t>(id)] = WaitMode::None;
+  return t;
 }
 
 TEST(CfsQueue, PickNextIsMinVruntime) {

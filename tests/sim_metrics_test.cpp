@@ -155,6 +155,91 @@ TEST(Metrics, SegmentsMatchRunTotals) {
   EXPECT_EQ(m.exec_in_window(1, 0, sec(1)), m.total_exec(1));
 }
 
+TEST(Metrics, StagedRecordsDrainOnQuery) {
+  // Records are staged in a pending batch; every query must drain first so
+  // callers always observe exact values at the query point.
+  Metrics m(2);
+  m.record_run(1, 0, usec(100));
+  m.record_segment({1, 0, usec(0), usec(100)});
+  EXPECT_GT(m.staged(), 0u);  // Still pending...
+  EXPECT_EQ(m.total_exec(1), usec(100));  // ...but the query sees it.
+  EXPECT_EQ(m.staged(), 0u);
+  m.record_segment({1, 1, usec(100), usec(50)});
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(150)), usec(150));
+}
+
+TEST(Metrics, MidBatchWindowQueryIsExact) {
+  // A query placed between two stagings of the same batch must see exactly
+  // the records staged before it, at full precision.
+  Metrics m(2);
+  m.record_segment({1, 0, usec(0), usec(10)});
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(100)), usec(10));
+  m.record_segment({1, 0, usec(10), usec(10)});  // New batch after drain.
+  m.record_segment({1, 0, usec(30), usec(10)});
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(100)), usec(30));
+  EXPECT_EQ(m.exec_in_window(1, usec(5), usec(35)), usec(20));
+}
+
+TEST(Metrics, OutOfOrderAfterDrainStaysSorted) {
+  // An out-of-order segment arriving after earlier batches already drained
+  // must sorted-insert into the accumulated intervals, and the cumulative
+  // sums must stay exact on both sides of the insertion point.
+  Metrics m(2);
+  m.record_segment({1, 0, usec(100), usec(10)});
+  m.record_segment({1, 0, usec(300), usec(10)});
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(400)), usec(20));  // Drain now.
+  m.record_segment({1, 1, usec(200), usec(10)});  // Belongs in the middle.
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(400)), usec(30));
+  EXPECT_EQ(m.exec_in_window(1, usec(150), usec(250)), usec(10));
+  EXPECT_EQ(m.exec_in_window(1, usec(250), usec(400)), usec(10));
+  // And in-order appends after the sorted insert still work.
+  m.record_segment({1, 0, usec(400), usec(10)});
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(500)), usec(40));
+}
+
+TEST(Metrics, AdjacentSameCoreSegmentsMergeExactly) {
+  // Contiguous same-core segments merge into one interval; windowed sums
+  // across the merged span must be indistinguishable from unmerged ones.
+  Metrics m(2);
+  m.record_segment({1, 0, usec(0), usec(50)});
+  m.record_segment({1, 0, usec(50), usec(50)});
+  m.record_segment({1, 1, usec(100), usec(50)});  // Core switch: no merge.
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(150)), usec(150));
+  EXPECT_EQ(m.exec_in_window(1, usec(25), usec(75)), usec(50));
+  EXPECT_EQ(m.exec_in_window(1, usec(75), usec(125)), usec(50));
+  ASSERT_EQ(m.segments().size(), 3u);  // The raw log never merges.
+}
+
+TEST(Metrics, ResetReclaimsArenaAndAcceptsNewRecords) {
+  // reset() must drop all intervals (their arena memory is recycled, not
+  // freed) and leave the instance fully usable for a fresh run.
+  Metrics m(2);
+  for (int i = 0; i < 5000; ++i)
+    m.record_segment({1, i % 2, usec(i * 10), usec(5)});
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(100'000)), usec(25'000));
+  m.reset();
+  EXPECT_EQ(m.total_exec(1), 0);
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(100'000)), 0);
+  EXPECT_EQ(m.segments().size(), 0u);
+  EXPECT_EQ(m.staged(), 0u);
+  // Reuse after reset: the arena-backed rows rebuild from scratch.
+  for (int i = 0; i < 5000; ++i)
+    m.record_segment({2, i % 2, usec(i * 10), usec(5)});
+  EXPECT_EQ(m.exec_in_window(2, 0, usec(100'000)), usec(25'000));
+  EXPECT_EQ(m.exec_in_window(1, 0, usec(100'000)), 0);
+}
+
+TEST(Metrics, AutoDrainPastBatchCapIsLossless) {
+  // Staging far past the auto-drain threshold must never drop or double
+  // count a record.
+  Metrics m(2);
+  constexpr int kN = 20'000;  // > kDrainBatch.
+  for (int i = 0; i < kN; ++i) m.record_run(1, i % 2, usec(1));
+  EXPECT_EQ(m.total_exec(1), usec(kN));
+  EXPECT_EQ(m.exec_by_core(1)[0], usec(kN / 2));
+  EXPECT_EQ(m.exec_by_core(1)[1], usec(kN / 2));
+}
+
 TEST(Metrics, CauseNames) {
   EXPECT_STREQ(to_string(MigrationCause::SpeedBalancer), "speed");
   EXPECT_STREQ(to_string(MigrationCause::LinuxNewIdle), "linux-newidle");
