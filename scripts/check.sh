@@ -90,6 +90,25 @@ done
 "$repo/build/src/obsquery" --report="$obs_report" --storms >/dev/null
 "$repo/build/src/fuzzsim" --episodes=25 --mode=serve --seed=606
 
+echo "== adaptive-smoke: ablation bench, tuning-log query, stability fuzz =="
+# The quick adaptive-vs-fixed ablation, one adaptive serve episode whose
+# tuning trajectory obsquery must replay, then 25 fixed-seed fuzz episodes
+# per mode with the adaptive controller forced on: every episode checks the
+# oscillation (hot-potato) invariant with the tuned interval in force and
+# the tuning-thrash invariant (dwell spacing, portfolio membership,
+# outcome/arm consistency) over the logged trajectory.
+"$repo/build/bench/adaptive_ablation" --quick
+adaptive_report="$repo/build/adaptive_smoke_report.json"
+"$repo/build/src/servesim" --topo=generic8 --workers=16 --policy=SPEED \
+  --dispatch=rr --idle=yield --utilization=0.85 --duration-s=4 --warmup-s=0.5 \
+  --seed=42 --adaptive \
+  --perturb="at=500ms dvfs core=0 scale=0.5; at=500ms dvfs core=1 scale=0.5" \
+  --report-json="$adaptive_report" >/dev/null
+"$repo/build/src/obsquery" --report="$adaptive_report" --tuning >/dev/null
+"$repo/build/src/fuzzsim" --adaptive --episodes=25 --mode=spmd --seed=909
+"$repo/build/src/fuzzsim" --adaptive --episodes=25 --mode=serve --seed=910
+"$repo/build/src/fuzzsim" --adaptive --episodes=25 --mode=cluster --seed=911
+
 echo "== fuzz-smoke: randomized property fuzz (30 s wall budget) =="
 # Fresh entropy every run — regressions print the seed and a --replay spec,
 # so any failure here is reproducible from the log alone.
@@ -97,12 +116,12 @@ fuzz_seed=$((RANDOM * 65536 + RANDOM))
 echo "fuzz-smoke seed: $fuzz_seed"
 "$repo/build/src/fuzzsim" --episodes=400 --seed="$fuzz_seed" --max-seconds=30
 
-echo "== tsan: native balancer + serve + cluster + hetero + arena/queue tests =="
+echo "== tsan: native balancer + serve + cluster + hetero + adaptive + arena/queue tests =="
 # util_test and sim_test ride along so the bump-arena (Metrics interval
 # storage) and the wheel-tier event queue get sanitizer coverage.
 cmake -B "$repo/build-tsan" -S "$repo" -DSPEEDBAL_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test cluster_test hetero_test util_test sim_test
-ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test|cluster_test|hetero_test|util_test|sim_test'
+cmake --build "$repo/build-tsan" -j "$jobs" --target native_test perturb_test serve_test cluster_test hetero_test util_test sim_test adaptive_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'native_test|perturb_test|serve_test|cluster_test|hetero_test|util_test|sim_test|adaptive_test'
 
 echo "== tsan: parallel sweep (--jobs=4) under ThreadSanitizer =="
 cmake --build "$repo/build-tsan" -j "$jobs" --target simrun util_parallel_test
@@ -112,10 +131,10 @@ ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'util_parallel_test'
 cmake --build "$repo/build-tsan" -j "$jobs" --target fuzzsim
 "$repo/build-tsan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
 
-echo "== asan: perturbation + native + serve + cluster + hetero + arena/queue tests =="
+echo "== asan: perturbation + native + serve + cluster + hetero + adaptive + arena/queue tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSPEEDBAL_SANITIZE=address >/dev/null
-cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test cluster_test hetero_test util_test sim_test fuzzsim
-ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test|cluster_test|hetero_test|util_test|sim_test'
+cmake --build "$repo/build-asan" -j "$jobs" --target perturb_test native_test serve_test cluster_test hetero_test util_test sim_test adaptive_test fuzzsim
+ctest --test-dir "$repo/build-asan" --output-on-failure -R 'perturb_test|native_test|serve_test|cluster_test|hetero_test|util_test|sim_test|adaptive_test'
 "$repo/build-asan/src/fuzzsim" --episodes=1 --seed="$fuzz_seed" >/dev/null
 "$repo/build-asan/src/fuzzsim" --episodes=3 --mode=cluster --seed="$fuzz_seed" >/dev/null
 "$repo/build-asan/src/fuzzsim" --hetero --episodes=3 --seed="$fuzz_seed" >/dev/null

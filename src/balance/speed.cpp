@@ -163,7 +163,8 @@ int SpeedBalancer::measure_core_speeds(CoreId local) {
   return measured;
 }
 
-std::int64_t SpeedBalancer::record_sample(CoreId local, double global) {
+obs::SpeedSample SpeedBalancer::build_sample(CoreId local,
+                                             double global) const {
   obs::SpeedSample s;
   s.ts_us = sim_->now();
   s.observer = local;
@@ -176,7 +177,7 @@ std::int64_t SpeedBalancer::record_sample(CoreId local, double global) {
     s.queue_len.push_back(static_cast<int>(sim_->core(c).queue().nr_running()));
     s.below_threshold.push_back(global > 0.0 && sp / global < params_.threshold);
   }
-  return recorder_->timeline().add(std::move(s));
+  return s;
 }
 
 void SpeedBalancer::balance_once(CoreId local) {
@@ -223,7 +224,13 @@ void SpeedBalancer::balance_once(CoreId local) {
     recorder_->decisions().add(rec);
   };
 
-  if (recorder_ != nullptr) sample_seq = record_sample(local, global);
+  if (recorder_ != nullptr || sample_observer_) {
+    obs::SpeedSample s = build_sample(local, global);
+    // The observer (adaptive controller) runs before this pass's decision
+    // logic, so a tuning change it applies governs the pass it observed.
+    if (sample_observer_) sample_observer_(s);
+    if (recorder_ != nullptr) sample_seq = recorder_->timeline().add(std::move(s));
+  }
   if (global <= 0.0) return;
 
   // Attempt to balance only when the local core is faster than average.
@@ -285,12 +292,27 @@ void SpeedBalancer::balance_once(CoreId local) {
   }
 
   // Pull the managed thread on the source core that has migrated the least
-  // (avoids creating "hot-potato" tasks that bounce between queues).
+  // (avoids creating "hot-potato" tasks that bounce between queues). The
+  // guard makes that a hard rule: a thread this balancer just pushed to
+  // the source may not be pulled straight back within the guard window.
+  const SimTime guard = params_.hot_potato_guard * params_.interval;
+  const auto ping_pong = [&](const Task& t) {
+    if (guard <= 0) return false;
+    const auto i = static_cast<std::size_t>(t.id());
+    if (i >= last_pull_.size()) return false;
+    const LastPull& lp = last_pull_[i];
+    return lp.at != kNever && lp.from == local && lp.to == source &&
+           sim_->now() - lp.at < guard;
+  };
   Task* victim = nullptr;
   int co_minimal = 0;  // Threads tied at the minimum migration count.
   for (Task* t : managed_) {
     if (t->state() == TaskState::Finished) continue;
     if (t->core() != source) continue;
+    if (ping_pong(*t)) {
+      log_decision(obs::PullReason::HotPotato, source, source_speed, t->id());
+      continue;
+    }
     if (victim == nullptr || t->migrations() < victim->migrations()) {
       victim = t;
       co_minimal = 1;
@@ -323,6 +345,9 @@ void SpeedBalancer::balance_once(CoreId local) {
                /*tie_break=*/co_minimal > 1, warmup_charged);
   last_involved_[static_cast<std::size_t>(local)] = sim_->now();
   last_involved_[static_cast<std::size_t>(source)] = sim_->now();
+  const auto vi = static_cast<std::size_t>(victim->id());
+  if (vi >= last_pull_.size()) last_pull_.resize(vi + 1);
+  last_pull_[vi] = LastPull{source, local, sim_->now()};
 }
 
 }  // namespace speedbal

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "balance/balancer.hpp"
@@ -35,6 +36,12 @@ struct SpeedBalanceParams {
   /// between cores that share a cache", Section 5.2). 0.5 = twice as often;
   /// the paper's reported experiments use a uniform interval (1.0).
   double shared_cache_block_scale = 1.0;
+  /// Hot-potato guard: a thread whose last speed-balancer pull moved it
+  /// from core A to core B cannot be pulled back B -> A for this many
+  /// balance intervals. The least-migrated victim rule makes ping-pong
+  /// rare but not impossible (a two-thread tie can alternate); the guard
+  /// makes the oscillation invariant hold by construction. 0 disables.
+  int hot_potato_guard = 3;
   /// Weight a thread's measured speed down when its core's SMT sibling
   /// context is also busy (the Nehalem adaptation the paper lists as future
   /// work in Section 6: "a task running on a 'core' where both hardware
@@ -113,6 +120,30 @@ class SpeedBalancer : public Balancer {
       rec->timeline().set_cores(std::vector<int>(cores_.begin(), cores_.end()));
   }
 
+  /// Observer invoked with every balance pass's speed sample, before the
+  /// pass's pull decision — the adaptive controller's feed. Fires whether
+  /// or not a recorder is attached (and consumes no randomness), so a
+  /// controller-driven run behaves identically recorded and bare.
+  void set_sample_observer(std::function<void(const obs::SpeedSample&)> fn) {
+    sample_observer_ = std::move(fn);
+  }
+
+  /// Retune the live constants (the adaptive controller's actuator). Takes
+  /// effect immediately for decision logic; a changed interval governs each
+  /// balancer's next self-reschedule. Callable mid-run from the sample
+  /// observer: the observer fires before the pass's decision logic, so a
+  /// change applied there governs that same pass.
+  void apply_tuning(SimTime interval, double threshold,
+                    int post_migration_block, double shared_cache_block_scale) {
+    params_.interval = interval;
+    params_.threshold = threshold;
+    params_.post_migration_block = post_migration_block;
+    params_.shared_cache_block_scale = shared_cache_block_scale;
+  }
+
+  /// The constants currently in force (tests + the adaptive controller).
+  const SpeedBalanceParams& params() const { return params_; }
+
   /// Exposed for tests: current per-core speeds as of the last pass.
   double last_global_speed() const { return last_global_; }
 
@@ -124,12 +155,17 @@ class SpeedBalancer : public Balancer {
     SimTime exec = 0;
     SimTime sleep = 0;
   };
+  /// Endpoints of a task's last speed-balancer pull (hot-potato guard).
+  struct LastPull {
+    CoreId from = -1;
+    CoreId to = -1;
+    SimTime at = kNever;
+  };
 
   void balancer_wake(CoreId local);
-  /// Append the pass's speed/queue observation to the recorder's timeline;
-  /// returns the sample's sequence index (the causal link every decision
-  /// this pass logs carries as DecisionRecord::sample_seq).
-  std::int64_t record_sample(CoreId local, double global);
+  /// Build the pass's speed/queue observation (per-core speeds, global
+  /// average, queue lengths, threshold state) from the measurement buffers.
+  obs::SpeedSample build_sample(CoreId local, double global) const;
   /// Measure all managed thread speeds since the last snapshot for `local`'s
   /// balancer into core_speed_/core_present_ (cores with no managed threads
   /// report full nominal speed: a thread moved there could run unimpeded).
@@ -150,6 +186,9 @@ class SpeedBalancer : public Balancer {
   // Shared (intra-process) record of each core's last migration involvement
   // (kNever = never involved), indexed by CoreId.
   std::vector<SimTime> last_involved_;
+  // Each task's last speed pull, indexed by TaskId (hot-potato guard);
+  // grown lazily as tasks appear.
+  std::vector<LastPull> last_pull_;
   // Per-pass measurement buffers indexed by CoreId, reused across passes.
   std::vector<double> core_speed_;
   std::vector<std::uint8_t> core_present_;
@@ -158,6 +197,7 @@ class SpeedBalancer : public Balancer {
   std::vector<int> managed_on_;  // SMT occupancy scratch.
   double last_global_ = 0.0;
   obs::RunRecorder* recorder_ = nullptr;
+  std::function<void(const obs::SpeedSample&)> sample_observer_;
 };
 
 }  // namespace speedbal

@@ -40,6 +40,7 @@ ExperimentConfig spmd_experiment(const FuzzScenario& sc) {
   cfg.time_cap = sec(600);
   cfg.speed.interval = sc.balance_interval;
   cfg.speed.threshold = sc.threshold;
+  cfg.adaptive.enabled = sc.adaptive;
   cfg.share = share_params(sc);
   for (const perturb::PerturbEvent& ev : sc.perturb) cfg.perturb.add(ev);
   return cfg;
@@ -63,6 +64,7 @@ serve::ServeConfig serve_experiment(const FuzzScenario& sc) {
   cfg.seed = sc.seed;
   cfg.speed.interval = sc.balance_interval;
   cfg.speed.threshold = sc.threshold;
+  cfg.adaptive.enabled = sc.adaptive;
   cfg.share = share_params(sc);
   // SHARE only reaches the request stream through dispatch weights, so a
   // SHARE serve episode exercises the weighted dispatcher (the SERVE-SHARE
@@ -98,6 +100,7 @@ cluster::ClusterConfig cluster_experiment(const FuzzScenario& sc) {
   cfg.seed = sc.seed;
   cfg.speed.interval = sc.balance_interval;
   cfg.speed.threshold = sc.threshold;
+  cfg.adaptive.enabled = sc.adaptive;
   cfg.share = share_params(sc);
   cfg.rebalance.enabled = sc.cluster_rebalance;
   cfg.rebalance.epoch = msec(50);

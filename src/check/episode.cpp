@@ -137,6 +137,26 @@ void arm_broken(Simulator& sim, const FuzzScenario& sc, obs::RunRecorder& rec) {
       });
       return;
     }
+    case BrokenMode::HotPotato: {
+      // A pull pair that ping-pongs one thread A->B then straight back B->A
+      // 1 ms later — the round trip completes far inside the guard window
+      // (hot_potato_guard intervals), which the oscillation check reports.
+      auto moved = std::make_shared<std::pair<Task*, CoreId>>(nullptr, -1);
+      sim.schedule_at(msec(10), [&sim, moved, cores = sc.cores] {
+        Task* t = first_movable(sim);
+        if (t == nullptr) return;
+        *moved = {t, t->core()};
+        sim.set_affinity(*t, 1ULL << ((t->core() + 1) % cores),
+                         /*hard_pin=*/true, MigrationCause::SpeedBalancer);
+      });
+      sim.schedule_at(msec(11), [&sim, moved] {
+        Task* t = moved->first;
+        if (t == nullptr || t->state() == TaskState::Finished) return;
+        sim.set_affinity(*t, 1ULL << moved->second, /*hard_pin=*/true,
+                         MigrationCause::SpeedBalancer);
+      });
+      return;
+    }
     case BrokenMode::Threshold:
       // One real migration paired with a forged decision record claiming a
       // pull from a core at exactly the global speed — above T_s.
@@ -176,6 +196,17 @@ SpeedRuleInputs speed_inputs(const FuzzScenario& sc, const Topology& topo,
   return in;
 }
 
+TuningRuleInputs tuning_inputs(const FuzzScenario& sc,
+                               const SpeedBalanceParams& speed,
+                               const AdaptiveParams& adaptive) {
+  TuningRuleInputs in;
+  in.interval = speed.interval;
+  in.hot_potato_guard = speed.hot_potato_guard;
+  in.min_dwell_epochs = adaptive.min_dwell_epochs;
+  if (sc.adaptive) in.portfolio = default_portfolio(speed);
+  return in;
+}
+
 std::int64_t count_pulls(const std::vector<MigrationRecord>& migrations) {
   std::int64_t n = 0;
   for (const MigrationRecord& m : migrations)
@@ -211,9 +242,18 @@ void run_spmd_episode(const FuzzScenario& sc, EpisodeResult& r) {
 
   check_time_conservation(h.cores, r.violations);
   check_task_placement(h.snaps, r.violations);
+  // Oscillation + tuning stability before the speed rules consume the
+  // migration log (hot-potato freedom binds under every policy; the
+  // trajectory checks only see records when the adaptive controller ran).
+  TuningRuleInputs tin = tuning_inputs(sc, cfg.speed, cfg.adaptive);
+  tin.migrations = h.migrations;
+  tin.tuning = rec.tuning().snapshot();
+  check_oscillation(tin, r.violations);
+  check_tuning_stability(tin, r.violations);
   SpeedRuleInputs in = speed_inputs(sc, cfg.topo, cfg.speed);
   in.migrations = std::move(h.migrations);
   in.decisions = rec.decisions().snapshot();
+  in.tuning = std::move(tin.tuning);
   check_speed_rules(in, r.violations);
   if (sc.policy == Policy::Share)
     check_share_conservation(
@@ -278,9 +318,15 @@ void run_serve_episode(const FuzzScenario& sc, EpisodeResult& r) {
   check_task_placement(h.snaps, r.violations);
   check_serve_counters(h.serve, r.violations);
   check_span_conservation(rec.spans().snapshot(), r.violations);
+  TuningRuleInputs tin = tuning_inputs(sc, cfg.speed, cfg.adaptive);
+  tin.migrations = h.migrations;
+  tin.tuning = rec.tuning().snapshot();
+  check_oscillation(tin, r.violations);
+  check_tuning_stability(tin, r.violations);
   SpeedRuleInputs in = speed_inputs(sc, cfg.topo, cfg.speed);
   in.migrations = std::move(h.migrations);
   in.decisions = rec.decisions().snapshot();
+  in.tuning = std::move(tin.tuning);
   check_speed_rules(in, r.violations);
   if (sc.policy == Policy::Share)
     check_share_conservation(
@@ -321,7 +367,10 @@ void run_cluster_episode(const FuzzScenario& sc, EpisodeResult& r) {
   cluster::ClusterConfig cfg = cluster_experiment(sc);
   obs::RunRecorder rec;
   cfg.recorder = &rec;
-  const cluster::ClusterResult res = cluster::run_cluster(cfg);
+  // Drive ClusterSim directly (run_cluster's body) so the node simulators
+  // stay alive for the per-node migration-log harvest below.
+  cluster::ClusterSim csim(cfg);
+  const cluster::ClusterResult res = csim.run();
   r.completed = true;
   r.runtime_s = to_sec(sc.duration);
   r.total_migrations = res.pool_migrations;
@@ -339,6 +388,21 @@ void run_cluster_episode(const FuzzScenario& sc, EpisodeResult& r) {
   c.latency_count = res.stats.latency.count();
   c.queue_wait_count = res.stats.queue_wait.count();
   check_cluster_conservation(c, r.violations);
+  // Hot-potato freedom per node: each node's Simulator keeps its own
+  // migration log. The per-node adaptive trajectories go unrecorded (the
+  // stacks attach with no recorder), so under --adaptive the guard window
+  // is checked against the tightest interval any portfolio arm could have
+  // set — sound for every trajectory the controller might have walked.
+  {
+    TuningRuleInputs tin = tuning_inputs(sc, cfg.speed, cfg.adaptive);
+    for (const TuningArm& a : tin.portfolio)
+      tin.interval = std::min(tin.interval, a.interval);
+    tin.portfolio.clear();  // No trajectory to match arms against.
+    for (int n = 0; n < csim.num_nodes(); ++n) {
+      tin.migrations = csim.node_sim(n).metrics().migrations();
+      check_oscillation(tin, r.violations);
+    }
+  }
   // Every node's ShareBalancer logs into the shared recorder; each epoch
   // record is a complete per-node partition and is checked independently.
   if (sc.policy == Policy::Share)
@@ -418,6 +482,7 @@ const char* expected_violation(BrokenMode mode) {
     case BrokenMode::Cooldown: return "cooldown";
     case BrokenMode::Threshold: return "threshold";
     case BrokenMode::LoseTask: return "liveness";
+    case BrokenMode::HotPotato: return "oscillation";
   }
   return "";
 }

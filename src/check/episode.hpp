@@ -40,7 +40,8 @@ EpisodeResult run_episode(const FuzzScenario& sc);
 FuzzScenario broken_scenario(BrokenMode mode);
 
 /// The violation class slug `broken_scenario(mode)` is guaranteed to
-/// produce ("numa-block", "cooldown", "threshold", "liveness").
+/// produce ("numa-block", "cooldown", "threshold", "liveness",
+/// "oscillation").
 const char* expected_violation(BrokenMode mode);
 
 }  // namespace speedbal::check

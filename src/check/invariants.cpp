@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "util/rng.hpp"
@@ -22,6 +23,20 @@ std::string fmt(double v) {
 
 void add(std::vector<Violation>& out, std::string invariant, std::string detail) {
   out.push_back(Violation{std::move(invariant), std::move(detail)});
+}
+
+/// Constants in force at time t: the last tuning record with ts_us <= t
+/// (records are time-ordered; a record at exactly t governs decisions at t
+/// because the controller applies changes before the pass's pull decision),
+/// or nullptr before the first record (the base constants apply).
+const obs::TuningRecord* tuning_at(const std::vector<obs::TuningRecord>& tuning,
+                                   std::int64_t t) {
+  const obs::TuningRecord* last = nullptr;
+  for (const obs::TuningRecord& r : tuning) {
+    if (r.ts_us > t) break;
+    last = &r;
+  }
+  return last;
 }
 
 }  // namespace
@@ -92,13 +107,22 @@ void check_speed_rules(const SpeedRuleInputs& in, std::vector<Violation>& out) {
 
   // Post-migration cooldown (Section 5.2): both endpoints of a pull sit out
   // for post_migration_block intervals; the block the later pull must clear
-  // is computed from the later pull's own pair (shared-cache scaling).
+  // is computed from the later pull's own pair (shared-cache scaling) and
+  // from the constants in force at the later pull's time — the balancer
+  // itself evaluates the cooldown against its current (possibly adapted)
+  // parameters.
   for (std::size_t i = 0; i < pulls.size(); ++i) {
-    SimTime block =
-        static_cast<SimTime>(in.post_migration_block) * in.interval;
+    SimTime interval = in.interval;
+    int post_block = in.post_migration_block;
+    double cache_scale = in.shared_cache_block_scale;
+    if (const obs::TuningRecord* r = tuning_at(in.tuning, pulls[i].time)) {
+      interval = r->interval_us;
+      post_block = r->post_migration_block;
+      cache_scale = r->cache_block_scale;
+    }
+    SimTime block = static_cast<SimTime>(post_block) * interval;
     if (in.topo != nullptr && in.topo->same_cache(pulls[i].from, pulls[i].to))
-      block = static_cast<SimTime>(static_cast<double>(block) *
-                                   in.shared_cache_block_scale);
+      block = static_cast<SimTime>(static_cast<double>(block) * cache_scale);
     for (std::size_t j = 0; j < i; ++j) {
       const bool shares_endpoint =
           pulls[j].from == pulls[i].from || pulls[j].from == pulls[i].to ||
@@ -120,23 +144,27 @@ void check_speed_rules(const SpeedRuleInputs& in, std::vector<Violation>& out) {
 
   // Pull threshold T_s (Section 5.1): every logged pull was from a core
   // measured below T_s * global, into a core measured above the average.
+  // T_s is the value in force at the decision's timestamp.
   std::int64_t pulled_decisions = 0;
   constexpr double kEps = 1e-9;
   for (const obs::DecisionRecord& d : in.decisions) {
     if (d.reason != obs::PullReason::Pulled) continue;
     ++pulled_decisions;
+    double threshold = in.threshold;
+    if (const obs::TuningRecord* r = tuning_at(in.tuning, d.ts_us))
+      threshold = r->threshold;
     if (d.global <= 0.0) {
       add(out, "threshold",
           "pull at t=" + std::to_string(d.ts_us) +
               "us with non-positive global speed " + fmt(d.global));
       continue;
     }
-    if (d.source_speed / d.global >= in.threshold + kEps)
+    if (d.source_speed / d.global >= threshold + kEps)
       add(out, "threshold",
           "pull at t=" + std::to_string(d.ts_us) + "us from core " +
               std::to_string(d.source) + ": source speed " +
               fmt(d.source_speed) + " / global " + fmt(d.global) + " = " +
-              fmt(d.source_speed / d.global) + " >= T_s=" + fmt(in.threshold));
+              fmt(d.source_speed / d.global) + " >= T_s=" + fmt(threshold));
     if (d.local_speed <= d.global - kEps)
       add(out, "threshold",
           "pull at t=" + std::to_string(d.ts_us) + "us into core " +
@@ -150,6 +178,106 @@ void check_speed_rules(const SpeedRuleInputs& in, std::vector<Violation>& out) {
         std::to_string(pulls.size()) +
             " speed-balancer migrations after t=0 but " +
             std::to_string(pulled_decisions) + " Pulled decision records");
+}
+
+void check_oscillation(const TuningRuleInputs& in, std::vector<Violation>& out) {
+  if (in.hot_potato_guard <= 0) return;  // Guard disabled: nothing to assert.
+  // Last speed pull per task; a returning pull completes the ping-pong.
+  std::map<std::int64_t, MigrationRecord> last;
+  for (const MigrationRecord& m : in.migrations) {
+    if (m.cause != MigrationCause::SpeedBalancer || m.time <= 0) continue;
+    const auto it = last.find(m.task);
+    if (it != last.end()) {
+      const MigrationRecord& p = it->second;
+      SimTime interval = in.interval;
+      if (const obs::TuningRecord* r = tuning_at(in.tuning, m.time))
+        interval = r->interval_us;
+      const SimTime window =
+          static_cast<SimTime>(in.hot_potato_guard) * interval;
+      if (m.from == p.to && m.to == p.from && m.time - p.time < window)
+        add(out, "oscillation",
+            "task " + std::to_string(m.task) + " pulled core " +
+                std::to_string(p.from) + "->" + std::to_string(p.to) +
+                " at t=" + std::to_string(p.time) + "us and back " +
+                std::to_string(m.from) + "->" + std::to_string(m.to) +
+                " at t=" + std::to_string(m.time) + "us, " +
+                std::to_string(m.time - p.time) +
+                "us apart inside the guard window " + std::to_string(window) +
+                "us (" + std::to_string(in.hot_potato_guard) +
+                " x interval " + std::to_string(interval) + "us)");
+    }
+    last[m.task] = m;
+  }
+}
+
+void check_tuning_stability(const TuningRuleInputs& in,
+                            std::vector<Violation>& out) {
+  const obs::TuningRecord* prev = nullptr;
+  std::int64_t last_change_epoch = -1;
+  for (const obs::TuningRecord& r : in.tuning) {
+    const std::string who = "tuning epoch " + std::to_string(r.epoch) + " (" +
+                            obs::to_string(r.outcome) + ") at t=" +
+                            std::to_string(r.ts_us) + "us";
+    if (prev != nullptr) {
+      if (r.epoch <= prev->epoch)
+        add(out, "tuning-thrash",
+            who + ": epoch not after previous epoch " +
+                std::to_string(prev->epoch));
+      if (r.ts_us < prev->ts_us)
+        add(out, "tuning-thrash",
+            who + ": timestamp before previous record at t=" +
+                std::to_string(prev->ts_us) + "us");
+      if (r.prev_arm != prev->arm)
+        add(out, "tuning-thrash",
+            who + ": prev_arm " + std::to_string(r.prev_arm) +
+                " breaks the chain from the previous record's arm " +
+                std::to_string(prev->arm) +
+                " (unlogged parameter change between epochs)");
+    }
+    if (!in.portfolio.empty()) {
+      if (r.arm < 0 || r.arm >= static_cast<int>(in.portfolio.size())) {
+        add(out, "tuning-thrash",
+            who + ": arm " + std::to_string(r.arm) + " outside portfolio of " +
+                std::to_string(in.portfolio.size()) + " arms");
+      } else {
+        const TuningArm& a = in.portfolio[static_cast<std::size_t>(r.arm)];
+        if (r.interval_us != a.interval || r.threshold != a.threshold ||
+            r.post_migration_block != a.post_migration_block ||
+            r.cache_block_scale != a.shared_cache_block_scale)
+          add(out, "tuning-thrash",
+              who + ": constants interval=" + std::to_string(r.interval_us) +
+                  "us T_s=" + fmt(r.threshold) + " block=" +
+                  std::to_string(r.post_migration_block) + " cache_scale=" +
+                  fmt(r.cache_block_scale) + " do not match portfolio arm " +
+                  std::to_string(r.arm) + " (" + a.name + ")");
+      }
+    }
+    const bool changed = r.arm != r.prev_arm;
+    const bool changing_outcome =
+        r.outcome == obs::TuningOutcome::Bootstrap ||
+        r.outcome == obs::TuningOutcome::Switched ||
+        r.outcome == obs::TuningOutcome::Anticipated;
+    if (changed && !changing_outcome)
+      add(out, "tuning-thrash",
+          who + ": arm changed " + std::to_string(r.prev_arm) + " -> " +
+              std::to_string(r.arm) + " under a non-changing outcome");
+    if (!changed && changing_outcome)
+      add(out, "tuning-thrash",
+          who + ": outcome claims a parameter change but the arm stayed " +
+              std::to_string(r.arm));
+    if (changed) {
+      if (last_change_epoch >= 0 &&
+          r.epoch - last_change_epoch < in.min_dwell_epochs)
+        add(out, "tuning-thrash",
+            who + ": parameter change only " +
+                std::to_string(r.epoch - last_change_epoch) +
+                " epoch(s) after the change at epoch " +
+                std::to_string(last_change_epoch) + ", min dwell is " +
+                std::to_string(in.min_dwell_epochs));
+      last_change_epoch = r.epoch;
+    }
+    prev = &r;
+  }
 }
 
 void check_serve_counters(const ServeCounters& c, std::vector<Violation>& out) {

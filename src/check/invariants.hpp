@@ -4,9 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "balance/adaptive.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/share_log.hpp"
 #include "obs/span.hpp"
+#include "obs/tuning_log.hpp"
 #include "sim/metrics.hpp"
 #include "topo/topology.hpp"
 #include "util/time.hpp"
@@ -18,7 +20,7 @@ namespace speedbal::check {
 /// "affinity", "numa-block", "cooldown", "threshold", "speed-accounting",
 /// "histogram-merge", "event-queue", "serve-counters",
 /// "cluster-conservation", "span-conservation", "sampling-identity",
-/// "share-conservation", "liveness");
+/// "share-conservation", "oscillation", "tuning-thrash", "liveness");
 /// `detail` is a deterministic human-readable message (fixed-format number
 /// rendering, no pointers or timestamps), so a replayed episode reproduces
 /// the violation byte-for-byte.
@@ -85,6 +87,13 @@ struct SpeedRuleInputs {
   std::vector<MigrationRecord> migrations;
   /// Full decision log (the checks filter on PullReason::Pulled).
   std::vector<obs::DecisionRecord> decisions;
+  /// Tuning trajectory when the adaptive controller drove the run (empty
+  /// under fixed constants): the record with the greatest ts_us <= t gives
+  /// the constants in force at time t — the controller applies a parameter
+  /// change before the same pass's pull decision, so a record timestamped
+  /// at t governs decisions at t. The fields above are the base constants
+  /// in force before the first record.
+  std::vector<obs::TuningRecord> tuning;
 };
 
 /// Section 5 rules, checked post-hoc against the logs:
@@ -100,6 +109,43 @@ struct SpeedRuleInputs {
 ///    of SpeedBalancer-cause migrations after t=0 (no unlogged pulls, no
 ///    phantom decisions).
 void check_speed_rules(const SpeedRuleInputs& in, std::vector<Violation>& out);
+
+/// Inputs for the adaptive-balancer stability checks (the PR-10 invariant:
+/// self-tuning must not oscillate).
+struct TuningRuleInputs {
+  SimTime interval = msec(100);  ///< Base balance interval (portfolio arm 0).
+  int hot_potato_guard = 3;      ///< SpeedBalanceParams::hot_potato_guard.
+  int min_dwell_epochs = 4;      ///< AdaptiveParams::min_dwell_epochs.
+  /// The controller's arm set; empty skips the arm-membership check (e.g. a
+  /// cluster node whose per-node trajectory went unrecorded).
+  std::vector<TuningArm> portfolio;
+  /// Full migration log (every cause; the checks filter).
+  std::vector<MigrationRecord> migrations;
+  /// Tuning trajectory; same in-force semantics as SpeedRuleInputs.
+  std::vector<obs::TuningRecord> tuning;
+};
+
+/// Hot-potato freedom: no task's consecutive speed pulls form A->B followed
+/// by B->A within hot_potato_guard balance intervals (the interval in force
+/// at the returning pull). A violation means two cores traded the same task
+/// back and forth faster than its speed measurement could have stabilized —
+/// the oscillation the guard exists to prevent. Emits "oscillation".
+void check_oscillation(const TuningRuleInputs& in, std::vector<Violation>& out);
+
+/// Parameter-trajectory stability, checked against every tuning record the
+/// controller logged:
+///  - epochs strictly increase and timestamps never go backwards;
+///  - each record's prev_arm continues the previous record's arm (no
+///    unlogged parameter change between epochs);
+///  - the constants match the portfolio arm they claim (when the portfolio
+///    is supplied);
+///  - an arm change carries a changing outcome (bootstrap / switched /
+///    anticipated) and vice versa;
+///  - consecutive arm changes are at least min_dwell_epochs apart — the
+///    no-thrash dwell the controller must respect even when the bandit and
+///    the predictor disagree every epoch. Emits "tuning-thrash".
+void check_tuning_stability(const TuningRuleInputs& in,
+                            std::vector<Violation>& out);
 
 /// Request-serving conservation counters (end of run, recorded window).
 struct ServeCounters {

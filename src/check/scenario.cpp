@@ -36,6 +36,7 @@ const char* to_string(BrokenMode b) {
     case BrokenMode::Cooldown: return "cooldown";
     case BrokenMode::Threshold: return "threshold";
     case BrokenMode::LoseTask: return "lose-task";
+    case BrokenMode::HotPotato: return "hot-potato";
   }
   return "?";
 }
@@ -43,11 +44,12 @@ const char* to_string(BrokenMode b) {
 BrokenMode parse_broken_mode(std::string_view name) {
   for (BrokenMode b : {BrokenMode::None, BrokenMode::CrossNuma,
                        BrokenMode::Cooldown, BrokenMode::Threshold,
-                       BrokenMode::LoseTask})
+                       BrokenMode::LoseTask, BrokenMode::HotPotato})
     if (name == to_string(b)) return b;
   throw std::invalid_argument(
       "unknown broken mode: " + std::string(name) +
-      " (available: none, cross-numa, cooldown, threshold, lose-task)");
+      " (available: none, cross-numa, cooldown, threshold, lose-task, "
+      "hot-potato)");
 }
 
 namespace {
@@ -63,7 +65,7 @@ WaitPolicy parse_wait_policy(std::string_view name) {
 }  // namespace
 
 int FuzzScenario::size() const {
-  int s = cores + static_cast<int>(perturb.size());
+  int s = cores + static_cast<int>(perturb.size()) + (adaptive ? 1 : 0);
   if (mode == Mode::Spmd) {
     s += threads + phases;
     s += static_cast<int>(std::ceil(std::log2(std::max(work_per_phase_us, 2.0))));
@@ -91,6 +93,7 @@ std::string FuzzScenario::summary() const {
        << " rebalance=" << (cluster_rebalance ? 1 : 0);
   if (policy == Policy::Share)
     os << " share_count=" << (share_count ? 1 : 0) << " floor=" << min_share;
+  if (adaptive) os << " adaptive=1";
   os << " perturb=" << perturb.size() << " seed=" << seed;
   if (broken != BrokenMode::None) os << " broken=" << to_string(broken);
   return os.str();
@@ -128,6 +131,7 @@ std::string FuzzScenario::to_json() const {
   w.kv("share_count", share_count);
   w.kv("min_share", min_share);
   w.kv("share_hysteresis", share_hysteresis);
+  w.kv("adaptive", adaptive);
   w.key("perturb");
   w.begin_array();
   for (const auto& ev : perturb) w.value(ev.to_spec());
@@ -178,6 +182,8 @@ FuzzScenario FuzzScenario::from_json(std::string_view text) {
     sc.min_share = v->as_number();
   if (const JsonValue* v = doc.find("share_hysteresis"))
     sc.share_hysteresis = v->as_number();
+  // Adaptive field is optional so pre-adaptive replay specs keep loading.
+  if (const JsonValue* v = doc.find("adaptive")) sc.adaptive = v->as_bool();
   for (std::size_t i = 0; i < doc.at("perturb").size(); ++i)
     sc.perturb.push_back(
         perturb::PerturbTimeline::parse_spec(doc.at("perturb")[i].as_string()));
@@ -234,6 +240,9 @@ void FuzzScenario::validate() const {
     throw std::invalid_argument("scenario: min_share * cores >= 1");
   if (share_hysteresis < 0.0 || share_hysteresis >= 1.0)
     throw std::invalid_argument("scenario: share_hysteresis out of [0,1)");
+  if (adaptive && policy != Policy::Speed)
+    throw std::invalid_argument(
+        "scenario: adaptive tuning requires the SPEED policy");
 }
 
 FuzzScenario generate(std::uint64_t seed) {
@@ -392,6 +401,13 @@ FuzzScenario generate(std::uint64_t seed) {
       sc.perturb.push_back(ramp);
     }
   }
+
+  // Adaptive-tuning upgrade, drawn last (same append-only rule as the
+  // cluster and hetero blocks) so every earlier field of a given seed is
+  // unchanged from pre-adaptive builds. Only SPEED runs a controller, and
+  // the hetero upgrade above may have rewritten the policy, so gate on the
+  // final value.
+  if (sc.policy == Policy::Speed && rng.chance(0.35)) sc.adaptive = true;
 
   sc.validate();
   return sc;

@@ -32,6 +32,7 @@ enum class BrokenMode {
   Cooldown,   ///< Two SPEED-cause migrations share a core within the block.
   Threshold,  ///< A logged pull whose source was not below T_s * global.
   LoseTask,   ///< A thread is parked and forgotten (lost-task / liveness).
+  HotPotato,  ///< A SPEED-cause pull pair ping-pongs one task A->B->A.
 };
 
 const char* to_string(BrokenMode b);
@@ -84,6 +85,11 @@ struct FuzzScenario {
   bool share_count = false;        ///< Uniform-share (count) baseline source.
   double min_share = 0.02;         ///< Per-core share floor.
   double share_hysteresis = 0.02;  ///< Min max-delta to adopt a repartition.
+
+  /// Wrap the speed balancer in the adaptive tuning controller (only valid
+  /// — and only generated — under Policy::Speed). Default false so
+  /// pre-adaptive replay specs, whose JSON omits the field, keep loading.
+  bool adaptive = false;
 
   /// Scripted interference applied mid-episode.
   std::vector<perturb::PerturbEvent> perturb;

@@ -99,6 +99,11 @@ std::vector<FuzzScenario> candidates(const FuzzScenario& sc) {
       push(v);
     }
 
+  if (sc.adaptive) {
+    FuzzScenario v = sc;
+    v.adaptive = false;  // Fixed constants reproduce most non-tuning failures.
+    push(v);
+  }
   if (sc.cores > 2) {
     FuzzScenario v = sc;
     v.cores = std::max(2, sc.cores / 2);

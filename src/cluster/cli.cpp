@@ -37,6 +37,8 @@ ClusterConfig parse_cluster_config(const Cli& cli) {
   config.serve.span_sampling_log2 =
       static_cast<int>(cli.get_int("span-sampling", -1));
 
+  config.adaptive.enabled = cli.has("adaptive");
+
   config.dispatch = parse_cluster_dispatch(cli.get("dispatch", "jsq"));
   config.jsq_d = static_cast<int>(cli.get_int("jsq-d", 2));
   config.hop =

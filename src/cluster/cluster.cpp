@@ -54,7 +54,7 @@ ClusterSim::ClusterSim(const ClusterConfig& config)
     node.cores = workload::first_cores(k);
     node.stack = std::make_unique<serve::PolicyStack>(serve::PolicyStackParams{
         config_.policy, config_.speed, config_.linux_load, config_.dwrr,
-        config_.ule, config_.share});
+        config_.ule, config_.share, config_.adaptive});
     node.stack->attach_kernel(*node.sim);
 
     if (const auto it = config_.node_perturb.find(n);

@@ -79,6 +79,10 @@ struct ClusterConfig {
   DwrrParams dwrr;
   UleParams ule;
   hetero::ShareParams share;
+  /// Online tuning of the SPEED constants: each node's stack wraps its
+  /// speed balancer in its own adaptive controller (per-node trajectories;
+  /// the node balancers run unrecorded, so tuning epochs stay node-local).
+  AdaptiveParams adaptive;
   SimParams sim;
   RebalanceParams rebalance;
 
@@ -146,6 +150,12 @@ class ClusterSim {
   // Introspection for tests and invariant checks.
   int pool_node(int pool) const { return pools_[static_cast<std::size_t>(pool)].node; }
   int num_pools() const { return static_cast<int>(pools_.size()); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Node n's simulator, for post-run metric harvest (e.g. the per-node
+  /// migration logs the oscillation invariant checks).
+  const Simulator& node_sim(int n) const {
+    return *nodes_[static_cast<std::size_t>(n)].sim;
+  }
   const ClusterStats& stats() const { return stats_; }
   /// Live + draining incarnations' in-flight totals summed per node.
   std::int64_t node_in_flight(int node) const;

@@ -124,8 +124,16 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
 
   // User-level policy on the application's threads.
   std::unique_ptr<SpeedBalancer> speed;
+  std::unique_ptr<AdaptiveSpeedBalancer> adaptive;
   std::unique_ptr<PinnedBalancer> pinned;
-  if (config.policy == Policy::Speed) {
+  if (config.policy == Policy::Speed && config.adaptive.enabled) {
+    AdaptiveParams ap = config.adaptive;
+    ap.speed = config.speed;
+    adaptive = std::make_unique<AdaptiveSpeedBalancer>(std::move(ap),
+                                                       app.threads(), cores);
+    adaptive->attach(sim);
+    if (recorder != nullptr) adaptive->set_recorder(recorder);
+  } else if (config.policy == Policy::Speed) {
     speed = std::make_unique<SpeedBalancer>(config.speed, app.threads(), cores);
     speed->attach(sim);
     if (recorder != nullptr) speed->set_recorder(recorder);

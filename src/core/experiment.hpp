@@ -9,6 +9,7 @@
 
 #include "app/multiprog.hpp"
 #include "app/spmd.hpp"
+#include "balance/adaptive.hpp"
 #include "balance/dwrr.hpp"
 #include "balance/linux_load.hpp"
 #include "balance/speed.hpp"
@@ -61,6 +62,10 @@ struct ExperimentConfig {
   DwrrParams dwrr;
   UleParams ule;
   hetero::ShareParams share;
+  /// Online tuning of the SPEED constants (`--adaptive`): when enabled, the
+  /// run wraps the speed balancer in the adaptive controller; `speed` above
+  /// still supplies the base constant-set (portfolio arm 0).
+  AdaptiveParams adaptive;
   SimParams sim;
 
   /// Optional competitors sharing the machine.

@@ -13,6 +13,7 @@ const char* to_string(PullReason r) {
     case PullReason::DomainBlocked: return "domain-blocked";
     case PullReason::NoCandidate: return "no-candidate";
     case PullReason::NoVictim: return "no-victim";
+    case PullReason::HotPotato: return "hot-potato";
     case PullReason::CoreOffline: return "core-offline";
     case PullReason::AffinityFailed: return "affinity-failed";
     case PullReason::SampleFailed: return "sample-failed";

@@ -21,6 +21,8 @@ enum class PullReason {
   DomainBlocked,     ///< Candidate rejected: above the allowed scheduling-domain level.
   NoCandidate,       ///< Pass found no source core after all rejections.
   NoVictim,          ///< Source chosen but it held no managed thread to pull.
+  HotPotato,         ///< Victim skipped: pulling it back inside the guard
+                     ///< window would complete an A->B->A ping-pong.
   // Perturbation-caused outcomes (hotplug / fault injection).
   CoreOffline,       ///< Local or destination core hotplugged out mid-pass.
   AffinityFailed,    ///< sched_setaffinity failed permanently (retries spent).

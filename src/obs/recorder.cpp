@@ -219,6 +219,23 @@ void RunRecorder::write_chrome_trace(std::ostream& os) const {
     events.push_back(std::move(ev));
   }
 
+  // Tuning epochs -> instants on core 0's track (a parameter change governs
+  // the whole balancer; the constant-set in force travels as numeric args).
+  for (const auto& r : tuning_.snapshot()) {
+    TraceEvent ev;
+    ev.kind = EventKind::Instant;
+    ev.ts_us = r.ts_us;
+    ev.track = 0;
+    ev.name = std::string("tune:") + to_string(r.outcome);
+    ev.cat = "tuning";
+    ev.num_args.emplace_back("arm", static_cast<double>(r.arm));
+    ev.num_args.emplace_back("interval_us", static_cast<double>(r.interval_us));
+    ev.num_args.emplace_back("threshold", r.threshold);
+    ev.num_args.emplace_back("dispersion", r.dispersion);
+    ev.num_args.emplace_back("predicted", r.predicted);
+    events.push_back(std::move(ev));
+  }
+
   // Performed pulls -> instant events on the destination core's track.
   for (const auto& d : decisions_.snapshot()) {
     if (d.reason != PullReason::Pulled) continue;
@@ -408,6 +425,30 @@ void RunRecorder::write_report_json(std::ostream& os) const {
       w.key("speeds").begin_array();
       for (const double s : r.speeds) w.value(s);
       w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  // Adaptive-controller tuning epoch log — one record per controller epoch
+  // with the constant-set it left in force. Absent unless --adaptive ran,
+  // so pre-adaptive reports stay byte-identical.
+  if (tuning_.size() > 0) {
+    w.key("tuning").begin_array();
+    for (const auto& r : tuning_.snapshot()) {
+      w.begin_object();
+      w.kv("t_us", r.ts_us);
+      w.kv("epoch", r.epoch);
+      w.kv("outcome", to_string(r.outcome));
+      w.kv("arm", r.arm);
+      w.kv("prev_arm", r.prev_arm);
+      w.kv("interval_us", r.interval_us);
+      w.kv("threshold", r.threshold);
+      w.kv("post_migration_block", r.post_migration_block);
+      w.kv("cache_block_scale", r.cache_block_scale);
+      w.kv("reward", r.reward);
+      w.kv("dispersion", r.dispersion);
+      w.kv("predicted", r.predicted);
       w.end_object();
     }
     w.end_array();

@@ -13,6 +13,7 @@
 #include "obs/segment_table.hpp"
 #include "obs/share_log.hpp"
 #include "obs/span.hpp"
+#include "obs/tuning_log.hpp"
 #include "obs/speed_timeline.hpp"
 #include "obs/telemetry_buffer.hpp"
 #include "obs/trace.hpp"
@@ -63,6 +64,9 @@ class RunRecorder {
   /// ShareBalancer repartition epoch log; empty unless SHARE ran.
   ShareLog& shares() { return shares_; }
   const ShareLog& shares() const { return shares_; }
+  /// Adaptive-controller tuning epoch log; empty unless --adaptive ran.
+  TuningLog& tuning() { return tuning_; }
+  const TuningLog& tuning() const { return tuning_; }
   /// Wall time the observability layer itself spent on the hot path
   /// (span capture, telemetry flushes, share epochs). End-of-run report
   /// export is metered separately in export_overhead(): it is one bulk
@@ -112,6 +116,7 @@ class RunRecorder {
   RunSegmentTable run_segments_;
   RebalanceLog rebalances_;
   ShareLog shares_;
+  TuningLog tuning_;
   OverheadMeter overhead_;
   OverheadMeter export_overhead_;
 

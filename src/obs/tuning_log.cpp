@@ -1,0 +1,59 @@
+#include "obs/tuning_log.hpp"
+
+namespace speedbal::obs {
+
+const char* to_string(TuningOutcome o) {
+  switch (o) {
+    case TuningOutcome::Bootstrap: return "bootstrap";
+    case TuningOutcome::Kept: return "kept";
+    case TuningOutcome::Switched: return "switched";
+    case TuningOutcome::Anticipated: return "anticipated";
+    case TuningOutcome::Dwell: return "dwell";
+  }
+  return "?";
+}
+
+TuningOutcome parse_tuning_outcome(std::string_view s) {
+  for (int i = 0; i < kNumTuningOutcomes; ++i) {
+    const auto o = static_cast<TuningOutcome>(i);
+    if (s == to_string(o)) return o;
+  }
+  return TuningOutcome::Kept;
+}
+
+void TuningLog::add(const TuningRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[static_cast<int>(rec.outcome)];
+  if (records_.size() >= record_cap_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(rec);
+}
+
+std::vector<TuningRecord> TuningLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t TuningLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::int64_t TuningLog::count(TuningOutcome o) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(o)];
+}
+
+std::int64_t TuningLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TuningLog::set_record_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_cap_ = cap;
+}
+
+}  // namespace speedbal::obs

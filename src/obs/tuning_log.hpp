@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace speedbal::obs {
+
+/// Outcome of one adaptive-controller epoch: what the tuner did with the
+/// speed balancer's constants. The tuning analogue of PullReason /
+/// ShareOutcome: every epoch leaves a record, so `obsquery --tuning` can
+/// answer "why did the balance interval drop at t=1.2s" (or "why did the
+/// controller sit on the paper constants through the whole DVFS ramp").
+enum class TuningOutcome {
+  Bootstrap = 0,  ///< Bandit still visiting an unexplored arm; arm forced.
+  Kept,           ///< Epoch evaluated; incumbent arm retained.
+  Switched,       ///< Bandit moved to a better-scoring arm.
+  Anticipated,    ///< Predictor tripped; jumped to the aggressive arm early.
+  Dwell,          ///< A switch was indicated but the dwell gate held it.
+};
+
+inline constexpr int kNumTuningOutcomes =
+    static_cast<int>(TuningOutcome::Dwell) + 1;
+
+const char* to_string(TuningOutcome o);
+/// Inverse of to_string; returns Kept for unrecognized strings.
+TuningOutcome parse_tuning_outcome(std::string_view s);
+
+/// One controller-epoch record. `arm` is the portfolio index in force after
+/// the decision (`prev_arm` before it); the interval/threshold/block/cache
+/// fields are the full constant-set now governing the wrapped balancer, so
+/// the record is self-describing even without the portfolio table.
+struct TuningRecord {
+  std::int64_t ts_us = 0;
+  std::int64_t epoch = 0;
+  TuningOutcome outcome = TuningOutcome::Kept;
+  int arm = 0;
+  int prev_arm = 0;
+  std::int64_t interval_us = 0;
+  double threshold = 0.0;
+  int post_migration_block = 0;
+  double cache_block_scale = 0.0;
+  /// Reward the incumbent arm earned this epoch (higher is better: negated
+  /// dispersion minus churn and congestion penalties).
+  double reward = 0.0;
+  /// EWMA-smoothed speed dispersion (coefficient of variation) the epoch saw.
+  double dispersion = 0.0;
+  /// Predictor's imbalance forecast for the next epoch (level + slope).
+  double predicted = 0.0;
+};
+
+/// Append-only, capped tuning-epoch log — one record per controller epoch,
+/// so its growth is bounded by run length / balance interval, not traffic.
+class TuningLog {
+ public:
+  void add(const TuningRecord& rec);
+
+  std::vector<TuningRecord> snapshot() const;
+  std::size_t size() const;
+  std::int64_t count(TuningOutcome o) const;
+  std::int64_t dropped() const;
+  void set_record_cap(std::size_t cap);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TuningRecord> records_;
+  std::int64_t counts_[kNumTuningOutcomes] = {};
+  std::size_t record_cap_ = 100000;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace speedbal::obs

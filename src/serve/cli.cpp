@@ -67,6 +67,8 @@ ServeConfig parse_serve_config(const Cli& cli) {
       static_cast<SimTime>(cli.get_double("diurnal-period-s", 10.0) * kSec);
   config.arrival.diurnal_swing = cli.get_double("diurnal-swing", 0.8);
 
+  config.adaptive.enabled = cli.has("adaptive");
+
   config.duration =
       static_cast<SimTime>(cli.get_double("duration-s", 10.0) * kSec);
   config.warmup = static_cast<SimTime>(cli.get_double("warmup-s", 1.0) * kSec);
@@ -106,6 +108,7 @@ int serve_main(const Cli& cli, std::string_view tool) {
     recorder.set_meta("seed", std::to_string(config.seed));
     recorder.set_meta("span_sampling",
                       std::to_string(config.serve.span_sampling_log2));
+    if (config.adaptive.enabled) recorder.set_meta("adaptive", "1");
     {
       std::ostringstream rate;
       rate << config.arrival.rate_rps;

@@ -26,7 +26,14 @@ void PolicyStack::attach_user(Simulator& sim, std::vector<Task*> workers,
                               obs::RunRecorder* rec) {
   cores_ = std::move(cores);
   pin_cursor_ = workers.size();
-  if (params_.policy == Policy::Speed) {
+  if (params_.policy == Policy::Speed && params_.adaptive.enabled) {
+    AdaptiveParams ap = params_.adaptive;
+    ap.speed = params_.speed;
+    adaptive_ = std::make_unique<AdaptiveSpeedBalancer>(
+        std::move(ap), std::move(workers), cores_);
+    adaptive_->attach(sim);
+    if (rec != nullptr) adaptive_->set_recorder(rec);
+  } else if (params_.policy == Policy::Speed) {
     speed_ = std::make_unique<SpeedBalancer>(params_.speed, std::move(workers),
                                              cores_);
     speed_->attach(sim);
@@ -46,6 +53,8 @@ void PolicyStack::manage(Simulator& sim, std::span<Task* const> workers) {
   for (Task* t : workers) {
     if (speed_ != nullptr) {
       speed_->add_managed(*t);
+    } else if (adaptive_ != nullptr) {
+      adaptive_->add_managed(*t);
     } else if (pinned_ != nullptr || share_ != nullptr) {
       const CoreId target = cores_[pin_cursor_++ % cores_.size()];
       sim.set_affinity(*t, 1ULL << target, /*hard_pin=*/true,

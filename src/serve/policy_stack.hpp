@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "balance/adaptive.hpp"
 #include "balance/dwrr.hpp"
 #include "balance/linux_load.hpp"
 #include "balance/pinned.hpp"
@@ -26,6 +27,9 @@ struct PolicyStackParams {
   DwrrParams dwrr;
   UleParams ule;
   hetero::ShareParams share;
+  /// SPEED only: when enabled, attach_user wraps the speed balancer in the
+  /// adaptive tuning controller (speed above stays the base constant-set).
+  AdaptiveParams adaptive;
 };
 
 /// The balancer attachment pattern of run_serve, owned as an object so it
@@ -60,6 +64,10 @@ class PolicyStack {
   void manage(Simulator& sim, std::span<Task* const> workers);
 
   SpeedBalancer* speed() { return speed_.get(); }
+  /// Non-null only with adaptive SPEED: the serving runtime feeds its
+  /// queue-pressure probe here; speed() stays null in that configuration
+  /// (the controller owns the inner balancer).
+  AdaptiveSpeedBalancer* adaptive() { return adaptive_.get(); }
   /// Non-null only under Policy::Share: the serving runtime reads its
   /// epoch-adopted per-core shares (via set_sink) to weight dispatch.
   hetero::ShareBalancer* share() { return share_.get(); }
@@ -72,6 +80,7 @@ class PolicyStack {
   std::unique_ptr<DwrrBalancer> dwrr_;
   std::unique_ptr<UleBalancer> ule_;
   std::unique_ptr<SpeedBalancer> speed_;
+  std::unique_ptr<AdaptiveSpeedBalancer> adaptive_;
   std::unique_ptr<PinnedBalancer> pinned_;
   std::unique_ptr<hetero::ShareBalancer> share_;
 };

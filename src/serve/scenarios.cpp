@@ -75,7 +75,7 @@ ServeResult run_serve(const ServeConfig& config) {
   // The per-machine balancer stack, exactly as in the batch experiments:
   // SPEED/PINNED/SHARE run on top of the Linux balancer, DWRR/ULE replace it.
   PolicyStack stack({config.policy, config.speed, config.linux_load,
-                     config.dwrr, config.ule, config.share});
+                     config.dwrr, config.ule, config.share, config.adaptive});
   stack.attach_kernel(sim);
 
   ServeParams serve_params = config.serve;
@@ -105,6 +105,23 @@ ServeResult run_serve(const ServeConfig& config) {
       }
       runtime.set_shard_weights(weights);
     });
+  }
+
+  // Adaptive SPEED also watches tail pressure: a recurring probe feeds
+  // queued-requests-per-worker into the controller's congestion term at
+  // balance-interval granularity. Deterministic and recorder-independent,
+  // so the sampling-identity oracle still holds for adaptive runs.
+  std::function<void()> congestion_probe;  // Outlives run_until (below).
+  if (stack.adaptive() != nullptr) {
+    const double nw = std::max(1, serve_params.workers);
+    const SimTime period = std::max<SimTime>(config.speed.interval, msec(1));
+    AdaptiveSpeedBalancer* adaptive = stack.adaptive();
+    congestion_probe = [&sim, &runtime, &congestion_probe, adaptive, nw,
+                        period] {
+      adaptive->observe_congestion(runtime.total_queued() / nw);
+      sim.schedule_after(period, congestion_probe);
+    };
+    sim.schedule_after(period, congestion_probe);
   }
 
   if (config.on_run_start) config.on_run_start(sim, runtime);

@@ -45,6 +45,9 @@ struct ServeConfig {
   DwrrParams dwrr;
   UleParams ule;
   hetero::ShareParams share;
+  /// Online tuning of the SPEED constants (`--adaptive`): wraps the speed
+  /// balancer in the adaptive controller, with `speed` as the base arm.
+  AdaptiveParams adaptive;
   SimParams sim;
 
   /// Scripted interference applied mid-serving (DVFS, hotplug, hogs).

@@ -50,6 +50,9 @@ void ServeRuntime::open(std::span<const CoreId> cores, bool round_robin) {
     ts.mem_intensity = params_.mem_intensity;
     Task& t = sim_.create_task(ts);
     workers_.push_back(&t);
+    const auto id = static_cast<std::size_t>(t.id());
+    if (worker_index_.size() <= id) worker_index_.resize(id + 1, -1);
+    worker_index_[id] = i;
     shards_[static_cast<std::size_t>(i)].busy = true;  // Bootstrap work.
     sim_.assign_work(t, kBootWorkUs);
     if (round_robin) {
@@ -182,10 +185,9 @@ void ServeRuntime::finish_current(int worker) {
 }
 
 void ServeRuntime::on_work_complete(Simulator& sim, Task& task) {
-  const auto it = std::find(workers_.begin(), workers_.end(), &task);
-  if (it == workers_.end())
-    throw std::logic_error("ServeRuntime: unknown worker task");
-  const int w = static_cast<int>(it - workers_.begin());
+  const auto id = static_cast<std::size_t>(task.id());
+  const int w = id < worker_index_.size() ? worker_index_[id] : -1;
+  if (w < 0) throw std::logic_error("ServeRuntime: unknown worker task");
   Shard& shard = shards_[static_cast<std::size_t>(w)];
 
   if (shard.has_current) finish_current(w);

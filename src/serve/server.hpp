@@ -180,6 +180,11 @@ class ServeRuntime : public TaskClient {
   ServeParams params_;
   obs::SpanSampler sampler_;
   std::vector<Task*> workers_;
+  /// TaskId -> worker index for O(1) completion lookup (built in open();
+  /// -1 marks ids that are not this pool's workers). Completions fire once
+  /// per finished request, so the old linear scan over workers_ made every
+  /// completion O(workers).
+  std::vector<int> worker_index_;
   std::vector<Shard> shards_;
   std::uint64_t rr_cursor_ = 0;
   std::vector<double> shard_weights_;  ///< Empty until set_shard_weights.

@@ -4,6 +4,7 @@
 //              [--cores=N] [--policy=SPEED] [--workers=N] [--queue-cap=64]
 //              [--dispatch=jsq] [--jsq-d=2] [--hop-us=200]
 //              [--node-admission-cap=0] [--pool-dispatch=jsq] [--idle=sleep]
+//              [--adaptive]
 //              [--arrival=poisson] [--rate=RPS | --utilization=0.7]
 //              [--service=exp] [--service-mean-us=5000] [--service-cv=1.5]
 //              [--duration-s=10] [--warmup-s=1] [--seed=42]

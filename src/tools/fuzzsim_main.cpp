@@ -1,11 +1,11 @@
 // Property-based fuzzing & differential-oracle front end:
 //
 //   fuzzsim [--episodes=100] [--seed=1] [--policy=SPEED]
-//           [--mode=spmd|serve|cluster] [--hetero]
+//           [--mode=spmd|serve|cluster] [--hetero] [--adaptive]
 //           [--jobs-oracle-every=25] [--max-seconds=0] [--minimize]
 //           [--out=FILE] [--verbose]
 //   fuzzsim --replay=FILE [--minimize] [--out=FILE]
-//   fuzzsim --broken=cross-numa|cooldown|threshold|lose-task
+//   fuzzsim --broken=cross-numa|cooldown|threshold|lose-task|hot-potato
 //   fuzzsim --analytic
 //   fuzzsim --hetero-grid
 //
@@ -27,6 +27,9 @@
 // --hetero forces every episode onto an asymmetric machine (big.LITTLE /
 // clock-ladder presets, SHARE policy unless --policy overrides) — the CI
 // leg that soaks the work-partitioning path.
+// --adaptive forces the SPEED policy with the adaptive tuning controller on
+// every episode — the CI leg that soaks the oscillation and tuning-thrash
+// invariants across all three modes.
 // --hetero-grid runs the sim-vs-model differential grid on asymmetric
 // machines (SHARE vs the analytic optimum, count-source vs the analytic
 // count-balancing penalty).
@@ -185,6 +188,15 @@ int run_fuzz(const Cli& cli) {
     if (cli.has("policy"))
       sc.policy = serve::parse_serve_policy(cli.get("policy"));
     if (cli.has("mode")) sc.mode = parse_mode(cli.get("mode"));
+    // The overrides above may have moved the scenario off SPEED; the
+    // generator's drawn adaptive upgrade only applies there.
+    if (sc.policy != Policy::Speed) sc.adaptive = false;
+    if (cli.get_bool("adaptive")) {
+      // Only SPEED runs a tuning controller, so the flag pins the policy
+      // too (overriding --policy; the combination is contradictory).
+      sc.policy = Policy::Speed;
+      sc.adaptive = true;
+    }
     sc.validate();
 
     EpisodeResult result = run_episode(sc);
@@ -220,8 +232,8 @@ int main(int argc, char** argv) {
     const speedbal::Cli cli(
         argc, argv,
         {"episodes", "seed", "policy", "mode", "replay", "minimize", "out",
-         "broken", "jobs-oracle-every", "analytic", "hetero", "hetero-grid",
-         "max-seconds", "verbose"});
+         "broken", "jobs-oracle-every", "analytic", "adaptive", "hetero",
+         "hetero-grid", "max-seconds", "verbose"});
     const auto unknown = cli.unknown();
     if (!unknown.empty())
       throw std::invalid_argument("unknown flag --" + unknown.front());

@@ -13,6 +13,8 @@
 //                                          ("why did pool N migrate?")
 //   obsquery --report=FILE --shares        SHARE repartition epoch log
 //                                          ("why did core N's share shrink?")
+//   obsquery --report=FILE --tuning        adaptive-controller epoch log
+//                                          ("why did the interval drop?")
 //
 // Everything is computed from the report file alone — the tool never touches
 // the simulator, so it can answer "why was p99 slow?" long after the run.
@@ -214,6 +216,37 @@ int print_shares(const JsonValue& root) {
   return 0;
 }
 
+int print_tuning(const JsonValue& root) {
+  const JsonValue* tuning = root.find("tuning");
+  if (tuning == nullptr) {
+    std::cout << "no tuning section (--adaptive did not run, or nothing "
+                 "was recorded)\n";
+    return 0;
+  }
+  std::int64_t epochs = 0;
+  std::int64_t changes = 0;
+  Table t({"t_ms", "epoch", "outcome", "arm", "interval_ms", "T_s", "block",
+           "dispersion", "predicted", "reward"});
+  for (const JsonValue& r : tuning->items()) {
+    ++epochs;
+    const std::string outcome = r.at("outcome").as_string();
+    if (r.at("arm").as_int() != r.at("prev_arm").as_int()) ++changes;
+    t.add_row({ms(static_cast<double>(r.at("t_us").as_int())),
+               std::to_string(r.at("epoch").as_int()), outcome,
+               std::to_string(r.at("arm").as_int()),
+               ms(static_cast<double>(r.at("interval_us").as_int())),
+               Table::num(r.at("threshold").as_number(), 2),
+               std::to_string(r.at("post_migration_block").as_int()),
+               Table::num(r.at("dispersion").as_number(), 4),
+               Table::num(r.at("predicted").as_number(), 4),
+               Table::num(r.at("reward").as_number(), 4)});
+  }
+  std::cout << epochs << " epoch(s), " << changes
+            << " parameter change(s)\n";
+  t.print(std::cout);
+  return 0;
+}
+
 void print_summary(const JsonValue& root,
                    const std::vector<obs::RequestSpan>& spans) {
   Table t({"field", "value"});
@@ -239,7 +272,7 @@ int run(const Cli& cli) {
   if (path.empty()) {
     std::cerr << "usage: obsquery --report=FILE "
                  "[--slowest=K | --blame | --storms | --pulls | "
-                 "--rebalances [--pool=N] | --shares]\n";
+                 "--rebalances [--pool=N] | --shares | --tuning]\n";
     return 1;
   }
   std::ifstream in(path);
@@ -272,6 +305,7 @@ int run(const Cli& cli) {
   }
   if (cli.has("rebalances")) return print_rebalances(root, cli);
   if (cli.has("shares")) return print_shares(root);
+  if (cli.has("tuning")) return print_tuning(root);
   print_summary(root, spans);
   return 0;
 }

@@ -2,8 +2,9 @@
 //
 //   simrun [--topo=tigerton] [--bench=ep.C] [--threads=16] [--cores=4]
 //          [--setup=SPEED-YIELD] [--repeats=5] [--seed=42] [--jobs=N]
-//          [--trace-out=FILE] [--report-json=FILE] [--log-level=LVL]
-//          [--perturb=SPECS] [--perturb-json=FILE] [--list-setups]
+//          [--adaptive] [--trace-out=FILE] [--report-json=FILE]
+//          [--log-level=LVL] [--perturb=SPECS] [--perturb-json=FILE]
+//          [--list-setups]
 //
 // Runs the configuration and prints runtime statistics, the speedup
 // against a single-core run, and migration counts. With --trace-out the
@@ -20,6 +21,11 @@
 // --perturb-json loads the same timeline from a JSON file ({"events":
 // [{"at_s": 2, "kind": "dvfs", "core": 3, "scale": 0.6}, ...]}).
 // --list-setups prints the available setup names, one per line, and exits.
+//
+// --adaptive (SPEED setups, batch or serve) wraps the speed balancer in the
+// online tuning controller: a bandit over a small portfolio of Section-5
+// constant-sets plus a predictor that shortens the balance interval ahead
+// of a forming imbalance. Query the trajectory with obsquery --tuning.
 //
 // --serve[=POLICY] (or --setup=SERVE-<POLICY>) switches to the
 // request-serving mode: an open-loop load generator feeds a worker pool
@@ -153,6 +159,7 @@ int main(int argc, char** argv) {
     }
     config.jobs = jobs;
     config.perturb = timeline;
+    config.adaptive.enabled = cli.has("adaptive");
     obs::RunRecorder recorder;
     const bool record = !trace_out.empty() || !report_json.empty();
     if (record) {
@@ -163,6 +170,7 @@ int main(int argc, char** argv) {
       recorder.set_meta("threads", std::to_string(threads));
       recorder.set_meta("cores", std::to_string(cores));
       recorder.set_meta("seed", std::to_string(seed));
+      if (config.adaptive.enabled) recorder.set_meta("adaptive", "1");
       if (!timeline.empty()) {
         std::ostringstream specs;
         for (const auto& ev : timeline.events()) {

@@ -101,6 +101,9 @@ TEST(CheckBrokenStub, ThresholdViolationIsCaught) {
 TEST(CheckBrokenStub, LostTaskIsCaught) {
   expect_caught(BrokenMode::LoseTask);
 }
+TEST(CheckBrokenStub, HotPotatoPingPongIsCaught) {
+  expect_caught(BrokenMode::HotPotato);
+}
 
 // ---------------------------------------------------------------------------
 // Forged-observation proofs: every violation class fires from pure data, so

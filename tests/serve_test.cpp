@@ -286,6 +286,52 @@ TEST(ServeSpans, NegativeSamplingDisablesSpanCapture) {
   EXPECT_EQ(rec.spans().size(), 0u);
 }
 
+// --- Completion routing ------------------------------------------------------
+
+TEST(ServeRuntime, CompletionLookupIsIdKeyedAndRejectsForeignTasks) {
+  // Regression for the O(workers) linear scan in on_work_complete: the
+  // replacement maps TaskId -> worker index directly. A decoy task created
+  // *before* open() offsets every worker's TaskId from its worker index, so
+  // a lookup conflating the two misroutes every completion; the run below
+  // only drains cleanly if routing is id-keyed.
+  Simulator sim(presets::generic(2));
+  TaskSpec decoy_spec;
+  decoy_spec.name = "decoy";
+  Task& decoy = sim.create_task(decoy_spec);  // TaskId 0: not a worker.
+
+  ServeParams params;
+  params.workers = 2;
+  params.sample_interval = 0;
+  ServeRuntime runtime(sim, params);
+  const std::vector<CoreId> cores = {0, 1};
+  runtime.open(cores, /*round_robin=*/true);
+
+  constexpr int kRequests = 16;
+  sim.schedule_at(msec(1), [&] {
+    for (int i = 0; i < kRequests; ++i) {
+      Request r;
+      r.id = i;
+      r.arrival = sim.now();
+      r.service_us = 200.0;
+      EXPECT_TRUE(runtime.inject(r));
+    }
+  });
+  sim.run_until(sec(1));
+
+  EXPECT_EQ(runtime.stats().completed, kRequests);
+  EXPECT_EQ(runtime.in_flight(), 0);
+  EXPECT_EQ(runtime.total_queued(), 0);
+
+  // Tasks that are not this pool's workers must be rejected loudly — both
+  // ids below the map's range (the decoy) and ids past its end (a task
+  // created after the pool opened).
+  EXPECT_THROW(runtime.on_work_complete(sim, decoy), std::logic_error);
+  TaskSpec late_spec;
+  late_spec.name = "late";
+  Task& late = sim.create_task(late_spec);
+  EXPECT_THROW(runtime.on_work_complete(sim, late), std::logic_error);
+}
+
 TEST(ServeRun, CapacityAndRateHelpers) {
   const Topology topo = presets::asymmetric(4, 2, 2.0);
   EXPECT_DOUBLE_EQ(capacity(topo, 4), 6.0);
